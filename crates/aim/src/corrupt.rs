@@ -1,0 +1,215 @@
+//! Malicious-IM plan corruptions (attack injection).
+//!
+//! A compromised intersection manager "may send out wrong travel plans to
+//! induce pile-up accidents" (threat iii, Fig. 1c). These helpers take an
+//! honestly scheduled batch and corrupt it the way the attacker would;
+//! the NWADE block verification must catch every one of them.
+
+use crate::plan::TravelPlan;
+use crate::reservation::occupancy_of;
+use nwade_geometry::MotionProfile;
+use nwade_intersection::Topology;
+use std::collections::HashMap;
+
+/// Retimes two plans on zone-sharing movements so they hit a shared cell
+/// simultaneously — the "conflicting travel plans" attack.
+///
+/// Returns `None` if no two plans in the batch share any zone cell (the
+/// attacker needs crossing traffic to stage a collision).
+pub fn make_conflicting(
+    plans: &[TravelPlan],
+    topology: &Topology,
+    now: f64,
+) -> Option<Vec<TravelPlan>> {
+    // Find two plans whose movements share a cell.
+    let mut cell_user: HashMap<nwade_intersection::ZoneId, usize> = HashMap::new();
+    let mut pair: Option<(usize, usize, nwade_intersection::ZoneId)> = None;
+    'outer: for (i, plan) in plans.iter().enumerate() {
+        for zi in topology.movement(plan.movement()).zones() {
+            if let Some(&j) = cell_user.get(&zi.zone) {
+                if plans[j].movement() != plan.movement() {
+                    pair = Some((j, i, zi.zone));
+                    break 'outer;
+                }
+            } else {
+                cell_user.insert(zi.zone, i);
+            }
+        }
+    }
+    let (i, j, zone) = pair?;
+
+    let mut out = plans.to_vec();
+    // Distance from each vehicle's current position to the shared cell.
+    let dist_to = |p: &TravelPlan| -> f64 {
+        let m = topology.movement(p.movement());
+        let zi = m
+            .zones()
+            .iter()
+            .find(|z| z.zone == zone)
+            .expect("zone on movement");
+        (zi.enter - p.profile().start_position()).max(1.0)
+    };
+    let (da, db) = (dist_to(&plans[i]), dist_to(&plans[j]));
+    // Both cruise so they reach the shared cell at the same instant, at
+    // speeds the attacker picks to look plausible (≤ 20 m/s).
+    let t_meet = da.max(db) / 18.0;
+    let retime = |p: &TravelPlan, d: f64| -> TravelPlan {
+        let v = (d / t_meet).clamp(1.0, 25.0);
+        let m = topology.movement(p.movement());
+        let remaining = m.path().length() - p.profile().start_position();
+        let profile = MotionProfile::new(
+            now,
+            p.profile().start_position(),
+            v,
+            MotionProfile::cruise(now, v, remaining).segments().to_vec(),
+        );
+        TravelPlan::new(p.id(), p.descriptor().clone(), *p.status(), p.movement(), profile)
+    };
+    out[i] = retime(&plans[i], da);
+    out[j] = retime(&plans[j], db);
+    debug_assert!(
+        !crate::find_conflicts(&out, topology, 0.1).is_empty(),
+        "corruption failed to create a conflict"
+    );
+    Some(out)
+}
+
+/// Replaces one plan's instruction with a profile that stops the vehicle
+/// dead in the middle of the intersection — a subtler wrong plan that is
+/// consistent by itself but blocks everyone scheduled behind it.
+///
+/// Returns `None` when `plans` is empty.
+pub fn make_parking(plans: &[TravelPlan], topology: &Topology, now: f64) -> Option<Vec<TravelPlan>> {
+    let mut out = plans.to_vec();
+    let victim = out.first_mut()?;
+    let m = topology.movement(victim.movement());
+    let mid = (m.box_entry() + m.box_exit()) / 2.0;
+    let s0 = victim.profile().start_position();
+    // Cruise, then brake so the stop lands exactly mid-box.
+    let v = 12.0f64;
+    let brake_dist = v * v / (2.0 * 3.0);
+    let cruise_dist = (mid - s0 - brake_dist).max(0.0);
+    let profile = MotionProfile::new(now, s0, v, vec![])
+        .with_segment(cruise_dist / v, 0.0)
+        .with_segment(v / 3.0, -3.0);
+    *victim = TravelPlan::new(
+        victim.id(),
+        victim.descriptor().clone(),
+        *victim.status(),
+        victim.movement(),
+        profile,
+    );
+    Some(out)
+}
+
+/// Checks whether a plan's occupancy intrudes on any other plan in the
+/// batch (used by tests and by attack validation).
+pub fn intrudes(plan: &TravelPlan, others: &[TravelPlan], topology: &Topology, gap: f64) -> bool {
+    let mut table = crate::reservation::ReservationTable::new();
+    for other in others {
+        if other.id() == plan.id() {
+            continue;
+        }
+        let occ = occupancy_of(topology.movement(other.movement()), other.profile());
+        table.reserve(other.id(), &occ);
+    }
+    let occ = occupancy_of(topology.movement(plan.movement()), plan.profile());
+    !table.is_free(&occ, gap, Some(plan.id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanRequest;
+    use crate::scheduler::{ReservationScheduler, Scheduler, SchedulerConfig};
+    use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
+    use nwade_traffic::{VehicleDescriptor, VehicleId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn honest_batch(n: usize) -> (Arc<Topology>, Vec<TravelPlan>) {
+        let topo = Arc::new(build(
+            IntersectionKind::FourWayCross,
+            &GeometryConfig::default(),
+        ));
+        let mut s = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
+        let n_mv = topo.movements().len();
+        let reqs: Vec<PlanRequest> = (0..n as u64)
+            .map(|i| PlanRequest {
+                id: VehicleId::new(i),
+                descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(i)),
+                movement: MovementId::new(((i as usize * 7) % n_mv) as u16),
+                position_s: 0.0,
+                speed: 15.0,
+            })
+            .collect();
+        // One request per batch, 4 s apart (spawns are physically gated).
+        let plans: Vec<TravelPlan> = reqs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| s.schedule(std::slice::from_ref(r), i as f64 * 4.0))
+            .collect();
+        (topo, plans)
+    }
+
+    #[test]
+    fn honest_batch_is_clean_then_corruption_conflicts() {
+        let (topo, plans) = honest_batch(10);
+        assert!(crate::find_conflicts(&plans, &topo, 0.5).is_empty());
+        let corrupted = make_conflicting(&plans, &topo, 0.0).expect("crossing traffic exists");
+        assert!(
+            !crate::find_conflicts(&corrupted, &topo, 0.5).is_empty(),
+            "corrupted batch must contain a conflict"
+        );
+        // Same vehicles, same movements — only instructions changed.
+        assert_eq!(corrupted.len(), plans.len());
+        for (a, b) in corrupted.iter().zip(&plans) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.movement(), b.movement());
+        }
+    }
+
+    #[test]
+    fn make_conflicting_needs_crossing_traffic() {
+        let (topo, plans) = honest_batch(1);
+        assert!(make_conflicting(&plans, &topo, 0.0).is_none());
+    }
+
+    #[test]
+    fn parking_plan_blocks_the_box() {
+        let (topo, plans) = honest_batch(6);
+        let corrupted = make_parking(&plans, &topo, 0.0).expect("non-empty batch");
+        let victim = &corrupted[0];
+        // Victim stops inside the box.
+        assert_eq!(victim.profile().final_speed(), 0.0);
+        let m = topo.movement(victim.movement());
+        let stop_pos = victim.profile().end_position();
+        assert!(
+            stop_pos > m.box_entry() && stop_pos < m.box_exit(),
+            "stops at {stop_pos:.1}, box [{:.1}, {:.1}]",
+            m.box_entry(),
+            m.box_exit()
+        );
+    }
+
+    #[test]
+    fn intrudes_detects_overlap() {
+        let (topo, plans) = honest_batch(10);
+        let corrupted = make_conflicting(&plans, &topo, 0.0).expect("pair found");
+        // At least one corrupted plan intrudes on the rest.
+        let any = corrupted
+            .iter()
+            .any(|p| intrudes(p, &corrupted, &topo, 0.5));
+        assert!(any);
+        // No honest plan intrudes on the honest batch.
+        assert!(plans.iter().all(|p| !intrudes(p, &plans, &topo, 0.5)));
+    }
+
+    #[test]
+    fn empty_batch_handled() {
+        let topo = build(IntersectionKind::FourWayCross, &GeometryConfig::default());
+        assert!(make_parking(&[], &topo, 0.0).is_none());
+        assert!(make_conflicting(&[], &topo, 0.0).is_none());
+    }
+}

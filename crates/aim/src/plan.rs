@@ -1,0 +1,233 @@
+//! Travel plans: `⟨id, char, status, inst⟩` (Eq. 1 of the paper).
+
+use bytes::{BufMut, BytesMut};
+use nwade_geometry::{MotionProfile, Vec2};
+use nwade_intersection::{MovementId, Topology};
+use nwade_traffic::{VehicleDescriptor, VehicleId};
+use serde::{Deserialize, Serialize};
+
+/// A vehicle's dynamic status at planning time: GPS position, speed and
+/// moving direction (§IV-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleStatus {
+    /// World position in meters.
+    pub position: Vec2,
+    /// Speed in m/s.
+    pub speed: f64,
+    /// Unit heading.
+    pub heading: Vec2,
+}
+
+/// A request for a travel plan, sent by a vehicle entering the
+/// communication zone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRequest {
+    /// Requesting vehicle.
+    pub id: VehicleId,
+    /// Its static characteristics.
+    pub descriptor: VehicleDescriptor,
+    /// The movement it wants to follow.
+    pub movement: MovementId,
+    /// Current arclength along the movement path.
+    pub position_s: f64,
+    /// Current speed in m/s.
+    pub speed: f64,
+}
+
+/// The travel plan `T_i^j` of Eq. 1: identity, static characteristics,
+/// dynamic status, and the instruction — a speed profile along the
+/// movement path in absolute simulation time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TravelPlan {
+    id: VehicleId,
+    descriptor: VehicleDescriptor,
+    status: VehicleStatus,
+    movement: MovementId,
+    profile: MotionProfile,
+}
+
+impl TravelPlan {
+    /// Assembles a plan.
+    pub fn new(
+        id: VehicleId,
+        descriptor: VehicleDescriptor,
+        status: VehicleStatus,
+        movement: MovementId,
+        profile: MotionProfile,
+    ) -> Self {
+        TravelPlan {
+            id,
+            descriptor,
+            status,
+            movement,
+            profile,
+        }
+    }
+
+    /// The vehicle this plan schedules.
+    pub fn id(&self) -> VehicleId {
+        self.id
+    }
+
+    /// Static characteristics (`char_j`).
+    pub fn descriptor(&self) -> &VehicleDescriptor {
+        &self.descriptor
+    }
+
+    /// Dynamic status at planning time (`status_j`).
+    pub fn status(&self) -> &VehicleStatus {
+        &self.status
+    }
+
+    /// The movement the plan follows.
+    pub fn movement(&self) -> MovementId {
+        self.movement
+    }
+
+    /// The instruction (`inst_j`): the speed profile to execute.
+    pub fn profile(&self) -> &MotionProfile {
+        &self.profile
+    }
+
+    /// The expected world state (position, speed) at absolute time `t`,
+    /// which a watcher compares against its sensor reading (Algorithm 2).
+    pub fn expected_state(&self, topology: &Topology, t: f64) -> (Vec2, f64) {
+        let path = topology.movement(self.movement).path();
+        let (s, v) = self.profile.state_at(t);
+        (path.point_at(s), v)
+    }
+
+    /// Absolute time at which the vehicle leaves the modeled area, or
+    /// `None` if the plan parks it inside (evacuation pull-over).
+    pub fn exit_time(&self, topology: &Topology) -> Option<f64> {
+        let path = topology.movement(self.movement).path();
+        self.profile.time_at_position(path.length())
+    }
+
+    /// Canonical byte encoding used as a Merkle leaf (Fig. 3). Two plans
+    /// encode identically iff all fields match bit-for-bit.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(128);
+        buf.put_u64(self.id.raw());
+        let desc = self.descriptor.encode();
+        buf.put_u16(desc.len() as u16);
+        buf.put_slice(&desc);
+        buf.put_f64(self.status.position.x);
+        buf.put_f64(self.status.position.y);
+        buf.put_f64(self.status.speed);
+        buf.put_f64(self.status.heading.x);
+        buf.put_f64(self.status.heading.y);
+        buf.put_u16(self.movement.index() as u16);
+        buf.put_f64(self.profile.start_time());
+        buf.put_f64(self.profile.start_position());
+        buf.put_f64(self.profile.start_speed());
+        buf.put_u16(self.profile.segments().len() as u16);
+        for seg in self.profile.segments() {
+            buf.put_f64(seg.duration);
+            buf.put_f64(seg.accel);
+        }
+        buf.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwade_geometry::ProfileSegment;
+    use nwade_intersection::{build, GeometryConfig, IntersectionKind};
+
+    fn descriptor() -> VehicleDescriptor {
+        VehicleDescriptor {
+            brand: "Aurora".into(),
+            model: "S1".into(),
+            color: "red".into(),
+        }
+    }
+
+    fn plan() -> TravelPlan {
+        TravelPlan::new(
+            VehicleId::new(7),
+            descriptor(),
+            VehicleStatus {
+                position: Vec2::new(1.0, 2.0),
+                speed: 10.0,
+                heading: Vec2::new(1.0, 0.0),
+            },
+            MovementId::new(0),
+            MotionProfile::new(5.0, 0.0, 10.0, vec![ProfileSegment::new(30.0, 0.0)]),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let p = plan();
+        assert_eq!(p.id().raw(), 7);
+        assert_eq!(p.movement().index(), 0);
+        assert_eq!(p.status().speed, 10.0);
+        assert_eq!(p.descriptor().brand, "Aurora");
+        assert_eq!(p.profile().start_time(), 5.0);
+    }
+
+    #[test]
+    fn expected_state_follows_path() {
+        let topo = build(IntersectionKind::FourWayCross, &GeometryConfig::default());
+        let p = plan();
+        let (pos0, v0) = p.expected_state(&topo, 5.0);
+        let (pos1, v1) = p.expected_state(&topo, 15.0);
+        assert_eq!(v0, 10.0);
+        assert_eq!(v1, 10.0);
+        // Moved 100 m along the movement path.
+        let path = topo.movement(MovementId::new(0)).path();
+        assert!(pos0.distance(path.point_at(0.0)) < 1e-9);
+        assert!(pos1.distance(path.point_at(100.0)) < 1e-9);
+    }
+
+    #[test]
+    fn exit_time_matches_path_length() {
+        let topo = build(IntersectionKind::FourWayCross, &GeometryConfig::default());
+        let p = plan();
+        let len = topo.movement(MovementId::new(0)).path().length();
+        let t = p.exit_time(&topo).expect("cruises to the end");
+        assert!((t - (5.0 + len / 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parked_plan_has_no_exit_time() {
+        let topo = build(IntersectionKind::FourWayCross, &GeometryConfig::default());
+        let p = TravelPlan::new(
+            VehicleId::new(1),
+            descriptor(),
+            VehicleStatus {
+                position: Vec2::ZERO,
+                speed: 0.0,
+                heading: Vec2::new(1.0, 0.0),
+            },
+            MovementId::new(0),
+            MotionProfile::stopped(0.0, 50.0),
+        );
+        assert_eq!(p.exit_time(&topo), None);
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_field_sensitive() {
+        let a = plan();
+        let b = plan();
+        assert_eq!(a.encode(), b.encode());
+        let c = TravelPlan::new(
+            VehicleId::new(8), // different id
+            descriptor(),
+            *a.status(),
+            a.movement(),
+            a.profile().clone(),
+        );
+        assert_ne!(a.encode(), c.encode());
+        let d = TravelPlan::new(
+            a.id(),
+            descriptor(),
+            *a.status(),
+            a.movement(),
+            a.profile().clone().with_segment(1.0, 0.5), // extra segment
+        );
+        assert_ne!(a.encode(), d.encode());
+    }
+}

@@ -1,0 +1,282 @@
+//! Time-interval reservations over conflict-zone cells.
+
+use nwade_geometry::{occupancy_interval, MotionProfile, TimeInterval};
+use nwade_intersection::{Movement, ZoneId};
+use nwade_traffic::VehicleId;
+use std::collections::HashMap;
+
+/// The zone occupancy of one plan: which cells it holds and when.
+pub type Occupancy = Vec<(ZoneId, TimeInterval)>;
+
+/// Computes the zone occupancy of `profile` along `movement`.
+///
+/// A profile that brakes to a stop inside a cell holds that cell forever
+/// (interval end `= ∞`) and occupies nothing beyond it.
+pub fn occupancy_of(movement: &Movement, profile: &MotionProfile) -> Occupancy {
+    let mut out = Vec::with_capacity(movement.zones().len());
+    for zi in movement.zones() {
+        if zi.exit <= profile.start_position() {
+            continue; // already behind the vehicle
+        }
+        match occupancy_interval(profile, zi.enter.max(profile.start_position()), zi.exit) {
+            Some(iv) => {
+                let open_ended = iv.end.is_infinite();
+                out.push((zi.zone, iv));
+                if open_ended {
+                    break; // stopped inside this cell
+                }
+            }
+            None => break, // never reaches this cell
+        }
+    }
+    out
+}
+
+/// Builds a "park" profile that brakes to a stop *without intruding on
+/// existing reservations*: starting from the natural stopping distance,
+/// the stop point is pulled back (allowing harder-than-comfort braking —
+/// this is a jam, not a cruise) until the resulting occupancy is free.
+/// As a last resort the vehicle halts in place.
+///
+/// Used as the saturated-intersection fallback by every scheduler: the
+/// emitted plan may strand the vehicle, but it never *plans a collision*,
+/// so vehicle-side block verification stays clean.
+pub fn park_fallback(
+    movement: &Movement,
+    position_s: f64,
+    speed: f64,
+    now: f64,
+    table: &ReservationTable,
+    gap: f64,
+    vehicle: VehicleId,
+    d_max: f64,
+) -> (MotionProfile, Occupancy) {
+    let natural = if speed > 0.0 {
+        speed * speed / (2.0 * d_max)
+    } else {
+        0.0
+    };
+    let mut stop_dist = natural;
+    loop {
+        let profile = if stop_dist <= 0.01 || speed <= 0.01 {
+            MotionProfile::stopped(now, position_s)
+        } else {
+            let rate = speed * speed / (2.0 * stop_dist);
+            MotionProfile::new(
+                now,
+                position_s,
+                speed,
+                vec![nwade_geometry::ProfileSegment::new(speed / rate, -rate)],
+            )
+        };
+        let occupancy = occupancy_of(movement, &profile);
+        if stop_dist <= 0.01 || table.is_free(&occupancy, gap, Some(vehicle)) {
+            return (profile, occupancy);
+        }
+        stop_dist = (stop_dist - 3.0).max(0.0);
+    }
+}
+
+/// A reservation table: for each zone cell, the time intervals already
+/// promised to vehicles. The scheduler guarantees a configurable temporal
+/// gap between any two reservations of the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct ReservationTable {
+    zones: HashMap<ZoneId, Vec<(TimeInterval, VehicleId)>>,
+}
+
+impl ReservationTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ReservationTable::default()
+    }
+
+    /// Returns the first conflicting `(zone, holder)` if `occupancy`
+    /// cannot be booked with the required `gap` seconds between
+    /// same-cell reservations, ignoring intervals held by `ignore`.
+    pub fn first_conflict(
+        &self,
+        occupancy: &Occupancy,
+        gap: f64,
+        ignore: Option<VehicleId>,
+    ) -> Option<(ZoneId, VehicleId)> {
+        for (zone, iv) in occupancy {
+            if let Some(existing) = self.zones.get(zone) {
+                for (booked, holder) in existing {
+                    if Some(*holder) == ignore {
+                        continue;
+                    }
+                    if iv.overlaps_with_gap(booked, gap) {
+                        return Some((*zone, *holder));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` when `occupancy` can be booked.
+    pub fn is_free(&self, occupancy: &Occupancy, gap: f64, ignore: Option<VehicleId>) -> bool {
+        self.first_conflict(occupancy, gap, ignore).is_none()
+    }
+
+    /// Books `occupancy` for `vehicle` (no conflict check — call
+    /// [`ReservationTable::is_free`] first).
+    pub fn reserve(&mut self, vehicle: VehicleId, occupancy: &Occupancy) {
+        for (zone, iv) in occupancy {
+            self.zones.entry(*zone).or_default().push((*iv, vehicle));
+        }
+    }
+
+    /// Removes every reservation held by `vehicle`.
+    pub fn release(&mut self, vehicle: VehicleId) {
+        for entries in self.zones.values_mut() {
+            entries.retain(|(_, v)| *v != vehicle);
+        }
+        self.zones.retain(|_, v| !v.is_empty());
+    }
+
+    /// Drops reservations that ended before `t` (garbage collection).
+    pub fn release_before(&mut self, t: f64) {
+        for entries in self.zones.values_mut() {
+            entries.retain(|(iv, _)| iv.end >= t);
+        }
+        self.zones.retain(|_, v| !v.is_empty());
+    }
+
+    /// Bookings of one zone cell (diagnostics and tests).
+    pub fn entries_at(&self, zone: ZoneId) -> Vec<(TimeInterval, VehicleId)> {
+        self.zones.get(&zone).cloned().unwrap_or_default()
+    }
+
+    /// Total number of booked intervals.
+    pub fn len(&self) -> usize {
+        self.zones.values().map(Vec::len).sum()
+    }
+
+    /// `true` when no reservations exist.
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
+
+    fn zid(c: i32, r: i32) -> ZoneId {
+        ZoneId { col: c, row: r }
+    }
+
+    fn occ(zones: &[(ZoneId, f64, f64)]) -> Occupancy {
+        zones
+            .iter()
+            .map(|(z, a, b)| (*z, TimeInterval::new(*a, *b)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_table_is_free() {
+        let t = ReservationTable::new();
+        assert!(t.is_empty());
+        assert!(t.is_free(&occ(&[(zid(0, 0), 0.0, 5.0)]), 1.0, None));
+    }
+
+    #[test]
+    fn overlap_in_same_zone_conflicts() {
+        let mut t = ReservationTable::new();
+        t.reserve(VehicleId::new(1), &occ(&[(zid(0, 0), 0.0, 5.0)]));
+        let conflict = t.first_conflict(&occ(&[(zid(0, 0), 4.0, 8.0)]), 0.0, None);
+        assert_eq!(conflict, Some((zid(0, 0), VehicleId::new(1))));
+        // Different zone: free.
+        assert!(t.is_free(&occ(&[(zid(1, 0), 4.0, 8.0)]), 0.0, None));
+    }
+
+    #[test]
+    fn gap_is_enforced() {
+        let mut t = ReservationTable::new();
+        t.reserve(VehicleId::new(1), &occ(&[(zid(0, 0), 0.0, 5.0)]));
+        // Starts 0.5 s after the booking ends: fails with a 1 s gap.
+        assert!(!t.is_free(&occ(&[(zid(0, 0), 5.5, 8.0)]), 1.0, None));
+        assert!(t.is_free(&occ(&[(zid(0, 0), 6.5, 8.0)]), 1.0, None));
+    }
+
+    #[test]
+    fn ignore_own_reservations() {
+        let mut t = ReservationTable::new();
+        let me = VehicleId::new(1);
+        t.reserve(me, &occ(&[(zid(0, 0), 0.0, 5.0)]));
+        assert!(t.is_free(&occ(&[(zid(0, 0), 2.0, 4.0)]), 1.0, Some(me)));
+        assert!(!t.is_free(&occ(&[(zid(0, 0), 2.0, 4.0)]), 1.0, Some(VehicleId::new(2))));
+    }
+
+    #[test]
+    fn release_frees_zones() {
+        let mut t = ReservationTable::new();
+        t.reserve(VehicleId::new(1), &occ(&[(zid(0, 0), 0.0, 5.0)]));
+        t.reserve(VehicleId::new(2), &occ(&[(zid(0, 0), 10.0, 15.0)]));
+        t.release(VehicleId::new(1));
+        assert_eq!(t.len(), 1);
+        assert!(t.is_free(&occ(&[(zid(0, 0), 0.0, 5.0)]), 1.0, None));
+    }
+
+    #[test]
+    fn release_before_garbage_collects() {
+        let mut t = ReservationTable::new();
+        t.reserve(VehicleId::new(1), &occ(&[(zid(0, 0), 0.0, 5.0)]));
+        t.reserve(VehicleId::new(2), &occ(&[(zid(0, 0), 10.0, 15.0)]));
+        t.release_before(6.0);
+        assert_eq!(t.len(), 1);
+        assert!(t.is_free(&occ(&[(zid(0, 0), 0.0, 5.0)]), 1.0, None));
+        assert!(!t.is_free(&occ(&[(zid(0, 0), 11.0, 12.0)]), 1.0, None));
+    }
+
+    #[test]
+    fn open_ended_interval_blocks_forever() {
+        let mut t = ReservationTable::new();
+        t.reserve(
+            VehicleId::new(1),
+            &occ(&[(zid(0, 0), 5.0, f64::INFINITY)]),
+        );
+        assert!(!t.is_free(&occ(&[(zid(0, 0), 1e9, 1e9 + 1.0)]), 1.0, None));
+        // But before it starts (minus gap) the zone is usable.
+        assert!(t.is_free(&occ(&[(zid(0, 0), 0.0, 3.0)]), 1.0, None));
+    }
+
+    #[test]
+    fn occupancy_of_cruising_profile_covers_all_zones() {
+        let topo = build(IntersectionKind::FourWayCross, &GeometryConfig::default());
+        let m = topo.movement(MovementId::new(0));
+        let profile = MotionProfile::cruise(0.0, 10.0, m.path().length());
+        let occ = occupancy_of(m, &profile);
+        assert_eq!(occ.len(), m.zones().len());
+        // Intervals are time-ordered and contiguous-ish.
+        for w in occ.windows(2) {
+            assert!(w[0].1.start <= w[1].1.start);
+        }
+    }
+
+    #[test]
+    fn occupancy_of_stopping_profile_truncates() {
+        let topo = build(IntersectionKind::FourWayCross, &GeometryConfig::default());
+        let m = topo.movement(MovementId::new(0));
+        // Brakes from 10 m/s: stops after ~16.7 m, far before the box.
+        let profile = MotionProfile::brake_to_stop(0.0, 0.0, 10.0, 3.0);
+        let occ = occupancy_of(m, &profile);
+        assert!(occ.len() < m.zones().len());
+        let last = occ.last().expect("some zones");
+        assert!(last.1.end.is_infinite(), "parked cell held forever");
+    }
+
+    #[test]
+    fn occupancy_skips_zones_behind_start() {
+        let topo = build(IntersectionKind::FourWayCross, &GeometryConfig::default());
+        let m = topo.movement(MovementId::new(0));
+        let mid = m.path().length() / 2.0;
+        let profile = MotionProfile::new(0.0, mid, 10.0, vec![]);
+        let occ = occupancy_of(m, &profile);
+        assert!(occ.len() < m.zones().len());
+        assert!(occ.iter().all(|(_, iv)| iv.start >= 0.0));
+    }
+}

@@ -1,0 +1,324 @@
+//! Baseline: fixed-cycle traffic light.
+//!
+//! Legs are grouped into phases (opposite legs share a phase at a 4-way;
+//! every leg gets its own phase otherwise). A vehicle may only enter the
+//! intersection box during its phase's green window; within the window,
+//! zone reservations still enforce spacing.
+
+use crate::plan::{PlanRequest, TravelPlan, VehicleStatus};
+use crate::reservation::{occupancy_of, ReservationTable};
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use nwade_geometry::MotionProfile;
+use nwade_intersection::Topology;
+use std::sync::Arc;
+
+/// Signal timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalTiming {
+    /// Green duration per phase, seconds.
+    pub green: f64,
+    /// All-red clearance between phases, seconds.
+    pub all_red: f64,
+    /// Margin before the end of green after which entries are refused.
+    pub entry_margin: f64,
+}
+
+impl Default for SignalTiming {
+    fn default() -> Self {
+        SignalTiming {
+            green: 20.0,
+            all_red: 3.0,
+            entry_margin: 2.0,
+        }
+    }
+}
+
+/// The fixed-cycle traffic-light scheduler.
+#[derive(Debug, Clone)]
+pub struct TrafficLightScheduler {
+    topology: Arc<Topology>,
+    config: SchedulerConfig,
+    timing: SignalTiming,
+    table: ReservationTable,
+    phases: usize,
+}
+
+impl TrafficLightScheduler {
+    /// Creates the traffic-light baseline.
+    pub fn new(topology: Arc<Topology>, config: SchedulerConfig, timing: SignalTiming) -> Self {
+        let n_legs = topology.legs().len();
+        let phases = if n_legs == 4 { 2 } else { n_legs };
+        TrafficLightScheduler {
+            topology,
+            config,
+            timing,
+            table: ReservationTable::new(),
+            phases,
+        }
+    }
+
+    /// The phase index of a leg.
+    fn phase_of(&self, leg: usize) -> usize {
+        if self.phases == 2 {
+            leg % 2
+        } else {
+            leg
+        }
+    }
+
+    /// Cycle length in seconds.
+    fn cycle(&self) -> f64 {
+        self.phases as f64 * (self.timing.green + self.timing.all_red)
+    }
+
+    /// The first green window `[start, latest_entry]` for `phase` whose
+    /// latest permissible entry is `>= t`.
+    fn next_green(&self, phase: usize, t: f64) -> (f64, f64) {
+        let cycle = self.cycle();
+        let offset = phase as f64 * (self.timing.green + self.timing.all_red);
+        let latest_entry_offset = offset + self.timing.green - self.timing.entry_margin;
+        let k = ((t - latest_entry_offset) / cycle).ceil().max(0.0);
+        let start = k * cycle + offset;
+        (start, start + self.timing.green - self.timing.entry_margin)
+    }
+
+    fn plan_one(&mut self, req: &PlanRequest, now: f64) -> TravelPlan {
+        let movement = self.topology.movement(req.movement);
+        let path = movement.path();
+        let lim = self.config.limits;
+        let phase = self.phase_of(movement.from_leg().index());
+        let d_box = movement.box_entry() - req.position_s;
+        let in_approach = d_box > 1.0;
+        let d_plan = if in_approach {
+            d_box
+        } else {
+            (movement.path().length() - req.position_s).max(0.0)
+        };
+        let earliest =
+            now + MotionProfile::earliest_arrival(req.speed, lim.v_max, lim.a_max, d_plan);
+        let deadline = earliest + self.config.max_delay;
+
+        // A vehicle already past the stop line (recovery replan) clears
+        // the box regardless of the signal.
+        let (mut win_start, mut win_end) = if in_approach {
+            self.next_green(phase, earliest)
+        } else {
+            (0.0, f64::INFINITY)
+        };
+        let mut target = earliest.max(win_start);
+        let chosen = loop {
+            if target > win_end {
+                let (s, e) = self.next_green(phase, win_end + self.timing.all_red);
+                win_start = s;
+                win_end = e;
+                target = win_start;
+            }
+            if target > deadline {
+                break None;
+            }
+            let profile = MotionProfile::arrive_at(
+                now,
+                req.speed,
+                lim.v_max,
+                lim.a_max,
+                lim.d_max,
+                d_plan,
+                target - now,
+            );
+            let profile = MotionProfile::new(
+                profile.start_time(),
+                req.position_s,
+                profile.start_speed(),
+                profile.segments().to_vec(),
+            );
+            // The fallback "fastest" profile may still arrive before the
+            // window opens; verify the actual entry time.
+            let entry = profile
+                .time_at_position(movement.box_entry())
+                .unwrap_or(f64::INFINITY);
+            if in_approach && entry < win_start - 1e-6 {
+                target += self.config.search_step;
+                continue;
+            }
+            let occupancy = occupancy_of(movement, &profile);
+            if self
+                .table
+                .is_free(&occupancy, self.config.zone_gap, Some(req.id))
+            {
+                break Some((profile, occupancy));
+            }
+            target += self.config.search_step;
+        };
+
+        let (profile, occupancy) = chosen.unwrap_or_else(|| {
+            crate::reservation::park_fallback(
+                movement,
+                req.position_s,
+                req.speed.min(lim.v_max),
+                now,
+                &self.table,
+                self.config.zone_gap,
+                req.id,
+                lim.d_max,
+            )
+        });
+        self.table.release(req.id);
+        self.table.reserve(req.id, &occupancy);
+        TravelPlan::new(
+            req.id,
+            req.descriptor.clone(),
+            VehicleStatus {
+                position: path.point_at(req.position_s),
+                speed: req.speed,
+                heading: path.heading_at(req.position_s),
+            },
+            req.movement,
+            profile,
+        )
+    }
+}
+
+impl Scheduler for TrafficLightScheduler {
+    fn schedule(&mut self, requests: &[PlanRequest], now: f64) -> Vec<TravelPlan> {
+        crate::scheduler::batch_order(requests, &self.topology)
+            .into_iter()
+            .map(|r| self.plan_one(r, now))
+            .collect()
+    }
+
+    fn collect_garbage(&mut self, t: f64) {
+        self.table.release_before(t);
+    }
+
+    fn release(&mut self, vehicle: nwade_traffic::VehicleId) {
+        self.table.release(vehicle);
+    }
+
+    fn book(&mut self, plan: &TravelPlan) {
+        self.table.release(plan.id());
+        let occupancy = occupancy_of(self.topology.movement(plan.movement()), plan.profile());
+        self.table.reserve(plan.id(), &occupancy);
+    }
+
+    fn name(&self) -> &'static str {
+        "traffic-light"
+    }
+
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::find_conflicts;
+    use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
+    use nwade_traffic::{VehicleDescriptor, VehicleId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(build(
+            IntersectionKind::FourWayCross,
+            &GeometryConfig::default(),
+        ))
+    }
+
+    fn request(id: u64, movement: usize) -> PlanRequest {
+        PlanRequest {
+            id: VehicleId::new(id),
+            descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(id)),
+            movement: MovementId::new(movement as u16),
+            position_s: 0.0,
+            speed: 15.0,
+        }
+    }
+
+    fn scheduler(topo: Arc<Topology>) -> TrafficLightScheduler {
+        TrafficLightScheduler::new(topo, SchedulerConfig::default(), SignalTiming::default())
+    }
+
+    #[test]
+    fn four_way_uses_two_phases() {
+        let s = scheduler(topo());
+        assert_eq!(s.phases, 2);
+        assert_eq!(s.phase_of(0), s.phase_of(2));
+        assert_eq!(s.phase_of(1), s.phase_of(3));
+        assert_ne!(s.phase_of(0), s.phase_of(1));
+    }
+
+    #[test]
+    fn five_way_uses_per_leg_phases() {
+        let t = Arc::new(build(
+            IntersectionKind::FiveWayIrregular,
+            &GeometryConfig::default(),
+        ));
+        let s = scheduler(t);
+        assert_eq!(s.phases, 5);
+    }
+
+    #[test]
+    fn next_green_windows_are_periodic() {
+        let s = scheduler(topo());
+        let (s0, e0) = s.next_green(0, 0.0);
+        assert_eq!(s0, 0.0);
+        assert_eq!(e0, 20.0 - 2.0);
+        let (s1, _) = s.next_green(0, e0 + 0.1);
+        assert!((s1 - s.cycle()).abs() < 1e-9);
+        // Phase 1 offset by green + all-red.
+        let (p1, _) = s.next_green(1, 0.0);
+        assert_eq!(p1, 23.0);
+    }
+
+    fn schedule_staggered<S: Scheduler>(s: &mut S, reqs: &[PlanRequest]) -> Vec<TravelPlan> {
+        reqs.iter()
+            .enumerate()
+            .flat_map(|(i, r)| s.schedule(std::slice::from_ref(r), i as f64 * 4.0))
+            .collect()
+    }
+
+    #[test]
+    fn entries_happen_during_green_only() {
+        let topo = topo();
+        let mut s = scheduler(topo.clone());
+        let n = topo.movements().len();
+        let reqs: Vec<PlanRequest> = (0..12).map(|i| request(i, (i as usize * 5) % n)).collect();
+        let plans = schedule_staggered(&mut s, &reqs);
+        for p in &plans {
+            let m = topo.movement(p.movement());
+            let Some(entry) = p.profile().time_at_position(m.box_entry()) else {
+                continue; // held at the line
+            };
+            let phase = s.phase_of(m.from_leg().index());
+            let (ws, we) = s.next_green(phase, entry - 1e-6);
+            assert!(
+                entry >= ws - 1e-6 && entry <= we + 1e-6,
+                "{}: entry {entry:.2} outside green [{ws:.2}, {we:.2}]",
+                p.id()
+            );
+        }
+        assert!(find_conflicts(&plans, &topo, 0.5).is_empty());
+    }
+
+    #[test]
+    fn light_is_slower_than_reservation() {
+        use crate::scheduler::ReservationScheduler;
+        let topo = topo();
+        let n = topo.movements().len();
+        let reqs: Vec<PlanRequest> = (0..16).map(|i| request(i, (i as usize * 7) % n)).collect();
+        let total = |plans: &[TravelPlan]| -> f64 {
+            plans
+                .iter()
+                .map(|p| p.exit_time(&topo).unwrap_or(1e6))
+                .sum()
+        };
+        let light = total(&schedule_staggered(&mut scheduler(topo.clone()), &reqs));
+        let mut r = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
+        let resv = total(&schedule_staggered(&mut r, &reqs));
+        assert!(
+            resv < light,
+            "reservation ({resv:.0}) should beat the light ({light:.0})"
+        );
+    }
+}

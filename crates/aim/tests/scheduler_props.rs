@@ -1,0 +1,94 @@
+//! Property tests over the scheduler's public API: every plan it emits
+//! must be physically lawful and mutually safe, for arbitrary request
+//! streams.
+
+use nwade_aim::{
+    find_conflicts, occupancy_of, FcfsScheduler, PlanRequest, ReservationScheduler, Scheduler,
+    SchedulerConfig, TrafficLightScheduler,
+};
+use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology};
+use nwade_traffic::{VehicleDescriptor, VehicleId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn topo() -> Arc<Topology> {
+    Arc::new(build(
+        IntersectionKind::FourWayCross,
+        &GeometryConfig::default(),
+    ))
+}
+
+fn request(id: u64, movement: usize, speed: f64) -> PlanRequest {
+    PlanRequest {
+        id: VehicleId::new(id),
+        descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(id)),
+        movement: MovementId::new(movement as u16),
+        position_s: 0.0,
+        speed,
+    }
+}
+
+fn check_scheduler(mut s: impl Scheduler, stream: Vec<(usize, f64, f64)>) {
+    let topo = s.topology().clone();
+    let v_max = SchedulerConfig::default().limits.v_max;
+    let mut all = Vec::new();
+    let mut clock: f64 = 0.0;
+    for (i, (movement, speed, gap)) in stream.into_iter().enumerate() {
+        clock += gap;
+        let plans = s.schedule(&[request(i as u64, movement % 16, speed)], clock);
+        all.extend(plans);
+    }
+    // 1. No two emitted plans conflict.
+    assert!(
+        find_conflicts(&all, &topo, 0.5).is_empty(),
+        "scheduler emitted conflicting plans"
+    );
+    for plan in &all {
+        // 2. Speed stays within the limit at all times.
+        for i in 0..400 {
+            let v = plan.profile().speed_at(i as f64 * 0.5);
+            assert!(v <= v_max + 1e-6, "{}: speed {v}", plan.id());
+        }
+        // 3. Occupancy intervals are ordered by entry time.
+        let occ = occupancy_of(topo.movement(plan.movement()), plan.profile());
+        for w in occ.windows(2) {
+            assert!(w[0].1.start <= w[1].1.start + 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn reservation_scheduler_always_safe(
+        stream in proptest::collection::vec(
+            (0usize..16, 5.0..22.0f64, 1.5..8.0f64), 1..15)
+    ) {
+        check_scheduler(
+            ReservationScheduler::new(topo(), SchedulerConfig::default()),
+            stream,
+        );
+    }
+
+    #[test]
+    fn fcfs_scheduler_always_safe(
+        stream in proptest::collection::vec(
+            (0usize..16, 5.0..22.0f64, 1.5..8.0f64), 1..10)
+    ) {
+        check_scheduler(FcfsScheduler::new(topo(), SchedulerConfig::default()), stream);
+    }
+
+    #[test]
+    fn traffic_light_scheduler_always_safe(
+        stream in proptest::collection::vec(
+            (0usize..16, 5.0..22.0f64, 1.5..8.0f64), 1..10)
+    ) {
+        check_scheduler(
+            TrafficLightScheduler::new(topo(), SchedulerConfig::default(), Default::default()),
+            stream,
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * CRT vs plain RSA signing (the manager-side speedup),
+//! * Montgomery vs division-based modular exponentiation,
+//! * Merkle-root packaging vs a flat batch hash,
+//! * bounded chain cache verification cost vs cache depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwade_crypto::merkle::leaf_hash;
+use nwade_crypto::modular::{modpow_plain, Montgomery};
+use nwade_crypto::{sha256, BigUint, MerkleTree, RsaKeyPair};
+use nwade_chain::ChainCache;
+use nwade_chain::BlockPackager;
+use nwade_crypto::MockScheme;
+use nwade_aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
+use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
+use nwade_traffic::{VehicleDescriptor, VehicleId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_crt_vs_plain(c: &mut Criterion) {
+    let key = RsaKeyPair::generate(2048, &mut StdRng::seed_from_u64(1));
+    let digest = sha256(b"block digest");
+    let mut group = c.benchmark_group("ablation_rsa_signing");
+    group.sample_size(10);
+    group.bench_function("crt", |b| b.iter(|| key.sign_digest(&digest)));
+    group.bench_function("plain", |b| b.iter(|| key.sign_digest_plain(&digest)));
+    group.finish();
+}
+
+fn bench_montgomery_vs_plain(c: &mut Criterion) {
+    // 1024-bit odd modulus and operands.
+    let mut rng = StdRng::seed_from_u64(2);
+    let m = {
+        let p = nwade_crypto::prime::gen_prime(512, 8, &mut rng);
+        let q = nwade_crypto::prime::gen_prime(512, 8, &mut rng);
+        &p * &q
+    };
+    let base = BigUint::from_u64(0xdead_beef);
+    let exp = nwade_crypto::prime::random_with_bits(&mut rng, 512);
+    let mut group = c.benchmark_group("ablation_modpow");
+    group.sample_size(10);
+    group.bench_function("montgomery", |b| {
+        b.iter(|| Montgomery::new(&m).modpow(&base, &exp))
+    });
+    group.bench_function("division", |b| {
+        b.iter(|| modpow_plain(&base, &exp, &m))
+    });
+    group.finish();
+}
+
+fn bench_merkle_vs_flat(c: &mut Criterion) {
+    let payloads: Vec<Vec<u8>> = (0..64)
+        .map(|i| format!("travel-plan-{i}").repeat(8).into_bytes())
+        .collect();
+    let mut group = c.benchmark_group("ablation_batch_hash");
+    group.bench_function("merkle_root", |b| {
+        b.iter(|| MerkleTree::from_leaves(&payloads).root())
+    });
+    group.bench_function("flat_hash", |b| {
+        b.iter(|| {
+            let mut h = nwade_crypto::Sha256::new();
+            for p in &payloads {
+                h.update(p);
+            }
+            h.finalize()
+        })
+    });
+    // The Merkle tree's extra cost buys per-plan proofs; measure one.
+    let tree = MerkleTree::from_leaves(&payloads);
+    group.bench_function("merkle_prove_and_verify", |b| {
+        b.iter(|| {
+            let proof = tree.prove(17);
+            assert!(proof.verify(&leaf_hash(&payloads[17]), &tree.root()));
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache_depth(c: &mut Criterion) {
+    let topo = Arc::new(build(
+        IntersectionKind::FourWayCross,
+        &GeometryConfig::default(),
+    ));
+    let mut group = c.benchmark_group("ablation_cache_depth");
+    group.sample_size(10);
+    for depth in [10usize, 60, 200] {
+        // Build a chain of `depth` single-plan blocks.
+        let scheme = Arc::new(MockScheme::from_seed(3));
+        let mut packager = BlockPackager::new(scheme);
+        let mut scheduler = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
+        let mut cache = ChainCache::new(depth);
+        for i in 0..depth as u64 {
+            let plans = scheduler.schedule(
+                &[PlanRequest {
+                    id: VehicleId::new(i),
+                    descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(i)),
+                    movement: MovementId::new(((i * 7) % 16) as u16),
+                    position_s: 0.0,
+                    speed: 15.0,
+                }],
+                i as f64 * 4.0,
+            );
+            let block = packager.package(plans, i as f64);
+            cache.append(block).expect("chains");
+        }
+        group.bench_with_input(
+            BenchmarkId::new("current_plans_scan", depth),
+            &cache,
+            |b, cache| b.iter(|| cache.current_plans().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crt_vs_plain,
+    bench_montgomery_vs_plain,
+    bench_merkle_vs_flat,
+    bench_cache_depth
+);
+criterion_main!(benches);

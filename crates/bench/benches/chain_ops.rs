@@ -1,0 +1,86 @@
+//! Fig. 6 micro-benchmarks: block packaging and verification with the
+//! paper's cryptography (SHA-256 + RSA-2048), per intersection type and
+//! batch size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwade::verify::block::verify_incoming_block;
+use nwade_aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig, TravelPlan};
+use nwade_chain::{BlockPackager, ChainCache};
+use nwade_crypto::{RsaKeyPair, RsaScheme};
+use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology};
+use nwade_traffic::{VehicleDescriptor, VehicleId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn scheduled_batch(topo: &Arc<Topology>, n: usize) -> Vec<TravelPlan> {
+    let mut scheduler = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
+    let n_mv = topo.movements().len();
+    (0..n)
+        .flat_map(|i| {
+            scheduler.schedule(
+                &[PlanRequest {
+                    id: VehicleId::new(i as u64),
+                    descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(i as u64)),
+                    movement: MovementId::new(((i * 7) % n_mv) as u16),
+                    position_s: 0.0,
+                    speed: 15.0,
+                }],
+                i as f64 * 3.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_chain_ops(c: &mut Criterion) {
+    let key = Arc::new(RsaScheme::new(RsaKeyPair::generate(
+        2048,
+        &mut StdRng::seed_from_u64(42),
+    )));
+    let mut group = c.benchmark_group("fig6_chain_ops");
+    group.sample_size(20);
+    for kind in [
+        IntersectionKind::FourWayCross,
+        IntersectionKind::ThreeWayRoundabout,
+    ] {
+        // 120 veh/min at a 1 s window: 2 plans; plus a larger 10-plan batch.
+        for batch in [2usize, 10] {
+            let topo = Arc::new(build(kind, &GeometryConfig::default()));
+            let plans = scheduled_batch(&topo, batch);
+            group.bench_with_input(
+                BenchmarkId::new(format!("package/{kind}"), batch),
+                &plans,
+                |b, plans| {
+                    b.iter(|| {
+                        let mut packager = BlockPackager::new(key.clone());
+                        packager.package(plans.clone(), 0.0)
+                    })
+                },
+            );
+            let mut packager = BlockPackager::new(key.clone());
+            let block = packager.package(plans.clone(), 0.0);
+            let cache = ChainCache::new(60);
+            group.bench_with_input(
+                BenchmarkId::new(format!("verify/{kind}"), batch),
+                &block,
+                |b, block| {
+                    b.iter(|| {
+                        verify_incoming_block(
+                            block,
+                            &cache,
+                            key.as_ref(),
+                            &topo,
+                            0.5,
+                            &Default::default(),
+                        )
+                        .expect("honest block verifies")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_ops);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figs. 4/5 benches: the local-verification hot path and a full
+//! end-to-end V1 detection round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nwade::attack::{AttackSetting, ViolationKind};
+use nwade::messages::Observation;
+use nwade::verify::local::local_verify;
+use nwade_aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
+use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
+use nwade_sim::{AttackPlan, SimConfig, Simulation};
+use nwade_traffic::{VehicleDescriptor, VehicleId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_local_verify(c: &mut Criterion) {
+    let topo = Arc::new(build(
+        IntersectionKind::FourWayCross,
+        &GeometryConfig::default(),
+    ));
+    let mut scheduler = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
+    let plan = scheduler
+        .schedule(
+            &[PlanRequest {
+                id: VehicleId::new(0),
+                descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(0)),
+                movement: MovementId::new(0),
+                position_s: 0.0,
+                speed: 15.0,
+            }],
+            0.0,
+        )
+        .remove(0);
+    let (pos, speed) = plan.expected_state(&topo, 8.0);
+    let obs = Observation {
+        target: VehicleId::new(0),
+        position: pos,
+        speed,
+        time: 8.0,
+    };
+    c.bench_function("fig5_local_verify", |b| {
+        b.iter(|| local_verify(&plan, &topo, &obs, 5.0, 3.0))
+    });
+}
+
+fn bench_detection_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_detection_round");
+    group.sample_size(10);
+    group.bench_function("v1_sudden_stop_90s", |b| {
+        b.iter(|| {
+            let mut config = SimConfig::default();
+            config.duration = 90.0;
+            config.density = 60.0;
+            config.attack = Some(AttackPlan {
+                setting: AttackSetting::V1,
+                violation: ViolationKind::SuddenStop,
+                start: 40.0,
+            });
+            let report = Simulation::new(config).run();
+            assert!(report.violation_detected());
+            report
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_verify, bench_detection_round);
+criterion_main!(benches);

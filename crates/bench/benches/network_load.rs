@@ -1,0 +1,26 @@
+//! Fig. 7 bench: one simulated minute of traffic, measuring wall time and
+//! (via asserts) the expected packet-class mix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nwade::messages::class;
+use nwade_sim::{SimConfig, Simulation};
+
+fn bench_network_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_network_load");
+    group.sample_size(10);
+    group.bench_function("no_attack_60s", |b| {
+        b.iter(|| {
+            let mut config = SimConfig::default();
+            config.duration = 60.0;
+            let report = Simulation::new(config).run();
+            let stats = &report.metrics.network;
+            assert!(stats.class(class::BLOCK).transmissions > 0);
+            assert_eq!(stats.class(class::GLOBAL_REPORT).transmissions, 0);
+            report
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_load);
+criterion_main!(benches);

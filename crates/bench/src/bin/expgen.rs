@@ -1,0 +1,57 @@
+//! `expgen`: regenerates every table and figure of the NWADE paper.
+//!
+//! ```text
+//! cargo run --release -p nwade-bench --bin expgen -- all
+//! cargo run --release -p nwade-bench --bin expgen -- table2 fig4
+//! NWADE_ROUNDS=3 NWADE_DURATION=120 cargo run --release -p nwade-bench --bin expgen -- fig8
+//! ```
+
+use nwade_bench::{analytic, duration, fig4, fig5, fig6, fig7, fig8, rounds, sensing, table1, table2, violations};
+
+const EXPERIMENTS: [&str; 11] = [
+    "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "eq2", "eq3", "sensing",
+    "violations",
+];
+
+fn run(name: &str) -> Result<(), String> {
+    let r = rounds();
+    let d = duration();
+    let out = match name {
+        "table1" => table1::report(),
+        "table2" => table2::report(r, d),
+        "fig4" => fig4::report(r, d),
+        "fig5" => fig5::report(r, d),
+        "fig6" => fig6::report(),
+        "fig7" => fig7::report(d, 7),
+        "fig8" => fig8::report(r.min(3), d),
+        "eq2" => analytic::eq2_report(),
+        "eq3" => analytic::eq3_report(),
+        "sensing" => sensing::report(r, d),
+        "violations" => violations::report(r, d),
+        other => return Err(format!("unknown experiment '{other}'")),
+    };
+    println!("{out}");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: expgen <experiment>...\n  experiments: {} | all\n  env: NWADE_ROUNDS (default 10), NWADE_DURATION (default 150)",
+            EXPERIMENTS.join(" | ")
+        );
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in selected {
+        if let Err(e) = run(name) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The analytic models: Eq. 2 (detection probability) and Eq. 3
+//! (self-evacuation probability), including the paper's worked example.
+
+use crate::table::render;
+use nwade::prob::{detection_probability, majority_quorum, self_evacuation_probability};
+
+/// Renders the Eq. 2 sweep: P_d over the number of colluders.
+pub fn eq2_report() -> String {
+    let omega = 4.0;
+    let body: Vec<Vec<String>> = [0.1, 0.3, 0.5]
+        .iter()
+        .flat_map(|&p_v| {
+            (1..=10).step_by(3).map(move |k| {
+                vec![
+                    format!("{p_v:.1}"),
+                    k.to_string(),
+                    format!("{:.4}", detection_probability(k, p_v, omega)),
+                ]
+            })
+        })
+        .collect();
+    format!(
+        "Eq. 2: Detection probability P_d = exp(-ω·k·p_v^k), ω = {omega}\n{}",
+        render(&["p_v", "k", "P_d"], &body)
+    )
+}
+
+/// Renders the Eq. 3 sweep plus the paper's worked example.
+pub fn eq3_report() -> String {
+    let p_im = 0.001;
+    let p_v_loc = 0.1;
+    let body: Vec<Vec<String>> = (1..=15)
+        .step_by(2)
+        .map(|k| {
+            vec![
+                k.to_string(),
+                format!("{:.6}", self_evacuation_probability(p_im, p_v_loc, k)),
+            ]
+        })
+        .collect();
+    let quorum = majority_quorum(20);
+    format!(
+        "Eq. 3: Self-evacuation probability, p_im = {p_im}, p_v·p_loc = {p_v_loc}\n{}\n\
+         Worked example (§IV-B4): 20 vehicles in range → quorum k = {quorum}, \
+         P_e = {:.4}%\n",
+        render(&["k", "P_e"], &body),
+        self_evacuation_probability(p_im, p_v_loc, quorum as u32) * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_render_with_expected_anchors() {
+        assert!(eq2_report().contains("P_d"));
+        let e3 = eq3_report();
+        assert!(e3.contains("quorum k = 11"));
+        assert!(e3.contains("0.1"));
+    }
+}

@@ -1,0 +1,32 @@
+//! One module per paper table / figure, plus the analytic models.
+
+pub mod analytic;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod sensing;
+pub mod table1;
+pub mod table2;
+pub mod violations;
+
+use nwade::attack::{AttackSetting, ViolationKind};
+use nwade_sim::{AttackPlan, SimConfig};
+
+/// Baseline configuration shared by the simulation experiments.
+pub fn base_config(duration: f64) -> SimConfig {
+    let mut config = SimConfig::default();
+    config.duration = duration;
+    config
+}
+
+/// Attaches a Table I attack to a config, starting mid-run.
+pub fn with_attack(mut config: SimConfig, setting: AttackSetting) -> SimConfig {
+    config.attack = Some(AttackPlan {
+        setting,
+        violation: ViolationKind::SuddenStop,
+        start: (config.duration * 0.4).max(30.0),
+    });
+    config
+}

@@ -1,0 +1,86 @@
+//! Table I: the attack settings (a configuration table — regenerated
+//! from the implementation so the code and the paper stay in sync).
+
+use crate::table::render;
+use nwade::attack::AttackSetting;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Setting label.
+    pub setting: String,
+    /// Number of malicious vehicles.
+    pub malicious_vehicles: usize,
+    /// Manager state.
+    pub intersection_manager: &'static str,
+    /// Staged plan violations.
+    pub plan_violations: usize,
+    /// Staged false reports.
+    pub false_reports: usize,
+}
+
+/// Generates the table rows.
+pub fn rows() -> Vec<Row> {
+    AttackSetting::ALL
+        .iter()
+        .map(|s| Row {
+            setting: s.label().to_string(),
+            malicious_vehicles: s.malicious_vehicles(),
+            intersection_manager: if s.im_malicious() { "Malicious" } else { "Benign" },
+            plan_violations: s.plan_violations(),
+            false_reports: s.false_reports(),
+        })
+        .collect()
+}
+
+/// Renders Table I.
+pub fn report() -> String {
+    let body: Vec<Vec<String>> = rows()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.setting,
+                r.malicious_vehicles.to_string(),
+                r.intersection_manager.to_string(),
+                r.plan_violations.to_string(),
+                r.false_reports.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "Table I: Attack Settings\n{}",
+        render(
+            &[
+                "Setting",
+                "Malicious vehicles",
+                "Intersection manager",
+                "Plan violations",
+                "False reports",
+            ],
+            &body,
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_rows_matching_paper() {
+        let rows = rows();
+        assert_eq!(rows.len(), 11);
+        assert_eq!(rows[0].setting, "V1");
+        assert_eq!(rows[5].setting, "IM");
+        assert_eq!(rows[5].malicious_vehicles, 0);
+        assert_eq!(rows[5].intersection_manager, "Malicious");
+        assert_eq!(rows[10].false_reports, 9);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report();
+        assert!(r.contains("IM_V10"));
+        assert!(r.contains("Benign"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Experiment harness regenerating every table and figure of the NWADE
+//! paper (§VI).
+//!
+//! Each experiment lives in its own module and returns a plain data
+//! structure plus a text rendering, so the same code drives:
+//!
+//! * the `expgen` binary (`cargo run --release -p nwade-bench --bin
+//!   expgen -- <experiment>`),
+//! * the Criterion benches in `benches/`,
+//! * the workspace integration tests that assert the reproduced *shape*
+//!   (who wins, what is detected, what stays flat).
+//!
+//! Runtime knobs: experiments honour `NWADE_ROUNDS` (rounds per setting,
+//! default 10 like the paper) and `NWADE_DURATION` (seconds per round)
+//! so CI can run quick passes while the full regeneration matches the
+//! paper's protocol.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{analytic, fig4, fig5, fig6, fig7, fig8, sensing, table1, table2, violations};
+
+/// Rounds per configuration (paper: 10). Override with `NWADE_ROUNDS`.
+pub fn rounds() -> u64 {
+    std::env::var("NWADE_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Simulated seconds per round. Override with `NWADE_DURATION`.
+pub fn duration() -> f64 {
+    std::env::var("NWADE_DURATION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150.0)
+}

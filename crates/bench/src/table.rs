@@ -1,0 +1,74 @@
+//! Minimal fixed-width text table rendering for experiment output.
+
+/// Renders rows of cells as a fixed-width table with a header rule.
+///
+/// ```
+/// let t = nwade_bench::table::render(
+///     &["name", "value"],
+///     &[vec!["x".into(), "1".into()]],
+/// );
+/// assert!(t.contains("name"));
+/// assert!(t.contains("----"));
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  "),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::render;
+
+    #[test]
+    fn columns_are_aligned() {
+        let t = render(
+            &["name", "value"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows equal width in the first column.
+        assert!(lines[2].starts_with("x     "));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn handles_empty_rows() {
+        let t = render(&["only"], &[]);
+        assert_eq!(t.lines().count(), 2);
+    }
+}

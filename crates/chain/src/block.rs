@@ -1,0 +1,228 @@
+//! The block structure `B_i = ⟨s_i, h_{i−1}, τ_i, R_i⟩`.
+
+use bytes::{BufMut, BytesMut};
+use nwade_aim::TravelPlan;
+use nwade_crypto::merkle::leaf_hash;
+use nwade_crypto::{sha256, Digest, MerkleTree};
+use nwade_traffic::VehicleId;
+
+/// One block of the travel-plan blockchain.
+///
+/// The block carries the plans themselves alongside the Merkle root so
+/// that receivers can recompute `R_i` and serve individual plans (with
+/// inclusion proofs) to neighbours.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    index: u64,
+    signature: Vec<u8>,
+    prev_hash: Digest,
+    timestamp: f64,
+    merkle_root: Digest,
+    plans: Vec<TravelPlan>,
+}
+
+impl Block {
+    /// Assembles a block from parts (used by the packager and by tamper
+    /// helpers; verification treats every field as untrusted).
+    pub fn from_parts(
+        index: u64,
+        signature: Vec<u8>,
+        prev_hash: Digest,
+        timestamp: f64,
+        merkle_root: Digest,
+        plans: Vec<TravelPlan>,
+    ) -> Self {
+        Block {
+            index,
+            signature,
+            prev_hash,
+            timestamp,
+            merkle_root,
+            plans,
+        }
+    }
+
+    /// Position of the block in the chain (0 = genesis window).
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The manager's signature `s_i`.
+    pub fn signature(&self) -> &[u8] {
+        &self.signature
+    }
+
+    /// Hash of the previous block `h_{i−1}` ([`Digest::ZERO`] for the
+    /// first block).
+    pub fn prev_hash(&self) -> Digest {
+        self.prev_hash
+    }
+
+    /// Block timestamp `τ_i` in simulation seconds.
+    pub fn timestamp(&self) -> f64 {
+        self.timestamp
+    }
+
+    /// Merkle root `R_i` over the plans.
+    pub fn merkle_root(&self) -> Digest {
+        self.merkle_root
+    }
+
+    /// The travel plans packaged in this window.
+    pub fn plans(&self) -> &[TravelPlan] {
+        &self.plans
+    }
+
+    /// The plan for `vehicle`, if present in this block.
+    pub fn plan_for(&self, vehicle: VehicleId) -> Option<&TravelPlan> {
+        self.plans.iter().find(|p| p.id() == vehicle)
+    }
+
+    /// The digest the manager signs: `SHA-256(index ‖ h_{i−1} ‖ τ_i ‖ R_i)`.
+    pub fn signing_digest(index: u64, prev_hash: &Digest, timestamp: f64, root: &Digest) -> Digest {
+        let mut buf = BytesMut::with_capacity(80);
+        buf.put_u64(index);
+        buf.put_slice(prev_hash.as_bytes());
+        buf.put_f64(timestamp);
+        buf.put_slice(root.as_bytes());
+        sha256(&buf)
+    }
+
+    /// This block's signing digest (over its own header fields).
+    pub fn own_signing_digest(&self) -> Digest {
+        Block::signing_digest(self.index, &self.prev_hash, self.timestamp, &self.merkle_root)
+    }
+
+    /// The block hash `hash(B_i)` that the next block's `h_i` must match:
+    /// `SHA-256(s_i ‖ index ‖ h_{i−1} ‖ τ_i ‖ R_i)`.
+    pub fn hash(&self) -> Digest {
+        let mut buf = BytesMut::with_capacity(self.signature.len() + 80);
+        buf.put_slice(&self.signature);
+        buf.put_u64(self.index);
+        buf.put_slice(self.prev_hash.as_bytes());
+        buf.put_f64(self.timestamp);
+        buf.put_slice(self.merkle_root.as_bytes());
+        sha256(&buf)
+    }
+
+    /// Recomputes the Merkle root from the carried plans.
+    pub fn computed_root(&self) -> Digest {
+        Block::root_of(&self.plans)
+    }
+
+    /// The Merkle root of a plan batch (Fig. 3 leaf ordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch — the manager never emits empty blocks.
+    pub fn root_of(plans: &[TravelPlan]) -> Digest {
+        MerkleTree::from_leaf_hashes(plans.iter().map(|p| leaf_hash(&p.encode())).collect())
+            .root()
+    }
+
+    /// Builds the Merkle tree over the carried plans, for proof
+    /// extraction.
+    pub fn merkle_tree(&self) -> MerkleTree {
+        MerkleTree::from_leaf_hashes(self.plans.iter().map(|p| leaf_hash(&p.encode())).collect())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use nwade_aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
+    use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
+    use nwade_traffic::VehicleDescriptor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    pub(crate) fn plans(n: u64) -> Vec<TravelPlan> {
+        let topo = Arc::new(build(
+            IntersectionKind::FourWayCross,
+            &GeometryConfig::default(),
+        ));
+        let mut s = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
+        (0..n)
+            .flat_map(|i| {
+                s.schedule(
+                    &[PlanRequest {
+                        id: VehicleId::new(i),
+                        descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(i)),
+                        movement: MovementId::new((i % 16) as u16),
+                        position_s: 0.0,
+                        speed: 15.0,
+                    }],
+                    i as f64 * 4.0,
+                )
+            })
+            .collect()
+    }
+
+    fn block() -> Block {
+        let ps = plans(4);
+        let root = Block::root_of(&ps);
+        Block::from_parts(3, vec![1, 2, 3], Digest::ZERO, 12.5, root, ps)
+    }
+
+    #[test]
+    fn accessors() {
+        let b = block();
+        assert_eq!(b.index(), 3);
+        assert_eq!(b.signature(), &[1, 2, 3]);
+        assert_eq!(b.prev_hash(), Digest::ZERO);
+        assert_eq!(b.timestamp(), 12.5);
+        assert_eq!(b.plans().len(), 4);
+        assert!(b.plan_for(VehicleId::new(2)).is_some());
+        assert!(b.plan_for(VehicleId::new(99)).is_none());
+    }
+
+    #[test]
+    fn root_matches_computed() {
+        let b = block();
+        assert_eq!(b.merkle_root(), b.computed_root());
+        assert_eq!(b.merkle_tree().root(), b.merkle_root());
+    }
+
+    #[test]
+    fn hash_depends_on_every_header_field() {
+        let b = block();
+        let base = b.hash();
+        let mut c = b.clone();
+        c.index = 4;
+        assert_ne!(c.hash(), base);
+        let mut c = b.clone();
+        c.timestamp = 12.6;
+        assert_ne!(c.hash(), base);
+        let mut c = b.clone();
+        c.signature = vec![9];
+        assert_ne!(c.hash(), base);
+        let mut c = b.clone();
+        c.prev_hash = sha256(b"x");
+        assert_ne!(c.hash(), base);
+    }
+
+    #[test]
+    fn signing_digest_excludes_signature() {
+        let b = block();
+        let mut c = b.clone();
+        c.signature = vec![9, 9, 9];
+        assert_eq!(b.own_signing_digest(), c.own_signing_digest());
+        assert_ne!(b.hash(), c.hash());
+    }
+
+    #[test]
+    fn root_changes_with_any_plan() {
+        let ps = plans(4);
+        let base = Block::root_of(&ps);
+        let mut fewer = ps.clone();
+        fewer.pop();
+        assert_ne!(Block::root_of(&fewer), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_root_panics() {
+        let _ = Block::root_of(&[]);
+    }
+}

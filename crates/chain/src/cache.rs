@@ -1,0 +1,255 @@
+//! The bounded per-vehicle chain cache.
+//!
+//! "The maximum length of the chain that a vehicle needs to cache and
+//! verify equals τ/δ — the time a vehicle needs to cross the intersection
+//! divided by the processing-window length" (§IV-B1). A vehicle keeps
+//! only that many recent blocks and deletes everything once it has passed
+//! the intersection.
+
+use crate::block::Block;
+use crate::verify::{verify_link, BlockError};
+use nwade_aim::TravelPlan;
+use nwade_traffic::VehicleId;
+use std::collections::VecDeque;
+
+/// A bounded, linkage-checked window of recent blocks.
+#[derive(Debug, Clone, Default)]
+pub struct ChainCache {
+    blocks: VecDeque<Block>,
+    capacity: usize,
+}
+
+impl ChainCache {
+    /// Creates a cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ChainCache {
+            blocks: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The capacity τ/δ.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The most recent block.
+    pub fn tip(&self) -> Option<&Block> {
+        self.blocks.back()
+    }
+
+    /// Iterates cached blocks oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Appends a block after checking its linkage against the current tip
+    /// (Algorithm 1, lines 6–8). The first accepted block needs no
+    /// predecessor: a vehicle that just arrived starts its window
+    /// mid-chain. Evicts the oldest block beyond capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the linkage error; the cache is unchanged on error.
+    pub fn append(&mut self, block: Block) -> Result<(), BlockError> {
+        if let Some(tip) = self.blocks.back() {
+            verify_link(tip, &block)?;
+        }
+        self.blocks.push_back(block);
+        if self.blocks.len() > self.capacity {
+            self.blocks.pop_front();
+        }
+        Ok(())
+    }
+
+    /// Prepends a predecessor block (history back-fill): it must be the
+    /// immediate predecessor of the current earliest block, hash-linked
+    /// to it. No-op when the cache is at capacity (old history is not
+    /// worth evicting fresh blocks for).
+    ///
+    /// # Errors
+    ///
+    /// Returns the linkage error; the cache is unchanged on error.
+    pub fn prepend(&mut self, block: Block) -> Result<(), BlockError> {
+        let Some(earliest) = self.blocks.front() else {
+            self.blocks.push_front(block);
+            return Ok(());
+        };
+        verify_link(&block, earliest)?;
+        if self.blocks.len() < self.capacity {
+            self.blocks.push_front(block);
+        }
+        Ok(())
+    }
+
+    /// The block with the given index, if cached.
+    pub fn block_at(&self, index: u64) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.index() == index)
+    }
+
+    /// The most recent plan for `vehicle` across cached blocks (a vehicle
+    /// may be re-planned; later blocks win).
+    pub fn plan_for(&self, vehicle: VehicleId) -> Option<&TravelPlan> {
+        self.blocks
+            .iter()
+            .rev()
+            .find_map(|b| b.plan_for(vehicle))
+    }
+
+    /// All plans visible in the cache, most recent block first, first
+    /// plan per vehicle only (i.e. each vehicle's current plan).
+    pub fn current_plans(&self) -> Vec<&TravelPlan> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for block in self.blocks.iter().rev() {
+            for plan in block.plans() {
+                if seen.insert(plan.id()) {
+                    out.push(plan);
+                }
+            }
+        }
+        out
+    }
+
+    /// Clears the cache (vehicle has left the intersection).
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::BlockPackager;
+    use nwade_crypto::MockScheme;
+    use std::sync::Arc;
+
+    fn blocks(n: usize) -> Vec<Block> {
+        let mut p = BlockPackager::new(Arc::new(MockScheme::from_seed(5)));
+        (0..n)
+            .map(|i| p.package(crate::block::tests::plans(3), i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn append_and_evict() {
+        let bs = blocks(5);
+        let mut cache = ChainCache::new(3);
+        for b in bs {
+            cache.append(b).expect("chained block accepted");
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.tip().expect("non-empty").index(), 4);
+        assert!(cache.block_at(0).is_none(), "oldest evicted");
+        assert!(cache.block_at(2).is_some());
+    }
+
+    #[test]
+    fn broken_link_rejected_and_cache_unchanged() {
+        let bs = blocks(3);
+        let mut cache = ChainCache::new(10);
+        cache.append(bs[0].clone()).expect("first block");
+        let err = cache.append(bs[2].clone()).expect_err("skipped block");
+        assert_eq!(err, BlockError::BadIndex);
+        assert_eq!(cache.len(), 1);
+        cache.append(bs[1].clone()).expect("correct successor");
+        cache.append(bs[2].clone()).expect("now chains");
+    }
+
+    #[test]
+    fn mid_chain_start_is_allowed() {
+        let bs = blocks(4);
+        let mut cache = ChainCache::new(10);
+        // A vehicle arriving late starts at block 2.
+        cache.append(bs[2].clone()).expect("mid-chain start");
+        cache.append(bs[3].clone()).expect("continues");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn plan_lookup_prefers_recent_blocks() {
+        let bs = blocks(3);
+        let mut cache = ChainCache::new(10);
+        for b in &bs {
+            cache.append(b.clone()).expect("chained");
+        }
+        // Vehicle 0 appears in multiple blocks (test plan generator reuses
+        // ids per block); the lookup must return the latest.
+        let vid = bs[2].plans()[0].id();
+        let found = cache.plan_for(vid).expect("plan present");
+        assert_eq!(found.encode(), bs[2].plan_for(vid).expect("in tip").encode());
+    }
+
+    #[test]
+    fn current_plans_dedupes_vehicles() {
+        let bs = blocks(3);
+        let mut cache = ChainCache::new(10);
+        for b in &bs {
+            cache.append(b.clone()).expect("chained");
+        }
+        let plans = cache.current_plans();
+        let ids: std::collections::HashSet<_> = plans.iter().map(|p| p.id()).collect();
+        assert_eq!(ids.len(), plans.len(), "one plan per vehicle");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let bs = blocks(2);
+        let mut cache = ChainCache::new(10);
+        for b in bs {
+            cache.append(b).expect("chained");
+        }
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.tip().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = ChainCache::new(0);
+    }
+
+    #[test]
+    fn prepend_backfills_history() {
+        let bs = blocks(4);
+        let mut cache = ChainCache::new(10);
+        cache.append(bs[2].clone()).expect("mid-chain start");
+        cache.append(bs[3].clone()).expect("tip");
+        cache.prepend(bs[1].clone()).expect("immediate predecessor");
+        cache.prepend(bs[0].clone()).expect("further back");
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.iter().next().expect("earliest").index(), 0);
+        // Non-adjacent prepend is rejected.
+        let mut cache2 = ChainCache::new(10);
+        cache2.append(bs[3].clone()).expect("start");
+        assert!(cache2.prepend(bs[0].clone()).is_err());
+    }
+
+    #[test]
+    fn prepend_respects_capacity() {
+        let bs = blocks(4);
+        let mut cache = ChainCache::new(2);
+        cache.append(bs[2].clone()).expect("start");
+        cache.append(bs[3].clone()).expect("tip");
+        // At capacity: prepend is a linkage-checked no-op.
+        cache.prepend(bs[1].clone()).expect("link ok");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.iter().next().expect("earliest").index(), 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Block corruptions used by attack injection and verification tests.
+//!
+//! A compromised intersection manager (threat iii) or a malicious vehicle
+//! relaying blocks can tamper in a handful of structurally distinct ways;
+//! each helper below produces one of them from an honest block.
+
+use crate::block::Block;
+use nwade_aim::TravelPlan;
+use nwade_crypto::{Digest, SignatureScheme};
+
+/// Flips a byte of the signature: the block no longer verifies under the
+/// manager's key (an impersonator without the key ends up here).
+pub fn forge_signature(block: &Block) -> Block {
+    let mut sig = block.signature().to_vec();
+    if sig.is_empty() {
+        sig.push(0xAA);
+    } else {
+        let mid = sig.len() / 2;
+        sig[mid] ^= 0xFF;
+    }
+    Block::from_parts(
+        block.index(),
+        sig,
+        block.prev_hash(),
+        block.timestamp(),
+        block.merkle_root(),
+        block.plans().to_vec(),
+    )
+}
+
+/// Replaces the carried plans with another block's plans while keeping
+/// the original header — caught by the Merkle-root check.
+pub fn swap_plans(block: &Block, other: &Block) -> Block {
+    Block::from_parts(
+        block.index(),
+        block.signature().to_vec(),
+        block.prev_hash(),
+        block.timestamp(),
+        block.merkle_root(),
+        other.plans().to_vec(),
+    )
+}
+
+/// Re-points the previous-hash link — caught by the linkage check.
+pub fn relink(block: &Block, new_prev: Digest) -> Block {
+    Block::from_parts(
+        block.index(),
+        block.signature().to_vec(),
+        new_prev,
+        block.timestamp(),
+        block.merkle_root(),
+        block.plans().to_vec(),
+    )
+}
+
+/// Produces a *validly signed* block with substituted plans — the
+/// equivocation a compromised manager (which still holds the signing key)
+/// performs. The result passes signature and root checks; only the
+/// semantic conflict check or a cross-vehicle chain comparison catches
+/// it.
+pub fn resign_with_plans(
+    block: &Block,
+    plans: Vec<TravelPlan>,
+    signer: &dyn SignatureScheme,
+) -> Block {
+    let root = Block::root_of(&plans);
+    let digest = Block::signing_digest(block.index(), &block.prev_hash(), block.timestamp(), &root);
+    Block::from_parts(
+        block.index(),
+        signer.sign(&digest),
+        block.prev_hash(),
+        block.timestamp(),
+        root,
+        plans,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::BlockPackager;
+    use crate::verify::{verify_block, BlockError};
+    use nwade_crypto::MockScheme;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<MockScheme>, Block, Block) {
+        let scheme = Arc::new(MockScheme::from_seed(4));
+        let mut p = BlockPackager::new(scheme.clone());
+        let b0 = p.package(crate::block::tests::plans(3), 0.0);
+        let b1 = p.package(crate::block::tests::plans(2), 1.0);
+        (scheme, b0, b1)
+    }
+
+    #[test]
+    fn each_tamper_fails_the_right_check() {
+        let (scheme, b0, b1) = setup();
+        assert_eq!(
+            verify_block(&forge_signature(&b0), scheme.as_ref()),
+            Err(BlockError::BadSignature)
+        );
+        assert_eq!(
+            verify_block(&swap_plans(&b0, &b1), scheme.as_ref()),
+            Err(BlockError::BadMerkleRoot)
+        );
+        // relink keeps the block internally valid; only the link breaks.
+        let relinked = relink(&b1, Digest::ZERO);
+        assert_eq!(
+            crate::verify::verify_link(&b0, &relinked),
+            Err(BlockError::BrokenLink)
+        );
+    }
+
+    #[test]
+    fn equivocation_passes_crypto_checks() {
+        let (scheme, b0, b1) = setup();
+        let equivocated = resign_with_plans(&b0, b1.plans().to_vec(), scheme.as_ref());
+        // Crypto-valid...
+        verify_block(&equivocated, scheme.as_ref()).expect("signed by the real key");
+        // ...but observably different from the original at the same index.
+        assert_eq!(equivocated.index(), b0.index());
+        assert_ne!(equivocated.hash(), b0.hash());
+    }
+
+    #[test]
+    fn forge_handles_empty_signature() {
+        let (_, b0, _) = setup();
+        let empty_sig = Block::from_parts(
+            b0.index(),
+            Vec::new(),
+            b0.prev_hash(),
+            b0.timestamp(),
+            b0.merkle_root(),
+            b0.plans().to_vec(),
+        );
+        assert!(!forge_signature(&empty_sig).signature().is_empty());
+    }
+}

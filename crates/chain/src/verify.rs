@@ -1,0 +1,187 @@
+//! Cryptographic block verification (the first half of Algorithm 1).
+//!
+//! The semantic half — "do the plans in this block conflict with each
+//! other or with previously received plans?" — is AIM-level logic and
+//! lives in the NWADE core crate, built on [`nwade_aim::find_conflicts`].
+
+use crate::block::Block;
+use nwade_crypto::SignatureScheme;
+use std::error::Error;
+use std::fmt;
+
+/// Why a block failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockError {
+    /// The signature does not verify under the manager's public key
+    /// (Algorithm 1, line 2).
+    BadSignature,
+    /// The carried plans do not hash to the block's Merkle root.
+    BadMerkleRoot,
+    /// `h_{i−1}` does not equal the hash of the predecessor block
+    /// (Algorithm 1, line 7).
+    BrokenLink,
+    /// Block indices are not consecutive.
+    BadIndex,
+    /// The timestamp regressed relative to the predecessor.
+    TimestampRegression,
+    /// The block carries no plans.
+    Empty,
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BlockError::BadSignature => "block signature does not verify",
+            BlockError::BadMerkleRoot => "plans do not match the Merkle root",
+            BlockError::BrokenLink => "previous-hash link is broken",
+            BlockError::BadIndex => "block index is not consecutive",
+            BlockError::TimestampRegression => "block timestamp regressed",
+            BlockError::Empty => "block carries no plans",
+        })
+    }
+}
+
+impl Error for BlockError {}
+
+/// Verifies a block in isolation: non-empty, signature valid, Merkle root
+/// consistent with the carried plans.
+///
+/// # Errors
+///
+/// Returns the first failed check.
+pub fn verify_block(block: &Block, verifier: &dyn SignatureScheme) -> Result<(), BlockError> {
+    if block.plans().is_empty() {
+        return Err(BlockError::Empty);
+    }
+    if !verifier.verify(&block.own_signing_digest(), block.signature()) {
+        return Err(BlockError::BadSignature);
+    }
+    if block.computed_root() != block.merkle_root() {
+        return Err(BlockError::BadMerkleRoot);
+    }
+    Ok(())
+}
+
+/// Verifies that `next` chains correctly onto `prev`: consecutive index,
+/// matching hash link, non-decreasing timestamp.
+///
+/// # Errors
+///
+/// Returns the first failed check.
+pub fn verify_link(prev: &Block, next: &Block) -> Result<(), BlockError> {
+    if next.index() != prev.index() + 1 {
+        return Err(BlockError::BadIndex);
+    }
+    if next.prev_hash() != prev.hash() {
+        return Err(BlockError::BrokenLink);
+    }
+    if next.timestamp() < prev.timestamp() {
+        return Err(BlockError::TimestampRegression);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::BlockPackager;
+    use crate::tamper;
+    use nwade_crypto::{Digest, MockScheme};
+    use std::sync::Arc;
+
+    fn chain(n: usize) -> (Arc<MockScheme>, Vec<Block>) {
+        let scheme = Arc::new(MockScheme::from_seed(3));
+        let mut p = BlockPackager::new(scheme.clone());
+        // Vary the batch size so no two blocks carry identical plan sets.
+        let blocks = (0..n)
+            .map(|i| p.package(crate::block::tests::plans(2 + i as u64), i as f64))
+            .collect();
+        (scheme, blocks)
+    }
+
+    #[test]
+    fn honest_chain_verifies() {
+        let (scheme, blocks) = chain(4);
+        for b in &blocks {
+            verify_block(b, scheme.as_ref()).expect("block valid");
+        }
+        for w in blocks.windows(2) {
+            verify_link(&w[0], &w[1]).expect("link valid");
+        }
+    }
+
+    #[test]
+    fn forged_signature_detected() {
+        let (scheme, blocks) = chain(1);
+        let forged = tamper::forge_signature(&blocks[0]);
+        assert_eq!(
+            verify_block(&forged, scheme.as_ref()),
+            Err(BlockError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn swapped_plan_detected_via_root() {
+        let (scheme, blocks) = chain(2);
+        let tampered = tamper::swap_plans(&blocks[0], &blocks[1]);
+        assert_eq!(
+            verify_block(&tampered, scheme.as_ref()),
+            Err(BlockError::BadMerkleRoot)
+        );
+    }
+
+    #[test]
+    fn broken_link_detected() {
+        let (_, blocks) = chain(3);
+        assert_eq!(verify_link(&blocks[0], &blocks[2]), Err(BlockError::BadIndex));
+        let rehung = tamper::relink(&blocks[1], Digest::ZERO);
+        assert_eq!(
+            verify_link(&blocks[0], &rehung),
+            Err(BlockError::BrokenLink)
+        );
+    }
+
+    #[test]
+    fn timestamp_regression_detected() {
+        let (scheme, _) = chain(0);
+        let mut p = BlockPackager::new(scheme);
+        let b0 = p.package(crate::block::tests::plans(2), 10.0);
+        let b1 = p.package(crate::block::tests::plans(2), 5.0);
+        assert_eq!(
+            verify_link(&b0, &b1),
+            Err(BlockError::TimestampRegression)
+        );
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        let (scheme, blocks) = chain(1);
+        let empty = Block::from_parts(
+            blocks[0].index(),
+            blocks[0].signature().to_vec(),
+            blocks[0].prev_hash(),
+            blocks[0].timestamp(),
+            blocks[0].merkle_root(),
+            Vec::new(),
+        );
+        assert_eq!(verify_block(&empty, scheme.as_ref()), Err(BlockError::Empty));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msgs: Vec<String> = [
+            BlockError::BadSignature,
+            BlockError::BadMerkleRoot,
+            BlockError::BrokenLink,
+            BlockError::BadIndex,
+            BlockError::TimestampRegression,
+            BlockError::Empty,
+        ]
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+        let unique: std::collections::HashSet<_> = msgs.iter().collect();
+        assert_eq!(unique.len(), msgs.len());
+        assert!(msgs.iter().all(|m| !m.is_empty()));
+    }
+}

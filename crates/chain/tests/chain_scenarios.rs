@@ -1,0 +1,135 @@
+//! Chain-level integration scenarios beyond the unit tests: long chains
+//! with eviction, Merkle proofs served out of blocks, and packet-loss
+//! style gaps.
+
+use nwade_aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
+use nwade_chain::{Block, BlockPackager, ChainCache};
+use nwade_crypto::merkle::leaf_hash;
+use nwade_crypto::MockScheme;
+use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology};
+use nwade_traffic::{VehicleDescriptor, VehicleId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+struct Factory {
+    topo: Arc<Topology>,
+    scheduler: ReservationScheduler,
+    packager: BlockPackager,
+    clock: f64,
+    next: u64,
+}
+
+impl Factory {
+    fn new(seed: u64) -> Self {
+        let topo = Arc::new(build(
+            IntersectionKind::FourWayCross,
+            &GeometryConfig::default(),
+        ));
+        Factory {
+            scheduler: ReservationScheduler::new(topo.clone(), SchedulerConfig::default()),
+            packager: BlockPackager::new(Arc::new(MockScheme::from_seed(seed))),
+            topo,
+            clock: 0.0,
+            next: 0,
+        }
+    }
+
+    fn block(&mut self, n: usize) -> Block {
+        let plans: Vec<_> = (0..n)
+            .flat_map(|_| {
+                let id = self.next;
+                self.next += 1;
+                self.clock += 3.0;
+                self.scheduler.schedule(
+                    &[PlanRequest {
+                        id: VehicleId::new(id),
+                        descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(id)),
+                        movement: MovementId::new(((id * 3) % 16) as u16),
+                        position_s: 0.0,
+                        speed: 15.0,
+                    }],
+                    self.clock,
+                )
+            })
+            .collect();
+        self.packager.package(plans, self.clock)
+    }
+}
+
+#[test]
+fn long_chain_respects_capacity_and_lookup() {
+    let mut f = Factory::new(1);
+    let capacity = 7;
+    let mut cache = ChainCache::new(capacity);
+    let mut blocks = Vec::new();
+    for _ in 0..20 {
+        let b = f.block(2);
+        cache.append(b.clone()).expect("chains");
+        blocks.push(b);
+    }
+    assert_eq!(cache.len(), capacity);
+    // Only the newest `capacity` blocks remain addressable.
+    assert!(cache.block_at(12).is_none());
+    assert!(cache.block_at(13).is_some());
+    assert_eq!(cache.tip().expect("tip").index(), 19);
+    // Plans from evicted blocks are gone; recent ones resolve.
+    let recent_vehicle = blocks[19].plans()[0].id();
+    assert!(cache.plan_for(recent_vehicle).is_some());
+    let old_vehicle = blocks[0].plans()[0].id();
+    assert!(cache.plan_for(old_vehicle).is_none());
+}
+
+#[test]
+fn merkle_proofs_from_cached_blocks_serve_single_plans() {
+    // The Fig. 3 use case: a watcher needs one neighbour's plan from a
+    // peer without trusting the peer — the proof ties it to the signed
+    // root.
+    let mut f = Factory::new(2);
+    let block = f.block(6);
+    let tree = block.merkle_tree();
+    for (i, plan) in block.plans().iter().enumerate() {
+        let proof = tree.prove(i);
+        assert!(proof.verify(&leaf_hash(&plan.encode()), &block.merkle_root()));
+    }
+    // A plan from a different block never proves against this root.
+    let other = f.block(3);
+    let foreign = &other.plans()[0];
+    let proof = tree.prove(0);
+    assert!(!proof.verify(&leaf_hash(&foreign.encode()), &block.merkle_root()));
+}
+
+#[test]
+fn gap_then_refill_recovers_the_chain() {
+    let mut f = Factory::new(3);
+    let blocks: Vec<Block> = (0..5).map(|_| f.block(1)).collect();
+    let mut cache = ChainCache::new(10);
+    cache.append(blocks[0].clone()).expect("b0");
+    // Blocks 1-2 lost; 3 rejected for the gap.
+    assert!(cache.append(blocks[3].clone()).is_err());
+    // Refill in order (as a BlockResponse would).
+    for b in &blocks[1..] {
+        cache.append(b.clone()).expect("refill chains");
+    }
+    assert_eq!(cache.len(), 5);
+    assert_eq!(cache.tip().expect("tip").index(), 4);
+}
+
+#[test]
+fn block_hash_chain_is_tamper_evident_end_to_end() {
+    let mut f = Factory::new(4);
+    let blocks: Vec<Block> = (0..6).map(|_| f.block(2)).collect();
+    // Every consecutive pair is linked by hash.
+    for w in blocks.windows(2) {
+        assert_eq!(w[1].prev_hash(), w[0].hash());
+    }
+    // Rewriting any block invalidates the link to its successor.
+    for i in 0..blocks.len() - 1 {
+        let tampered = nwade_chain::tamper::forge_signature(&blocks[i]);
+        assert_ne!(
+            tampered.hash(),
+            blocks[i + 1].prev_hash(),
+            "tampering block {i} must break the chain"
+        );
+    }
+}

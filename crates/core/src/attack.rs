@@ -1,0 +1,174 @@
+//! Table I: the eleven attack settings and the behaviours they inject.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a compromised vehicle violates its travel plan (threat i/ii).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// Slams the brakes and stops in traffic.
+    SuddenStop,
+    /// Accelerates beyond the plan (and the speed limit).
+    SpeedUp,
+    /// Drifts off its lane center line (the Fig. 1a lane change).
+    LaneDeviation,
+}
+
+impl ViolationKind {
+    /// All modeled violations.
+    pub const ALL: [ViolationKind; 3] = [
+        ViolationKind::SuddenStop,
+        ViolationKind::SpeedUp,
+        ViolationKind::LaneDeviation,
+    ];
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackSetting {
+    /// One malicious vehicle, benign manager.
+    V1,
+    /// Two malicious vehicles (1 violates, 1 sends false reports).
+    V2,
+    /// Three malicious vehicles (1 violates, 2 send false reports).
+    V3,
+    /// Five malicious vehicles (1 violates, 4 send false reports).
+    V5,
+    /// Ten malicious vehicles (1 violates, 9 send false reports).
+    V10,
+    /// Malicious manager alone.
+    Im,
+    /// Malicious manager + 1 vehicle.
+    ImV1,
+    /// Malicious manager + 2 vehicles.
+    ImV2,
+    /// Malicious manager + 3 vehicles.
+    ImV3,
+    /// Malicious manager + 5 vehicles.
+    ImV5,
+    /// Malicious manager + 10 vehicles.
+    ImV10,
+}
+
+impl AttackSetting {
+    /// All settings, in Table I order.
+    pub const ALL: [AttackSetting; 11] = [
+        AttackSetting::V1,
+        AttackSetting::V2,
+        AttackSetting::V3,
+        AttackSetting::V5,
+        AttackSetting::V10,
+        AttackSetting::Im,
+        AttackSetting::ImV1,
+        AttackSetting::ImV2,
+        AttackSetting::ImV3,
+        AttackSetting::ImV5,
+        AttackSetting::ImV10,
+    ];
+
+    /// Number of malicious vehicles (Table I column 2).
+    pub fn malicious_vehicles(&self) -> usize {
+        match self {
+            AttackSetting::V1 | AttackSetting::ImV1 => 1,
+            AttackSetting::V2 | AttackSetting::ImV2 => 2,
+            AttackSetting::V3 | AttackSetting::ImV3 => 3,
+            AttackSetting::V5 | AttackSetting::ImV5 => 5,
+            AttackSetting::V10 | AttackSetting::ImV10 => 10,
+            AttackSetting::Im => 0,
+        }
+    }
+
+    /// Whether the intersection manager is malicious (column 3).
+    pub fn im_malicious(&self) -> bool {
+        matches!(
+            self,
+            AttackSetting::Im
+                | AttackSetting::ImV1
+                | AttackSetting::ImV2
+                | AttackSetting::ImV3
+                | AttackSetting::ImV5
+                | AttackSetting::ImV10
+        )
+    }
+
+    /// Number of travel-plan violations staged (column 4).
+    pub fn plan_violations(&self) -> usize {
+        if *self == AttackSetting::Im {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Number of vehicles sending false reports (column 5).
+    pub fn false_reports(&self) -> usize {
+        self.malicious_vehicles().saturating_sub(self.plan_violations())
+    }
+
+    /// Table I label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackSetting::V1 => "V1",
+            AttackSetting::V2 => "V2",
+            AttackSetting::V3 => "V3",
+            AttackSetting::V5 => "V5",
+            AttackSetting::V10 => "V10",
+            AttackSetting::Im => "IM",
+            AttackSetting::ImV1 => "IM_V1",
+            AttackSetting::ImV2 => "IM_V2",
+            AttackSetting::ImV3 => "IM_V3",
+            AttackSetting::ImV5 => "IM_V5",
+            AttackSetting::ImV10 => "IM_V10",
+        }
+    }
+}
+
+impl fmt::Display for AttackSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_rows_match_paper() {
+        // (label, #malicious, im?, violations, false reports)
+        let expected: [(&str, usize, bool, usize, usize); 11] = [
+            ("V1", 1, false, 1, 0),
+            ("V2", 2, false, 1, 1),
+            ("V3", 3, false, 1, 2),
+            ("V5", 5, false, 1, 4),
+            ("V10", 10, false, 1, 9),
+            ("IM", 0, true, 0, 0),
+            ("IM_V1", 1, true, 1, 0),
+            ("IM_V2", 2, true, 1, 1),
+            ("IM_V3", 3, true, 1, 2),
+            ("IM_V5", 5, true, 1, 4),
+            ("IM_V10", 10, true, 1, 9),
+        ];
+        for (setting, (label, n, im, viol, fr)) in AttackSetting::ALL.iter().zip(expected) {
+            assert_eq!(setting.label(), label);
+            assert_eq!(setting.malicious_vehicles(), n, "{label}");
+            assert_eq!(setting.im_malicious(), im, "{label}");
+            assert_eq!(setting.plan_violations(), viol, "{label}");
+            assert_eq!(setting.false_reports(), fr, "{label}");
+        }
+    }
+
+    #[test]
+    fn labels_distinct_and_display_matches() {
+        let mut labels: Vec<&str> = AttackSetting::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 11);
+        assert_eq!(AttackSetting::ImV5.to_string(), "IM_V5");
+    }
+
+    #[test]
+    fn violation_kinds_enumerated() {
+        assert_eq!(ViolationKind::ALL.len(), 3);
+    }
+}

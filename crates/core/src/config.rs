@@ -1,0 +1,117 @@
+//! NWADE protocol parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the NWADE mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NwadeConfig {
+    /// Processing window δ: how often the manager packages a block,
+    /// seconds.
+    pub processing_window: f64,
+    /// Position deviation beyond which a watcher reports a neighbour,
+    /// meters (Algorithm 2's tolerance threshold).
+    pub position_tolerance: f64,
+    /// Speed deviation tolerance, m/s.
+    pub speed_tolerance: f64,
+    /// Vehicle sensing radius, meters (paper default 1000 ft ≈ 305 m).
+    pub sensing_radius: f64,
+    /// How long a reporting vehicle waits for the manager's response
+    /// before assuming the manager is compromised, seconds.
+    pub report_timeout: f64,
+    /// Number of distinct global reports about one claim that push a far
+    /// vehicle into self-evacuation — §IV-B3's safety threshold, "set
+    /// accordingly" from Eq. 3: the majority quorum of the ~20 vehicles
+    /// in sensing range at medium density is 11 (§IV-B4's worked
+    /// example).
+    pub global_report_threshold: usize,
+    /// Temporal gap used by the plan conflict check, seconds.
+    pub conflict_gap: f64,
+    /// Number of watchers the manager polls per verification group.
+    pub verification_group_size: usize,
+    /// Chain cache capacity τ/δ: crossing time over window length.
+    pub chain_cache_capacity: usize,
+}
+
+impl Default for NwadeConfig {
+    fn default() -> Self {
+        NwadeConfig {
+            processing_window: 1.0,
+            position_tolerance: 5.0,
+            speed_tolerance: 3.0,
+            sensing_radius: nwade_geometry::units::paper::sensing_radius_m(),
+            report_timeout: 1.0,
+            global_report_threshold: 11,
+            conflict_gap: 0.5,
+            verification_group_size: 5,
+            chain_cache_capacity: 60,
+        }
+    }
+}
+
+impl NwadeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.processing_window > 0.0) {
+            return Err("processing window must be positive".into());
+        }
+        if !(self.position_tolerance > 0.0 && self.speed_tolerance > 0.0) {
+            return Err("tolerances must be positive".into());
+        }
+        if !(self.sensing_radius > 0.0) {
+            return Err("sensing radius must be positive".into());
+        }
+        if !(self.report_timeout > 0.0) {
+            return Err("report timeout must be positive".into());
+        }
+        if self.global_report_threshold == 0 {
+            return Err("global report threshold must be at least 1".into());
+        }
+        if self.verification_group_size == 0 {
+            return Err("verification group size must be at least 1".into());
+        }
+        if self.chain_cache_capacity == 0 {
+            return Err("chain cache capacity must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        NwadeConfig::default().validate().expect("default valid");
+    }
+
+    #[test]
+    fn default_sensing_radius_is_1000_ft() {
+        let c = NwadeConfig::default();
+        assert!((c.sensing_radius - 304.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn invalid_fields_rejected() {
+        let base = NwadeConfig::default();
+        let mut c = base;
+        c.processing_window = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.global_report_threshold = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.verification_group_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.position_tolerance = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.chain_cache_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+}

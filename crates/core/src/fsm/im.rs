@@ -1,0 +1,215 @@
+//! The intersection manager's seven-state automaton (Fig. 2, top).
+
+use crate::fsm::InvalidTransition;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The manager's states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImState {
+    /// Waiting for requests or reports.
+    Standby,
+    /// Computing travel plans for a batch of requests.
+    TravelScheduling,
+    /// Packaging the new plans into a block.
+    BlockPackaging,
+    /// Broadcasting the block to vehicles.
+    BlockDissemination,
+    /// Verifying an incident report via watcher groups.
+    ReportVerification,
+    /// Generating and broadcasting evacuation plans.
+    Evacuation,
+    /// Bringing traffic back to normal speed after a cleared threat.
+    PostEvacuationRecovery,
+}
+
+/// Events driving the manager automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImEvent {
+    /// Plan requests arrived from incoming vehicles.
+    RequestsReceived,
+    /// The scheduler finished a batch.
+    PlansGenerated,
+    /// The block is signed and chained.
+    BlockPackaged,
+    /// The block broadcast completed.
+    BlockDisseminated,
+    /// An incident report arrived from a watcher.
+    IncidentReportReceived,
+    /// Verification concluded the report was false.
+    ReportDismissed,
+    /// Verification confirmed the threat.
+    ThreatConfirmed,
+    /// The threat cleared (malicious vehicle left or stopped).
+    ThreatCleared,
+    /// Traffic is back to normal speed.
+    RecoveryComplete,
+}
+
+impl fmt::Display for ImState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl ImState {
+    /// Applies `event`, returning the next state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTransition`] when the event is not accepted in
+    /// the current state (the table is deterministic and total over the
+    /// valid protocol flow only).
+    pub fn step(self, event: ImEvent) -> Result<ImState, InvalidTransition> {
+        use ImEvent::*;
+        use ImState::*;
+        let next = match (self, event) {
+            (Standby, RequestsReceived) => TravelScheduling,
+            (Standby, IncidentReportReceived) => ReportVerification,
+            (TravelScheduling, PlansGenerated) => BlockPackaging,
+            (BlockPackaging, BlockPackaged) => BlockDissemination,
+            (BlockDissemination, BlockDisseminated) => Standby,
+            (ReportVerification, ReportDismissed) => Standby,
+            (ReportVerification, ThreatConfirmed) => Evacuation,
+            // New reports during verification stay in verification.
+            (ReportVerification, IncidentReportReceived) => ReportVerification,
+            (Evacuation, ThreatCleared) => PostEvacuationRecovery,
+            // Newly identified threats keep the manager evacuating.
+            (Evacuation, IncidentReportReceived) => Evacuation,
+            (Evacuation, ThreatConfirmed) => Evacuation,
+            (PostEvacuationRecovery, RecoveryComplete) => Standby,
+            (PostEvacuationRecovery, IncidentReportReceived) => ReportVerification,
+            (state, event) => {
+                return Err(InvalidTransition {
+                    state: state.to_string(),
+                    event: format!("{event:?}"),
+                })
+            }
+        };
+        Ok(next)
+    }
+
+    /// `true` when the manager is in a state where it schedules normal
+    /// traffic.
+    pub fn is_operational(self) -> bool {
+        !matches!(self, ImState::Evacuation | ImState::PostEvacuationRecovery)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduling_round_trip() {
+        let mut s = ImState::Standby;
+        for e in [
+            ImEvent::RequestsReceived,
+            ImEvent::PlansGenerated,
+            ImEvent::BlockPackaged,
+            ImEvent::BlockDisseminated,
+        ] {
+            s = s.step(e).expect("valid scheduling flow");
+        }
+        assert_eq!(s, ImState::Standby);
+    }
+
+    #[test]
+    fn incident_flow_dismissal() {
+        let s = ImState::Standby
+            .step(ImEvent::IncidentReportReceived)
+            .and_then(|s| s.step(ImEvent::ReportDismissed))
+            .expect("dismissal flow");
+        assert_eq!(s, ImState::Standby);
+    }
+
+    #[test]
+    fn incident_flow_evacuation_and_recovery() {
+        let mut s = ImState::Standby;
+        for e in [
+            ImEvent::IncidentReportReceived,
+            ImEvent::ThreatConfirmed,
+            ImEvent::ThreatCleared,
+            ImEvent::RecoveryComplete,
+        ] {
+            s = s.step(e).expect("evacuation flow");
+        }
+        assert_eq!(s, ImState::Standby);
+    }
+
+    #[test]
+    fn reports_during_verification_are_absorbed() {
+        let s = ImState::ReportVerification
+            .step(ImEvent::IncidentReportReceived)
+            .expect("absorbed");
+        assert_eq!(s, ImState::ReportVerification);
+    }
+
+    #[test]
+    fn new_threats_during_evacuation_stay_in_evacuation() {
+        assert_eq!(
+            ImState::Evacuation.step(ImEvent::ThreatConfirmed),
+            Ok(ImState::Evacuation)
+        );
+        assert_eq!(
+            ImState::Evacuation.step(ImEvent::IncidentReportReceived),
+            Ok(ImState::Evacuation)
+        );
+    }
+
+    #[test]
+    fn recovery_interrupted_by_new_report() {
+        assert_eq!(
+            ImState::PostEvacuationRecovery.step(ImEvent::IncidentReportReceived),
+            Ok(ImState::ReportVerification)
+        );
+    }
+
+    #[test]
+    fn invalid_transitions_are_rejected() {
+        let err = ImState::Standby
+            .step(ImEvent::PlansGenerated)
+            .expect_err("no plans without requests");
+        assert!(err.to_string().contains("Standby"));
+        assert!(ImState::BlockPackaging.step(ImEvent::ThreatCleared).is_err());
+        assert!(ImState::Evacuation.step(ImEvent::RecoveryComplete).is_err());
+    }
+
+    #[test]
+    fn operational_states() {
+        assert!(ImState::Standby.is_operational());
+        assert!(ImState::TravelScheduling.is_operational());
+        assert!(!ImState::Evacuation.is_operational());
+        assert!(!ImState::PostEvacuationRecovery.is_operational());
+    }
+
+    #[test]
+    fn exactly_seven_states_are_reachable() {
+        // Walk the event alphabet from every discovered state.
+        use std::collections::HashSet;
+        let events = [
+            ImEvent::RequestsReceived,
+            ImEvent::PlansGenerated,
+            ImEvent::BlockPackaged,
+            ImEvent::BlockDisseminated,
+            ImEvent::IncidentReportReceived,
+            ImEvent::ReportDismissed,
+            ImEvent::ThreatConfirmed,
+            ImEvent::ThreatCleared,
+            ImEvent::RecoveryComplete,
+        ];
+        let mut seen: HashSet<ImState> = HashSet::new();
+        let mut frontier = vec![ImState::Standby];
+        while let Some(s) = frontier.pop() {
+            if !seen.insert(s) {
+                continue;
+            }
+            for e in events {
+                if let Ok(next) = s.step(e) {
+                    frontier.push(next);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 7, "Fig. 2 has seven manager states");
+    }
+}

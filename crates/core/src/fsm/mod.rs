@@ -1,0 +1,27 @@
+//! The event-driven deterministic finite automata of Fig. 2.
+
+pub mod im;
+pub mod vehicle;
+
+pub use im::{ImEvent, ImState};
+pub use vehicle::{VehicleEvent, VehicleState};
+
+use std::error::Error;
+use std::fmt;
+
+/// An event arrived that the current state does not accept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// The state the automaton was in.
+    pub state: String,
+    /// The offending event.
+    pub event: String,
+}
+
+impl fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event {} not accepted in state {}", self.event, self.state)
+    }
+}
+
+impl Error for InvalidTransition {}

@@ -1,0 +1,247 @@
+//! The vehicle's eight-state automaton (Fig. 2, bottom).
+
+use crate::fsm::InvalidTransition;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The vehicle's states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VehicleState {
+    /// Entered the communication zone; sending status to the manager.
+    Preparation,
+    /// Verifying a received block (Algorithm 1).
+    BlockVerification,
+    /// Following the assigned plan; continuously watching neighbours.
+    Following,
+    /// Detected a deviating neighbour; reporting it (Algorithm 2).
+    LocalVerification,
+    /// Waiting for the manager to dismiss or confirm the report.
+    ReportWaiting,
+    /// Weighing peer global reports (Algorithm 3).
+    GlobalVerification,
+    /// Manager no longer trusted: finding a safe route out.
+    SelfEvacuation,
+    /// Out of the intersection area.
+    Left,
+}
+
+/// Events driving the vehicle automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VehicleEvent {
+    /// A block containing this vehicle's plan arrived.
+    BlockReceived,
+    /// Block verification succeeded.
+    BlockValid,
+    /// Block verification failed (bad signature, root, link or plans).
+    BlockInvalid,
+    /// A sensed neighbour deviates beyond tolerance.
+    AnomalyDetected,
+    /// The report was sent; awaiting the manager.
+    ReportSent,
+    /// The manager dismissed the alarm.
+    AlarmDismissed,
+    /// The manager confirmed and broadcast evacuation plans.
+    EvacuationOrdered,
+    /// The manager failed to answer within the timeout.
+    ImTimeout,
+    /// Enough peer global reports arrived to warrant checking.
+    GlobalReportsReceived,
+    /// Global verification found the manager trustworthy after all.
+    GlobalCheckPassed,
+    /// Global verification confirmed the manager is compromised.
+    GlobalCheckFailed,
+    /// The vehicle exited the modeled area.
+    Exited,
+}
+
+impl fmt::Display for VehicleState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl VehicleState {
+    /// Applies `event`, returning the next state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTransition`] for events the state does not
+    /// accept.
+    pub fn step(self, event: VehicleEvent) -> Result<VehicleState, InvalidTransition> {
+        use VehicleEvent::*;
+        use VehicleState::*;
+        let next = match (self, event) {
+            (Preparation, BlockReceived) => BlockVerification,
+            (BlockVerification, BlockValid) => Following,
+            (BlockVerification, BlockInvalid) => SelfEvacuation,
+            // Re-verification of each subsequent block.
+            (Following, BlockReceived) => BlockVerification,
+            (Following, AnomalyDetected) => LocalVerification,
+            (Following, GlobalReportsReceived) => GlobalVerification,
+            (Following, Exited) => Left,
+            (LocalVerification, ReportSent) => ReportWaiting,
+            // The anomaly may resolve itself (sensing glitch).
+            (LocalVerification, AlarmDismissed) => Following,
+            (ReportWaiting, AlarmDismissed) => Following,
+            (ReportWaiting, EvacuationOrdered) => Following,
+            (ReportWaiting, ImTimeout) => SelfEvacuation,
+            (ReportWaiting, GlobalReportsReceived) => GlobalVerification,
+            (GlobalVerification, GlobalCheckPassed) => Following,
+            (GlobalVerification, GlobalCheckFailed) => SelfEvacuation,
+            (SelfEvacuation, Exited) => Left,
+            (state, event) => {
+                return Err(InvalidTransition {
+                    state: state.to_string(),
+                    event: format!("{event:?}"),
+                })
+            }
+        };
+        Ok(next)
+    }
+
+    /// `true` in states where the vehicle still trusts the manager.
+    pub fn trusts_manager(self) -> bool {
+        !matches!(self, VehicleState::SelfEvacuation)
+    }
+
+    /// `true` when the vehicle is still inside the modeled area.
+    pub fn is_active(self) -> bool {
+        self != VehicleState::Left
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_traveling_flow() {
+        let mut s = VehicleState::Preparation;
+        for e in [
+            VehicleEvent::BlockReceived,
+            VehicleEvent::BlockValid,
+            VehicleEvent::Exited,
+        ] {
+            s = s.step(e).expect("normal flow");
+        }
+        assert_eq!(s, VehicleState::Left);
+    }
+
+    #[test]
+    fn invalid_block_forces_self_evacuation() {
+        let s = VehicleState::Preparation
+            .step(VehicleEvent::BlockReceived)
+            .and_then(|s| s.step(VehicleEvent::BlockInvalid))
+            .expect("flow");
+        assert_eq!(s, VehicleState::SelfEvacuation);
+        assert!(!s.trusts_manager());
+    }
+
+    #[test]
+    fn local_verification_report_and_dismissal() {
+        let mut s = VehicleState::Following;
+        s = s.step(VehicleEvent::AnomalyDetected).expect("watch");
+        assert_eq!(s, VehicleState::LocalVerification);
+        s = s.step(VehicleEvent::ReportSent).expect("sent");
+        assert_eq!(s, VehicleState::ReportWaiting);
+        s = s.step(VehicleEvent::AlarmDismissed).expect("dismissed");
+        assert_eq!(s, VehicleState::Following);
+    }
+
+    #[test]
+    fn im_timeout_triggers_self_evacuation() {
+        let s = VehicleState::ReportWaiting
+            .step(VehicleEvent::ImTimeout)
+            .expect("timeout");
+        assert_eq!(s, VehicleState::SelfEvacuation);
+    }
+
+    #[test]
+    fn global_verification_paths() {
+        let s = VehicleState::Following
+            .step(VehicleEvent::GlobalReportsReceived)
+            .expect("to global");
+        assert_eq!(s, VehicleState::GlobalVerification);
+        assert_eq!(
+            s.step(VehicleEvent::GlobalCheckPassed),
+            Ok(VehicleState::Following)
+        );
+        assert_eq!(
+            s.step(VehicleEvent::GlobalCheckFailed),
+            Ok(VehicleState::SelfEvacuation)
+        );
+    }
+
+    #[test]
+    fn evacuation_order_returns_to_following() {
+        // The manager confirmed the threat and sent evacuation plans; the
+        // vehicle follows them (they are verified like normal blocks).
+        assert_eq!(
+            VehicleState::ReportWaiting.step(VehicleEvent::EvacuationOrdered),
+            Ok(VehicleState::Following)
+        );
+    }
+
+    #[test]
+    fn rechecks_every_new_block() {
+        assert_eq!(
+            VehicleState::Following.step(VehicleEvent::BlockReceived),
+            Ok(VehicleState::BlockVerification)
+        );
+    }
+
+    #[test]
+    fn self_evacuation_only_exits() {
+        assert!(VehicleState::SelfEvacuation
+            .step(VehicleEvent::BlockReceived)
+            .is_err());
+        assert_eq!(
+            VehicleState::SelfEvacuation.step(VehicleEvent::Exited),
+            Ok(VehicleState::Left)
+        );
+    }
+
+    #[test]
+    fn left_is_terminal() {
+        for e in [
+            VehicleEvent::BlockReceived,
+            VehicleEvent::AnomalyDetected,
+            VehicleEvent::Exited,
+        ] {
+            assert!(VehicleState::Left.step(e).is_err());
+        }
+        assert!(!VehicleState::Left.is_active());
+    }
+
+    #[test]
+    fn exactly_eight_states_are_reachable() {
+        use std::collections::HashSet;
+        let events = [
+            VehicleEvent::BlockReceived,
+            VehicleEvent::BlockValid,
+            VehicleEvent::BlockInvalid,
+            VehicleEvent::AnomalyDetected,
+            VehicleEvent::ReportSent,
+            VehicleEvent::AlarmDismissed,
+            VehicleEvent::EvacuationOrdered,
+            VehicleEvent::ImTimeout,
+            VehicleEvent::GlobalReportsReceived,
+            VehicleEvent::GlobalCheckPassed,
+            VehicleEvent::GlobalCheckFailed,
+            VehicleEvent::Exited,
+        ];
+        let mut seen: HashSet<VehicleState> = HashSet::new();
+        let mut frontier = vec![VehicleState::Preparation];
+        while let Some(s) = frontier.pop() {
+            if !seen.insert(s) {
+                continue;
+            }
+            for e in events {
+                if let Ok(next) = s.step(e) {
+                    frontier.push(next);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 8, "Fig. 2 has eight vehicle states");
+    }
+}

@@ -1,0 +1,683 @@
+//! [`NwadeManager`]: the intersection-manager-side protocol engine.
+//!
+//! Wraps an AIM scheduler with NWADE's block packaging, report
+//! verification (two disjoint watcher groups) and evacuation planning.
+//! Like [`crate::VehicleGuard`] it performs no I/O: handlers return
+//! [`ManagerAction`]s for the host to execute.
+
+use crate::config::NwadeConfig;
+use crate::fsm::im::{ImEvent, ImState};
+use crate::messages::IncidentReport;
+use crate::verify::report::{ReportDecision, ReportVerification};
+use nwade_aim::evacuation::{EvacuationConfig, EvacuationPlanner};
+use nwade_aim::{find_conflicts, PlanRequest, Scheduler, TravelPlan};
+use nwade_chain::{Block, BlockPackager};
+use nwade_crypto::SignatureScheme;
+use nwade_geometry::Vec2;
+use nwade_intersection::Topology;
+use nwade_traffic::{VehicleDescriptor, VehicleId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What the manager wants its host to do.
+#[derive(Debug, Clone)]
+pub enum ManagerAction {
+    /// Broadcast this block to every vehicle.
+    BroadcastBlock(Block),
+    /// Poll these watchers about `suspect`.
+    PollWatchers {
+        /// Correlates the responses.
+        request_id: u64,
+        /// The accused vehicle.
+        suspect: VehicleId,
+        /// The group to poll.
+        group: Vec<VehicleId>,
+        /// The suspect's published plan, forwarded so every watcher can
+        /// compute the expected status.
+        plan: Option<Box<TravelPlan>>,
+    },
+    /// Tell `reporter` the alarm about `suspect` was false.
+    Dismiss {
+        /// The reporting vehicle.
+        reporter: VehicleId,
+        /// The cleared suspect.
+        suspect: VehicleId,
+    },
+    /// Broadcast the evacuation alert: `suspect` is confirmed malicious.
+    EvacuationAlert {
+        /// The confirmed malicious vehicle.
+        suspect: VehicleId,
+        /// Its identifiable features.
+        descriptor: VehicleDescriptor,
+        /// Its last reported position.
+        location: Vec2,
+    },
+}
+
+/// One in-flight report verification.
+struct PendingVerification {
+    verification: ReportVerification,
+    request_id: u64,
+    evidence_location: Vec2,
+    descriptor: VehicleDescriptor,
+    /// Everyone who reported this suspect while verification ran; they
+    /// all receive the outcome (otherwise they time out and escalate).
+    reporters: Vec<VehicleId>,
+}
+
+/// The manager-side engine.
+pub struct NwadeManager {
+    topology: Arc<Topology>,
+    config: NwadeConfig,
+    state: ImState,
+    scheduler: Box<dyn Scheduler + Send>,
+    packager: BlockPackager,
+    evacuation: EvacuationPlanner,
+    pending: HashMap<VehicleId, PendingVerification>,
+    confirmed: Vec<VehicleId>,
+    false_reporters: HashMap<VehicleId, u32>,
+    next_request_id: u64,
+    /// The latest published plan per vehicle, used to pre-run the
+    /// vehicle-side conflict check before signing a block.
+    published: HashMap<VehicleId, TravelPlan>,
+    /// Recent blocks kept for serving vehicle block requests (§IV-B1:
+    /// "a vehicle can request the blocks from neighboring vehicles or
+    /// from the intersection manager").
+    recent_blocks: std::collections::VecDeque<Block>,
+}
+
+impl std::fmt::Debug for NwadeManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NwadeManager")
+            .field("state", &self.state)
+            .field("scheduler", &self.scheduler.name())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl NwadeManager {
+    /// Creates a manager around a scheduler and a signing scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` is invalid.
+    pub fn new(
+        topology: Arc<Topology>,
+        scheduler: Box<dyn Scheduler + Send>,
+        signer: Arc<dyn SignatureScheme>,
+        config: NwadeConfig,
+    ) -> Self {
+        config.validate().expect("NWADE config must be valid");
+        NwadeManager {
+            evacuation: EvacuationPlanner::new(
+                topology.clone(),
+                nwade_aim::SchedulerConfig::default(),
+                EvacuationConfig::default(),
+            ),
+            topology,
+            config,
+            state: ImState::Standby,
+            scheduler,
+            packager: BlockPackager::new(signer),
+            pending: HashMap::new(),
+            confirmed: Vec::new(),
+            false_reporters: HashMap::new(),
+            next_request_id: 0,
+            published: HashMap::new(),
+            recent_blocks: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn remember_block(&mut self, block: &Block) {
+        self.recent_blocks.push_back(block.clone());
+        while self.recent_blocks.len() > 64 {
+            self.recent_blocks.pop_front();
+        }
+    }
+
+    /// Recent blocks starting at `from_index` (bounded), for answering a
+    /// vehicle's block request.
+    pub fn blocks_from(&self, from_index: u64) -> Vec<Block> {
+        self.recent_blocks
+            .iter()
+            .filter(|b| b.index() >= from_index)
+            .take(16)
+            .cloned()
+            .collect()
+    }
+
+    /// Drops batch plans that would fail the vehicle-side conflict check
+    /// against the published plan set (rare: the saturated-intersection
+    /// park fallback can strand a vehicle in a cell another plan crosses).
+    /// Dropped vehicles keep their previous plan and are re-planned in a
+    /// later window; an honest manager must never sign a block its own
+    /// vehicles would reject.
+    fn drop_unpublishable(&mut self, mut plans: Vec<TravelPlan>) -> Vec<TravelPlan> {
+        loop {
+            let mut merged: HashMap<VehicleId, TravelPlan> = self.published.clone();
+            for p in &plans {
+                merged.insert(p.id(), p.clone());
+            }
+            let merged_plans: Vec<TravelPlan> = merged.into_values().collect();
+            let conflicts = find_conflicts(&merged_plans, &self.topology, self.config.conflict_gap);
+            if conflicts.is_empty() {
+                return plans;
+            }
+            let before = plans.len();
+            for (a, b) in &conflicts {
+                for id in [a, b] {
+                    if let Some(pos) = plans.iter().position(|p| p.id() == *id) {
+                        let dropped = plans.remove(pos);
+                        self.scheduler.release(dropped.id());
+                    }
+                }
+            }
+            if plans.len() == before || plans.is_empty() {
+                // Conflict among already-published plans (cannot happen
+                // for an honest history) or nothing left to drop.
+                return plans;
+            }
+        }
+    }
+
+    fn record_published(&mut self, plans: &[TravelPlan]) {
+        for p in plans {
+            self.published.insert(p.id(), p.clone());
+        }
+    }
+
+    /// Current automaton state.
+    pub fn state(&self) -> ImState {
+        self.state
+    }
+
+    /// The topology served.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Vehicles confirmed malicious so far.
+    pub fn confirmed_malicious(&self) -> &[VehicleId] {
+        &self.confirmed
+    }
+
+    /// How many times `reporter` was caught sending false alarms
+    /// (§IV-B2 step iii: "record V_x's identity for future reference").
+    pub fn false_report_count(&self, reporter: VehicleId) -> u32 {
+        self.false_reporters.get(&reporter).copied().unwrap_or(0)
+    }
+
+    fn step_fsm(&mut self, event: ImEvent) {
+        if let Ok(next) = self.state.step(event) {
+            self.state = next;
+        }
+    }
+
+    /// Processes one window of plan requests: schedule, package,
+    /// broadcast. Returns `None` when no requests arrived.
+    pub fn on_window(&mut self, requests: &[PlanRequest], now: f64) -> Option<ManagerAction> {
+        if requests.is_empty() {
+            return None;
+        }
+        self.step_fsm(ImEvent::RequestsReceived);
+        let plans = self.scheduler.schedule(requests, now);
+        let plans = self.drop_unpublishable(plans);
+        self.step_fsm(ImEvent::PlansGenerated);
+        if plans.is_empty() {
+            // Every plan was deferred; no block this window.
+            self.step_fsm(ImEvent::BlockPackaged);
+            self.step_fsm(ImEvent::BlockDisseminated);
+            return None;
+        }
+        self.record_published(&plans);
+        let block = self.packager.package(plans, now);
+        self.remember_block(&block);
+        self.step_fsm(ImEvent::BlockPackaged);
+        self.step_fsm(ImEvent::BlockDisseminated);
+        self.scheduler.collect_garbage(now - 120.0);
+        Some(ManagerAction::BroadcastBlock(block))
+    }
+
+    /// Handles an incident report: starts round-1 verification with a
+    /// watcher group drawn from `nearby_watchers` (vehicles around the
+    /// suspect, excluding suspect and reporter).
+    pub fn on_incident_report(
+        &mut self,
+        report: &IncidentReport,
+        nearby_watchers: &[VehicleId],
+        _now: f64,
+    ) -> Vec<ManagerAction> {
+        // §IV-B2 (iii): reporters recorded for repeated false alarms
+        // lose credibility; their reports no longer start verifications
+        // (watchers near a real threat will report it independently).
+        if self.false_report_count(report.reporter) >= 3 {
+            return Vec::new();
+        }
+        if self.confirmed.contains(&report.suspect) {
+            // Already confirmed: re-issue the alert so this reporter does
+            // not wait for a response that never comes.
+            return vec![ManagerAction::EvacuationAlert {
+                suspect: report.suspect,
+                descriptor: VehicleDescriptor {
+                    brand: String::new(),
+                    model: String::new(),
+                    color: String::new(),
+                },
+                location: report.evidence.position,
+            }];
+        }
+        if let Some(pending) = self.pending.get_mut(&report.suspect) {
+            self.state = match self.state.step(ImEvent::IncidentReportReceived) {
+                Ok(next) => next,
+                Err(_) => self.state,
+            };
+            pending.reporters.push(report.reporter);
+            return Vec::new(); // verification already running
+        }
+        self.step_fsm(ImEvent::IncidentReportReceived);
+        let mut verification = ReportVerification::new(report.reporter, report.suspect);
+        let group: Vec<VehicleId> = nearby_watchers
+            .iter()
+            .copied()
+            .filter(|v| *v != report.suspect && *v != report.reporter)
+            .take(self.config.verification_group_size)
+            .collect();
+        if group.is_empty() {
+            // Single witness, nobody to cross-check: trust the report for
+            // safety and evacuate.
+            return self.confirm(report.suspect, report.evidence.position);
+        }
+        verification.begin_round(&group);
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        self.pending.insert(
+            report.suspect,
+            PendingVerification {
+                verification,
+                request_id,
+                evidence_location: report.evidence.position,
+                descriptor: VehicleDescriptor {
+                    brand: String::new(),
+                    model: String::new(),
+                    color: String::new(),
+                },
+                reporters: vec![report.reporter],
+            },
+        );
+        let plan = self.published.get(&report.suspect).cloned().map(Box::new);
+        vec![ManagerAction::PollWatchers {
+            request_id,
+            suspect: report.suspect,
+            group,
+            plan,
+        }]
+    }
+
+    /// Attaches the suspect's descriptor (from its plan) so evacuation
+    /// alerts carry identifiable features.
+    pub fn note_suspect_descriptor(&mut self, suspect: VehicleId, descriptor: VehicleDescriptor) {
+        if let Some(p) = self.pending.get_mut(&suspect) {
+            p.descriptor = descriptor;
+        }
+    }
+
+    fn confirm(&mut self, suspect: VehicleId, location: Vec2) -> Vec<ManagerAction> {
+        self.step_fsm(ImEvent::ThreatConfirmed);
+        self.confirmed.push(suspect);
+        let pending_descriptor = self.pending.remove(&suspect).map(|p| p.descriptor);
+        // The alert carries the suspect's identifiable features (§IV-B5);
+        // its published plan is the authoritative source.
+        let descriptor = self
+            .published
+            .get(&suspect)
+            .map(|p| p.descriptor().clone())
+            .or(pending_descriptor)
+            .unwrap_or(VehicleDescriptor {
+                brand: String::new(),
+                model: String::new(),
+                color: String::new(),
+            });
+        vec![ManagerAction::EvacuationAlert {
+            suspect,
+            descriptor,
+            location,
+        }]
+    }
+
+    /// Handles a watcher's verify-response. `fresh_candidates` are
+    /// vehicles currently near the suspect, used to draw the disjoint
+    /// round-2 group.
+    pub fn on_verify_response(
+        &mut self,
+        request_id: u64,
+        suspect: VehicleId,
+        observed: bool,
+        abnormal: bool,
+        fresh_candidates: &[VehicleId],
+        _now: f64,
+    ) -> Vec<ManagerAction> {
+        let Some(pending) = self.pending.get_mut(&suspect) else {
+            return Vec::new(); // stale response
+        };
+        if pending.request_id != request_id {
+            return Vec::new();
+        }
+        let was_round1 = pending.verification.round() == 1;
+        let decision = if observed {
+            pending.verification.record_vote(abnormal)
+        } else {
+            pending.verification.record_abstain()
+        };
+        match decision {
+            ReportDecision::Pending => {
+                if was_round1 && pending.verification.round() == 2 {
+                    // Round 1 confirmed: draw the disjoint second group.
+                    let group = pending.verification.second_group(fresh_candidates);
+                    let group: Vec<VehicleId> = group
+                        .into_iter()
+                        .take(self.config.verification_group_size)
+                        .collect();
+                    if group.is_empty() {
+                        // Nobody fresh to double-check with: act on round 1.
+                        let location = pending.evidence_location;
+                        return self.confirm(suspect, location);
+                    }
+                    pending.verification.begin_round(&group);
+                    let request_id = self.next_request_id;
+                    self.next_request_id += 1;
+                    pending.request_id = request_id;
+                    let plan = self.published.get(&suspect).cloned().map(Box::new);
+                    return vec![ManagerAction::PollWatchers {
+                        request_id,
+                        suspect,
+                        group,
+                        plan,
+                    }];
+                }
+                Vec::new()
+            }
+            ReportDecision::Confirmed => {
+                let location = pending.evidence_location;
+                self.confirm(suspect, location)
+            }
+            ReportDecision::FalseAlarm => {
+                let pending = self.pending.remove(&suspect).expect("present");
+                let original = pending.verification.reporter();
+                *self.false_reporters.entry(original).or_insert(0) += 1;
+                self.step_fsm(ImEvent::ReportDismissed);
+                // Every reporter of this suspect gets the outcome.
+                let mut seen = std::collections::HashSet::new();
+                pending
+                    .reporters
+                    .iter()
+                    .filter(|r| seen.insert(**r))
+                    .map(|&reporter| ManagerAction::Dismiss { reporter, suspect })
+                    .collect()
+            }
+        }
+    }
+
+    /// Generates evacuation plans around the confirmed threats and
+    /// packages them on the same blockchain (§IV-B5).
+    pub fn evacuation_block(
+        &mut self,
+        vehicle_states: &[PlanRequest],
+        threats: &[Vec2],
+        now: f64,
+    ) -> Option<ManagerAction> {
+        if vehicle_states.is_empty() {
+            return None;
+        }
+        let plans: Vec<TravelPlan> = self.evacuation.plan(vehicle_states, threats, now);
+        // Re-book the evacuation plans in the scheduler so later normal
+        // scheduling respects them.
+        for plan in &plans {
+            self.scheduler.book(plan);
+        }
+        // Evacuation replans every vehicle, so the published set is
+        // replaced wholesale.
+        self.published.clear();
+        let plans = self.drop_unpublishable(plans);
+        if plans.is_empty() {
+            return None;
+        }
+        self.record_published(&plans);
+        let block = self.packager.package(plans, now);
+        self.remember_block(&block);
+        Some(ManagerAction::BroadcastBlock(block))
+    }
+
+    /// Releases a vehicle's scheduler reservations (it left the area).
+    pub fn release_vehicle(&mut self, vehicle: VehicleId) {
+        self.scheduler.release(vehicle);
+        self.published.remove(&vehicle);
+    }
+
+    /// The threat cleared (malicious vehicle left / stopped): begin
+    /// recovery.
+    pub fn on_threat_cleared(&mut self) {
+        self.step_fsm(ImEvent::ThreatCleared);
+    }
+
+    /// Recovery finished: back to normal scheduling.
+    pub fn on_recovery_complete(&mut self) {
+        self.step_fsm(ImEvent::RecoveryComplete);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::Observation;
+    use nwade_aim::{ReservationScheduler, SchedulerConfig};
+    use nwade_crypto::MockScheme;
+    use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn manager() -> NwadeManager {
+        let topo = Arc::new(build(
+            IntersectionKind::FourWayCross,
+            &GeometryConfig::default(),
+        ));
+        let scheduler = Box::new(ReservationScheduler::new(
+            topo.clone(),
+            SchedulerConfig::default(),
+        ));
+        NwadeManager::new(
+            topo,
+            scheduler,
+            Arc::new(MockScheme::from_seed(9)),
+            NwadeConfig::default(),
+        )
+    }
+
+    fn request(id: u64) -> PlanRequest {
+        PlanRequest {
+            id: VehicleId::new(id),
+            descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(id)),
+            movement: MovementId::new(((id * 3) % 16) as u16),
+            position_s: 0.0,
+            speed: 15.0,
+        }
+    }
+
+    fn incident(reporter: u64, suspect: u64) -> IncidentReport {
+        IncidentReport {
+            reporter: VehicleId::new(reporter),
+            suspect: VehicleId::new(suspect),
+            evidence: Observation {
+                target: VehicleId::new(suspect),
+                position: Vec2::new(10.0, 10.0),
+                speed: 0.0,
+                time: 5.0,
+            },
+            block_index: 0,
+        }
+    }
+
+    fn ids(range: std::ops::Range<u64>) -> Vec<VehicleId> {
+        range.map(VehicleId::new).collect()
+    }
+
+    #[test]
+    fn window_produces_broadcastable_block() {
+        let mut m = manager();
+        let action = m.on_window(&[request(0), request(1)], 0.0).expect("block");
+        let ManagerAction::BroadcastBlock(block) = action else {
+            panic!("expected a block broadcast");
+        };
+        assert_eq!(block.index(), 0);
+        assert_eq!(block.plans().len(), 2);
+        assert_eq!(m.state(), ImState::Standby, "back to standby");
+        assert!(m.on_window(&[], 1.0).is_none());
+    }
+
+    #[test]
+    fn report_starts_watcher_poll() {
+        let mut m = manager();
+        let actions = m.on_incident_report(&incident(0, 9), &ids(1..8), 5.0);
+        let [ManagerAction::PollWatchers { suspect, group, .. }] = actions.as_slice() else {
+            panic!("expected a poll, got {actions:?}");
+        };
+        assert_eq!(suspect.raw(), 9);
+        assert_eq!(group.len(), 5, "capped at the configured group size");
+        assert!(!group.contains(&VehicleId::new(9)));
+        assert!(!group.contains(&VehicleId::new(0)));
+        assert_eq!(m.state(), ImState::ReportVerification);
+    }
+
+    #[test]
+    fn duplicate_reports_are_absorbed() {
+        let mut m = manager();
+        m.on_incident_report(&incident(0, 9), &ids(1..8), 5.0);
+        assert!(m.on_incident_report(&incident(2, 9), &ids(1..8), 5.1).is_empty());
+    }
+
+    #[test]
+    fn no_watchers_confirms_immediately() {
+        let mut m = manager();
+        let actions = m.on_incident_report(&incident(0, 9), &[], 5.0);
+        assert!(matches!(
+            actions.as_slice(),
+            [ManagerAction::EvacuationAlert { suspect, .. }] if suspect.raw() == 9
+        ));
+        assert_eq!(m.state(), ImState::Evacuation);
+        assert_eq!(m.confirmed_malicious(), &[VehicleId::new(9)]);
+    }
+
+    #[test]
+    fn two_round_confirmation_flow() {
+        let mut m = manager();
+        let actions = m.on_incident_report(&incident(0, 9), &ids(1..6), 5.0);
+        let [ManagerAction::PollWatchers { request_id, .. }] = actions.as_slice() else {
+            panic!("poll expected");
+        };
+        let rid1 = *request_id;
+        // Round 1: 3 of 5 say abnormal → round 2 poll of fresh watchers.
+        let mut second_poll = None;
+        for i in 0..3 {
+            let actions =
+                m.on_verify_response(rid1, VehicleId::new(9), true, true, &ids(1..20), 5.0 + i as f64);
+            if !actions.is_empty() {
+                second_poll = Some(actions);
+            }
+        }
+        let second = second_poll.expect("round 2 poll issued");
+        let [ManagerAction::PollWatchers {
+            request_id: rid2,
+            group,
+            ..
+        }] = second.as_slice()
+        else {
+            panic!("expected round-2 poll, got {second:?}");
+        };
+        // Disjoint from round 1 (watchers 1..6) and from suspect/reporter.
+        for v in group {
+            assert!(v.raw() >= 6 || v.raw() == 0, "round-2 watcher {v}");
+            assert_ne!(v.raw(), 0, "reporter excluded");
+            assert_ne!(v.raw(), 9, "suspect excluded");
+        }
+        // Round 2 confirms.
+        let mut confirmed = Vec::new();
+        for i in 0..3 {
+            confirmed = m.on_verify_response(*rid2, VehicleId::new(9), true, true, &[], 6.0 + i as f64);
+            if !confirmed.is_empty() {
+                break;
+            }
+        }
+        assert!(matches!(
+            confirmed.as_slice(),
+            [ManagerAction::EvacuationAlert { suspect, .. }] if suspect.raw() == 9
+        ));
+        assert_eq!(m.state(), ImState::Evacuation);
+    }
+
+    #[test]
+    fn false_alarm_dismissed_and_reporter_recorded() {
+        let mut m = manager();
+        let actions = m.on_incident_report(&incident(0, 9), &ids(1..6), 5.0);
+        let [ManagerAction::PollWatchers { request_id, .. }] = actions.as_slice() else {
+            panic!("poll expected");
+        };
+        let rid = *request_id;
+        let mut dismissed = Vec::new();
+        for i in 0..3 {
+            dismissed = m.on_verify_response(rid, VehicleId::new(9), true, false, &[], 5.0 + i as f64);
+            if !dismissed.is_empty() {
+                break;
+            }
+        }
+        assert!(matches!(
+            dismissed.as_slice(),
+            [ManagerAction::Dismiss { reporter, suspect }]
+                if reporter.raw() == 0 && suspect.raw() == 9
+        ));
+        assert_eq!(m.false_report_count(VehicleId::new(0)), 1);
+        assert_eq!(m.state(), ImState::Standby);
+        assert!(m.confirmed_malicious().is_empty());
+    }
+
+    #[test]
+    fn stale_verify_responses_ignored() {
+        let mut m = manager();
+        m.on_incident_report(&incident(0, 9), &ids(1..6), 5.0);
+        // Wrong request id.
+        assert!(m
+            .on_verify_response(999, VehicleId::new(9), true, true, &[], 5.0)
+            .is_empty());
+        // Unknown suspect.
+        assert!(m
+            .on_verify_response(0, VehicleId::new(55), true, true, &[], 5.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn evacuation_block_is_chained() {
+        let mut m = manager();
+        let first = m.on_window(&[request(0), request(1)], 0.0).expect("block");
+        let ManagerAction::BroadcastBlock(b0) = first else {
+            panic!()
+        };
+        let action = m
+            .evacuation_block(&[request(2)], &[Vec2::ZERO], 10.0)
+            .expect("evacuation block");
+        let ManagerAction::BroadcastBlock(b1) = action else {
+            panic!("expected block");
+        };
+        assert_eq!(b1.index(), b0.index() + 1);
+        assert_eq!(b1.prev_hash(), b0.hash());
+    }
+
+    #[test]
+    fn recovery_cycle() {
+        let mut m = manager();
+        m.on_incident_report(&incident(0, 9), &[], 5.0); // straight to evacuation
+        assert_eq!(m.state(), ImState::Evacuation);
+        m.on_threat_cleared();
+        assert_eq!(m.state(), ImState::PostEvacuationRecovery);
+        m.on_recovery_complete();
+        assert_eq!(m.state(), ImState::Standby);
+    }
+}

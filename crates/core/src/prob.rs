@@ -1,0 +1,130 @@
+//! The paper's analytic probability models (Eq. 2 and Eq. 3).
+
+/// Eq. 2: the probability `P_d` that the intersection manager identifies
+/// a collusion attack on the majority vote, given `k` compromised
+/// vehicles, per-vehicle compromise probability `p_v`, and the
+/// regularization parameter `ω`:
+///
+/// ```text
+/// P_d = 1 / e^{ω · k · p_v^k}
+/// ```
+///
+/// `P_d` decreases as the number of colluders on one road segment grows,
+/// but `p_v^k` shrinks much faster, so `P_d` stays near 1 for realistic
+/// parameters.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p_v ≤ 1` and `ω ≥ 0`.
+pub fn detection_probability(k: u32, p_v: f64, omega: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_v), "p_v must be a probability");
+    assert!(omega >= 0.0, "omega must be non-negative");
+    (-omega * k as f64 * p_v.powi(k as i32)).exp()
+}
+
+/// Eq. 3: the probability `P_e` that a vehicle needs to self-evacuate,
+/// given the manager-compromise probability `p_im`, the probability
+/// `p_v_loc = p_v · p_loc` that a compromised vehicle is near the
+/// location, and `k` vehicles the attacker must control to win a local
+/// majority:
+///
+/// ```text
+/// P_e = 1 − (1 − p_im)(1 − (p_v · p_loc)^k)
+/// ```
+///
+/// # Panics
+///
+/// Panics unless both probabilities lie in `[0, 1]`.
+pub fn self_evacuation_probability(p_im: f64, p_v_loc: f64, k: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&p_im), "p_im must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_v_loc),
+        "p_v·p_loc must be a probability"
+    );
+    1.0 - (1.0 - p_im) * (1.0 - p_v_loc.powi(k as i32))
+}
+
+/// The number of vehicles an attacker must control to win a simple
+/// majority among `n` vehicles near the scene: `⌊n/2⌋ + 1`.
+pub fn majority_quorum(n: usize) -> usize {
+    n / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // §IV-B4: p_v·p_loc = 10%, p_im = 0.1%, ~20 vehicles in range →
+        // k = 11 to win the majority; P_e ≈ 0.1%.
+        let k = majority_quorum(20) as u32;
+        assert_eq!(k, 11);
+        let pe = self_evacuation_probability(0.001, 0.1, k);
+        assert!((pe - 0.001).abs() < 1e-6, "P_e = {pe}");
+    }
+
+    #[test]
+    fn detection_probability_near_one_for_realistic_params() {
+        // Even ω = 10 and p_v = 0.3: k = 5 colluders → p_v^5 ≈ 0.0024 →
+        // P_d ≈ e^{-0.12} ≈ 0.89.
+        let pd = detection_probability(5, 0.3, 10.0);
+        assert!(pd > 0.85 && pd < 1.0, "P_d = {pd}");
+        // k = 1 with tiny p_v: essentially certain detection.
+        assert!(detection_probability(1, 0.01, 1.0) > 0.98);
+    }
+
+    #[test]
+    fn detection_probability_monotonic_behaviour() {
+        // For fixed small p_v, P_d first dips then recovers as k grows
+        // (k·p_v^k peaks at small k and then vanishes).
+        let p = |k| detection_probability(k, 0.5, 4.0);
+        assert!(p(2) < p(0));
+        assert!(p(12) > p(2), "large collusion becomes implausible");
+        // Eq. 2 at k = 0 is exactly 1.
+        assert_eq!(p(0), 1.0);
+    }
+
+    #[test]
+    fn self_evacuation_bounds() {
+        // Never below p_im: a compromised manager alone forces evacuation.
+        for k in [1u32, 5, 11, 25] {
+            let pe = self_evacuation_probability(0.001, 0.1, k);
+            assert!(pe >= 0.001 - 1e-12);
+            assert!(pe <= 1.0);
+        }
+        // k = 0 means the attacker already "controls" a majority of zero
+        // vehicles: evacuation certain.
+        assert_eq!(self_evacuation_probability(0.0, 0.1, 0), 1.0);
+        // Certain manager compromise: P_e = 1.
+        assert_eq!(self_evacuation_probability(1.0, 0.0, 5), 1.0);
+    }
+
+    #[test]
+    fn self_evacuation_decreases_with_k() {
+        let pe: Vec<f64> = (1..12)
+            .map(|k| self_evacuation_probability(0.001, 0.1, k))
+            .collect();
+        assert!(pe.windows(2).all(|w| w[1] <= w[0] + 1e-15));
+    }
+
+    #[test]
+    fn majority_quorums() {
+        assert_eq!(majority_quorum(1), 1);
+        assert_eq!(majority_quorum(2), 2);
+        assert_eq!(majority_quorum(20), 11);
+        assert_eq!(majority_quorum(21), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = self_evacuation_probability(1.5, 0.1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_pv_panics() {
+        let _ = detection_probability(3, -0.1, 1.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Algorithm 1: full block verification on the vehicle side.
+//!
+//! Combines the cryptographic checks from `nwade-chain` (signature,
+//! Merkle root, linkage) with the semantic checks: plans inside the
+//! block must not conflict with each other, nor with the current plans
+//! from previously received blocks (lines 4 and 9 of Algorithm 1).
+
+use nwade_aim::{find_conflicts, TravelPlan};
+use nwade_chain::{verify_block, verify_link, Block, BlockError, ChainCache};
+use nwade_crypto::SignatureScheme;
+use nwade_intersection::Topology;
+use nwade_traffic::VehicleId;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why an incoming block was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockFailure {
+    /// Signature / Merkle-root failure (Algorithm 1, line 2).
+    Crypto(BlockError),
+    /// The block does not chain onto the cached tip (line 7).
+    Chain(BlockError),
+    /// Plans within the block collide (line 4).
+    InternalConflict(Vec<(VehicleId, VehicleId)>),
+    /// Plans collide with current plans from earlier blocks (line 9).
+    CrossBlockConflict(Vec<(VehicleId, VehicleId)>),
+}
+
+impl fmt::Display for BlockFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockFailure::Crypto(e) => write!(f, "cryptographic check failed: {e}"),
+            BlockFailure::Chain(e) => write!(f, "chain linkage failed: {e}"),
+            BlockFailure::InternalConflict(pairs) => {
+                write!(f, "block contains {} conflicting plan pair(s)", pairs.len())
+            }
+            BlockFailure::CrossBlockConflict(pairs) => write!(
+                f,
+                "block conflicts with {} earlier plan pair(s)",
+                pairs.len()
+            ),
+        }
+    }
+}
+
+impl Error for BlockFailure {}
+
+/// Runs Algorithm 1 on an incoming block against the vehicle's chain
+/// cache. On success the caller appends the block to its cache.
+///
+/// `known_threats` are vehicles this verifier knows to be off-plan —
+/// confirmed malicious vehicles and peers that announced self-evacuation.
+/// Their cached plans are stale by definition (that is *why* they are
+/// threats), so the manager legitimately schedules across those plans'
+/// reservations once the vehicles are gone; enforcing them would reject
+/// honest post-evacuation blocks.
+///
+/// # Errors
+///
+/// Returns the first failed check, in the paper's order: signature →
+/// internal conflicts → linkage → cross-block conflicts.
+pub fn verify_incoming_block(
+    block: &Block,
+    cache: &ChainCache,
+    verifier: &dyn SignatureScheme,
+    topology: &Topology,
+    conflict_gap: f64,
+    known_threats: &std::collections::HashSet<VehicleId>,
+) -> Result<(), BlockFailure> {
+    // (i) Signature and Merkle root.
+    verify_block(block, verifier).map_err(BlockFailure::Crypto)?;
+
+    // (ii) Plans within the block must be mutually conflict-free.
+    let internal = find_conflicts(block.plans(), topology, conflict_gap);
+    if !internal.is_empty() {
+        return Err(BlockFailure::InternalConflict(internal));
+    }
+
+    // (iii) The block must chain onto the cached tip.
+    if let Some(tip) = cache.tip() {
+        verify_link(tip, block).map_err(BlockFailure::Chain)?;
+    }
+
+    // (iv) Plans must not conflict with current plans from earlier
+    // blocks. A vehicle re-planned in the new block supersedes its older
+    // plan, so merge by vehicle id with the new block winning.
+    let mut merged: HashMap<VehicleId, &TravelPlan> = HashMap::new();
+    for plan in cache.current_plans() {
+        if known_threats.contains(&plan.id()) {
+            continue; // stale by definition
+        }
+        merged.insert(plan.id(), plan);
+    }
+    for plan in block.plans() {
+        merged.insert(plan.id(), plan);
+    }
+    let merged_plans: Vec<TravelPlan> = merged.into_values().cloned().collect();
+    let cross = find_conflicts(&merged_plans, topology, conflict_gap);
+    if !cross.is_empty() {
+        return Err(BlockFailure::CrossBlockConflict(cross));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwade_aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
+    use nwade_chain::{tamper, BlockPackager};
+    use nwade_crypto::MockScheme;
+    use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
+    use nwade_traffic::VehicleDescriptor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    struct Fixture {
+        topo: Arc<Topology>,
+        scheme: Arc<MockScheme>,
+        scheduler: ReservationScheduler,
+        packager: BlockPackager,
+        next_id: u64,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let topo = Arc::new(build(
+                IntersectionKind::FourWayCross,
+                &GeometryConfig::default(),
+            ));
+            let scheme = Arc::new(MockScheme::from_seed(11));
+            Fixture {
+                scheduler: ReservationScheduler::new(topo.clone(), SchedulerConfig::default()),
+                packager: BlockPackager::new(scheme.clone()),
+                topo,
+                scheme,
+                next_id: 0,
+            }
+        }
+
+        fn honest_block(&mut self, n: usize, now: f64) -> Block {
+            let plans: Vec<TravelPlan> = (0..n)
+                .flat_map(|i| {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.scheduler.schedule(
+                        &[PlanRequest {
+                            id: VehicleId::new(id),
+                            descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(id)),
+                            movement: MovementId::new(((id as usize * 7) % 16) as u16),
+                            position_s: 0.0,
+                            speed: 15.0,
+                        }],
+                        now + i as f64 * 4.0,
+                    )
+                })
+                .collect();
+            self.packager.package(plans, now)
+        }
+    }
+
+    #[test]
+    fn honest_blocks_verify_and_chain() {
+        let mut fx = Fixture::new();
+        let mut cache = ChainCache::new(10);
+        for i in 0..3 {
+            let block = fx.honest_block(3, i as f64 * 20.0);
+            verify_incoming_block(&block, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
+                .expect("honest block accepted");
+            cache.append(block).expect("chains");
+        }
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let mut fx = Fixture::new();
+        let cache = ChainCache::new(10);
+        let block = tamper::forge_signature(&fx.honest_block(2, 0.0));
+        let err = verify_incoming_block(&block, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
+            .expect_err("forgery detected");
+        assert!(matches!(err, BlockFailure::Crypto(BlockError::BadSignature)));
+    }
+
+    #[test]
+    fn conflicting_plans_rejected_even_with_valid_signature() {
+        let mut fx = Fixture::new();
+        let cache = ChainCache::new(10);
+        let honest = fx.honest_block(8, 0.0);
+        let corrupted_plans =
+            nwade_aim::corrupt::make_conflicting(honest.plans(), &fx.topo, 0.0)
+                .expect("crossing traffic");
+        // The compromised manager re-signs properly: crypto passes, the
+        // conflict check must catch it.
+        let evil = tamper::resign_with_plans(&honest, corrupted_plans, fx.scheme.as_ref());
+        let err = verify_incoming_block(&evil, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
+            .expect_err("conflict detected");
+        assert!(matches!(err, BlockFailure::InternalConflict(_)));
+    }
+
+    #[test]
+    fn broken_chain_rejected() {
+        let mut fx = Fixture::new();
+        let mut cache = ChainCache::new(10);
+        let b0 = fx.honest_block(2, 0.0);
+        let b1 = fx.honest_block(2, 20.0);
+        cache.append(b0).expect("first");
+        let rehung = tamper::relink(&b1, nwade_crypto::Digest::ZERO);
+        // Re-sign so only the linkage is wrong.
+        let rehung = tamper::resign_with_plans(&rehung, rehung.plans().to_vec(), fx.scheme.as_ref());
+        let err = verify_incoming_block(&rehung, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
+            .expect_err("link break detected");
+        assert!(matches!(err, BlockFailure::Chain(BlockError::BrokenLink)));
+    }
+
+    #[test]
+    fn cross_block_conflict_rejected() {
+        let mut fx = Fixture::new();
+        let mut cache = ChainCache::new(10);
+        let b0 = fx.honest_block(4, 0.0);
+        cache.append(b0.clone()).expect("first");
+        // Second block: a fresh vehicle whose plan collides with a plan
+        // from the first block (the manager equivocating across windows).
+        let victim = &b0.plans()[0];
+        let movement = fx.topo.movement(victim.movement());
+        let same_profile = victim.profile().clone();
+        let intruder = TravelPlan::new(
+            VehicleId::new(999),
+            VehicleDescriptor::random(&mut StdRng::seed_from_u64(999)),
+            *victim.status(),
+            victim.movement(),
+            same_profile,
+        );
+        let _ = movement;
+        let evil = tamper::resign_with_plans(
+            &fx.honest_block(1, 20.0),
+            vec![intruder],
+            fx.scheme.as_ref(),
+        );
+        let err = verify_incoming_block(&evil, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
+            .expect_err("cross-block conflict detected");
+        assert!(matches!(err, BlockFailure::CrossBlockConflict(_)));
+    }
+
+    #[test]
+    fn replanned_vehicle_supersedes_its_old_plan() {
+        let mut fx = Fixture::new();
+        let mut cache = ChainCache::new(10);
+        let b0 = fx.honest_block(3, 0.0);
+        cache.append(b0.clone()).expect("first");
+        // Re-plan vehicle 0 onto a profile that would conflict with its
+        // OWN old plan (same cells, same-ish times). Because the new plan
+        // supersedes the old one, verification must pass.
+        let old = b0.plans()[0].clone();
+        let shifted = nwade_geometry::MotionProfile::new(
+            old.profile().start_time() + 0.3,
+            old.profile().start_position(),
+            old.profile().start_speed(),
+            old.profile().segments().to_vec(),
+        );
+        let replanned = TravelPlan::new(
+            old.id(),
+            old.descriptor().clone(),
+            *old.status(),
+            old.movement(),
+            shifted,
+        );
+        let block1 = fx.honest_block(1, 20.0);
+        let mut plans = block1.plans().to_vec();
+        plans.push(replanned);
+        let resigned = tamper::resign_with_plans(&block1, plans, fx.scheme.as_ref());
+        verify_incoming_block(&resigned, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
+            .expect("replanning accepted");
+    }
+
+    #[test]
+    fn failure_display_messages() {
+        let f = BlockFailure::InternalConflict(vec![(VehicleId::new(1), VehicleId::new(2))]);
+        assert!(f.to_string().contains("1 conflicting"));
+        let f = BlockFailure::Crypto(BlockError::BadSignature);
+        assert!(f.to_string().contains("signature"));
+    }
+}

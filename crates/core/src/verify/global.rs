@@ -1,0 +1,231 @@
+//! Algorithm 3: global verification on the vehicle side.
+//!
+//! A vehicle receiving global reports decides whether to re-verify
+//! locally, re-check the accused block, or — once enough *distinct*
+//! senders accuse the same thing — self-evacuate.
+
+use crate::messages::{GlobalClaim, GlobalReport};
+use nwade_traffic::VehicleId;
+use std::collections::{HashMap, HashSet};
+
+/// What a vehicle should do in response to accumulated global reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalAction {
+    /// Not enough evidence yet; keep driving.
+    Ignore,
+    /// Re-verify the accused block against the own cache (Algorithm 3,
+    /// lines 2–5).
+    VerifyBlock {
+        /// The accused block index.
+        index: u64,
+    },
+    /// The suspect is nearby: run local verification directly (line 8).
+    LocalVerify {
+        /// The accused vehicle.
+        suspect: VehicleId,
+    },
+    /// The suspect is far away: analyze its path and wait for the count
+    /// to reach the safety threshold (lines 10–12).
+    AnalyzePath {
+        /// The accused vehicle.
+        suspect: VehicleId,
+    },
+    /// The safety threshold is reached: self-evacuate.
+    SelfEvacuate,
+    /// Enough independent dissents say the manager's evacuation alert
+    /// was staged against an innocent vehicle: ignore the alert and keep
+    /// driving (the attacker "can at most slow down the traffic for a
+    /// short period", §V).
+    DisregardAlert {
+        /// The falsely accused vehicle.
+        suspect: VehicleId,
+    },
+}
+
+/// Accumulates global reports and applies the Algorithm 3 decision rules.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalVerifier {
+    /// Distinct senders per claim (a clique re-broadcasting does not
+    /// inflate the count).
+    senders: HashMap<GlobalClaim, HashSet<VehicleId>>,
+}
+
+impl GlobalVerifier {
+    /// Creates an empty verifier.
+    pub fn new() -> Self {
+        GlobalVerifier::default()
+    }
+
+    /// Number of distinct senders backing `claim`.
+    pub fn support(&self, claim: &GlobalClaim) -> usize {
+        self.senders.get(claim).map_or(0, HashSet::len)
+    }
+
+    /// All claims currently tracked.
+    pub fn claims(&self) -> Vec<GlobalClaim> {
+        let mut v: Vec<GlobalClaim> = self.senders.keys().copied().collect();
+        v.sort_by_key(|c| match c {
+            GlobalClaim::ConflictingPlans { index } => (0, *index),
+            GlobalClaim::AbnormalVehicle { suspect } => (1, suspect.raw()),
+            GlobalClaim::WrongfulAccusation { suspect } => (2, suspect.raw()),
+        });
+        v
+    }
+
+    /// Ingests a report and returns the action Algorithm 3 prescribes
+    /// for a vehicle whose own situation is described by `suspect_nearby`
+    /// and the self-evacuation `threshold`.
+    pub fn ingest(
+        &mut self,
+        report: &GlobalReport,
+        suspect_nearby: impl Fn(VehicleId) -> bool,
+        threshold: usize,
+    ) -> GlobalAction {
+        let senders = self.senders.entry(report.claim).or_default();
+        let fresh = senders.insert(report.sender);
+        let support = senders.len();
+        match report.claim {
+            GlobalClaim::ConflictingPlans { index } => {
+                if support >= threshold {
+                    GlobalAction::SelfEvacuate
+                } else if fresh {
+                    GlobalAction::VerifyBlock { index }
+                } else {
+                    GlobalAction::Ignore
+                }
+            }
+            GlobalClaim::AbnormalVehicle { suspect } => {
+                if suspect_nearby(suspect) {
+                    GlobalAction::LocalVerify { suspect }
+                } else if support >= threshold {
+                    GlobalAction::SelfEvacuate
+                } else if fresh {
+                    GlobalAction::AnalyzePath { suspect }
+                } else {
+                    GlobalAction::Ignore
+                }
+            }
+            GlobalClaim::WrongfulAccusation { suspect } => {
+                // Enough independent dissents mean the manager staged an
+                // evacuation against an innocent vehicle. The right
+                // response is to disregard the staged alert and keep
+                // driving, not to panic-evacuate.
+                if support >= threshold {
+                    GlobalAction::DisregardAlert { suspect }
+                } else if fresh && suspect_nearby(suspect) {
+                    GlobalAction::LocalVerify { suspect }
+                } else {
+                    GlobalAction::Ignore
+                }
+            }
+        }
+    }
+
+    /// Clears tracked claims (after the threat resolves).
+    pub fn reset(&mut self) {
+        self.senders.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(sender: u64, claim: GlobalClaim) -> GlobalReport {
+        GlobalReport {
+            sender: VehicleId::new(sender),
+            claim,
+            time: 0.0,
+        }
+    }
+
+    const CONFLICT: GlobalClaim = GlobalClaim::ConflictingPlans { index: 4 };
+
+    fn abnormal(suspect: u64) -> GlobalClaim {
+        GlobalClaim::AbnormalVehicle {
+            suspect: VehicleId::new(suspect),
+        }
+    }
+
+    #[test]
+    fn first_conflict_report_triggers_block_check() {
+        let mut g = GlobalVerifier::new();
+        let a = g.ingest(&report(1, CONFLICT), |_| false, 3);
+        assert_eq!(a, GlobalAction::VerifyBlock { index: 4 });
+        assert_eq!(g.support(&CONFLICT), 1);
+    }
+
+    #[test]
+    fn duplicate_sender_does_not_inflate_support() {
+        let mut g = GlobalVerifier::new();
+        for _ in 0..10 {
+            let a = g.ingest(&report(1, CONFLICT), |_| false, 3);
+            assert_ne!(a, GlobalAction::SelfEvacuate);
+        }
+        assert_eq!(g.support(&CONFLICT), 1);
+    }
+
+    #[test]
+    fn threshold_distinct_senders_forces_evacuation() {
+        let mut g = GlobalVerifier::new();
+        assert_eq!(
+            g.ingest(&report(1, CONFLICT), |_| false, 3),
+            GlobalAction::VerifyBlock { index: 4 }
+        );
+        assert_eq!(
+            g.ingest(&report(2, CONFLICT), |_| false, 3),
+            GlobalAction::VerifyBlock { index: 4 }
+        );
+        assert_eq!(
+            g.ingest(&report(3, CONFLICT), |_| false, 3),
+            GlobalAction::SelfEvacuate
+        );
+    }
+
+    #[test]
+    fn nearby_suspect_prompts_local_verification() {
+        let mut g = GlobalVerifier::new();
+        let a = g.ingest(&report(1, abnormal(7)), |s| s.raw() == 7, 3);
+        assert_eq!(
+            a,
+            GlobalAction::LocalVerify {
+                suspect: VehicleId::new(7)
+            }
+        );
+    }
+
+    #[test]
+    fn far_suspect_prompts_path_analysis_then_evacuation() {
+        let mut g = GlobalVerifier::new();
+        assert_eq!(
+            g.ingest(&report(1, abnormal(7)), |_| false, 2),
+            GlobalAction::AnalyzePath {
+                suspect: VehicleId::new(7)
+            }
+        );
+        assert_eq!(
+            g.ingest(&report(2, abnormal(7)), |_| false, 2),
+            GlobalAction::SelfEvacuate
+        );
+    }
+
+    #[test]
+    fn claims_tracked_independently() {
+        let mut g = GlobalVerifier::new();
+        g.ingest(&report(1, CONFLICT), |_| false, 5);
+        g.ingest(&report(2, abnormal(7)), |_| false, 5);
+        g.ingest(&report(3, abnormal(8)), |_| false, 5);
+        assert_eq!(g.claims().len(), 3);
+        assert_eq!(g.support(&CONFLICT), 1);
+        assert_eq!(g.support(&abnormal(7)), 1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut g = GlobalVerifier::new();
+        g.ingest(&report(1, CONFLICT), |_| false, 3);
+        g.reset();
+        assert_eq!(g.support(&CONFLICT), 0);
+        assert!(g.claims().is_empty());
+    }
+}

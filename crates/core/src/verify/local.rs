@@ -1,0 +1,161 @@
+//! Algorithm 2: local (neighborhood-watch) verification.
+
+use crate::messages::Observation;
+use nwade_aim::TravelPlan;
+use nwade_intersection::Topology;
+
+/// The outcome of comparing a sensed neighbour against its plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LocalVerdict {
+    /// The neighbour is where its plan says it should be.
+    Consistent,
+    /// The neighbour deviates beyond tolerance.
+    Deviating {
+        /// Distance between expected and sensed position, meters.
+        position_error: f64,
+        /// |expected − sensed| speed, m/s.
+        speed_error: f64,
+    },
+}
+
+impl LocalVerdict {
+    /// `true` for [`LocalVerdict::Deviating`].
+    pub fn is_deviating(&self) -> bool {
+        matches!(self, LocalVerdict::Deviating { .. })
+    }
+}
+
+/// Compares the expected status computed from `plan` with the sensed
+/// `observation` (Algorithm 2, lines 6–9).
+///
+/// A deviation is flagged when the position error exceeds
+/// `position_tolerance` **or** the speed error exceeds
+/// `speed_tolerance`: a vehicle in the right place at the wrong speed is
+/// about to be in the wrong place.
+pub fn local_verify(
+    plan: &TravelPlan,
+    topology: &Topology,
+    observation: &Observation,
+    position_tolerance: f64,
+    speed_tolerance: f64,
+) -> LocalVerdict {
+    debug_assert_eq!(plan.id(), observation.target, "plan/observation mismatch");
+    let (expected_pos, expected_speed) = plan.expected_state(topology, observation.time);
+    let position_error = expected_pos.distance(observation.position);
+    let speed_error = (expected_speed - observation.speed).abs();
+    if position_error > position_tolerance || speed_error > speed_tolerance {
+        LocalVerdict::Deviating {
+            position_error,
+            speed_error,
+        }
+    } else {
+        LocalVerdict::Consistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwade_aim::VehicleStatus;
+    use nwade_geometry::{MotionProfile, Vec2};
+    use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
+    use nwade_traffic::{VehicleDescriptor, VehicleId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (Topology, TravelPlan) {
+        let topo = build(IntersectionKind::FourWayCross, &GeometryConfig::default());
+        let path = topo.movement(MovementId::new(0)).path();
+        let plan = TravelPlan::new(
+            VehicleId::new(5),
+            VehicleDescriptor::random(&mut StdRng::seed_from_u64(5)),
+            VehicleStatus {
+                position: path.point_at(0.0),
+                speed: 10.0,
+                heading: path.heading_at(0.0),
+            },
+            MovementId::new(0),
+            MotionProfile::cruise(0.0, 10.0, path.length()),
+        );
+        (topo, plan)
+    }
+
+    fn observe(topo: &Topology, plan: &TravelPlan, t: f64, pos_err: f64, speed_err: f64) -> Observation {
+        let (pos, speed) = plan.expected_state(topo, t);
+        Observation {
+            target: plan.id(),
+            position: pos + Vec2::new(pos_err, 0.0),
+            speed: speed + speed_err,
+            time: t,
+        }
+    }
+
+    #[test]
+    fn compliant_vehicle_is_consistent() {
+        let (topo, plan) = fixture();
+        for t in [0.0, 5.0, 12.0, 20.0] {
+            let obs = observe(&topo, &plan, t, 0.0, 0.0);
+            assert_eq!(
+                local_verify(&plan, &topo, &obs, 5.0, 3.0),
+                LocalVerdict::Consistent
+            );
+        }
+    }
+
+    #[test]
+    fn small_noise_tolerated() {
+        let (topo, plan) = fixture();
+        let obs = observe(&topo, &plan, 8.0, 2.0, 1.0);
+        assert_eq!(
+            local_verify(&plan, &topo, &obs, 5.0, 3.0),
+            LocalVerdict::Consistent
+        );
+    }
+
+    #[test]
+    fn position_deviation_detected() {
+        let (topo, plan) = fixture();
+        let obs = observe(&topo, &plan, 8.0, 12.0, 0.0);
+        let v = local_verify(&plan, &topo, &obs, 5.0, 3.0);
+        assert!(v.is_deviating());
+        if let LocalVerdict::Deviating { position_error, .. } = v {
+            assert!((position_error - 12.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn speed_deviation_detected_even_in_place() {
+        // A vehicle at the right spot but 8 m/s over plan speed.
+        let (topo, plan) = fixture();
+        let obs = observe(&topo, &plan, 8.0, 0.0, 8.0);
+        assert!(local_verify(&plan, &topo, &obs, 5.0, 3.0).is_deviating());
+    }
+
+    #[test]
+    fn stopped_vehicle_detected_as_time_passes() {
+        let (topo, plan) = fixture();
+        // The suspect stopped at its t=2 position; observe at t=6.
+        let (stall_pos, _) = plan.expected_state(&topo, 2.0);
+        let obs = Observation {
+            target: plan.id(),
+            position: stall_pos,
+            speed: 0.0,
+            time: 6.0,
+        };
+        let v = local_verify(&plan, &topo, &obs, 5.0, 3.0);
+        assert!(v.is_deviating(), "40 m behind plan and 10 m/s slow");
+    }
+
+    #[test]
+    fn tolerance_boundary_is_exclusive() {
+        let (topo, plan) = fixture();
+        let obs = observe(&topo, &plan, 4.0, 5.0, 0.0);
+        assert_eq!(
+            local_verify(&plan, &topo, &obs, 5.0, 3.0),
+            LocalVerdict::Consistent,
+            "exactly at tolerance is still tolerated"
+        );
+        let obs = observe(&topo, &plan, 4.0, 5.01, 0.0);
+        assert!(local_verify(&plan, &topo, &obs, 5.0, 3.0).is_deviating());
+    }
+}

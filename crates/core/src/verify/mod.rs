@@ -1,0 +1,11 @@
+//! Algorithms 1–3: block, local, report and global verification.
+
+pub mod block;
+pub mod global;
+pub mod local;
+pub mod report;
+
+pub use block::{verify_incoming_block, BlockFailure};
+pub use global::{GlobalAction, GlobalVerifier};
+pub use local::{local_verify, LocalVerdict};
+pub use report::{ReportDecision, ReportVerification};

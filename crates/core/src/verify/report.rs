@@ -1,0 +1,271 @@
+//! IM-side report verification (§IV-B2, manager steps i–iii).
+//!
+//! On an incident report the manager polls a group of watchers around the
+//! suspect. If the first group's majority confirms the anomaly, the
+//! manager *both* starts evacuating (safety first) and polls a second,
+//! disjoint group to double-check — this two-group design is what defeats
+//! a colluding clique that dominates one road segment (Eq. 2 analysis).
+
+use nwade_traffic::VehicleId;
+use std::collections::HashSet;
+
+/// The manager's conclusion about an incident report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportDecision {
+    /// Still polling watchers.
+    Pending,
+    /// Majority confirmed: the suspect is malicious.
+    Confirmed,
+    /// Majority denied: false alarm; the reporter is recorded.
+    FalseAlarm,
+}
+
+/// The state of one report's verification: two polling rounds with
+/// disjoint watcher groups.
+#[derive(Debug, Clone)]
+pub struct ReportVerification {
+    suspect: VehicleId,
+    reporter: VehicleId,
+    round: u8,
+    polled: HashSet<VehicleId>,
+    expected: usize,
+    votes_abnormal: usize,
+    votes_normal: usize,
+    round1_confirmed: bool,
+}
+
+impl ReportVerification {
+    /// Starts verification of `reporter`'s claim about `suspect`.
+    pub fn new(reporter: VehicleId, suspect: VehicleId) -> Self {
+        ReportVerification {
+            suspect,
+            reporter,
+            round: 1,
+            polled: HashSet::new(),
+            expected: 0,
+            votes_abnormal: 0,
+            votes_normal: 0,
+            round1_confirmed: false,
+        }
+    }
+
+    /// The accused vehicle.
+    pub fn suspect(&self) -> VehicleId {
+        self.suspect
+    }
+
+    /// The reporting vehicle.
+    pub fn reporter(&self) -> VehicleId {
+        self.reporter
+    }
+
+    /// Current polling round (1 or 2).
+    pub fn round(&self) -> u8 {
+        self.round
+    }
+
+    /// Records the group being polled this round. Watchers already polled
+    /// in round 1 are excluded from round 2 by [`ReportVerification::second_group`].
+    pub fn begin_round(&mut self, group: &[VehicleId]) {
+        self.expected = group.len();
+        self.votes_abnormal = 0;
+        self.votes_normal = 0;
+        self.polled.extend(group.iter().copied());
+    }
+
+    /// Filters `candidates` down to watchers not polled in round 1 (the
+    /// disjoint second group).
+    pub fn second_group(&self, candidates: &[VehicleId]) -> Vec<VehicleId> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|v| !self.polled.contains(v) && *v != self.suspect && *v != self.reporter)
+            .collect()
+    }
+
+    /// Feeds one watcher verdict; returns the decision state after it.
+    ///
+    /// Round 1 majority-abnormal advances to round 2 (the caller then
+    /// polls [`ReportVerification::second_group`] and calls
+    /// [`ReportVerification::begin_round`] again); round 1
+    /// majority-normal is a false alarm. Round 2 repeats the vote with
+    /// the fresh group and decides for good.
+    pub fn record_vote(&mut self, abnormal: bool) -> ReportDecision {
+        if abnormal {
+            self.votes_abnormal += 1;
+        } else {
+            self.votes_normal += 1;
+        }
+        self.evaluate()
+    }
+
+    /// A polled watcher could not observe the suspect at all: it abstains
+    /// and shrinks the electorate (a "cannot see it" answer is not a
+    /// "looks normal" vote).
+    pub fn record_abstain(&mut self) -> ReportDecision {
+        self.expected = self.expected.saturating_sub(1);
+        if self.expected == 0 {
+            // Nobody could check: act on the report for safety.
+            return if self.round == 1 {
+                self.round1_confirmed = true;
+                self.round = 2;
+                ReportDecision::Pending
+            } else {
+                ReportDecision::Confirmed
+            };
+        }
+        self.evaluate()
+    }
+
+    fn evaluate(&mut self) -> ReportDecision {
+        let quorum = self.expected / 2 + 1;
+        if self.votes_abnormal >= quorum {
+            if self.round == 1 {
+                self.round1_confirmed = true;
+                self.round = 2;
+                ReportDecision::Pending
+            } else {
+                ReportDecision::Confirmed
+            }
+        } else if self.votes_normal >= quorum {
+            ReportDecision::FalseAlarm
+        } else if self.votes_abnormal + self.votes_normal >= self.expected {
+            // Tie or exhausted group with no quorum: be conservative —
+            // treat an exhausted round like its leaning; a dead tie falls
+            // back to the reporter being wrong (majority benign world).
+            if self.votes_abnormal > self.votes_normal {
+                if self.round == 1 {
+                    self.round1_confirmed = true;
+                    self.round = 2;
+                    ReportDecision::Pending
+                } else {
+                    ReportDecision::Confirmed
+                }
+            } else {
+                ReportDecision::FalseAlarm
+            }
+        } else {
+            ReportDecision::Pending
+        }
+    }
+
+    /// Whether round 1 already confirmed (the manager starts evacuating
+    /// while round 2 runs — the paper's "first enter the evacuation mode
+    /// for safety concerns").
+    pub fn round1_confirmed(&self) -> bool {
+        self.round1_confirmed
+    }
+
+    /// Whether a watcher group is empty — with nobody else around the
+    /// suspect, the manager falls back to trusting the report (the
+    /// reporter is the only witness).
+    pub fn no_watchers_available(&self) -> bool {
+        self.expected == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(range: std::ops::Range<u64>) -> Vec<VehicleId> {
+        range.map(VehicleId::new).collect()
+    }
+
+    fn feed(rv: &mut ReportVerification, votes: &[bool]) -> ReportDecision {
+        let mut last = ReportDecision::Pending;
+        for &v in votes {
+            last = rv.record_vote(v);
+            if last != ReportDecision::Pending {
+                break;
+            }
+        }
+        last
+    }
+
+    #[test]
+    fn honest_majority_confirms_in_two_rounds() {
+        let mut rv = ReportVerification::new(VehicleId::new(0), VehicleId::new(99));
+        rv.begin_round(&ids(1..6)); // 5 watchers
+        assert_eq!(feed(&mut rv, &[true, true, true]), ReportDecision::Pending);
+        assert!(rv.round1_confirmed());
+        assert_eq!(rv.round(), 2);
+        rv.begin_round(&ids(6..11));
+        assert_eq!(feed(&mut rv, &[true, true, true]), ReportDecision::Confirmed);
+    }
+
+    #[test]
+    fn honest_majority_dismisses_false_alarm_in_round_one() {
+        let mut rv = ReportVerification::new(VehicleId::new(0), VehicleId::new(99));
+        rv.begin_round(&ids(1..6));
+        assert_eq!(
+            feed(&mut rv, &[false, true, false, false]),
+            ReportDecision::FalseAlarm
+        );
+        assert!(!rv.round1_confirmed());
+    }
+
+    #[test]
+    fn colluding_first_group_caught_by_second() {
+        // 5 colluders dominate round 1; round 2's disjoint group is
+        // honest... but wait — a *true* round-2 honest-majority says the
+        // suspect is normal, which yields FalseAlarm. That is exactly the
+        // two-group defence.
+        let mut rv = ReportVerification::new(VehicleId::new(0), VehicleId::new(99));
+        rv.begin_round(&ids(1..6));
+        assert_eq!(feed(&mut rv, &[true, true, true]), ReportDecision::Pending);
+        rv.begin_round(&ids(6..11));
+        assert_eq!(
+            feed(&mut rv, &[false, false, false]),
+            ReportDecision::FalseAlarm
+        );
+    }
+
+    #[test]
+    fn second_group_excludes_round_one_suspect_and_reporter() {
+        let mut rv = ReportVerification::new(VehicleId::new(0), VehicleId::new(99));
+        rv.begin_round(&ids(1..6));
+        let candidates = ids(0..100);
+        let second = rv.second_group(&candidates);
+        assert!(!second.contains(&VehicleId::new(0)), "reporter excluded");
+        assert!(!second.contains(&VehicleId::new(99)), "suspect excluded");
+        for v in ids(1..6) {
+            assert!(!second.contains(&v), "round-1 watcher {v} excluded");
+        }
+        assert_eq!(second.len(), 100 - 1 - 5 - 1);
+    }
+
+    #[test]
+    fn tie_defaults_to_false_alarm() {
+        let mut rv = ReportVerification::new(VehicleId::new(0), VehicleId::new(99));
+        rv.begin_round(&ids(1..5)); // 4 watchers
+        assert_eq!(
+            feed(&mut rv, &[true, false, true, false]),
+            ReportDecision::FalseAlarm
+        );
+    }
+
+    #[test]
+    fn exhausted_round_leaning_abnormal_advances() {
+        let mut rv = ReportVerification::new(VehicleId::new(0), VehicleId::new(99));
+        rv.begin_round(&ids(1..4)); // 3 watchers
+        // 2 abnormal reach the quorum (2 of 3).
+        assert_eq!(feed(&mut rv, &[true, false, true]), ReportDecision::Pending);
+        assert_eq!(rv.round(), 2);
+    }
+
+    #[test]
+    fn empty_group_flagged() {
+        let mut rv = ReportVerification::new(VehicleId::new(0), VehicleId::new(99));
+        rv.begin_round(&[]);
+        assert!(rv.no_watchers_available());
+    }
+
+    #[test]
+    fn accessors() {
+        let rv = ReportVerification::new(VehicleId::new(7), VehicleId::new(8));
+        assert_eq!(rv.reporter().raw(), 7);
+        assert_eq!(rv.suspect().raw(), 8);
+        assert_eq!(rv.round(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests over the Fig. 2 automata: arbitrary event sequences
+//! never panic, never reach an undeclared state, and respect terminality.
+
+use nwade::fsm::im::{ImEvent, ImState};
+use nwade::fsm::vehicle::{VehicleEvent, VehicleState};
+use proptest::prelude::*;
+
+fn im_events() -> impl Strategy<Value = ImEvent> {
+    prop_oneof![
+        Just(ImEvent::RequestsReceived),
+        Just(ImEvent::PlansGenerated),
+        Just(ImEvent::BlockPackaged),
+        Just(ImEvent::BlockDisseminated),
+        Just(ImEvent::IncidentReportReceived),
+        Just(ImEvent::ReportDismissed),
+        Just(ImEvent::ThreatConfirmed),
+        Just(ImEvent::ThreatCleared),
+        Just(ImEvent::RecoveryComplete),
+    ]
+}
+
+fn vehicle_events() -> impl Strategy<Value = VehicleEvent> {
+    prop_oneof![
+        Just(VehicleEvent::BlockReceived),
+        Just(VehicleEvent::BlockValid),
+        Just(VehicleEvent::BlockInvalid),
+        Just(VehicleEvent::AnomalyDetected),
+        Just(VehicleEvent::ReportSent),
+        Just(VehicleEvent::AlarmDismissed),
+        Just(VehicleEvent::EvacuationOrdered),
+        Just(VehicleEvent::ImTimeout),
+        Just(VehicleEvent::GlobalReportsReceived),
+        Just(VehicleEvent::GlobalCheckPassed),
+        Just(VehicleEvent::GlobalCheckFailed),
+        Just(VehicleEvent::Exited),
+    ]
+}
+
+proptest! {
+    /// Driving the manager automaton with arbitrary events (absorbing
+    /// rejections, as the engine does) keeps it within the seven states
+    /// and never double-faults.
+    #[test]
+    fn im_fsm_total_under_absorption(events in proptest::collection::vec(im_events(), 0..60)) {
+        let mut state = ImState::Standby;
+        for e in events {
+            if let Ok(next) = state.step(e) {
+                state = next;
+            }
+            // Every reachable state is operational or explicitly not.
+            let _ = state.is_operational();
+        }
+    }
+
+    /// Same for the vehicle automaton; additionally, once `Left` is
+    /// reached it is never left.
+    #[test]
+    fn vehicle_fsm_left_is_terminal(events in proptest::collection::vec(vehicle_events(), 0..60)) {
+        let mut state = VehicleState::Preparation;
+        let mut left_at: Option<usize> = None;
+        for (i, e) in events.into_iter().enumerate() {
+            if let Ok(next) = state.step(e) {
+                state = next;
+            }
+            if state == VehicleState::Left && left_at.is_none() {
+                left_at = Some(i);
+            }
+            if let Some(_) = left_at {
+                prop_assert_eq!(state, VehicleState::Left);
+            }
+        }
+    }
+
+    /// Self-evacuation is absorbing except for exiting: no event returns
+    /// the vehicle to a trusting state.
+    #[test]
+    fn self_evacuation_never_trusts_again(events in proptest::collection::vec(vehicle_events(), 0..60)) {
+        let mut state = VehicleState::SelfEvacuation;
+        for e in events {
+            if let Ok(next) = state.step(e) {
+                state = next;
+            }
+            prop_assert!(matches!(state, VehicleState::SelfEvacuation | VehicleState::Left));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Measures the crypto substrate at the paper's parameters: 2048-bit
+//! keygen, CRT signing and verification (the costs behind Fig. 6).
+//!
+//! ```text
+//! cargo run --release -p nwade-crypto --example rsa_speed
+//! ```
+
+use nwade_crypto::{sha256, RsaKeyPair, RsaSignature};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let t0 = Instant::now();
+    let key = RsaKeyPair::generate(2048, &mut rng);
+    println!("keygen 2048-bit:     {:>12?}", t0.elapsed());
+
+    let digest = sha256(b"one travel-plan block");
+    let reps = 20u32;
+
+    let t = Instant::now();
+    let mut sig = key.sign_digest(&digest);
+    for _ in 1..reps {
+        sig = key.sign_digest(&digest);
+    }
+    println!("sign (CRT), mean:    {:>12?}", t.elapsed() / reps);
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        sig = key.sign_digest_plain(&digest);
+    }
+    println!("sign (plain), mean:  {:>12?}", t.elapsed() / reps);
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        let ok = key
+            .public_key()
+            .verify_digest(&digest, &RsaSignature::from_bytes(sig.as_bytes().to_vec()));
+        assert!(ok, "verification must succeed");
+    }
+    println!("verify, mean:        {:>12?}", t.elapsed() / reps);
+}

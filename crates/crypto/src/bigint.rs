@@ -1,0 +1,695 @@
+//! Arbitrary-precision unsigned integers with 32-bit limbs.
+//!
+//! Only the operations required by RSA and Miller–Rabin are provided.
+//! Values are stored little-endian with no trailing zero limbs, so the
+//! representation of every value is canonical and `Eq`/`Ord` are plain
+//! lexicographic comparisons.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// ```
+/// use nwade_crypto::BigUint;
+/// let a = BigUint::from_u64(1u64 << 40);
+/// let b = BigUint::from_u64(12345);
+/// assert_eq!((&a * &b).to_string(), "13573471044894720");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    /// Little-endian limbs, normalized (no trailing zeros).
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = vec![(v & 0xffff_ffff) as u32, (v >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Constructs from big-endian bytes (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut acc: u32 = 0;
+        let mut shift = 0;
+        for &b in bytes.iter().rev() {
+            acc |= (b as u32) << shift;
+            shift += 8;
+            if shift == 32 {
+                limbs.push(acc);
+                acc = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            limbs.push(acc);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Big-endian bytes without leading zeros (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// Big-endian bytes left-padded with zeros to exactly `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(
+            raw.len() <= len,
+            "value needs {} bytes, asked to pad to {len}",
+            raw.len()
+        );
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Constructs from little-endian limbs (normalizing).
+    pub fn from_limbs(limbs: Vec<u32>) -> Self {
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// The little-endian limbs.
+    pub fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `true` when the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` when the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// `true` when the value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// The value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 32)) & 1 == 1
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// Shifts left by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut limbs = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Shifts right by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                limbs.push(lo | hi);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Checked subtraction: `None` when `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            limbs.push(d as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(limbs))
+    }
+
+    /// Decimal string representation.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        // Repeated division by 10^9.
+        let chunk = BigUint::from_u64(1_000_000_000);
+        let mut n = self.clone();
+        let mut parts: Vec<u32> = Vec::new();
+        while !n.is_zero() {
+            let (q, r) = n.divrem(&chunk);
+            parts.push(r.to_u64().expect("remainder < 10^9") as u32);
+            n = q;
+        }
+        let mut s = parts.pop().expect("non-zero value").to_string();
+        for p in parts.iter().rev() {
+            s.push_str(&format!("{p:09}"));
+        }
+        s
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-digit characters.
+    pub fn from_decimal(s: &str) -> BigUint {
+        let mut n = BigUint::zero();
+        let ten = BigUint::from_u64(10);
+        for c in s.chars() {
+            let d = c.to_digit(10).expect("decimal digit");
+            n = &(&n * &ten) + &BigUint::from_u64(d as u64);
+        }
+        n
+    }
+
+    /// Division with remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `divisor` is zero.
+    pub fn divrem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u64;
+            let mut q = vec![0u32; self.limbs.len()];
+            let mut rem: u64 = 0;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            return (BigUint::from_limbs(q), BigUint::from_u64(rem));
+        }
+        self.divrem_knuth(divisor)
+    }
+
+    /// Knuth Algorithm D for multi-limb divisors.
+    fn divrem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        let shift = divisor.limbs.last().expect("non-zero divisor").leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un: Vec<u32> = u.limbs.clone();
+        un.push(0); // extra high limb for the algorithm
+        let vn = &v.limbs;
+        let b: u64 = 1 << 32;
+        let mut q = vec![0u32; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate q̂ from the top two limbs of the current remainder.
+            let top = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+            let mut qhat = top / vn[n - 1] as u64;
+            let mut rhat = top % vn[n - 1] as u64;
+            while qhat >= b
+                || qhat * vn[n - 2] as u64 > ((rhat << 32) | un[j + n - 2] as u64)
+            {
+                qhat -= 1;
+                rhat += vn[n - 1] as u64;
+                if rhat >= b {
+                    break;
+                }
+            }
+            // Multiply-subtract.
+            let mut borrow: i64 = 0;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let p = qhat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let sub = (un[j + i] as i64) - ((p & 0xffff_ffff) as i64) - borrow;
+                if sub < 0 {
+                    un[j + i] = (sub + (1 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    un[j + i] = sub as u32;
+                    borrow = 0;
+                }
+            }
+            let sub = (un[j + n] as i64) - (carry as i64) - borrow;
+            if sub < 0 {
+                // q̂ was one too large: add back.
+                un[j + n] = (sub + (1 << 32)) as u32;
+                qhat -= 1;
+                let mut c: u64 = 0;
+                for i in 0..n {
+                    let s = un[j + i] as u64 + vn[i] as u64 + c;
+                    un[j + i] = (s & 0xffff_ffff) as u32;
+                    c = s >> 32;
+                }
+                un[j + n] = un[j + n].wrapping_add(c as u32);
+            } else {
+                un[j + n] = sub as u32;
+            }
+            q[j] = qhat as u32;
+        }
+        let quotient = BigUint::from_limbs(q);
+        let remainder = BigUint::from_limbs(un[..n].to_vec()).shr(shift);
+        (quotient, remainder)
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.divrem(modulus).1
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let (longer, shorter) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut limbs = Vec::with_capacity(longer.limbs.len() + 1);
+        let mut carry: u64 = 0;
+        for i in 0..longer.limbs.len() {
+            let s = longer.limbs[i] as u64 + *shorter.limbs.get(i).unwrap_or(&0) as u64 + carry;
+            limbs.push((s & 0xffff_ffff) as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            limbs.push(carry as u32);
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = vec![0u32; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let t = a as u64 * b as u64 + limbs[i + j] as u64 + carry;
+                limbs[i + j] = (t & 0xffff_ffff) as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let t = limbs[k] as u64 + carry;
+                limbs[k] = (t & 0xffff_ffff) as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bit_len() <= 64 {
+            write!(f, "BigUint({})", self.to_decimal())
+        } else {
+            write!(f, "BigUint({} bits)", self.bit_len())
+        }
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_normalization() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::from_u64(0), BigUint::zero());
+        assert_eq!(BigUint::from_limbs(vec![5, 0, 0]), BigUint::from_u64(5));
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 1, 0]), BigUint::from_u64(256));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let cases: [&[u8]; 4] = [&[1], &[1, 2, 3, 4, 5], &[255; 9], &[0x80, 0, 0, 0, 0]];
+        for bytes in cases {
+            let n = BigUint::from_bytes_be(bytes);
+            assert_eq!(n.to_bytes_be(), bytes);
+        }
+        assert_eq!(BigUint::zero().to_bytes_be(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let n = BigUint::from_u64(0x1234);
+        assert_eq!(n.to_bytes_be_padded(4), vec![0, 0, 0x12, 0x34]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pad")]
+    fn padding_too_small_panics() {
+        let _ = BigUint::from_u64(0x123456).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn addition_with_carry_chains() {
+        let a = BigUint::from_bytes_be(&[0xff; 8]); // 2^64 - 1
+        let one = BigUint::one();
+        let sum = &a + &one;
+        assert_eq!(sum.bit_len(), 65);
+        assert_eq!(&sum - &one, a);
+    }
+
+    #[test]
+    fn subtraction_and_underflow() {
+        let a = BigUint::from_u64(100);
+        let b = BigUint::from_u64(58);
+        assert_eq!((&a - &b).to_u64(), Some(42));
+        assert_eq!(b.checked_sub(&a), None);
+        assert_eq!(a.checked_sub(&a), Some(BigUint::zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &BigUint::from_u64(1) - &BigUint::from_u64(2);
+    }
+
+    #[test]
+    fn multiplication_small_and_large() {
+        let a = BigUint::from_u64(u64::MAX);
+        let sq = &a * &a;
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let expected = BigUint::from_decimal("340282366920938463426481119284349108225");
+        assert_eq!(sq, expected);
+        assert_eq!(&BigUint::zero() * &a, BigUint::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let n = BigUint::from_u64(0b1011);
+        assert_eq!(n.shl(4).to_u64(), Some(0b1011_0000));
+        assert_eq!(n.shl(100).shr(100), n);
+        assert_eq!(n.shr(10), BigUint::zero());
+        assert_eq!(BigUint::zero().shl(50), BigUint::zero());
+    }
+
+    #[test]
+    fn bit_access_and_len() {
+        let n = BigUint::from_u64(0b1010_0000_0000_0000_0000_0000_0000_0000_0001);
+        assert!(n.bit(0));
+        assert!(!n.bit(1));
+        assert_eq!(n.bit_len(), 36);
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert!(!n.bit(1000));
+    }
+
+    #[test]
+    fn division_by_single_limb() {
+        let n = BigUint::from_decimal("123456789012345678901234567890");
+        let (q, r) = n.divrem(&BigUint::from_u64(97));
+        assert_eq!(
+            &(&q * &BigUint::from_u64(97)) + &r,
+            n
+        );
+        assert!(r < BigUint::from_u64(97));
+    }
+
+    #[test]
+    fn division_multi_limb_knuth() {
+        let a = BigUint::from_decimal("340282366920938463463374607431768211456123456789");
+        let b = BigUint::from_decimal("18446744073709551629"); // prime > 2^64
+        let (q, r) = a.divrem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn division_equal_and_smaller() {
+        let a = BigUint::from_u64(1000);
+        let (q, r) = a.divrem(&a);
+        assert!(q.is_one() && r.is_zero());
+        let (q, r) = BigUint::from_u64(5).divrem(&a);
+        assert!(q.is_zero());
+        assert_eq!(r.to_u64(), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = BigUint::one().divrem(&BigUint::zero());
+    }
+
+    #[test]
+    fn knuth_add_back_case() {
+        // Constructed to exercise the rare "add back" branch: dividend with
+        // pattern that makes q̂ overestimate.
+        let u = BigUint::from_limbs(vec![0, 0, 0x8000_0000, 0x7fff_ffff]);
+        let v = BigUint::from_limbs(vec![1, 0, 0x8000_0000]);
+        let (q, r) = u.divrem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn decimal_round_trip() {
+        for s in ["0", "1", "999999999", "1000000000", "123456789012345678901234567890123456789"] {
+            assert_eq!(BigUint::from_decimal(s).to_decimal(), s);
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from_u64(5);
+        let b = BigUint::from_u64(500);
+        let c = BigUint::from_decimal("123456789012345678901");
+        assert!(a < b && b < c);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(BigUint::zero().is_even());
+        assert!(!BigUint::from_u64(7).is_even());
+        assert!(BigUint::from_u64(8).is_even());
+    }
+
+    #[test]
+    fn debug_display() {
+        assert_eq!(format!("{:?}", BigUint::from_u64(42)), "BigUint(42)");
+        let big = BigUint::one().shl(100);
+        assert_eq!(format!("{big:?}"), "BigUint(101 bits)");
+        assert_eq!(format!("{}", BigUint::from_u64(7)), "7");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+        proptest::collection::vec(any::<u32>(), 0..max_limbs).prop_map(BigUint::from_limbs)
+    }
+
+    proptest! {
+        #[test]
+        fn add_sub_round_trip(a in arb_biguint(12), b in arb_biguint(12)) {
+            let sum = &a + &b;
+            prop_assert_eq!(&sum - &b, a.clone());
+            prop_assert_eq!(&sum - &a, b);
+        }
+
+        #[test]
+        fn mul_matches_repeated_add_small(a in arb_biguint(6), k in 0u64..50) {
+            let kb = BigUint::from_u64(k);
+            let prod = &a * &kb;
+            let mut acc = BigUint::zero();
+            for _ in 0..k {
+                acc = &acc + &a;
+            }
+            prop_assert_eq!(prod, acc);
+        }
+
+        #[test]
+        fn divrem_invariant(a in arb_biguint(12), b in arb_biguint(6)) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.divrem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(&(&q * &b) + &r, a);
+        }
+
+        #[test]
+        fn shift_round_trip(a in arb_biguint(8), s in 0usize..200) {
+            prop_assert_eq!(a.shl(s).shr(s), a);
+        }
+
+        #[test]
+        fn bytes_round_trip(a in arb_biguint(12)) {
+            prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+        }
+
+        #[test]
+        fn decimal_round_trip_prop(a in arb_biguint(8)) {
+            prop_assert_eq!(BigUint::from_decimal(&a.to_decimal()), a);
+        }
+
+        #[test]
+        fn mul_commutative(a in arb_biguint(8), b in arb_biguint(8)) {
+            prop_assert_eq!(&a * &b, &b * &a);
+        }
+
+        #[test]
+        fn mul_distributes_over_add(a in arb_biguint(6), b in arb_biguint(6), c in arb_biguint(6)) {
+            let lhs = &a * &(&b + &c);
+            let rhs = &(&a * &b) + &(&a * &c);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests over the crypto crate's public API.
+
+use nwade_crypto::merkle::leaf_hash;
+use nwade_crypto::{sha256, MerkleTree, RsaKeyPair, RsaSignature};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// One shared 512-bit key: big enough for multi-limb arithmetic, small
+/// enough for a debug-build property sweep.
+fn key() -> &'static RsaKeyPair {
+    static KEY: OnceLock<RsaKeyPair> = OnceLock::new();
+    KEY.get_or_init(|| RsaKeyPair::generate(512, &mut StdRng::seed_from_u64(0xBEEF)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sign/verify round-trips for arbitrary messages; any single-byte
+    /// corruption of the signature fails.
+    #[test]
+    fn rsa_round_trip_and_corruption(
+        message in proptest::collection::vec(any::<u8>(), 0..200),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let sig = key().sign(&message);
+        prop_assert!(key().public_key().verify(&message, &sig));
+        let mut bad = sig.as_bytes().to_vec();
+        let i = flip_at % bad.len();
+        bad[i] ^= 1 << flip_bit;
+        prop_assert!(!key()
+            .public_key()
+            .verify(&message, &RsaSignature::from_bytes(bad)));
+    }
+
+    /// Signing commits to the message: different messages never share a
+    /// signature.
+    #[test]
+    fn rsa_signatures_are_message_bound(
+        a in proptest::collection::vec(any::<u8>(), 0..100),
+        b in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        prop_assume!(a != b);
+        let sig_a = key().sign(&a);
+        prop_assert!(!key().public_key().verify(&b, &sig_a));
+    }
+
+    /// SHA-256 incremental hashing over arbitrary chunkings equals the
+    /// one-shot digest.
+    #[test]
+    fn sha256_chunking_invariance(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        cuts in proptest::collection::vec(any::<usize>(), 0..6),
+    ) {
+        let mut boundaries: Vec<usize> = cuts.iter().map(|c| c % (data.len() + 1)).collect();
+        boundaries.sort_unstable();
+        let mut h = nwade_crypto::Sha256::new();
+        let mut prev = 0;
+        for b in boundaries {
+            h.update(&data[prev..b]);
+            prev = b;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// A Merkle proof transplanted to a different leaf index never
+    /// verifies (binding to position, not just content).
+    #[test]
+    fn merkle_proofs_bind_position(
+        n in 2usize..32,
+        i in any::<usize>(),
+        j in any::<usize>(),
+    ) {
+        let payloads: Vec<Vec<u8>> = (0..n).map(|k| format!("leaf-{k}").into_bytes()).collect();
+        let tree = MerkleTree::from_leaves(&payloads);
+        let i = i % n;
+        let j = j % n;
+        prop_assume!(i != j);
+        let proof = tree.prove(i);
+        prop_assert!(proof.verify(&leaf_hash(&payloads[i]), &tree.root()));
+        prop_assert!(!proof.verify(&leaf_hash(&payloads[j]), &tree.root()));
+    }
+}

@@ -1,0 +1,152 @@
+//! Circular arcs, used for turning movements and roundabout lanes.
+
+use crate::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A circular arc defined by center, radius, start angle and signed sweep.
+///
+/// A positive sweep runs counter-clockwise. Angles are radians from +x.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arc {
+    center: Vec2,
+    radius: f64,
+    start_angle: f64,
+    sweep: f64,
+}
+
+impl Arc {
+    /// Creates an arc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive and finite.
+    pub fn new(center: Vec2, radius: f64, start_angle: f64, sweep: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "arc radius must be positive and finite, got {radius}"
+        );
+        Arc {
+            center,
+            radius,
+            start_angle,
+            sweep,
+        }
+    }
+
+    /// Center of curvature.
+    pub fn center(&self) -> Vec2 {
+        self.center
+    }
+
+    /// Radius of curvature.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Start angle in radians.
+    pub fn start_angle(&self) -> f64 {
+        self.start_angle
+    }
+
+    /// Signed sweep in radians (positive = counter-clockwise).
+    pub fn sweep(&self) -> f64 {
+        self.sweep
+    }
+
+    /// Arc length.
+    pub fn length(&self) -> f64 {
+        self.radius * self.sweep.abs()
+    }
+
+    /// Point at arclength `s` from the start, clamped to the arc.
+    pub fn point_at(&self, s: f64) -> Vec2 {
+        let len = self.length();
+        let t = if len < crate::EPSILON {
+            0.0
+        } else {
+            (s / len).clamp(0.0, 1.0)
+        };
+        let angle = self.start_angle + self.sweep * t;
+        self.center + Vec2::from_angle(angle) * self.radius
+    }
+
+    /// Unit tangent at arclength `s` (direction of travel).
+    pub fn heading_at(&self, s: f64) -> Vec2 {
+        let len = self.length();
+        let t = if len < crate::EPSILON {
+            0.0
+        } else {
+            (s / len).clamp(0.0, 1.0)
+        };
+        let angle = self.start_angle + self.sweep * t;
+        let radial = Vec2::from_angle(angle);
+        if self.sweep >= 0.0 {
+            radial.perp()
+        } else {
+            -radial.perp()
+        }
+    }
+
+    /// Start point of the arc.
+    pub fn start(&self) -> Vec2 {
+        self.point_at(0.0)
+    }
+
+    /// End point of the arc.
+    pub fn end(&self) -> Vec2 {
+        self.point_at(self.length())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn quarter_circle_length_and_endpoints() {
+        let arc = Arc::new(Vec2::ZERO, 10.0, 0.0, FRAC_PI_2);
+        assert!((arc.length() - 10.0 * FRAC_PI_2).abs() < 1e-12);
+        assert!(arc.start().distance(Vec2::new(10.0, 0.0)) < 1e-12);
+        assert!(arc.end().distance(Vec2::new(0.0, 10.0)) < 1e-12);
+    }
+
+    #[test]
+    fn clockwise_sweep_reverses_direction() {
+        let arc = Arc::new(Vec2::ZERO, 5.0, FRAC_PI_2, -FRAC_PI_2);
+        assert!(arc.start().distance(Vec2::new(0.0, 5.0)) < 1e-12);
+        assert!(arc.end().distance(Vec2::new(5.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn heading_is_tangential() {
+        let arc = Arc::new(Vec2::ZERO, 10.0, 0.0, PI);
+        // At the start (point (10,0)) a CCW arc heads in +y.
+        assert!(arc.heading_at(0.0).distance(Vec2::new(0.0, 1.0)) < 1e-12);
+        // Halfway (point (0,10)) it heads in -x.
+        assert!(arc
+            .heading_at(arc.length() / 2.0)
+            .distance(Vec2::new(-1.0, 0.0))
+            < 1e-12);
+    }
+
+    #[test]
+    fn heading_clockwise() {
+        let arc = Arc::new(Vec2::ZERO, 10.0, FRAC_PI_2, -FRAC_PI_2);
+        // Start at (0,10), moving clockwise → +x direction.
+        assert!(arc.heading_at(0.0).distance(Vec2::new(1.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn point_at_clamps() {
+        let arc = Arc::new(Vec2::ZERO, 10.0, 0.0, FRAC_PI_2);
+        assert!(arc.point_at(-1.0).distance(arc.start()) < 1e-12);
+        assert!(arc.point_at(1e9).distance(arc.end()) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn zero_radius_panics() {
+        let _ = Arc::new(Vec2::ZERO, 0.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Vehicle footprints used in conflict detection.
+
+use serde::{Deserialize, Serialize};
+
+/// The physical extent of a vehicle, approximated for conflict tests by
+/// a bounding disc around its reference point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Footprint {
+    length: f64,
+    width: f64,
+}
+
+impl Footprint {
+    /// A typical passenger car: 4.8 m × 1.9 m.
+    pub const CAR: Footprint = Footprint {
+        length: 4.8,
+        width: 1.9,
+    };
+
+    /// Creates a footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is non-positive or not finite.
+    pub fn new(length: f64, width: f64) -> Self {
+        assert!(
+            length.is_finite() && length > 0.0 && width.is_finite() && width > 0.0,
+            "footprint dimensions must be positive, got {length} x {width}"
+        );
+        Footprint { length, width }
+    }
+
+    /// Vehicle length in meters.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Vehicle width in meters.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Radius of the bounding disc (half diagonal).
+    pub fn bounding_radius(&self) -> f64 {
+        0.5 * (self.length * self.length + self.width * self.width).sqrt()
+    }
+
+    /// Conservative clearance: two footprints collide when their reference
+    /// points come closer than the sum of bounding radii.
+    pub fn collision_distance(&self, other: &Footprint) -> f64 {
+        self.bounding_radius() + other.bounding_radius()
+    }
+}
+
+impl Default for Footprint {
+    fn default() -> Self {
+        Footprint::CAR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn car_constants() {
+        let c = Footprint::CAR;
+        assert_eq!(c.length(), 4.8);
+        assert_eq!(c.width(), 1.9);
+        assert_eq!(Footprint::default(), c);
+    }
+
+    #[test]
+    fn bounding_radius_is_half_diagonal() {
+        let f = Footprint::new(3.0, 4.0);
+        assert!((f.bounding_radius() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collision_distance_is_symmetric() {
+        let a = Footprint::new(4.0, 2.0);
+        let b = Footprint::new(6.0, 2.5);
+        assert_eq!(a.collision_distance(&b), b.collision_distance(&a));
+        assert!(a.collision_distance(&b) > a.bounding_radius());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_length_panics() {
+        let _ = Footprint::new(0.0, 2.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Composite paths built from line segments and arcs.
+
+use crate::{Arc, LineSegment, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// One element of a composite [`Path`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PathElement {
+    /// A straight piece.
+    Line(LineSegment),
+    /// A circular piece.
+    Arc(Arc),
+}
+
+impl PathElement {
+    /// Arc length of the element.
+    pub fn length(&self) -> f64 {
+        match self {
+            PathElement::Line(s) => s.length(),
+            PathElement::Arc(a) => a.length(),
+        }
+    }
+
+    /// Point at arclength `s` within the element.
+    pub fn point_at(&self, s: f64) -> Vec2 {
+        match self {
+            PathElement::Line(l) => l.point_at(s),
+            PathElement::Arc(a) => a.point_at(s),
+        }
+    }
+
+    /// Unit tangent at arclength `s` within the element.
+    pub fn heading_at(&self, s: f64) -> Vec2 {
+        match self {
+            PathElement::Line(l) => l.heading_at(s),
+            PathElement::Arc(a) => a.heading_at(s),
+        }
+    }
+
+    /// Start point of the element.
+    pub fn start(&self) -> Vec2 {
+        self.point_at(0.0)
+    }
+
+    /// End point of the element.
+    pub fn end(&self) -> Vec2 {
+        self.point_at(self.length())
+    }
+}
+
+/// A connected sequence of path elements with precomputed cumulative
+/// arclengths, supporting O(log n) point lookup.
+///
+/// Paths represent lane center lines: an approach segment, a turning arc
+/// through the intersection box, and an exit segment, for example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    elements: Vec<PathElement>,
+    /// `cumulative[i]` is the arclength at the *end* of element `i`.
+    cumulative: Vec<f64>,
+}
+
+impl Path {
+    /// Builds a path from elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements` is empty or consecutive elements are not
+    /// connected end-to-start (within 1 cm).
+    pub fn new(elements: Vec<PathElement>) -> Self {
+        assert!(!elements.is_empty(), "path must contain at least one element");
+        for w in elements.windows(2) {
+            let gap = w[0].end().distance(w[1].start());
+            assert!(
+                gap < 0.01,
+                "path elements must be connected; found a gap of {gap} m"
+            );
+        }
+        let mut cumulative = Vec::with_capacity(elements.len());
+        let mut total = 0.0;
+        for e in &elements {
+            total += e.length();
+            cumulative.push(total);
+        }
+        Path {
+            elements,
+            cumulative,
+        }
+    }
+
+    /// Convenience constructor: a single straight path.
+    pub fn line(start: Vec2, end: Vec2) -> Self {
+        Path::new(vec![PathElement::Line(LineSegment::new(start, end))])
+    }
+
+    /// The elements of the path.
+    pub fn elements(&self) -> &[PathElement] {
+        &self.elements
+    }
+
+    /// Total arclength.
+    pub fn length(&self) -> f64 {
+        *self.cumulative.last().expect("path is non-empty")
+    }
+
+    /// Start point.
+    pub fn start(&self) -> Vec2 {
+        self.elements[0].start()
+    }
+
+    /// End point.
+    pub fn end(&self) -> Vec2 {
+        self.elements[self.elements.len() - 1].end()
+    }
+
+    fn locate(&self, s: f64) -> (usize, f64) {
+        let s = s.clamp(0.0, self.length());
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arclength"))
+        {
+            Ok(i) => (i + 1).min(self.elements.len() - 1),
+            Err(i) => i.min(self.elements.len() - 1),
+        };
+        let elem_start = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+        (idx, s - elem_start)
+    }
+
+    /// World point at arclength `s` from the start (clamped to the path).
+    pub fn point_at(&self, s: f64) -> Vec2 {
+        let (i, local) = self.locate(s);
+        self.elements[i].point_at(local)
+    }
+
+    /// Unit tangent at arclength `s` (clamped).
+    pub fn heading_at(&self, s: f64) -> Vec2 {
+        let (i, local) = self.locate(s);
+        self.elements[i].heading_at(local)
+    }
+
+    /// Arclength of the point on the path closest to `p`, found by
+    /// sampling every `step` meters and refining around the best sample.
+    pub fn project(&self, p: Vec2, step: f64) -> f64 {
+        let step = step.max(0.01);
+        let len = self.length();
+        let mut best_s = 0.0;
+        let mut best_d = f64::INFINITY;
+        let mut s = 0.0;
+        while s <= len {
+            let d = self.point_at(s).distance_sq(p);
+            if d < best_d {
+                best_d = d;
+                best_s = s;
+            }
+            s += step;
+        }
+        // Golden-section style refinement around the best sample.
+        let mut lo = (best_s - step).max(0.0);
+        let mut hi = (best_s + step).min(len);
+        for _ in 0..32 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            if self.point_at(m1).distance_sq(p) < self.point_at(m2).distance_sq(p) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        (lo + hi) / 2.0
+    }
+
+    /// Samples the path every `step` meters (including both endpoints).
+    pub fn sample(&self, step: f64) -> Vec<Vec2> {
+        let step = step.max(0.01);
+        let len = self.length();
+        let mut out = Vec::new();
+        let mut s = 0.0;
+        while s < len {
+            out.push(self.point_at(s));
+            s += step;
+        }
+        out.push(self.end());
+        out
+    }
+}
+
+/// Incremental builder for [`Path`]s: start somewhere and append straight
+/// and curved pieces; each piece starts where the previous ended.
+#[derive(Debug, Clone)]
+pub struct PathBuilder {
+    elements: Vec<PathElement>,
+    cursor: Vec2,
+    heading: Vec2,
+}
+
+impl PathBuilder {
+    /// Starts a path at `start` heading toward `heading` (normalized).
+    pub fn new(start: Vec2, heading: Vec2) -> Self {
+        PathBuilder {
+            elements: Vec::new(),
+            cursor: start,
+            heading: heading.normalized(),
+        }
+    }
+
+    /// Appends a straight piece of `distance` meters.
+    pub fn forward(&mut self, distance: f64) -> &mut Self {
+        let end = self.cursor + self.heading * distance;
+        self.elements
+            .push(PathElement::Line(LineSegment::new(self.cursor, end)));
+        self.cursor = end;
+        self
+    }
+
+    /// Appends an arc turning left (counter-clockwise) through `angle`
+    /// radians with the given `radius`.
+    pub fn turn_left(&mut self, radius: f64, angle: f64) -> &mut Self {
+        self.turn(radius, angle, true)
+    }
+
+    /// Appends an arc turning right (clockwise) through `angle` radians.
+    pub fn turn_right(&mut self, radius: f64, angle: f64) -> &mut Self {
+        self.turn(radius, angle, false)
+    }
+
+    fn turn(&mut self, radius: f64, angle: f64, left: bool) -> &mut Self {
+        let center = if left {
+            self.cursor + self.heading.perp() * radius
+        } else {
+            self.cursor - self.heading.perp() * radius
+        };
+        let start_angle = (self.cursor - center).angle();
+        let sweep = if left { angle } else { -angle };
+        let arc = Arc::new(center, radius, start_angle, sweep);
+        self.cursor = arc.end();
+        self.heading = arc.heading_at(arc.length());
+        self.elements.push(PathElement::Arc(arc));
+        self
+    }
+
+    /// Current cursor position (end of the path so far).
+    pub fn cursor(&self) -> Vec2 {
+        self.cursor
+    }
+
+    /// Current heading.
+    pub fn heading(&self) -> Vec2 {
+        self.heading
+    }
+
+    /// Finishes the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no element was appended.
+    pub fn build(&self) -> Path {
+        Path::new(self.elements.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn l_path() -> Path {
+        // 100 m east, quarter-turn left with r=10, then 50 m north.
+        let mut b = PathBuilder::new(Vec2::ZERO, Vec2::new(1.0, 0.0));
+        b.forward(100.0).turn_left(10.0, FRAC_PI_2).forward(50.0);
+        b.build()
+    }
+
+    #[test]
+    fn builder_produces_connected_path() {
+        let p = l_path();
+        assert_eq!(p.elements().len(), 3);
+        let expected_len = 100.0 + 10.0 * FRAC_PI_2 + 50.0;
+        assert!((p.length() - expected_len).abs() < 1e-9);
+        // End point: (110, 60) — turn center at (100,10), arc ends (110,10),
+        // then 50 m north.
+        assert!(p.end().distance(Vec2::new(110.0, 60.0)) < 1e-9);
+    }
+
+    #[test]
+    fn point_at_crosses_element_boundaries() {
+        let p = l_path();
+        assert!(p.point_at(50.0).distance(Vec2::new(50.0, 0.0)) < 1e-9);
+        // Halfway around the quarter arc of r=10 centered at (100, 10):
+        // radial angle goes from -π/2 to -π/4, landing at
+        // (100 + 10·cos(-π/4), 10 + 10·sin(-π/4)).
+        let on_arc = p.point_at(100.0 + 5.0 * FRAC_PI_2);
+        let expected = Vec2::new(100.0, 10.0) + Vec2::from_angle(-FRAC_PI_2 / 2.0) * 10.0;
+        assert!(on_arc.distance(expected) < 1e-9, "got {on_arc}, want {expected}");
+    }
+
+    #[test]
+    fn heading_changes_after_turn() {
+        let p = l_path();
+        assert!(p.heading_at(10.0).distance(Vec2::new(1.0, 0.0)) < 1e-9);
+        assert!(p.heading_at(p.length() - 1.0).distance(Vec2::new(0.0, 1.0)) < 1e-9);
+    }
+
+    #[test]
+    fn project_recovers_arclength() {
+        let p = l_path();
+        for s in [0.0, 25.0, 100.0, 130.0, p.length()] {
+            let q = p.point_at(s);
+            let s2 = p.project(q, 1.0);
+            assert!(
+                p.point_at(s2).distance(q) < 0.05,
+                "projection of point at s={s} landed {} m away",
+                p.point_at(s2).distance(q)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_covers_endpoints() {
+        let p = Path::line(Vec2::ZERO, Vec2::new(10.0, 0.0));
+        let pts = p.sample(3.0);
+        assert_eq!(pts.first().copied(), Some(Vec2::ZERO));
+        assert_eq!(pts.last().copied(), Some(Vec2::new(10.0, 0.0)));
+        assert!(pts.len() >= 4);
+    }
+
+    #[test]
+    fn line_constructor() {
+        let p = Path::line(Vec2::ZERO, Vec2::new(3.0, 4.0));
+        assert_eq!(p.length(), 5.0);
+        assert_eq!(p.start(), Vec2::ZERO);
+        assert_eq!(p.end(), Vec2::new(3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be connected")]
+    fn disconnected_elements_panic() {
+        let a = PathElement::Line(LineSegment::new(Vec2::ZERO, Vec2::new(1.0, 0.0)));
+        let b = PathElement::Line(LineSegment::new(Vec2::new(5.0, 5.0), Vec2::new(6.0, 5.0)));
+        let _ = Path::new(vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_path_panics() {
+        let _ = Path::new(vec![]);
+    }
+
+    #[test]
+    fn turn_right_mirrors_turn_left() {
+        let mut b = PathBuilder::new(Vec2::ZERO, Vec2::new(1.0, 0.0));
+        b.turn_right(10.0, FRAC_PI_2);
+        let p = b.build();
+        assert!(p.end().distance(Vec2::new(10.0, -10.0)) < 1e-9);
+        assert!(p.heading_at(p.length()).distance(Vec2::new(0.0, -1.0)) < 1e-9);
+    }
+}

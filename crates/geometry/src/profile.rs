@@ -1,0 +1,595 @@
+//! Piecewise-constant-acceleration motion profiles along a path.
+//!
+//! A [`MotionProfile`] maps simulation time to (arclength position, speed)
+//! along some [`crate::Path`]. Travel-plan instructions in the AIM layer
+//! are exactly such profiles, so a watcher vehicle can compute the
+//! *expected* status of a neighbour at any time (Algorithm 2 of the paper)
+//! by evaluating the profile.
+
+use serde::{Deserialize, Serialize};
+
+/// One constant-acceleration piece of a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSegment {
+    /// Duration of the piece in seconds (non-negative).
+    pub duration: f64,
+    /// Signed acceleration in m/s².
+    pub accel: f64,
+}
+
+impl ProfileSegment {
+    /// Creates a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative or not finite.
+    pub fn new(duration: f64, accel: f64) -> Self {
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "segment duration must be non-negative, got {duration}"
+        );
+        ProfileSegment { duration, accel }
+    }
+}
+
+/// A motion profile: start state plus acceleration segments.
+///
+/// After the last segment the vehicle continues at its final speed
+/// indefinitely (a vehicle that braked to zero stays stopped).
+///
+/// Speeds are clamped at zero: a deceleration segment never produces
+/// negative speed, matching real vehicles which do not reverse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MotionProfile {
+    start_time: f64,
+    start_position: f64,
+    start_speed: f64,
+    segments: Vec<ProfileSegment>,
+}
+
+impl MotionProfile {
+    /// Creates a profile from a start state and segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_speed` is negative.
+    pub fn new(
+        start_time: f64,
+        start_position: f64,
+        start_speed: f64,
+        segments: Vec<ProfileSegment>,
+    ) -> Self {
+        assert!(
+            start_speed >= 0.0,
+            "start speed must be non-negative, got {start_speed}"
+        );
+        MotionProfile {
+            start_time,
+            start_position,
+            start_speed,
+            segments,
+        }
+    }
+
+    /// A constant-speed profile starting at position 0 covering `distance`.
+    pub fn cruise(start_time: f64, speed: f64, distance: f64) -> Self {
+        assert!(speed >= 0.0, "cruise speed must be non-negative");
+        let duration = if speed > 0.0 { distance / speed } else { 0.0 };
+        MotionProfile::new(
+            start_time,
+            0.0,
+            speed,
+            vec![ProfileSegment::new(duration, 0.0)],
+        )
+    }
+
+    /// A profile standing still at `position`.
+    pub fn stopped(start_time: f64, position: f64) -> Self {
+        MotionProfile::new(start_time, position, 0.0, Vec::new())
+    }
+
+    /// Time at which the profile begins.
+    pub fn start_time(&self) -> f64 {
+        self.start_time
+    }
+
+    /// Position at the profile start.
+    pub fn start_position(&self) -> f64 {
+        self.start_position
+    }
+
+    /// Speed at the profile start.
+    pub fn start_speed(&self) -> f64 {
+        self.start_speed
+    }
+
+    /// The acceleration segments.
+    pub fn segments(&self) -> &[ProfileSegment] {
+        &self.segments
+    }
+
+    /// Time at which the last segment ends.
+    pub fn end_time(&self) -> f64 {
+        self.start_time + self.segments.iter().map(|s| s.duration).sum::<f64>()
+    }
+
+    /// Speed after the last segment.
+    pub fn final_speed(&self) -> f64 {
+        self.state_at(self.end_time()).1
+    }
+
+    /// Position at the end of the last segment.
+    pub fn end_position(&self) -> f64 {
+        self.state_at(self.end_time()).0
+    }
+
+    /// (position, speed) at absolute time `t`.
+    ///
+    /// Before `start_time` the start state is returned; after the last
+    /// segment the vehicle cruises at its final speed.
+    pub fn state_at(&self, t: f64) -> (f64, f64) {
+        if t <= self.start_time {
+            return (self.start_position, self.start_speed);
+        }
+        let mut pos = self.start_position;
+        let mut speed = self.start_speed;
+        let mut clock = self.start_time;
+        for seg in &self.segments {
+            let seg_end = clock + seg.duration;
+            let dt_full = seg.duration;
+            let dt = (t - clock).min(dt_full);
+            let (p, v) = integrate(pos, speed, seg.accel, dt);
+            if t <= seg_end {
+                return (p, v);
+            }
+            let (p_full, v_full) = integrate(pos, speed, seg.accel, dt_full);
+            pos = p_full;
+            speed = v_full;
+            clock = seg_end;
+        }
+        // Cruise at the final speed beyond the profile.
+        (pos + speed * (t - clock), speed)
+    }
+
+    /// Position along the path at absolute time `t`.
+    pub fn position_at(&self, t: f64) -> f64 {
+        self.state_at(t).0
+    }
+
+    /// Speed at absolute time `t`.
+    pub fn speed_at(&self, t: f64) -> f64 {
+        self.state_at(t).1
+    }
+
+    /// Absolute time at which the profile first reaches position `s`.
+    ///
+    /// Returns `None` if the profile never reaches `s` (for example it
+    /// brakes to a stop first). Positions are monotone non-decreasing, so
+    /// this is the unique crossing time when it exists.
+    pub fn time_at_position(&self, s: f64) -> Option<f64> {
+        if s <= self.start_position {
+            return Some(self.start_time);
+        }
+        let mut pos = self.start_position;
+        let mut speed = self.start_speed;
+        let mut clock = self.start_time;
+        for seg in &self.segments {
+            let (end_pos, end_speed) = integrate(pos, speed, seg.accel, seg.duration);
+            if end_pos >= s {
+                let dt = solve_crossing(pos, speed, seg.accel, s - pos, seg.duration)?;
+                return Some(clock + dt);
+            }
+            pos = end_pos;
+            speed = end_speed;
+            clock += seg.duration;
+        }
+        if speed > crate::EPSILON {
+            Some(clock + (s - pos) / speed)
+        } else {
+            None
+        }
+    }
+
+    /// Appends a segment, returning the modified profile (builder style).
+    pub fn with_segment(mut self, duration: f64, accel: f64) -> Self {
+        self.segments.push(ProfileSegment::new(duration, accel));
+        self
+    }
+
+    /// The earliest time a vehicle with these limits can reach `distance`.
+    ///
+    /// The vehicle starts at speed `v0`, accelerates at `a_max` up to
+    /// `v_max`, then cruises.
+    pub fn earliest_arrival(v0: f64, v_max: f64, a_max: f64, distance: f64) -> f64 {
+        assert!(v_max > 0.0 && a_max > 0.0, "limits must be positive");
+        let v0 = v0.min(v_max);
+        if distance <= 0.0 {
+            return 0.0;
+        }
+        // Accelerate from v0 to v_max: covers x_acc in t_acc.
+        let t_acc = (v_max - v0) / a_max;
+        let x_acc = v0 * t_acc + 0.5 * a_max * t_acc * t_acc;
+        if x_acc >= distance {
+            // Never reaches v_max: solve 0.5 a t² + v0 t - d = 0.
+            let disc = v0 * v0 + 2.0 * a_max * distance;
+            (-v0 + disc.sqrt()) / a_max
+        } else {
+            t_acc + (distance - x_acc) / v_max
+        }
+    }
+
+    /// Builds a profile that reaches `distance` as early as possible:
+    /// accelerate at `a_max` to `v_max`, then cruise.
+    pub fn fastest(start_time: f64, v0: f64, v_max: f64, a_max: f64, distance: f64) -> Self {
+        let v0 = v0.min(v_max);
+        let t_acc = (v_max - v0) / a_max;
+        let x_acc = v0 * t_acc + 0.5 * a_max * t_acc * t_acc;
+        if x_acc >= distance {
+            let total = MotionProfile::earliest_arrival(v0, v_max, a_max, distance);
+            MotionProfile::new(
+                start_time,
+                0.0,
+                v0,
+                vec![ProfileSegment::new(total, a_max)],
+            )
+        } else {
+            let t_cruise = (distance - x_acc) / v_max;
+            MotionProfile::new(
+                start_time,
+                0.0,
+                v0,
+                vec![
+                    ProfileSegment::new(t_acc, a_max),
+                    ProfileSegment::new(t_cruise, 0.0),
+                ],
+            )
+        }
+    }
+
+    /// Builds a profile that reaches `distance` at exactly
+    /// `start_time + horizon` (when feasible) by adjusting to a single
+    /// target speed and holding it.
+    ///
+    /// The profile first accelerates or decelerates from `v0` to a target
+    /// speed `v` (bounded by `v_max`, rates bounded by `a_max`/`d_max`),
+    /// then cruises at `v`. The target speed is found by bisection so the
+    /// distance covered over `horizon` equals `distance`.
+    ///
+    /// If the requested arrival is earlier than physically possible, the
+    /// fastest profile is returned instead (arriving late); callers detect
+    /// this by comparing arrival times.
+    pub fn arrive_at(
+        start_time: f64,
+        v0: f64,
+        v_max: f64,
+        a_max: f64,
+        d_max: f64,
+        distance: f64,
+        horizon: f64,
+    ) -> Self {
+        assert!(d_max > 0.0, "deceleration limit must be positive");
+        let v0 = v0.min(v_max);
+        if distance <= 0.0 {
+            return MotionProfile::new(start_time, 0.0, v0, Vec::new());
+        }
+        if horizon <= 0.0 {
+            return MotionProfile::fastest(start_time, v0, v_max, a_max, distance);
+        }
+        let covered = |v: f64| -> f64 {
+            // Distance covered in `horizon` if we ramp from v0 to v then hold.
+            let rate = if v >= v0 { a_max } else { d_max };
+            let t_ramp = ((v - v0).abs() / rate).min(horizon);
+            let a_signed = if v >= v0 { rate } else { -rate };
+            let x_ramp = v0 * t_ramp + 0.5 * a_signed * t_ramp * t_ramp;
+            let v_end = v0 + a_signed * t_ramp;
+            x_ramp + v_end * (horizon - t_ramp)
+        };
+        if covered(v_max) < distance - 1e-9 {
+            // Even flat-out we arrive late.
+            return MotionProfile::fastest(start_time, v0, v_max, a_max, distance);
+        }
+        // Bisection for v in [0, v_max] (covered is monotone in v).
+        let (mut lo, mut hi) = (0.0_f64, v_max);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if covered(mid) < distance {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let v = 0.5 * (lo + hi);
+        let rate = if v >= v0 { a_max } else { d_max };
+        let a_signed = if v >= v0 { rate } else { -rate };
+        let t_ramp = ((v - v0).abs() / rate).min(horizon);
+        let mut segments = Vec::new();
+        if t_ramp > 0.0 {
+            segments.push(ProfileSegment::new(t_ramp, a_signed));
+        }
+        if horizon - t_ramp > 0.0 {
+            segments.push(ProfileSegment::new(horizon - t_ramp, 0.0));
+        }
+        MotionProfile::new(start_time, 0.0, v0, segments)
+    }
+
+    /// Builds a braking profile: decelerate at `d_max` from `v0` to a stop.
+    pub fn brake_to_stop(start_time: f64, position: f64, v0: f64, d_max: f64) -> Self {
+        assert!(d_max > 0.0, "deceleration limit must be positive");
+        let t = v0 / d_max;
+        MotionProfile::new(
+            start_time,
+            position,
+            v0,
+            vec![ProfileSegment::new(t, -d_max)],
+        )
+    }
+}
+
+/// Integrates constant-acceleration motion for `dt` seconds with speed
+/// clamped at zero (a braking vehicle stops rather than reversing).
+fn integrate(pos: f64, speed: f64, accel: f64, dt: f64) -> (f64, f64) {
+    if accel < 0.0 {
+        let t_stop = speed / (-accel);
+        if dt >= t_stop {
+            // Stops within the interval and stays stopped.
+            let p = pos + speed * t_stop + 0.5 * accel * t_stop * t_stop;
+            return (p, 0.0);
+        }
+    }
+    let v = speed + accel * dt;
+    let p = pos + speed * dt + 0.5 * accel * dt * dt;
+    (p, v.max(0.0))
+}
+
+/// Solves for the time within `[0, duration]` at which constant-accel
+/// motion from (0, `v0`) covers `target` meters. Returns `None` when the
+/// target is never reached within the segment.
+fn solve_crossing(_pos: f64, v0: f64, accel: f64, target: f64, duration: f64) -> Option<f64> {
+    if target <= 0.0 {
+        return Some(0.0);
+    }
+    if accel.abs() < crate::EPSILON {
+        if v0 < crate::EPSILON {
+            return None;
+        }
+        let t = target / v0;
+        return (t <= duration + crate::EPSILON).then_some(t.min(duration));
+    }
+    // 0.5 a t² + v0 t − target = 0; take the smallest non-negative root.
+    let disc = v0 * v0 + 2.0 * accel * target;
+    if disc < 0.0 {
+        return None;
+    }
+    let sqrt_d = disc.sqrt();
+    let candidates = [(-v0 + sqrt_d) / accel, (-v0 - sqrt_d) / accel];
+    let mut best: Option<f64> = None;
+    for t in candidates {
+        if t >= -crate::EPSILON && t <= duration + crate::EPSILON {
+            best = Some(best.map_or(t, |b: f64| b.min(t)));
+        }
+    }
+    best.map(|t| t.clamp(0.0, duration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cruise_kinematics() {
+        let p = MotionProfile::cruise(10.0, 20.0, 100.0);
+        assert_eq!(p.position_at(10.0), 0.0);
+        assert_eq!(p.position_at(12.0), 40.0);
+        assert_eq!(p.speed_at(11.0), 20.0);
+        assert_eq!(p.end_time(), 15.0);
+        // Continues past the end at the same speed.
+        assert_eq!(p.position_at(16.0), 120.0);
+    }
+
+    #[test]
+    fn stopped_profile_never_moves() {
+        let p = MotionProfile::stopped(0.0, 42.0);
+        assert_eq!(p.position_at(100.0), 42.0);
+        assert_eq!(p.speed_at(100.0), 0.0);
+        assert_eq!(p.time_at_position(43.0), None);
+        assert_eq!(p.time_at_position(42.0), Some(0.0));
+    }
+
+    #[test]
+    fn acceleration_segment() {
+        // From rest, 2 m/s² for 5 s → v=10, x=25.
+        let p = MotionProfile::new(0.0, 0.0, 0.0, vec![ProfileSegment::new(5.0, 2.0)]);
+        assert!((p.position_at(5.0) - 25.0).abs() < 1e-12);
+        assert!((p.speed_at(5.0) - 10.0).abs() < 1e-12);
+        // Midpoint: t=2.5 → x = 0.5·2·6.25 = 6.25.
+        assert!((p.position_at(2.5) - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn braking_clamps_at_zero_speed() {
+        let p = MotionProfile::brake_to_stop(0.0, 0.0, 10.0, 2.0);
+        // Stops after 5 s having covered 25 m.
+        assert!((p.position_at(5.0) - 25.0).abs() < 1e-12);
+        assert_eq!(p.speed_at(5.0), 0.0);
+        // Stays stopped.
+        assert!((p.position_at(50.0) - 25.0).abs() < 1e-12);
+        assert_eq!(p.speed_at(50.0), 0.0);
+    }
+
+    #[test]
+    fn over_long_brake_segment_still_clamps() {
+        // A 100 s segment at −2 m/s² from 10 m/s: stops at t=5.
+        let p = MotionProfile::new(0.0, 0.0, 10.0, vec![ProfileSegment::new(100.0, -2.0)]);
+        assert!((p.position_at(100.0) - 25.0).abs() < 1e-9);
+        assert_eq!(p.final_speed(), 0.0);
+    }
+
+    #[test]
+    fn time_at_position_inverts_position_at() {
+        let p = MotionProfile::new(
+            5.0,
+            0.0,
+            5.0,
+            vec![
+                ProfileSegment::new(4.0, 2.0),
+                ProfileSegment::new(10.0, 0.0),
+                ProfileSegment::new(2.0, -3.0),
+            ],
+        );
+        for s in [0.0, 10.0, 36.0, 100.0, 150.0] {
+            if let Some(t) = p.time_at_position(s) {
+                assert!(
+                    (p.position_at(t) - s).abs() < 1e-6,
+                    "round trip failed at s={s}: t={t} gives {}",
+                    p.position_at(t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn time_at_position_before_start_returns_start() {
+        let p = MotionProfile::new(3.0, 50.0, 10.0, vec![]);
+        assert_eq!(p.time_at_position(10.0), Some(3.0));
+    }
+
+    #[test]
+    fn earliest_arrival_matches_fastest_profile() {
+        for (v0, d) in [(0.0, 50.0), (10.0, 200.0), (22.0, 30.0)] {
+            let t = MotionProfile::earliest_arrival(v0, 22.352, 2.0, d);
+            let p = MotionProfile::fastest(0.0, v0, 22.352, 2.0, d);
+            let arrive = p.time_at_position(d).expect("fastest profile reaches d");
+            assert!(
+                (arrive - t).abs() < 1e-6,
+                "v0={v0} d={d}: earliest={t}, profile arrives {arrive}"
+            );
+        }
+    }
+
+    #[test]
+    fn arrive_at_hits_requested_time() {
+        // 200 m in 20 s starting at 15 m/s: must slow to 10 m/s.
+        let p = MotionProfile::arrive_at(0.0, 15.0, 22.0, 2.0, 3.0, 200.0, 20.0);
+        let t = p.time_at_position(200.0).expect("reaches the stop line");
+        assert!((t - 20.0).abs() < 0.01, "arrived at {t}, wanted 20.0");
+        // Never exceeds the speed limit.
+        for i in 0..200 {
+            assert!(p.speed_at(i as f64 * 0.1) <= 22.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn arrive_at_infeasible_falls_back_to_fastest() {
+        // 1000 m in 1 s is impossible; we get the fastest profile.
+        let p = MotionProfile::arrive_at(0.0, 0.0, 22.0, 2.0, 3.0, 1000.0, 1.0);
+        let fastest = MotionProfile::earliest_arrival(0.0, 22.0, 2.0, 1000.0);
+        let t = p.time_at_position(1000.0).expect("eventually arrives");
+        assert!((t - fastest).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arrive_at_needing_acceleration() {
+        // 150 m in 15 s starting from rest needs ramping up to ~11 m/s.
+        let p = MotionProfile::arrive_at(0.0, 0.0, 22.352, 2.0, 3.0, 150.0, 15.0);
+        let t = p.time_at_position(150.0).expect("arrives");
+        assert!((t - 15.0).abs() < 0.05, "arrived at {t}");
+        assert!(p.final_speed() > 10.0, "final speed {}", p.final_speed());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_start_speed_panics() {
+        let _ = MotionProfile::new(0.0, 0.0, -1.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = ProfileSegment::new(-1.0, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Position is monotone non-decreasing in time.
+        #[test]
+        fn position_monotone(
+            v0 in 0.0..30.0f64,
+            a1 in -3.0..2.0f64,
+            d1 in 0.0..20.0f64,
+            a2 in -3.0..2.0f64,
+            d2 in 0.0..20.0f64,
+        ) {
+            let p = MotionProfile::new(0.0, 0.0, v0, vec![
+                ProfileSegment::new(d1, a1),
+                ProfileSegment::new(d2, a2),
+            ]);
+            let mut prev = p.position_at(0.0);
+            for i in 1..200 {
+                let cur = p.position_at(i as f64 * 0.25);
+                prop_assert!(cur >= prev - 1e-9, "position decreased: {prev} -> {cur}");
+                prev = cur;
+            }
+        }
+
+        /// Speed never goes negative even under sustained braking.
+        #[test]
+        fn speed_nonnegative(
+            v0 in 0.0..30.0f64,
+            d1 in 0.0..60.0f64,
+        ) {
+            let p = MotionProfile::new(0.0, 0.0, v0, vec![ProfileSegment::new(d1, -3.0)]);
+            for i in 0..300 {
+                prop_assert!(p.speed_at(i as f64 * 0.25) >= 0.0);
+            }
+        }
+
+        /// time_at_position and position_at are inverse where defined.
+        #[test]
+        fn inverse_round_trip(
+            v0 in 0.5..30.0f64,
+            a in -2.9..2.0f64,
+            dur in 0.1..30.0f64,
+            frac in 0.0..1.0f64,
+        ) {
+            let p = MotionProfile::new(0.0, 0.0, v0, vec![ProfileSegment::new(dur, a)]);
+            let target = p.end_position() * frac;
+            if let Some(t) = p.time_at_position(target) {
+                prop_assert!((p.position_at(t) - target).abs() < 1e-6);
+            }
+        }
+
+        /// arrive_at respects the speed limit everywhere.
+        #[test]
+        fn arrive_at_respects_vmax(
+            v0 in 0.0..22.0f64,
+            dist in 10.0..500.0f64,
+            horizon in 1.0..120.0f64,
+        ) {
+            let vmax = 22.352;
+            let p = MotionProfile::arrive_at(0.0, v0, vmax, 2.0, 3.0, dist, horizon);
+            for i in 0..400 {
+                prop_assert!(p.speed_at(i as f64 * 0.5) <= vmax + 1e-6);
+            }
+        }
+
+        /// earliest_arrival is a true lower bound for arrive_at.
+        #[test]
+        fn earliest_is_lower_bound(
+            v0 in 0.0..22.0f64,
+            dist in 10.0..500.0f64,
+            horizon in 1.0..120.0f64,
+        ) {
+            let vmax = 22.352;
+            let p = MotionProfile::arrive_at(0.0, v0, vmax, 2.0, 3.0, dist, horizon);
+            let earliest = MotionProfile::earliest_arrival(v0, vmax, 2.0, dist);
+            if let Some(t) = p.time_at_position(dist) {
+                prop_assert!(t >= earliest - 1e-6, "arrived {t} before earliest {earliest}");
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Straight line segments.
+
+use crate::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A straight segment from `start` to `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineSegment {
+    start: Vec2,
+    end: Vec2,
+}
+
+impl LineSegment {
+    /// Creates a segment between two points.
+    pub fn new(start: Vec2, end: Vec2) -> Self {
+        LineSegment { start, end }
+    }
+
+    /// Start point.
+    pub fn start(&self) -> Vec2 {
+        self.start
+    }
+
+    /// End point.
+    pub fn end(&self) -> Vec2 {
+        self.end
+    }
+
+    /// Arc length of the segment.
+    pub fn length(&self) -> f64 {
+        self.start.distance(self.end)
+    }
+
+    /// Point at arclength `s` from the start, clamped to the segment.
+    pub fn point_at(&self, s: f64) -> Vec2 {
+        let len = self.length();
+        if len < crate::EPSILON {
+            return self.start;
+        }
+        let t = (s / len).clamp(0.0, 1.0);
+        self.start.lerp(self.end, t)
+    }
+
+    /// Unit tangent direction (constant along the segment).
+    pub fn heading_at(&self, _s: f64) -> Vec2 {
+        (self.end - self.start).normalized()
+    }
+
+    /// Closest point on the segment to `p`.
+    pub fn closest_point(&self, p: Vec2) -> Vec2 {
+        let d = self.end - self.start;
+        let len_sq = d.norm_sq();
+        if len_sq < crate::EPSILON {
+            return self.start;
+        }
+        let t = ((p - self.start).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.start.lerp(self.end, t)
+    }
+
+    /// Distance from `p` to the segment.
+    pub fn distance_to(&self, p: Vec2) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// `true` when the two segments intersect (including endpoints).
+    pub fn intersects(&self, other: &LineSegment) -> bool {
+        fn orient(a: Vec2, b: Vec2, c: Vec2) -> f64 {
+            (b - a).cross(c - a)
+        }
+        fn on_segment(a: Vec2, b: Vec2, p: Vec2) -> bool {
+            p.x >= a.x.min(b.x) - crate::EPSILON
+                && p.x <= a.x.max(b.x) + crate::EPSILON
+                && p.y >= a.y.min(b.y) - crate::EPSILON
+                && p.y <= a.y.max(b.y) + crate::EPSILON
+        }
+        let (a, b) = (self.start, self.end);
+        let (c, d) = (other.start, other.end);
+        let o1 = orient(a, b, c);
+        let o2 = orient(a, b, d);
+        let o3 = orient(c, d, a);
+        let o4 = orient(c, d, b);
+        if (o1 * o2 < 0.0) && (o3 * o4 < 0.0) {
+            return true;
+        }
+        (o1.abs() < crate::EPSILON && on_segment(a, b, c))
+            || (o2.abs() < crate::EPSILON && on_segment(a, b, d))
+            || (o3.abs() < crate::EPSILON && on_segment(c, d, a))
+            || (o4.abs() < crate::EPSILON && on_segment(c, d, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(x0: f64, y0: f64, x1: f64, y1: f64) -> LineSegment {
+        LineSegment::new(Vec2::new(x0, y0), Vec2::new(x1, y1))
+    }
+
+    #[test]
+    fn length_and_point_at() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.length(), 10.0);
+        assert_eq!(s.point_at(4.0), Vec2::new(4.0, 0.0));
+        // Clamped at both ends.
+        assert_eq!(s.point_at(-5.0), Vec2::new(0.0, 0.0));
+        assert_eq!(s.point_at(20.0), Vec2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.point_at(3.0), Vec2::new(1.0, 1.0));
+        assert_eq!(s.closest_point(Vec2::new(5.0, 5.0)), Vec2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn heading_is_unit_tangent() {
+        let s = seg(0.0, 0.0, 0.0, 5.0);
+        assert!(s.heading_at(2.0).distance(Vec2::new(0.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn closest_point_projection_and_clamp() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.closest_point(Vec2::new(3.0, 4.0)), Vec2::new(3.0, 0.0));
+        assert_eq!(s.closest_point(Vec2::new(-3.0, 4.0)), Vec2::new(0.0, 0.0));
+        assert_eq!(s.closest_point(Vec2::new(13.0, 4.0)), Vec2::new(10.0, 0.0));
+        assert_eq!(s.distance_to(Vec2::new(3.0, 4.0)), 4.0);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        assert!(seg(0.0, 0.0, 10.0, 10.0).intersects(&seg(0.0, 10.0, 10.0, 0.0)));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        assert!(!seg(0.0, 0.0, 10.0, 0.0).intersects(&seg(0.0, 1.0, 10.0, 1.0)));
+    }
+
+    #[test]
+    fn touching_endpoint_counts_as_intersection() {
+        assert!(seg(0.0, 0.0, 5.0, 0.0).intersects(&seg(5.0, 0.0, 5.0, 5.0)));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects() {
+        assert!(seg(0.0, 0.0, 10.0, 0.0).intersects(&seg(5.0, 0.0, 15.0, 0.0)));
+        assert!(!seg(0.0, 0.0, 4.0, 0.0).intersects(&seg(5.0, 0.0, 15.0, 0.0)));
+    }
+}

@@ -1,0 +1,116 @@
+//! Unit conversions between the paper's imperial figures and SI.
+//!
+//! All internal computation in this workspace uses SI units (meters,
+//! seconds, m/s). The paper quotes distances in feet and speeds in mph;
+//! these helpers convert at the boundaries so the experiment harness can
+//! print the paper's numbers.
+
+/// Meters per foot.
+pub const METERS_PER_FOOT: f64 = 0.3048;
+
+/// Meters per mile.
+pub const METERS_PER_MILE: f64 = 1609.344;
+
+/// Seconds per hour.
+pub const SECONDS_PER_HOUR: f64 = 3600.0;
+
+/// Converts feet to meters.
+///
+/// ```
+/// assert!((nwade_geometry::feet_to_meters(1000.0) - 304.8).abs() < 1e-9);
+/// ```
+pub fn feet_to_meters(feet: f64) -> f64 {
+    feet * METERS_PER_FOOT
+}
+
+/// Converts meters to feet.
+pub fn meters_to_feet(meters: f64) -> f64 {
+    meters / METERS_PER_FOOT
+}
+
+/// Converts miles per hour to meters per second.
+///
+/// ```
+/// // The paper's 50 mph speed limit is roughly 22.35 m/s (~80 km/h).
+/// assert!((nwade_geometry::mph_to_mps(50.0) - 22.352).abs() < 1e-3);
+/// ```
+pub fn mph_to_mps(mph: f64) -> f64 {
+    mph * METERS_PER_MILE / SECONDS_PER_HOUR
+}
+
+/// Converts meters per second to miles per hour.
+pub fn mps_to_mph(mps: f64) -> f64 {
+    mps * SECONDS_PER_HOUR / METERS_PER_MILE
+}
+
+/// Default parameters quoted in §VI-A of the paper, in SI units.
+pub mod paper {
+    use super::*;
+
+    /// Speed limit: 50 mph.
+    pub fn speed_limit_mps() -> f64 {
+        mph_to_mps(50.0)
+    }
+
+    /// Maximum acceleration: 2 m/s².
+    pub const MAX_ACCEL: f64 = 2.0;
+
+    /// Maximum deceleration: 3 m/s² (magnitude).
+    pub const MAX_DECEL: f64 = 3.0;
+
+    /// Maximum communication radius: 1500 ft.
+    pub fn comm_radius_m() -> f64 {
+        feet_to_meters(1500.0)
+    }
+
+    /// Default sensing radius: 1000 ft.
+    pub fn sensing_radius_m() -> f64 {
+        feet_to_meters(1000.0)
+    }
+
+    /// Minimum sensing radius evaluated: 300 ft.
+    pub fn sensing_radius_min_m() -> f64 {
+        feet_to_meters(300.0)
+    }
+
+    /// Network latency: 30 ms.
+    pub const NETWORK_LATENCY_S: f64 = 0.030;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feet_round_trip() {
+        for f in [0.0, 1.0, 300.0, 1000.0, 1500.0] {
+            assert!((meters_to_feet(feet_to_meters(f)) - f).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mph_round_trip() {
+        for v in [0.0, 25.0, 50.0, 120.0] {
+            assert!((mps_to_mph(mph_to_mps(v)) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_figures_match_stated_metric_equivalents() {
+        // §VI-A quotes 50 mph (80 km/h), 1500 ft (457 m), 1000 ft (305 m),
+        // 300 ft (91 m).
+        assert!((paper::speed_limit_mps() * 3.6 - 80.0).abs() < 1.0);
+        assert!((paper::comm_radius_m() - 457.0).abs() < 1.0);
+        assert!((paper::sensing_radius_m() - 305.0).abs() < 1.0);
+        assert!((paper::sensing_radius_min_m() - 91.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_displacement_bounds() {
+        // §VI-C: at 50 mph, 360 ms of travel is ~26.2 ft (8 m) and 20 ms is
+        // under 1.5 ft (0.45 m). Our conversions must reproduce those.
+        let v = paper::speed_limit_mps();
+        assert!((meters_to_feet(v * 0.360) - 26.2).abs() < 0.5);
+        assert!(meters_to_feet(v * 0.020) < 1.5);
+    }
+}

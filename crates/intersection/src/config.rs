@@ -1,0 +1,135 @@
+//! Geometry parameters shared by every intersection builder.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable geometry of a generated intersection.
+///
+/// Defaults follow §VI-A of the paper where stated (1000 ft ≈ 305 m
+/// perception range; the approach length is set a little beyond it so a
+/// vehicle's whole journey from communication-zone entry to exit lies on
+/// one path).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeometryConfig {
+    /// Incoming lanes per leg.
+    pub lanes_in: usize,
+    /// Outgoing lanes per leg.
+    pub lanes_out: usize,
+    /// Lane width in meters.
+    pub lane_width: f64,
+    /// Length of the approach segment before the intersection box, meters.
+    pub approach_len: f64,
+    /// Length of the exit segment after the box, meters.
+    pub exit_len: f64,
+    /// Side of a conflict-zone grid cell, meters. Must stay below the lane
+    /// width so parallel lanes never share a cell.
+    pub zone_cell: f64,
+    /// Path sampling step used when rasterizing movements into zones.
+    pub zone_sample_step: f64,
+}
+
+impl Default for GeometryConfig {
+    fn default() -> Self {
+        GeometryConfig {
+            lanes_in: 2,
+            lanes_out: 2,
+            lane_width: 3.7,
+            approach_len: 350.0,
+            exit_len: 120.0,
+            zone_cell: 3.0,
+            zone_sample_step: 0.5,
+        }
+    }
+}
+
+impl GeometryConfig {
+    /// Config with `n` incoming lanes per leg (outgoing matches).
+    pub fn with_lanes(n: usize) -> Self {
+        GeometryConfig {
+            lanes_in: n,
+            lanes_out: n,
+            ..GeometryConfig::default()
+        }
+    }
+
+    /// Radius of the central intersection box for `max_lanes` lanes per
+    /// direction: both travel directions plus clearance.
+    pub fn box_radius(&self) -> f64 {
+        let lanes = self.lanes_in.max(self.lanes_out) as f64;
+        (lanes * self.lane_width + 4.0).max(12.0)
+    }
+
+    /// Validates invariants the builders rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.lanes_in == 0 || self.lanes_out == 0 {
+            return Err("lane counts must be non-zero".into());
+        }
+        if !(self.lane_width > 0.0) {
+            return Err("lane width must be positive".into());
+        }
+        if self.zone_cell >= self.lane_width {
+            return Err(format!(
+                "zone cell ({}) must be smaller than lane width ({})",
+                self.zone_cell, self.lane_width
+            ));
+        }
+        if !(self.approach_len > 0.0 && self.exit_len > 0.0) {
+            return Err("approach and exit lengths must be positive".into());
+        }
+        if !(self.zone_sample_step > 0.0 && self.zone_sample_step < self.zone_cell) {
+            return Err("sample step must be positive and below the cell size".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        GeometryConfig::default().validate().expect("default valid");
+    }
+
+    #[test]
+    fn with_lanes_sets_both_directions() {
+        let c = GeometryConfig::with_lanes(3);
+        assert_eq!(c.lanes_in, 3);
+        assert_eq!(c.lanes_out, 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn box_radius_grows_with_lanes() {
+        assert!(
+            GeometryConfig::with_lanes(4).box_radius() > GeometryConfig::with_lanes(1).box_radius()
+        );
+        // Minimum clamp for a single narrow lane.
+        let mut tiny = GeometryConfig::with_lanes(1);
+        tiny.lane_width = 3.0;
+        assert!(tiny.box_radius() >= 12.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = GeometryConfig::default();
+        c.lanes_in = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GeometryConfig::default();
+        c.zone_cell = 10.0;
+        assert!(c.validate().is_err());
+
+        let mut c = GeometryConfig::default();
+        c.zone_sample_step = 5.0;
+        assert!(c.validate().is_err());
+
+        let mut c = GeometryConfig::default();
+        c.approach_len = 0.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Identifier newtypes for topology entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a leg (approach road) of an intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LegId(u8);
+
+impl LegId {
+    /// Creates a leg id.
+    pub const fn new(index: u8) -> Self {
+        LegId(index)
+    }
+
+    /// The numeric index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "leg{}", self.0)
+    }
+}
+
+/// Identifies a movement (an origin-lane → destination-leg path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MovementId(u16);
+
+impl MovementId {
+    /// Creates a movement id.
+    pub const fn new(index: u16) -> Self {
+        MovementId(index)
+    }
+
+    /// The numeric index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MovementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mv{}", self.0)
+    }
+}
+
+/// A cell of the uniform conflict-zone grid laid over the intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ZoneId {
+    /// Grid column (east).
+    pub col: i32,
+    /// Grid row (north).
+    pub row: i32,
+}
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z({},{})", self.col, self.row)
+    }
+}
+
+/// The three turning movements the paper's traffic mix distinguishes
+/// (25% left / 50% straight / 25% right, §VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TurnKind {
+    /// Turn left (counter-clockwise exit).
+    Left,
+    /// Continue straight (or nearly so).
+    Straight,
+    /// Turn right (clockwise exit).
+    Right,
+}
+
+impl fmt::Display for TurnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TurnKind::Left => "left",
+            TurnKind::Straight => "straight",
+            TurnKind::Right => "right",
+        })
+    }
+}
+
+impl TurnKind {
+    /// Classifies the exit-direction change `delta` (radians, in
+    /// `(-π, π]`): near zero is straight, positive is left, negative is
+    /// right.
+    pub fn from_delta(delta: f64) -> TurnKind {
+        let threshold = 30f64.to_radians();
+        if delta.abs() <= threshold {
+            TurnKind::Straight
+        } else if delta > 0.0 {
+            TurnKind::Left
+        } else {
+            TurnKind::Right
+        }
+    }
+}
+
+/// Normalizes an angle to `(-π, π]`.
+pub fn normalize_angle(a: f64) -> f64 {
+    let mut x = a % std::f64::consts::TAU;
+    if x <= -std::f64::consts::PI {
+        x += std::f64::consts::TAU;
+    } else if x > std::f64::consts::PI {
+        x -= std::f64::consts::TAU;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn id_accessors_and_display() {
+        assert_eq!(LegId::new(2).index(), 2);
+        assert_eq!(LegId::new(2).to_string(), "leg2");
+        assert_eq!(MovementId::new(17).index(), 17);
+        assert_eq!(MovementId::new(17).to_string(), "mv17");
+        assert_eq!(ZoneId { col: -1, row: 3 }.to_string(), "z(-1,3)");
+    }
+
+    #[test]
+    fn turn_classification() {
+        assert_eq!(TurnKind::from_delta(0.0), TurnKind::Straight);
+        assert_eq!(TurnKind::from_delta(0.3), TurnKind::Straight);
+        assert_eq!(TurnKind::from_delta(FRAC_PI_2), TurnKind::Left);
+        assert_eq!(TurnKind::from_delta(-FRAC_PI_2), TurnKind::Right);
+        assert_eq!(TurnKind::from_delta(2.8), TurnKind::Left);
+        assert_eq!(TurnKind::from_delta(-2.8), TurnKind::Right);
+    }
+
+    #[test]
+    fn angle_normalization() {
+        assert!((normalize_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(FRAC_PI_2) - FRAC_PI_2).abs() < 1e-12);
+        assert!(normalize_angle(-PI) > 0.0); // maps to +π
+    }
+
+    #[test]
+    fn turn_display() {
+        assert_eq!(TurnKind::Left.to_string(), "left");
+        assert_eq!(TurnKind::Straight.to_string(), "straight");
+        assert_eq!(TurnKind::Right.to_string(), "right");
+    }
+}

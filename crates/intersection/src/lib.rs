@@ -1,0 +1,121 @@
+//! Intersection topologies for the NWADE reproduction.
+//!
+//! The paper evaluates five intersection geometries (§VI-A): a 3-way
+//! roundabout, a 4-way cross, a 5-way irregular intersection, a 4-way
+//! continuous-flow intersection (CFI) and a 4-way diverging diamond
+//! interchange (DDI). This crate builds each as a [`Topology`]: a set of
+//! legs, a set of [`Movement`]s (lane-to-lane paths through the
+//! intersection), and per-movement *zone intervals* — the ordered grid
+//! cells a movement occupies, which the AIM scheduler reserves in time.
+//!
+//! # Example
+//!
+//! ```
+//! use nwade_intersection::{build, GeometryConfig, IntersectionKind};
+//!
+//! let topo = build(IntersectionKind::FourWayCross, &GeometryConfig::default());
+//! assert_eq!(topo.legs().len(), 4);
+//! assert!(topo.movements().len() >= 12); // ≥ L/S/R from each leg
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod ids;
+pub mod movement;
+pub mod topology;
+pub mod types;
+
+pub use config::GeometryConfig;
+pub use ids::{LegId, MovementId, TurnKind, ZoneId};
+pub use movement::{Movement, ZoneInterval};
+pub use topology::{Leg, Topology};
+
+use serde::{Deserialize, Serialize};
+
+/// The five intersection geometries evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntersectionKind {
+    /// 3-way roundabout.
+    ThreeWayRoundabout,
+    /// Common 4-way cross.
+    FourWayCross,
+    /// 5-way intersection with unevenly spaced legs.
+    FiveWayIrregular,
+    /// 4-way continuous flow intersection (displaced left turns).
+    FourWayCfi,
+    /// 4-way diverging diamond interchange.
+    FourWayDdi,
+}
+
+impl IntersectionKind {
+    /// All five kinds, in the order the paper lists them.
+    pub const ALL: [IntersectionKind; 5] = [
+        IntersectionKind::ThreeWayRoundabout,
+        IntersectionKind::FourWayCross,
+        IntersectionKind::FiveWayIrregular,
+        IntersectionKind::FourWayCfi,
+        IntersectionKind::FourWayDdi,
+    ];
+
+    /// Short label used in experiment output (matches Fig. 6/8 labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            IntersectionKind::ThreeWayRoundabout => "3-way roundabout",
+            IntersectionKind::FourWayCross => "4-way cross",
+            IntersectionKind::FiveWayIrregular => "5-way irregular",
+            IntersectionKind::FourWayCfi => "4-way CFI",
+            IntersectionKind::FourWayDdi => "4-way DDI",
+        }
+    }
+}
+
+impl std::fmt::Display for IntersectionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds the topology for a given intersection kind.
+pub fn build(kind: IntersectionKind, config: &GeometryConfig) -> Topology {
+    match kind {
+        IntersectionKind::ThreeWayRoundabout => types::roundabout::build(config),
+        IntersectionKind::FourWayCross => types::cross::build_cross(config),
+        IntersectionKind::FiveWayIrregular => types::cross::build_irregular(config),
+        IntersectionKind::FourWayCfi => types::cfi::build(config),
+        IntersectionKind::FourWayDdi => types::ddi::build(config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_build_valid_topologies() {
+        let cfg = GeometryConfig::default();
+        for kind in IntersectionKind::ALL {
+            let topo = build(kind, &cfg);
+            topo.validate().unwrap_or_else(|e| {
+                panic!("{kind} failed validation: {e}");
+            });
+            assert!(!topo.movements().is_empty(), "{kind} has no movements");
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = IntersectionKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(
+            IntersectionKind::FourWayCross.to_string(),
+            "4-way cross"
+        );
+    }
+}

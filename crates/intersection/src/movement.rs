@@ -1,0 +1,185 @@
+//! Movements: lane-to-lane paths through an intersection.
+
+use crate::ids::{LegId, MovementId, TurnKind, ZoneId};
+use nwade_geometry::Path;
+use serde::{Deserialize, Serialize};
+
+/// The arclength interval a movement spends inside one conflict-zone cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZoneInterval {
+    /// The grid cell.
+    pub zone: ZoneId,
+    /// Arclength at which the movement enters the cell.
+    pub enter: f64,
+    /// Arclength at which it leaves the cell.
+    pub exit: f64,
+}
+
+/// A movement: the full path a vehicle follows from its spawn point on an
+/// incoming lane, through the intersection, to the end of an outgoing
+/// lane, together with the conflict-zone cells the path occupies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Movement {
+    id: MovementId,
+    from_leg: LegId,
+    from_lane: usize,
+    to_leg: LegId,
+    turn: TurnKind,
+    path: Path,
+    box_entry: f64,
+    box_exit: f64,
+    zones: Vec<ZoneInterval>,
+}
+
+impl Movement {
+    /// Assembles a movement. Zone intervals are attached later by the
+    /// topology constructor during rasterization.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: MovementId,
+        from_leg: LegId,
+        from_lane: usize,
+        to_leg: LegId,
+        turn: TurnKind,
+        path: Path,
+        box_entry: f64,
+        box_exit: f64,
+    ) -> Self {
+        assert!(
+            box_entry >= 0.0 && box_exit >= box_entry && box_exit <= path.length() + 1e-6,
+            "box interval [{box_entry}, {box_exit}] outside path of length {}",
+            path.length()
+        );
+        Movement {
+            id,
+            from_leg,
+            from_lane,
+            to_leg,
+            turn,
+            path,
+            box_entry,
+            box_exit,
+            zones: Vec::new(),
+        }
+    }
+
+    /// Movement id.
+    pub fn id(&self) -> MovementId {
+        self.id
+    }
+
+    /// Originating leg.
+    pub fn from_leg(&self) -> LegId {
+        self.from_leg
+    }
+
+    /// Index of the incoming lane on the originating leg.
+    pub fn from_lane(&self) -> usize {
+        self.from_lane
+    }
+
+    /// Destination leg.
+    pub fn to_leg(&self) -> LegId {
+        self.to_leg
+    }
+
+    /// Turn classification.
+    pub fn turn(&self) -> TurnKind {
+        self.turn
+    }
+
+    /// The full spawn-to-exit path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Arclength at which the path crosses into the intersection box.
+    pub fn box_entry(&self) -> f64 {
+        self.box_entry
+    }
+
+    /// Arclength at which the path leaves the intersection box.
+    pub fn box_exit(&self) -> f64 {
+        self.box_exit
+    }
+
+    /// The zone intervals, ordered by entry arclength.
+    pub fn zones(&self) -> &[ZoneInterval] {
+        &self.zones
+    }
+
+    /// Attaches rasterized zone intervals (topology construction only).
+    pub(crate) fn set_zones(&mut self, zones: Vec<ZoneInterval>) {
+        debug_assert!(
+            zones.windows(2).all(|w| w[0].enter <= w[1].enter),
+            "zone intervals must be ordered by entry arclength"
+        );
+        self.zones = zones;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwade_geometry::Vec2;
+
+    fn movement() -> Movement {
+        Movement::new(
+            MovementId::new(0),
+            LegId::new(0),
+            1,
+            LegId::new(2),
+            TurnKind::Straight,
+            Path::line(Vec2::ZERO, Vec2::new(100.0, 0.0)),
+            30.0,
+            70.0,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let m = movement();
+        assert_eq!(m.id().index(), 0);
+        assert_eq!(m.from_leg().index(), 0);
+        assert_eq!(m.from_lane(), 1);
+        assert_eq!(m.to_leg().index(), 2);
+        assert_eq!(m.turn(), TurnKind::Straight);
+        assert_eq!(m.path().length(), 100.0);
+        assert_eq!(m.box_entry(), 30.0);
+        assert_eq!(m.box_exit(), 70.0);
+        assert!(m.zones().is_empty());
+    }
+
+    #[test]
+    fn set_zones_orders() {
+        let mut m = movement();
+        m.set_zones(vec![
+            ZoneInterval {
+                zone: ZoneId { col: 0, row: 0 },
+                enter: 0.0,
+                exit: 3.0,
+            },
+            ZoneInterval {
+                zone: ZoneId { col: 1, row: 0 },
+                enter: 3.0,
+                exit: 6.0,
+            },
+        ]);
+        assert_eq!(m.zones().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside path")]
+    fn invalid_box_interval_panics() {
+        let _ = Movement::new(
+            MovementId::new(0),
+            LegId::new(0),
+            0,
+            LegId::new(1),
+            TurnKind::Left,
+            Path::line(Vec2::ZERO, Vec2::new(10.0, 0.0)),
+            5.0,
+            50.0,
+        );
+    }
+}

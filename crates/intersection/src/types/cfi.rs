@@ -1,0 +1,192 @@
+//! The 4-way continuous flow intersection (CFI).
+//!
+//! A CFI removes the conflict between left turns and the *opposing
+//! through* movement by crossing left-turning traffic over to a displaced
+//! lane upstream of the main box. The displaced lane runs outside the
+//! opposing lanes, so at the main box the left turn only crosses the
+//! cross-street — which moves in a different signal phase anyway.
+//!
+//! We model the crossover explicitly: the left-turn path leaves its lane
+//! `CROSSOVER_FAR` meters before the box, cuts diagonally across the
+//! opposing lanes (creating the CFI's characteristic upstream conflict
+//! zone), proceeds on the displaced lane, and turns left from the box
+//! edge.
+
+use crate::config::GeometryConfig;
+use crate::ids::{LegId, MovementId, TurnKind};
+use crate::movement::Movement;
+use crate::topology::{Leg, Topology};
+use crate::types::util;
+use nwade_geometry::{LineSegment, Path, PathElement};
+use std::f64::consts::FRAC_PI_2;
+
+/// Distance before the box at which the crossover begins.
+const CROSSOVER_FAR: f64 = 80.0;
+/// Distance before the box at which the crossover completes.
+const CROSSOVER_NEAR: f64 = 45.0;
+
+/// Builds the 4-way CFI.
+pub fn build(cfg: &GeometryConfig) -> Topology {
+    cfg.validate().expect("geometry config must be valid");
+    assert!(
+        cfg.approach_len > CROSSOVER_FAR + 20.0,
+        "approach too short for the CFI crossover"
+    );
+    let angles = [0.0, FRAC_PI_2, 2.0 * FRAC_PI_2, 3.0 * FRAC_PI_2];
+    let box_r = cfg.box_radius();
+    let legs: Vec<Leg> = angles
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| Leg::new(LegId::new(i as u8), a, cfg.lanes_in, cfg.lanes_out))
+        .collect();
+
+    let mut movements = Vec::new();
+    for (ai, &theta_a) in angles.iter().enumerate() {
+        let u_a = util::leg_dir(theta_a);
+        for (bi, &theta_b) in angles.iter().enumerate() {
+            if ai == bi {
+                continue;
+            }
+            let turn = TurnKind::from_delta(util::turn_delta(theta_a, theta_b));
+            let u_b = util::leg_dir(theta_b);
+            for lane in util::lanes_for_turn(turn, cfg.lanes_in) {
+                let out = util::exit_lane(turn, lane, cfg.lanes_out);
+                let exit_start = util::exit_start(u_b, cfg, box_r, out);
+                let exit_end = util::exit_end(u_b, cfg, box_r, out);
+                let spawn = util::spawn_point(u_a, cfg, box_r, lane);
+
+                let (elements, box_entry) = if turn == TurnKind::Left {
+                    // Displaced left: lane offset beyond the outgoing side.
+                    let disp =
+                        -u_a.perp() * (cfg.lane_width * (cfg.lanes_out as f64 + 0.7));
+                    let p1 = u_a * (box_r + CROSSOVER_FAR)
+                        + util::in_offset(u_a, cfg.lane_width, lane);
+                    let p2 = u_a * (box_r + CROSSOVER_NEAR) + disp;
+                    let p3 = u_a * box_r + disp;
+                    let elements = vec![
+                        PathElement::Line(LineSegment::new(spawn, p1)),
+                        PathElement::Line(LineSegment::new(p1, p2)),
+                        PathElement::Line(LineSegment::new(p2, p3)),
+                        PathElement::Line(LineSegment::new(p3, exit_start)),
+                        PathElement::Line(LineSegment::new(exit_start, exit_end)),
+                    ];
+                    let box_entry = spawn.distance(p1) + p1.distance(p2) + p2.distance(p3);
+                    (elements, box_entry)
+                } else {
+                    let stop = util::stop_point(u_a, cfg, box_r, lane);
+                    let elements = vec![
+                        PathElement::Line(LineSegment::new(spawn, stop)),
+                        PathElement::Line(LineSegment::new(stop, exit_start)),
+                        PathElement::Line(LineSegment::new(exit_start, exit_end)),
+                    ];
+                    (elements, spawn.distance(stop))
+                };
+                let path = Path::new(elements);
+                let box_exit = path.length() - cfg.exit_len;
+                movements.push(Movement::new(
+                    MovementId::new(movements.len() as u16),
+                    LegId::new(ai as u8),
+                    lane,
+                    LegId::new(bi as u8),
+                    turn,
+                    path,
+                    box_entry,
+                    box_exit,
+                ));
+            }
+        }
+    }
+    Topology::assemble("4-way CFI", legs, movements, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left_from(topo: &Topology, leg: usize) -> MovementId {
+        topo.movements()
+            .iter()
+            .find(|m| m.from_leg().index() == leg && m.turn() == TurnKind::Left)
+            .expect("left movement")
+            .id()
+    }
+
+    fn straight(topo: &Topology, from: usize, to: usize) -> MovementId {
+        topo.movements()
+            .iter()
+            .find(|m| {
+                m.from_leg().index() == from
+                    && m.to_leg().index() == to
+                    && m.turn() == TurnKind::Straight
+            })
+            .expect("straight movement")
+            .id()
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let topo = build(&GeometryConfig::default());
+        assert_eq!(topo.legs().len(), 4);
+        topo.validate().expect("valid");
+    }
+
+    #[test]
+    fn displaced_left_crosses_opposing_only_upstream() {
+        // The CFI's defining property: the left from the west leg (2) and
+        // the opposing through east→west (0→2) conflict ONLY at the
+        // upstream crossover, never inside the main box. With the conflict
+        // moved upstream the two movements can be pipelined.
+        let cfg = GeometryConfig::with_lanes(1);
+        let box_r = cfg.box_radius();
+        let topo = build(&cfg);
+        let left_w = topo.movement(left_from(&topo, 2));
+        let through_ew = topo.movement(straight(&topo, 0, 2));
+        let zones_l: std::collections::HashSet<_> =
+            left_w.zones().iter().map(|z| z.zone).collect();
+        let shared: Vec<_> = through_ew
+            .zones()
+            .iter()
+            .filter(|z| zones_l.contains(&z.zone))
+            .collect();
+        assert!(
+            !shared.is_empty(),
+            "crossover must intersect the opposing direction's lanes"
+        );
+        for z in shared {
+            // Cell x-extent entirely west of the main box.
+            let cell_max_x = (z.zone.col + 1) as f64 * topo.zone_cell();
+            assert!(
+                cell_max_x < -box_r + topo.zone_cell(),
+                "shared zone {} lies inside the main box",
+                z.zone
+            );
+        }
+    }
+
+    #[test]
+    fn left_turn_conflicts_with_cross_street() {
+        let topo = build(&GeometryConfig::with_lanes(1));
+        // Left from west (2) crosses the north→south through (1→3).
+        let left_w = left_from(&topo, 2);
+        let ns = straight(&topo, 1, 3);
+        let key = (left_w.min(ns), left_w.max(ns));
+        assert!(
+            topo.conflicting_pairs().contains(&key),
+            "left must still cross the cross-street"
+        );
+    }
+
+    #[test]
+    fn non_left_movements_match_plain_cross_shape() {
+        let cfg = GeometryConfig::default();
+        let topo = build(&cfg);
+        for m in topo.movements() {
+            if m.turn() != TurnKind::Left {
+                assert!((m.box_entry() - cfg.approach_len).abs() < 1e-9);
+            } else {
+                // Left paths are longer: they include the crossover dogleg.
+                assert!(m.box_entry() > cfg.approach_len);
+            }
+        }
+    }
+}

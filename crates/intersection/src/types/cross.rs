@@ -1,0 +1,214 @@
+//! Radial intersections: the common 4-way cross and the 5-way irregular
+//! intersection, both built by the same generic radial constructor.
+
+use crate::config::GeometryConfig;
+use crate::ids::{LegId, MovementId, TurnKind};
+use crate::movement::Movement;
+use crate::topology::{Leg, Topology};
+use crate::types::util;
+use nwade_geometry::{LineSegment, Path, PathElement};
+
+/// Builds the paper's common 4-way cross intersection.
+pub fn build_cross(cfg: &GeometryConfig) -> Topology {
+    use std::f64::consts::FRAC_PI_2;
+    build_radial(
+        "4-way cross",
+        &[0.0, FRAC_PI_2, 2.0 * FRAC_PI_2, 3.0 * FRAC_PI_2],
+        cfg,
+    )
+}
+
+/// Builds the 5-way irregular intersection: five legs at uneven angles.
+pub fn build_irregular(cfg: &GeometryConfig) -> Topology {
+    let degs = [0.0f64, 75.0, 150.0, 225.0, 290.0];
+    let angles: Vec<f64> = degs.iter().map(|d| d.to_radians()).collect();
+    build_radial("5-way irregular", &angles, cfg)
+}
+
+/// Generic radial intersection: legs at the given outward angles, every
+/// movement a three-piece polyline (approach, box chord, exit).
+pub fn build_radial(name: &str, angles: &[f64], cfg: &GeometryConfig) -> Topology {
+    cfg.validate().expect("geometry config must be valid");
+    assert!(angles.len() >= 3, "a radial intersection needs >= 3 legs");
+    let box_r = cfg.box_radius();
+    let legs: Vec<Leg> = angles
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| Leg::new(LegId::new(i as u8), a, cfg.lanes_in, cfg.lanes_out))
+        .collect();
+
+    let mut movements = Vec::new();
+    for (ai, &theta_a) in angles.iter().enumerate() {
+        let u_a = util::leg_dir(theta_a);
+        for (bi, &theta_b) in angles.iter().enumerate() {
+            if ai == bi {
+                continue;
+            }
+            let turn = TurnKind::from_delta(util::turn_delta(theta_a, theta_b));
+            let u_b = util::leg_dir(theta_b);
+            for lane in util::lanes_for_turn(turn, cfg.lanes_in) {
+                let out = util::exit_lane(turn, lane, cfg.lanes_out);
+                let spawn = util::spawn_point(u_a, cfg, box_r, lane);
+                let stop = util::stop_point(u_a, cfg, box_r, lane);
+                let exit_start = util::exit_start(u_b, cfg, box_r, out);
+                let exit_end = util::exit_end(u_b, cfg, box_r, out);
+                let path = Path::new(vec![
+                    PathElement::Line(LineSegment::new(spawn, stop)),
+                    PathElement::Line(LineSegment::new(stop, exit_start)),
+                    PathElement::Line(LineSegment::new(exit_start, exit_end)),
+                ]);
+                let box_entry = spawn.distance(stop);
+                let box_exit = box_entry + stop.distance(exit_start);
+                movements.push(Movement::new(
+                    MovementId::new(movements.len() as u16),
+                    LegId::new(ai as u8),
+                    lane,
+                    LegId::new(bi as u8),
+                    turn,
+                    path,
+                    box_entry,
+                    box_exit,
+                ));
+            }
+        }
+    }
+    Topology::assemble(name, legs, movements, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TurnKind;
+
+    #[test]
+    fn cross_has_expected_movement_count() {
+        // Per leg: left (1 lane) + right (1 lane) + 2 straight-capable
+        // exits? No — 4-way: one straight exit (1 per lane), one left, one
+        // right. With 2 lanes in: 2 straight + 1 left + 1 right = 4.
+        let topo = build_cross(&GeometryConfig::with_lanes(2));
+        assert_eq!(topo.movements().len(), 4 * 4);
+        topo.validate().expect("valid");
+    }
+
+    #[test]
+    fn cross_turns_partition_correctly() {
+        let topo = build_cross(&GeometryConfig::with_lanes(2));
+        for leg in topo.legs() {
+            let left = topo.movements_with_turn(leg.id(), TurnKind::Left);
+            let straight = topo.movements_with_turn(leg.id(), TurnKind::Straight);
+            let right = topo.movements_with_turn(leg.id(), TurnKind::Right);
+            assert_eq!(left.len(), 1, "{}", leg.id());
+            assert_eq!(straight.len(), 2, "{}", leg.id());
+            assert_eq!(right.len(), 1, "{}", leg.id());
+            // Lane discipline.
+            assert_eq!(left[0].from_lane(), 0);
+            assert_eq!(right[0].from_lane(), 1);
+        }
+    }
+
+    #[test]
+    fn opposing_straights_do_not_conflict() {
+        let topo = build_cross(&GeometryConfig::with_lanes(1));
+        // Straight W→E and E→W travel opposite sides of the road.
+        let find = |from: u8, to: u8| {
+            topo.movements()
+                .iter()
+                .find(|m| {
+                    m.from_leg().index() == from as usize
+                        && m.to_leg().index() == to as usize
+                        && m.turn() == TurnKind::Straight
+                })
+                .expect("movement exists")
+                .id()
+        };
+        let we = find(2, 0); // leg 2 is west (angle π) → east
+        let ew = find(0, 2);
+        let pairs = topo.conflicting_pairs();
+        let key = (we.min(ew), we.max(ew));
+        assert!(
+            !pairs.contains(&key),
+            "opposing straights should not share zones"
+        );
+    }
+
+    #[test]
+    fn crossing_straights_conflict() {
+        let topo = build_cross(&GeometryConfig::with_lanes(1));
+        let find = |from: u8, to: u8| {
+            topo.movements()
+                .iter()
+                .find(|m| {
+                    m.from_leg().index() == from as usize && m.to_leg().index() == to as usize
+                })
+                .expect("movement exists")
+                .id()
+        };
+        let we = find(2, 0);
+        let sn = find(3, 1); // south → north
+        let key = (we.min(sn), we.max(sn));
+        assert!(
+            topo.conflicting_pairs().contains(&key),
+            "perpendicular straights must conflict"
+        );
+    }
+
+    #[test]
+    fn left_turn_conflicts_with_opposing_straight() {
+        let topo = build_cross(&GeometryConfig::with_lanes(1));
+        // Left W→N crosses the path of straight E→W.
+        let left = topo
+            .movements()
+            .iter()
+            .find(|m| m.from_leg().index() == 2 && m.turn() == TurnKind::Left)
+            .expect("left from west");
+        let opposing = topo
+            .movements()
+            .iter()
+            .find(|m| {
+                m.from_leg().index() == 0
+                    && m.to_leg().index() == 2
+                    && m.turn() == TurnKind::Straight
+            })
+            .expect("straight east to west");
+        let key = (
+            left.id().min(opposing.id()),
+            left.id().max(opposing.id()),
+        );
+        assert!(topo.conflicting_pairs().contains(&key));
+    }
+
+    #[test]
+    fn irregular_has_five_legs_and_validates() {
+        let topo = build_irregular(&GeometryConfig::default());
+        assert_eq!(topo.legs().len(), 5);
+        topo.validate().expect("valid");
+        // Every leg must reach every other leg through some movement.
+        for a in topo.legs() {
+            let reachable: std::collections::HashSet<usize> = topo
+                .movements_from(a.id())
+                .iter()
+                .map(|m| m.to_leg().index())
+                .collect();
+            assert_eq!(reachable.len(), 4, "leg {} reaches {reachable:?}", a.id());
+        }
+    }
+
+    #[test]
+    fn paths_span_approach_box_exit() {
+        let cfg = GeometryConfig::default();
+        let topo = build_cross(&cfg);
+        for m in topo.movements() {
+            assert!((m.box_entry() - cfg.approach_len).abs() < 1e-9);
+            assert!(m.box_exit() > m.box_entry());
+            assert!(m.path().length() > m.box_exit());
+            // Exit segment length matches config.
+            assert!((m.path().length() - m.box_exit() - cfg.exit_len).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 3 legs")]
+    fn two_leg_radial_panics() {
+        let _ = build_radial("bad", &[0.0, 1.0], &GeometryConfig::default());
+    }
+}

@@ -1,0 +1,395 @@
+//! The 4-way diverging diamond interchange (DDI).
+//!
+//! A DDI carries an east–west arterial across a pair of ramp legs (north
+//! and south). Between two crossover points the arterial's directions
+//! swap sides, so left turns onto the ramps depart from the "wrong" side
+//! without crossing the opposing through movement. The only
+//! through-vs-through conflicts are the two crossover boxes themselves,
+//! and ramp movements merge or diverge without crossing opposing flow.
+//!
+//! Legs: 0 = east, 1 = north ramp, 2 = west, 3 = south ramp. The ramps
+//! have no through (north↔south) movement, exactly as at a real DDI.
+
+use crate::config::GeometryConfig;
+use crate::ids::{LegId, MovementId, TurnKind};
+use crate::movement::Movement;
+use crate::topology::{Leg, Topology};
+use crate::types::util;
+use nwade_geometry::{LineSegment, Path, PathElement, Vec2};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Half-length of each crossover diagonal along x.
+const DIAG: f64 = 15.0;
+/// Distance from the center to each crossover center.
+fn crossover_x(cfg: &GeometryConfig) -> f64 {
+    cfg.box_radius() + 25.0
+}
+/// y coordinate at which the ramp legs begin.
+fn ramp_base(cfg: &GeometryConfig) -> f64 {
+    cfg.lanes_in.max(cfg.lanes_out) as f64 * cfg.lane_width + 6.0
+}
+
+/// Builds the 4-way DDI.
+pub fn build(cfg: &GeometryConfig) -> Topology {
+    cfg.validate().expect("geometry config must be valid");
+    let w = cfg.lane_width;
+    let nl = cfg.lanes_in;
+    let no = cfg.lanes_out;
+    let lc = crossover_x(cfg);
+    let yb = ramp_base(cfg);
+    let app = cfg.approach_len;
+    let ext = cfg.exit_len;
+
+    let legs = vec![
+        Leg::new(LegId::new(0), 0.0, nl, no),
+        Leg::new(LegId::new(1), FRAC_PI_2, nl, no),
+        Leg::new(LegId::new(2), PI, nl, no),
+        Leg::new(LegId::new(3), 3.0 * FRAC_PI_2, nl, no),
+    ];
+
+    // Lane center helpers (arterial).
+    let ys = |i: usize| -((i as f64 + 0.5) * w); // south side
+    let yn = |i: usize| (i as f64 + 0.5) * w; // north side
+    let xn = |j: usize| (j as f64 + 0.5) * w; // north-ramp exit lanes
+    let xn_in = |i: usize| -((i as f64 + 0.5) * w); // north-ramp entry lanes
+    let xs = |j: usize| -((j as f64 + 0.5) * w); // south-ramp exit lanes
+    let xs_in = |i: usize| (i as f64 + 0.5) * w; // south-ramp entry lanes
+
+    let mut movements: Vec<Movement> = Vec::new();
+    let push = |movements: &mut Vec<Movement>,
+                    from: u8,
+                    lane: usize,
+                    to: u8,
+                    turn: TurnKind,
+                    pts: Vec<Vec2>,
+                    approach: f64,
+                    exit: f64| {
+        let elements: Vec<PathElement> = pts
+            .windows(2)
+            .map(|p| PathElement::Line(LineSegment::new(p[0], p[1])))
+            .collect();
+        let path = Path::new(elements);
+        let box_entry = approach;
+        let box_exit = path.length() - exit;
+        movements.push(Movement::new(
+            MovementId::new(movements.len() as u16),
+            LegId::new(from),
+            lane,
+            LegId::new(to),
+            turn,
+            path,
+            box_entry,
+            box_exit,
+        ));
+    };
+
+    // --- Arterial through movements (both cross both crossovers). ---
+    for i in util::lanes_for_turn(TurnKind::Straight, nl) {
+        let j = util::exit_lane(TurnKind::Straight, i, no);
+        // West → East.
+        push(
+            &mut movements,
+            2,
+            i,
+            0,
+            TurnKind::Straight,
+            vec![
+                Vec2::new(-(lc + DIAG + app), ys(i)),
+                Vec2::new(-(lc + DIAG), ys(i)),
+                Vec2::new(-(lc - DIAG), yn(i)),
+                Vec2::new(lc - DIAG, yn(i)),
+                Vec2::new(lc + DIAG, ys(j)),
+                Vec2::new(lc + DIAG + ext, ys(j)),
+            ],
+            app,
+            ext,
+        );
+        // East → West.
+        push(
+            &mut movements,
+            0,
+            i,
+            2,
+            TurnKind::Straight,
+            vec![
+                Vec2::new(lc + DIAG + app, yn(i)),
+                Vec2::new(lc + DIAG, yn(i)),
+                Vec2::new(lc - DIAG, ys(i)),
+                Vec2::new(-(lc - DIAG), ys(i)),
+                Vec2::new(-(lc + DIAG), yn(j)),
+                Vec2::new(-(lc + DIAG + ext), yn(j)),
+            ],
+            app,
+            ext,
+        );
+    }
+
+    // --- Arterial left turns onto the ramps (free-flow from the crossed
+    // side: they never meet the opposing through). ---
+    for i in util::lanes_for_turn(TurnKind::Left, nl) {
+        let j = util::exit_lane(TurnKind::Left, i, no);
+        // West → North.
+        push(
+            &mut movements,
+            2,
+            i,
+            1,
+            TurnKind::Left,
+            vec![
+                Vec2::new(-(lc + DIAG + app), ys(i)),
+                Vec2::new(-(lc + DIAG), ys(i)),
+                Vec2::new(-(lc - DIAG), yn(i)),
+                Vec2::new(xn(j) - DIAG, yn(i)),
+                Vec2::new(xn(j), yb),
+                Vec2::new(xn(j), yb + ext),
+            ],
+            app,
+            ext,
+        );
+        // East → South.
+        push(
+            &mut movements,
+            0,
+            i,
+            3,
+            TurnKind::Left,
+            vec![
+                Vec2::new(lc + DIAG + app, yn(i)),
+                Vec2::new(lc + DIAG, yn(i)),
+                Vec2::new(lc - DIAG, ys(i)),
+                Vec2::new(xs(j) + DIAG, ys(i)),
+                Vec2::new(xs(j), -yb),
+                Vec2::new(xs(j), -(yb + ext)),
+            ],
+            app,
+            ext,
+        );
+    }
+
+    // --- Arterial right turns onto the ramps (diverge before the first
+    // crossover). ---
+    for i in util::lanes_for_turn(TurnKind::Right, nl) {
+        let j = util::exit_lane(TurnKind::Right, i, no);
+        // West → South.
+        push(
+            &mut movements,
+            2,
+            i,
+            3,
+            TurnKind::Right,
+            vec![
+                Vec2::new(-(lc + DIAG + app), ys(i)),
+                Vec2::new(-(lc + DIAG + 5.0), ys(i)),
+                Vec2::new(xs(j), -yb),
+                Vec2::new(xs(j), -(yb + ext)),
+            ],
+            app - 5.0,
+            ext,
+        );
+        // East → North.
+        push(
+            &mut movements,
+            0,
+            i,
+            1,
+            TurnKind::Right,
+            vec![
+                Vec2::new(lc + DIAG + app, yn(i)),
+                Vec2::new(lc + DIAG + 5.0, yn(i)),
+                Vec2::new(xn(j), yb),
+                Vec2::new(xn(j), yb + ext),
+            ],
+            app - 5.0,
+            ext,
+        );
+    }
+
+    // --- Ramp movements. ---
+    for i in util::lanes_for_turn(TurnKind::Right, nl) {
+        let j = util::exit_lane(TurnKind::Right, i, no);
+        // North → West (right).
+        push(
+            &mut movements,
+            1,
+            i,
+            2,
+            TurnKind::Right,
+            vec![
+                Vec2::new(xn_in(i), yb + app),
+                Vec2::new(xn_in(i), yb),
+                Vec2::new(-(lc + DIAG), yn(j)),
+                Vec2::new(-(lc + DIAG + ext), yn(j)),
+            ],
+            app,
+            ext,
+        );
+        // South → East (right).
+        push(
+            &mut movements,
+            3,
+            i,
+            0,
+            TurnKind::Right,
+            vec![
+                Vec2::new(xs_in(i), -(yb + app)),
+                Vec2::new(xs_in(i), -yb),
+                Vec2::new(lc + DIAG, ys(j)),
+                Vec2::new(lc + DIAG + ext, ys(j)),
+            ],
+            app,
+            ext,
+        );
+    }
+    for i in util::lanes_for_turn(TurnKind::Left, nl) {
+        let j = util::exit_lane(TurnKind::Left, i, no);
+        // North → East (left): merge into the eastbound crossed section.
+        push(
+            &mut movements,
+            1,
+            i,
+            0,
+            TurnKind::Left,
+            vec![
+                Vec2::new(xn_in(i), yb + app),
+                Vec2::new(xn_in(i), yb),
+                Vec2::new(lc - DIAG, yn(0)),
+                Vec2::new(lc + DIAG, ys(j)),
+                Vec2::new(lc + DIAG + ext, ys(j)),
+            ],
+            app,
+            ext,
+        );
+        // South → West (left): merge into the westbound crossed section.
+        push(
+            &mut movements,
+            3,
+            i,
+            2,
+            TurnKind::Left,
+            vec![
+                Vec2::new(xs_in(i), -(yb + app)),
+                Vec2::new(xs_in(i), -yb),
+                Vec2::new(-(lc - DIAG), ys(0)),
+                Vec2::new(-(lc + DIAG), yn(j)),
+                Vec2::new(-(lc + DIAG + ext), yn(j)),
+            ],
+            app,
+            ext,
+        );
+    }
+
+    Topology::assemble("4-way DDI", legs, movements, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(topo: &Topology, from: usize, to: usize) -> MovementId {
+        topo.movements()
+            .iter()
+            .find(|m| m.from_leg().index() == from && m.to_leg().index() == to)
+            .unwrap_or_else(|| panic!("movement {from}->{to} missing"))
+            .id()
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let topo = build(&GeometryConfig::default());
+        assert_eq!(topo.legs().len(), 4);
+        topo.validate().expect("valid");
+    }
+
+    #[test]
+    fn ramps_have_no_through_movement() {
+        let topo = build(&GeometryConfig::default());
+        assert!(topo
+            .movements()
+            .iter()
+            .all(|m| !(m.from_leg().index() == 1 && m.to_leg().index() == 3)));
+        assert!(topo
+            .movements()
+            .iter()
+            .all(|m| !(m.from_leg().index() == 3 && m.to_leg().index() == 1)));
+    }
+
+    #[test]
+    fn throughs_conflict_at_crossovers_only() {
+        let cfg = GeometryConfig::with_lanes(1);
+        let topo = build(&cfg);
+        let we = topo.movement(find(&topo, 2, 0));
+        let ew = topo.movement(find(&topo, 0, 2));
+        let zones_we: std::collections::HashSet<_> = we.zones().iter().map(|z| z.zone).collect();
+        let shared: Vec<_> = ew
+            .zones()
+            .iter()
+            .filter(|z| zones_we.contains(&z.zone))
+            .collect();
+        assert!(!shared.is_empty(), "throughs must cross at the crossovers");
+        let lc = crossover_x(&cfg);
+        for z in shared {
+            let cx = (z.zone.col as f64 + 0.5) * topo.zone_cell();
+            assert!(
+                (cx.abs() - lc).abs() < DIAG + 2.0 * topo.zone_cell(),
+                "shared zone at x={cx:.1} is outside both crossovers (lc={lc:.1})"
+            );
+        }
+    }
+
+    #[test]
+    fn left_turns_avoid_opposing_through() {
+        let topo = build(&GeometryConfig::with_lanes(1));
+        // W→N left vs E→W through: the DDI's signature free left.
+        let left = find(&topo, 2, 1);
+        let opposing = find(&topo, 0, 2);
+        let key = (left.min(opposing), left.max(opposing));
+        // They DO share the west crossover (both pass through it), so look
+        // at zones east of the west crossover: the left turn's zones there
+        // are all on the north side, the westbound through's on the south.
+        let lm = topo.movement(left);
+        let om = topo.movement(opposing);
+        let zl: std::collections::HashSet<_> = lm
+            .zones()
+            .iter()
+            .filter(|z| (z.zone.col as f64) * topo.zone_cell() > -(crossover_x(&GeometryConfig::with_lanes(1)) - DIAG))
+            .map(|z| z.zone)
+            .collect();
+        let shared_inside = om
+            .zones()
+            .iter()
+            .filter(|z| {
+                (z.zone.col as f64) * topo.zone_cell()
+                    > -(crossover_x(&GeometryConfig::with_lanes(1)) - DIAG)
+            })
+            .filter(|z| zl.contains(&z.zone))
+            .count();
+        assert_eq!(
+            shared_inside, 0,
+            "left turn and opposing through overlap between crossovers ({key:?})"
+        );
+    }
+
+    #[test]
+    fn ramp_left_merges_with_through() {
+        let topo = build(&GeometryConfig::with_lanes(1));
+        // N→E left merges into the eastbound section → must share zones
+        // with W→E through.
+        let merge = find(&topo, 1, 0);
+        let through = find(&topo, 2, 0);
+        let key = (merge.min(through), merge.max(through));
+        assert!(topo.conflicting_pairs().contains(&key));
+    }
+
+    #[test]
+    fn turn_kinds_match_geometry() {
+        let topo = build(&GeometryConfig::default());
+        for m in topo.movements() {
+            match (m.from_leg().index(), m.to_leg().index()) {
+                (2, 0) | (0, 2) => assert_eq!(m.turn(), TurnKind::Straight),
+                (2, 1) | (0, 3) | (1, 0) | (3, 2) => assert_eq!(m.turn(), TurnKind::Left),
+                (2, 3) | (0, 1) | (1, 2) | (3, 0) => assert_eq!(m.turn(), TurnKind::Right),
+                other => panic!("unexpected movement {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Builders for the five evaluated intersection geometries.
+
+pub mod cfi;
+pub mod cross;
+pub mod ddi;
+pub mod roundabout;
+pub(crate) mod util;

@@ -1,0 +1,132 @@
+//! The 3-way roundabout: movements circulate counter-clockwise around a
+//! central circle, entering just clockwise of their leg and exiting just
+//! counter-clockwise of the destination leg.
+
+use crate::config::GeometryConfig;
+use crate::ids::{normalize_angle, LegId, MovementId, TurnKind};
+use crate::movement::Movement;
+use crate::topology::{Leg, Topology};
+use crate::types::util;
+use nwade_geometry::{Arc, LineSegment, Path, PathElement, Vec2};
+use std::f64::consts::TAU;
+
+/// Angular offset of entry/exit points from the leg center line.
+const MOUTH_OFFSET_DEG: f64 = 10.0;
+/// Additional per-lane angular stagger so multi-lane legs do not produce
+/// identical entry points.
+const LANE_STAGGER_DEG: f64 = 3.0;
+
+/// Builds the 3-way roundabout.
+pub fn build(cfg: &GeometryConfig) -> Topology {
+    cfg.validate().expect("geometry config must be valid");
+    let angles = [90f64.to_radians(), 210f64.to_radians(), 330f64.to_radians()];
+    let circle_r = cfg.box_radius() + 4.0;
+
+    let legs: Vec<Leg> = angles
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| Leg::new(LegId::new(i as u8), a, cfg.lanes_in, cfg.lanes_out))
+        .collect();
+
+    let mouth = MOUTH_OFFSET_DEG.to_radians();
+    let mut movements = Vec::new();
+    for (ai, &theta_a) in angles.iter().enumerate() {
+        let u_a = util::leg_dir(theta_a);
+        for (bi, &theta_b) in angles.iter().enumerate() {
+            if ai == bi {
+                continue;
+            }
+            let turn = TurnKind::from_delta(util::turn_delta(theta_a, theta_b));
+            let u_b = util::leg_dir(theta_b);
+            for lane in util::lanes_for_turn(turn, cfg.lanes_in) {
+                let out = util::exit_lane(turn, lane, cfg.lanes_out);
+                let entry_angle = theta_a - mouth - (lane as f64) * LANE_STAGGER_DEG.to_radians();
+                let exit_angle = theta_b + mouth;
+                // Counter-clockwise sweep from entry to exit, in (0, 2π).
+                let mut sweep = normalize_angle(exit_angle - entry_angle);
+                if sweep <= 0.0 {
+                    sweep += TAU;
+                }
+                let entry_pt = Vec2::from_angle(entry_angle) * circle_r;
+                let arc = Arc::new(Vec2::ZERO, circle_r, entry_angle, sweep);
+                let exit_pt = arc.end();
+                let spawn = util::spawn_point(u_a, cfg, circle_r, lane);
+                let exit_end = util::exit_end(u_b, cfg, circle_r, out);
+                let path = Path::new(vec![
+                    PathElement::Line(LineSegment::new(spawn, entry_pt)),
+                    PathElement::Arc(arc),
+                    PathElement::Line(LineSegment::new(exit_pt, exit_end)),
+                ]);
+                let box_entry = spawn.distance(entry_pt);
+                let box_exit = box_entry + arc.length();
+                movements.push(Movement::new(
+                    MovementId::new(movements.len() as u16),
+                    LegId::new(ai as u8),
+                    lane,
+                    LegId::new(bi as u8),
+                    turn,
+                    path,
+                    box_entry,
+                    box_exit,
+                ));
+            }
+        }
+    }
+    Topology::assemble("3-way roundabout", legs, movements, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let topo = build(&GeometryConfig::default());
+        assert_eq!(topo.legs().len(), 3);
+        topo.validate().expect("valid");
+    }
+
+    #[test]
+    fn movements_cover_all_leg_pairs() {
+        let topo = build(&GeometryConfig::with_lanes(1));
+        let mut pairs: Vec<(usize, usize)> = topo
+            .movements()
+            .iter()
+            .map(|m| (m.from_leg().index(), m.to_leg().index()))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 6, "3 legs × 2 destinations");
+    }
+
+    #[test]
+    fn circulating_movements_share_arc_zones() {
+        let topo = build(&GeometryConfig::with_lanes(1));
+        // Any two movements entering from different legs share part of the
+        // circle, so conflicts must be plentiful.
+        let pairs = topo.conflicting_pairs();
+        assert!(
+            pairs.len() >= 6,
+            "expected many circulating conflicts, got {}",
+            pairs.len()
+        );
+    }
+
+    #[test]
+    fn arc_lengths_are_reasonable() {
+        let topo = build(&GeometryConfig::with_lanes(1));
+        for m in topo.movements() {
+            let arc_len = m.box_exit() - m.box_entry();
+            let circle_r = GeometryConfig::default().box_radius() + 4.0;
+            // Sweep between ~20° and 360°.
+            assert!(arc_len > 0.3 * circle_r, "{}: arc too short", m.id());
+            assert!(arc_len < TAU * circle_r, "{}: arc too long", m.id());
+        }
+    }
+
+    #[test]
+    fn no_u_turns() {
+        let topo = build(&GeometryConfig::default());
+        assert!(topo.movements().iter().all(|m| m.from_leg() != m.to_leg()));
+    }
+}

@@ -1,0 +1,125 @@
+//! Shared geometry helpers for the intersection builders.
+//!
+//! All builders use right-hand traffic: for a leg whose outward direction
+//! is `u`, incoming lanes sit on the `u.perp()` side (the right-hand side
+//! of a vehicle travelling inward along `-u`) and outgoing lanes on the
+//! opposite side.
+
+use crate::config::GeometryConfig;
+use crate::ids::{normalize_angle, TurnKind};
+use nwade_geometry::Vec2;
+
+/// Outward unit vector of a leg at `angle`.
+pub fn leg_dir(angle: f64) -> Vec2 {
+    Vec2::from_angle(angle)
+}
+
+/// Center-line offset of incoming lane `i` on a leg with direction `u`.
+pub fn in_offset(u: Vec2, lane_width: f64, i: usize) -> Vec2 {
+    u.perp() * (lane_width * (i as f64 + 0.5))
+}
+
+/// Center-line offset of outgoing lane `j` on a leg with direction `u`.
+pub fn out_offset(u: Vec2, lane_width: f64, j: usize) -> Vec2 {
+    -u.perp() * (lane_width * (j as f64 + 0.5))
+}
+
+/// Spawn point of incoming lane `i`: where vehicles enter the modeled
+/// area.
+pub fn spawn_point(u: Vec2, cfg: &GeometryConfig, box_r: f64, i: usize) -> Vec2 {
+    u * (box_r + cfg.approach_len) + in_offset(u, cfg.lane_width, i)
+}
+
+/// Stop-line point of incoming lane `i`: the box boundary.
+pub fn stop_point(u: Vec2, cfg: &GeometryConfig, box_r: f64, i: usize) -> Vec2 {
+    u * box_r + in_offset(u, cfg.lane_width, i)
+}
+
+/// Box-boundary point where outgoing lane `j` begins.
+pub fn exit_start(u: Vec2, cfg: &GeometryConfig, box_r: f64, j: usize) -> Vec2 {
+    u * box_r + out_offset(u, cfg.lane_width, j)
+}
+
+/// End of outgoing lane `j`: where vehicles leave the modeled area.
+pub fn exit_end(u: Vec2, cfg: &GeometryConfig, box_r: f64, j: usize) -> Vec2 {
+    u * (box_r + cfg.exit_len) + out_offset(u, cfg.lane_width, j)
+}
+
+/// Heading change from entering along leg `from_angle` to exiting along
+/// leg `to_angle`, normalized to `(-π, π]`.
+pub fn turn_delta(from_angle: f64, to_angle: f64) -> f64 {
+    normalize_angle(to_angle - (from_angle + std::f64::consts::PI))
+}
+
+/// The incoming lanes allowed to perform `turn` out of `lanes_in` lanes:
+/// left turns use the leftmost lane (index 0), right turns the rightmost,
+/// straight movements every lane.
+pub fn lanes_for_turn(turn: TurnKind, lanes_in: usize) -> Vec<usize> {
+    match turn {
+        TurnKind::Left => vec![0],
+        TurnKind::Right => vec![lanes_in - 1],
+        TurnKind::Straight => (0..lanes_in).collect(),
+    }
+}
+
+/// The outgoing lane a movement exits into.
+pub fn exit_lane(turn: TurnKind, from_lane: usize, lanes_out: usize) -> usize {
+    match turn {
+        TurnKind::Left => 0,
+        TurnKind::Right => lanes_out - 1,
+        TurnKind::Straight => from_lane.min(lanes_out - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn west_leg_lane_sides() {
+        // West leg: u = (-1, 0). Eastbound (inward) traffic keeps right,
+        // i.e. the south side.
+        let u = leg_dir(PI);
+        let cfg = GeometryConfig::default();
+        let inc = in_offset(u, cfg.lane_width, 0);
+        assert!(inc.y < 0.0, "incoming lane should be south, got {inc}");
+        let out = out_offset(u, cfg.lane_width, 0);
+        assert!(out.y > 0.0, "outgoing lane should be north, got {out}");
+    }
+
+    #[test]
+    fn spawn_is_farther_than_stop() {
+        let cfg = GeometryConfig::default();
+        let u = leg_dir(0.3);
+        let s = spawn_point(u, &cfg, 15.0, 0);
+        let t = stop_point(u, &cfg, 15.0, 0);
+        assert!((s.distance(t) - cfg.approach_len).abs() < 1e-9);
+        assert!(s.norm() > t.norm());
+    }
+
+    #[test]
+    fn turn_delta_classifications() {
+        // From the west leg (π) going to the east leg (0): straight.
+        assert!(turn_delta(PI, 0.0).abs() < 1e-9);
+        // West → north (π/2): eastbound turning left.
+        assert_eq!(TurnKind::from_delta(turn_delta(PI, PI / 2.0)), TurnKind::Left);
+        // West → south (3π/2): eastbound turning right.
+        assert_eq!(
+            TurnKind::from_delta(turn_delta(PI, 3.0 * PI / 2.0)),
+            TurnKind::Right
+        );
+    }
+
+    #[test]
+    fn lane_allocation_rules() {
+        assert_eq!(lanes_for_turn(TurnKind::Left, 3), vec![0]);
+        assert_eq!(lanes_for_turn(TurnKind::Right, 3), vec![2]);
+        assert_eq!(lanes_for_turn(TurnKind::Straight, 3), vec![0, 1, 2]);
+        assert_eq!(lanes_for_turn(TurnKind::Left, 1), vec![0]);
+        assert_eq!(exit_lane(TurnKind::Left, 2, 2), 0);
+        assert_eq!(exit_lane(TurnKind::Right, 0, 2), 1);
+        assert_eq!(exit_lane(TurnKind::Straight, 1, 2), 1);
+        assert_eq!(exit_lane(TurnKind::Straight, 3, 2), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests over the topology builders' public API.
+
+use nwade_intersection::{build, GeometryConfig, IntersectionKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every kind validates for every reasonable lane count, and the
+    /// zone rasterization tiles every movement path without gaps.
+    #[test]
+    fn all_kinds_valid_across_lane_counts(
+        lanes in 1usize..4,
+        kind_idx in 0usize..5,
+    ) {
+        let kind = IntersectionKind::ALL[kind_idx];
+        let cfg = GeometryConfig::with_lanes(lanes);
+        let topo = build(kind, &cfg);
+        topo.validate().expect("valid topology");
+        for m in topo.movements() {
+            let zones = m.zones();
+            prop_assert!(!zones.is_empty());
+            prop_assert!((zones[0].enter - 0.0).abs() < 1e-9);
+            prop_assert!((zones[zones.len() - 1].exit - m.path().length()).abs() < 1e-9);
+            for w in zones.windows(2) {
+                prop_assert!((w[0].exit - w[1].enter).abs() < 1e-9, "gap in tiling");
+            }
+            // Box markers within the path.
+            prop_assert!(m.box_entry() >= 0.0);
+            prop_assert!(m.box_exit() <= m.path().length() + 1e-6);
+        }
+    }
+
+    /// Paths are geometrically continuous: consecutive sampled points
+    /// are never farther apart than the sampling step allows.
+    #[test]
+    fn movement_paths_are_continuous(kind_idx in 0usize..5) {
+        let kind = IntersectionKind::ALL[kind_idx];
+        let topo = build(kind, &GeometryConfig::default());
+        for m in topo.movements() {
+            let pts = m.path().sample(2.0);
+            for w in pts.windows(2) {
+                prop_assert!(
+                    w[0].distance(w[1]) < 2.5,
+                    "{}: discontinuity of {:.2} m",
+                    m.id(),
+                    w[0].distance(w[1])
+                );
+            }
+        }
+    }
+
+    /// Conflict structure is symmetric and self-free.
+    #[test]
+    fn conflict_pairs_are_canonical(kind_idx in 0usize..5) {
+        let kind = IntersectionKind::ALL[kind_idx];
+        let topo = build(kind, &GeometryConfig::default());
+        let pairs = topo.conflicting_pairs();
+        for (a, b) in &pairs {
+            prop_assert!(a < b, "pairs stored canonically");
+        }
+        let set: std::collections::HashSet<_> = pairs.iter().collect();
+        prop_assert_eq!(set.len(), pairs.len(), "no duplicates");
+    }
+}

@@ -1,0 +1,175 @@
+//! Simulation configuration.
+
+use nwade::attack::{AttackSetting, ViolationKind};
+use nwade::NwadeConfig;
+use nwade_intersection::{GeometryConfig, IntersectionKind};
+use nwade_traffic::{KinematicLimits, TurnMix};
+use nwade_vanet::MediumConfig;
+
+/// Which AIM scheduler drives the intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerChoice {
+    /// The reservation scheduler (DASH stand-in, the paper's host
+    /// system).
+    Reservation,
+    /// The full-lock FCFS baseline.
+    Fcfs,
+    /// The fixed-cycle traffic-light baseline.
+    TrafficLight,
+}
+
+/// Which signature scheme signs blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureChoice {
+    /// Cheap keyed-hash mock (default for large sweeps; Figs. 4/5/7/8 do
+    /// not measure crypto cost).
+    Mock,
+    /// Real RSA with the given modulus size (Fig. 6 uses 2048).
+    Rsa {
+        /// Modulus size in bits.
+        bits: usize,
+    },
+}
+
+/// The attack to inject, per Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackPlan {
+    /// The Table I row.
+    pub setting: AttackSetting,
+    /// How the violating vehicle misbehaves.
+    pub violation: ViolationKind,
+    /// Simulation time at which the attack begins.
+    pub start: f64,
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Intersection geometry.
+    pub kind: IntersectionKind,
+    /// Geometry parameters (lanes, lengths, zone grid).
+    pub geometry: GeometryConfig,
+    /// Arrival rate, vehicles per minute (paper: 20–120, default 80).
+    pub density: f64,
+    /// Turning mix (paper: 25/50/25).
+    pub turn_mix: TurnMix,
+    /// NWADE protocol parameters.
+    pub nwade: NwadeConfig,
+    /// Network parameters.
+    pub medium: MediumConfig,
+    /// Vehicle kinematics.
+    pub limits: KinematicLimits,
+    /// Scheduler choice.
+    pub scheduler: SchedulerChoice,
+    /// When `false`, the NWADE layer is disabled entirely: no blocks, no
+    /// watching, no reports — the Fig. 8 "without NWADE" baseline.
+    pub nwade_enabled: bool,
+    /// Optional attack injection.
+    pub attack: Option<AttackPlan>,
+    /// Total simulated time, seconds.
+    pub duration: f64,
+    /// Physics timestep, seconds.
+    pub dt: f64,
+    /// How often vehicles run their sensing pass, seconds.
+    pub sense_interval: f64,
+    /// RNG seed (all randomness in a run derives from it).
+    pub seed: u64,
+    /// Block signature scheme.
+    pub signature: SignatureChoice,
+    /// Speed at which vehicles enter the modeled area, m/s.
+    pub initial_speed: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            kind: IntersectionKind::FourWayCross,
+            geometry: GeometryConfig::default(),
+            density: 80.0,
+            turn_mix: TurnMix::default(),
+            nwade: NwadeConfig::default(),
+            medium: MediumConfig::default(),
+            limits: KinematicLimits::default(),
+            scheduler: SchedulerChoice::Reservation,
+            nwade_enabled: true,
+            attack: None,
+            duration: 300.0,
+            dt: 0.1,
+            sense_interval: 0.5,
+            seed: 0,
+            signature: SignatureChoice::Mock,
+            initial_speed: 15.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.geometry.validate()?;
+        self.nwade.validate()?;
+        self.medium.validate()?;
+        if !(self.density > 0.0) {
+            return Err("density must be positive".into());
+        }
+        if !(self.duration > 0.0) {
+            return Err("duration must be positive".into());
+        }
+        if !(self.dt > 0.0 && self.dt < 1.0) {
+            return Err("dt must be in (0, 1)".into());
+        }
+        if !(self.sense_interval >= self.dt) {
+            return Err("sense interval must be at least one tick".into());
+        }
+        if !(self.initial_speed >= 0.0 && self.initial_speed <= self.limits.v_max) {
+            return Err("initial speed must be within [0, v_max]".into());
+        }
+        if let Some(attack) = &self.attack {
+            if !(attack.start > 0.0 && attack.start < self.duration) {
+                return Err("attack start must fall inside the run".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SimConfig::default().validate().expect("default valid");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = SimConfig::default();
+        c.density = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.dt = 2.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.sense_interval = 0.01;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.initial_speed = 1000.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.attack = Some(AttackPlan {
+            setting: AttackSetting::V1,
+            violation: ViolationKind::SuddenStop,
+            start: 1e9,
+        });
+        assert!(c.validate().is_err());
+    }
+}

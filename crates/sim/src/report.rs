@@ -1,0 +1,106 @@
+//! The result of one simulation run.
+
+use crate::metrics::SimMetrics;
+use nwade::attack::AttackSetting;
+use nwade_intersection::IntersectionKind;
+
+/// Everything a run produced, plus the headline configuration it ran
+/// under.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The attack setting, if any.
+    pub setting: Option<AttackSetting>,
+    /// Intersection kind.
+    pub kind: IntersectionKind,
+    /// Arrival rate, vehicles/minute.
+    pub density: f64,
+    /// Whether the NWADE layer was active.
+    pub nwade_enabled: bool,
+    /// The collected measurements.
+    pub metrics: SimMetrics,
+}
+
+impl SimReport {
+    /// Whether the run's staged violation was detected.
+    pub fn violation_detected(&self) -> bool {
+        let im = self.setting.map_or(false, |s| s.im_malicious());
+        self.metrics.violation_detected(im)
+    }
+
+    /// Detection latency in seconds, when applicable.
+    pub fn detection_latency(&self) -> Option<f64> {
+        let im = self.setting.map_or(false, |s| s.im_malicious());
+        self.metrics.violation_detection_latency(im)
+    }
+
+    /// Whether the Type A false accusation triggered an unnecessary
+    /// response: an honest manager evacuating against the innocent, or
+    /// benign vehicles self-evacuating over the staged claim.
+    pub fn false_alarm_a_triggered(&self) -> bool {
+        self.metrics.false_accusation_confirmed.is_some()
+            || self.metrics.accused_claim_evacuations > 0
+    }
+
+    /// Whether the Type A false accusation was identified as false
+    /// (dismissed by an honest manager, or dissented against under a
+    /// malicious one).
+    pub fn false_alarm_a_detected(&self) -> bool {
+        self.metrics.false_accusation_dismissed.is_some()
+            || self.metrics.wrongful_dissent.is_some()
+    }
+
+    /// Whether the Type B false claim triggered any benign
+    /// self-evacuation.
+    pub fn false_alarm_b_triggered(&self) -> bool {
+        self.metrics.type_b_evacuations > 0
+    }
+
+    /// Whether the Type B false claim was rebutted by at least one benign
+    /// vehicle.
+    pub fn false_alarm_b_detected(&self) -> bool {
+        self.metrics.type_b_rebuttals > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimReport {
+        SimReport {
+            setting: Some(AttackSetting::V2),
+            kind: IntersectionKind::FourWayCross,
+            density: 80.0,
+            nwade_enabled: true,
+            metrics: SimMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn false_alarm_classification() {
+        let mut r = base();
+        assert!(!r.false_alarm_a_triggered());
+        assert!(!r.false_alarm_a_detected());
+        r.metrics.false_accusation_dismissed = Some(10.0);
+        assert!(r.false_alarm_a_detected());
+        r.metrics.false_accusation_confirmed = Some(11.0);
+        assert!(r.false_alarm_a_triggered());
+        r.metrics.type_b_rebuttals = 2;
+        assert!(r.false_alarm_b_detected());
+        assert!(!r.false_alarm_b_triggered());
+    }
+
+    #[test]
+    fn detection_uses_setting_role() {
+        let mut r = base();
+        r.metrics.attack_start = Some(100.0);
+        r.metrics.violation_confirmed = Some(100.3);
+        assert!(r.violation_detected());
+        assert!((r.detection_latency().expect("latency") - 0.3).abs() < 1e-9);
+        // Malicious-IM setting requires the global path.
+        r.setting = Some(AttackSetting::ImV2);
+        assert!(!r.violation_detected());
+        r.metrics.violation_global_report = Some(101.0);
+        assert!(r.violation_detected());
+    }
+}

@@ -1,0 +1,159 @@
+//! Multi-round scenario execution: the paper evaluates each attack
+//! setting over 10 rounds with random attacker placement (§VI-A).
+
+use crate::config::SimConfig;
+use crate::report::SimReport;
+use crate::world::Simulation;
+
+/// Aggregated results over several rounds of one configuration.
+#[derive(Debug, Clone)]
+pub struct RoundsSummary {
+    /// Individual round reports.
+    pub rounds: Vec<SimReport>,
+}
+
+impl RoundsSummary {
+    /// Fraction of rounds in which the staged violation was detected.
+    pub fn detection_rate(&self) -> f64 {
+        rate(&self.rounds, SimReport::violation_detected)
+    }
+
+    /// Fraction of rounds in which the Type A false alarm triggered.
+    pub fn false_alarm_a_trigger_rate(&self) -> f64 {
+        rate(&self.rounds, SimReport::false_alarm_a_triggered)
+    }
+
+    /// Fraction of rounds in which the Type A false alarm was detected.
+    pub fn false_alarm_a_detection_rate(&self) -> f64 {
+        rate(&self.rounds, SimReport::false_alarm_a_detected)
+    }
+
+    /// Fraction of rounds in which the Type B false alarm triggered.
+    pub fn false_alarm_b_trigger_rate(&self) -> f64 {
+        rate(&self.rounds, SimReport::false_alarm_b_triggered)
+    }
+
+    /// Fraction of rounds in which the Type B false alarm was detected.
+    pub fn false_alarm_b_detection_rate(&self) -> f64 {
+        rate(&self.rounds, SimReport::false_alarm_b_detected)
+    }
+
+    /// Mean detection latency over rounds that detected, seconds.
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        let latencies: Vec<f64> = self
+            .rounds
+            .iter()
+            .filter_map(SimReport::detection_latency)
+            .collect();
+        if latencies.is_empty() {
+            None
+        } else {
+            Some(latencies.iter().sum::<f64>() / latencies.len() as f64)
+        }
+    }
+
+    /// Mean throughput over rounds, vehicles/minute.
+    pub fn mean_throughput(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds
+            .iter()
+            .map(|r| r.metrics.throughput_per_minute())
+            .sum::<f64>()
+            / self.rounds.len() as f64
+    }
+}
+
+fn rate(rounds: &[SimReport], f: impl Fn(&SimReport) -> bool) -> f64 {
+    if rounds.is_empty() {
+        return 0.0;
+    }
+    rounds.iter().filter(|r| f(r)).count() as f64 / rounds.len() as f64
+}
+
+/// Runs `rounds` simulations differing only in seed (which randomizes
+/// arrivals and attacker placement), as the paper does. Rounds are
+/// independent and run on parallel threads; results are returned in
+/// seed order, so the summary is deterministic.
+pub fn run_rounds(base: &SimConfig, rounds: u64) -> RoundsSummary {
+    let configs: Vec<SimConfig> = (0..rounds)
+        .map(|i| {
+            let mut config = base.clone();
+            config.seed = base.seed.wrapping_mul(1_000_003).wrapping_add(i);
+            config
+        })
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(configs.len().max(1));
+    // A simple work queue shared by the worker threads; declared before
+    // the scope so it outlives every spawned borrow.
+    let queue = std::sync::Mutex::new(configs.into_iter().enumerate());
+    let queue = &queue;
+    let reports: Vec<SimReport> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                loop {
+                    let next = queue.lock().expect("queue lock").next();
+                    let Some((i, config)) = next else { break };
+                    out.push((i, Simulation::new(config).run()));
+                }
+                out
+            }));
+        }
+        let mut indexed: Vec<(usize, SimReport)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("round thread panicked"))
+            .collect();
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    });
+    RoundsSummary { rounds: reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SimMetrics;
+    use nwade::attack::AttackSetting;
+    use nwade_intersection::IntersectionKind;
+
+    fn report(detected: bool) -> SimReport {
+        let mut metrics = SimMetrics::default();
+        metrics.attack_start = Some(100.0);
+        if detected {
+            metrics.violation_confirmed = Some(100.5);
+        }
+        metrics.exited = 60;
+        metrics.duration = 120.0;
+        SimReport {
+            setting: Some(AttackSetting::V1),
+            kind: IntersectionKind::FourWayCross,
+            density: 80.0,
+            nwade_enabled: true,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn rates_aggregate() {
+        let s = RoundsSummary {
+            rounds: vec![report(true), report(true), report(false), report(true)],
+        };
+        assert!((s.detection_rate() - 0.75).abs() < 1e-9);
+        assert!((s.mean_detection_latency().expect("some detected") - 0.5).abs() < 1e-9);
+        assert!((s.mean_throughput() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_rates_are_zero() {
+        let s = RoundsSummary { rounds: vec![] };
+        assert_eq!(s.detection_rate(), 0.0);
+        assert_eq!(s.mean_throughput(), 0.0);
+        assert!(s.mean_detection_latency().is_none());
+    }
+}

@@ -1,0 +1,1519 @@
+//! The simulation world: fixed-timestep physics plus the event-driven
+//! message plane.
+//!
+//! # Tick pipeline
+//!
+//! Every `dt` (default 100 ms) one tick runs, in order:
+//!
+//! 1. **Spawning** — due Poisson arrivals enter if their lane's entry is
+//!    clear by a full stopping distance; each spawn sends a plan request
+//!    to the manager.
+//! 2. **Plan re-requests** — vehicles still cruising without a plan ask
+//!    again every 5 s (covers manager deferrals and lost blocks).
+//! 3. **Announcement re-broadcast** — self-evacuating vehicles repeat
+//!    their global report every 2 s so newcomers learn they are off-plan.
+//! 4. **Attack injection** — at the configured start, the Table I roles
+//!    are assigned to live vehicles and false reports are scheduled.
+//! 5. **Physics** — the collision-avoidance layer (car-following toward
+//!    off-plan leaders, headway cone, anticipated-crossing yield) marks
+//!    emergency braking; every vehicle then advances per its
+//!    [`DriveMode`].
+//! 6. **Divergence check** — a benign vehicle pushed > 3 m off its plan
+//!    by braking self-evacuates and announces itself (§IV-B5).
+//! 7. **Ground truth** — collisions are recorded from world positions,
+//!    independent of any protocol state.
+//! 8. **Message plane** — due VANET deliveries dispatch into the vehicle
+//!    guards and the manager agent; their actions are executed (sends,
+//!    plan adoption, self-evacuation, metrics).
+//! 9. **Sensing pass** (every 500 ms) — each benign vehicle observes
+//!    neighbours in range and runs Algorithm 2 through its guard.
+//! 10. **Manager window** (every δ = 1 s) — queued plan requests are
+//!     scheduled, filtered, packaged and broadcast (Eq. 1).
+//! 11. **Threat-cleared check** — once a confirmed violator stops or
+//!     exits, recovery replans every vehicle parked by the evacuation.
+
+use crate::config::{SchedulerChoice, SignatureChoice, SimConfig};
+use crate::imu::{ImuAction, ImuAgent};
+use crate::metrics::SimMetrics;
+use crate::report::SimReport;
+use crate::vehicle::{DriveMode, Role, VehicleAgent};
+use nwade::attack::AttackSetting;
+use nwade::messages::{class, GlobalClaim, GlobalReport, IncidentReport, NwadeMessage, Observation};
+use nwade::{GuardAction, NwadeConfig, NwadeManager, VehicleGuard};
+use nwade_aim::{
+    FcfsScheduler, PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig,
+    TrafficLightScheduler,
+};
+use nwade_crypto::{MockScheme, RsaKeyPair, RsaScheme, SignatureScheme};
+use nwade_geometry::Vec2;
+use nwade_intersection::{build, Topology};
+use nwade_traffic::{DemandGenerator, SpawnEvent, VehicleId};
+use nwade_vanet::{Medium, NodeId, Recipient};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Center-to-center distance below which two vehicles count as a
+/// ground-truth collision.
+const COLLISION_DISTANCE: f64 = 2.0;
+
+/// The simulation world.
+pub struct Simulation {
+    config: SimConfig,
+    topo: Arc<Topology>,
+    rng: StdRng,
+    medium: Medium<NwadeMessage>,
+    imu: ImuAgent,
+    vehicles: BTreeMap<u64, VehicleAgent>,
+    spawn_queue: VecDeque<SpawnEvent>,
+    /// Plan requests received and waiting for the next window:
+    /// (receive time, request).
+    pending_requests: Vec<(f64, PlanRequest)>,
+    now: f64,
+    metrics: SimMetrics,
+    scheme: Arc<dyn SignatureScheme>,
+    last_window: f64,
+    last_sense: f64,
+    // Attack bookkeeping.
+    attack_deployed: bool,
+    violator: Option<VehicleId>,
+    accused: Option<VehicleId>,
+    colluders: HashSet<VehicleId>,
+    false_report_schedule: Vec<(f64, VehicleId)>,
+    corrupted_index: Option<u64>,
+    collided: HashSet<(u64, u64)>,
+    threat_cleared: bool,
+    /// Index of the most recently broadcast block.
+    last_block_index: Option<u64>,
+    /// The block index the colluders falsely accuse (Type B).
+    bogus_claim_index: Option<u64>,
+    /// Vehicles that publicly announced self-evacuation (the honest
+    /// manager hears the broadcasts too).
+    announced_evacuating: HashSet<VehicleId>,
+    /// Last re-broadcast time per evacuating vehicle.
+    last_announce: std::collections::HashMap<u64, f64>,
+}
+
+impl Simulation {
+    /// Builds a simulation from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid.
+    pub fn new(config: SimConfig) -> Self {
+        config.validate().expect("sim config must be valid");
+        let topo = Arc::new(build(config.kind, &config.geometry));
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let scheme: Arc<dyn SignatureScheme> = match config.signature {
+            SignatureChoice::Mock => Arc::new(MockScheme::from_seed(config.seed ^ 0xA5A5)),
+            SignatureChoice::Rsa { bits } => {
+                Arc::new(RsaScheme::new(RsaKeyPair::generate(bits, &mut rng)))
+            }
+        };
+        let sched_cfg = SchedulerConfig {
+            limits: config.limits,
+            ..SchedulerConfig::default()
+        };
+        let scheduler: Box<dyn Scheduler + Send> = match config.scheduler {
+            SchedulerChoice::Reservation => {
+                Box::new(ReservationScheduler::new(topo.clone(), sched_cfg))
+            }
+            SchedulerChoice::Fcfs => Box::new(FcfsScheduler::new(topo.clone(), sched_cfg)),
+            SchedulerChoice::TrafficLight => Box::new(TrafficLightScheduler::new(
+                topo.clone(),
+                sched_cfg,
+                Default::default(),
+            )),
+        };
+        let manager = NwadeManager::new(
+            topo.clone(),
+            scheduler,
+            scheme.clone(),
+            config.nwade,
+        );
+        let im_malicious = config
+            .attack
+            .map_or(false, |a| a.setting.im_malicious());
+        let imu = ImuAgent::new(manager, topo.clone(), scheme.clone(), im_malicious);
+
+        let mut demand = DemandGenerator::new(
+            config.density,
+            config.turn_mix,
+            config.initial_speed,
+        );
+        let spawns = demand.generate(&topo, config.duration, &mut rng);
+
+        let mut medium = Medium::new(config.medium);
+        medium.set_position(NodeId::Imu, Vec2::ZERO);
+
+        Simulation {
+            topo,
+            rng,
+            medium,
+            imu,
+            vehicles: BTreeMap::new(),
+            spawn_queue: spawns.into(),
+            pending_requests: Vec::new(),
+            now: 0.0,
+            metrics: SimMetrics::default(),
+            scheme,
+            last_window: 0.0,
+            last_sense: 0.0,
+            attack_deployed: false,
+            violator: None,
+            accused: None,
+            colluders: HashSet::new(),
+            false_report_schedule: Vec::new(),
+            corrupted_index: None,
+            collided: HashSet::new(),
+            threat_cleared: false,
+            last_block_index: None,
+            bogus_claim_index: None,
+            announced_evacuating: HashSet::new(),
+            last_announce: std::collections::HashMap::new(),
+            config,
+        }
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulation time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Snapshot of every active vehicle: `(id, position, speed, mode,
+    /// malicious)`.
+    pub fn vehicle_snapshot(&self) -> Vec<(VehicleId, Vec2, f64, DriveMode, bool)> {
+        self.vehicles
+            .values()
+            .filter(|v| v.is_active())
+            .map(|v| {
+                (
+                    v.id,
+                    v.position(&self.topo),
+                    v.speed,
+                    v.mode,
+                    v.is_malicious(),
+                )
+            })
+            .collect()
+    }
+
+    /// Metrics collected so far (final totals only after [`Simulation::run`]).
+    pub fn metrics_so_far(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// Runs to completion and returns the report.
+    pub fn run(self) -> SimReport {
+        self.run_with(|_| {})
+    }
+
+    /// Runs to completion, calling `observer` after every tick — for
+    /// visualization, live metrics, or custom probes.
+    pub fn run_with(mut self, mut observer: impl FnMut(&Simulation)) -> SimReport {
+        let ticks = (self.config.duration / self.config.dt).ceil() as u64;
+        for _ in 0..ticks {
+            self.tick();
+            observer(&self);
+        }
+        self.metrics.duration = self.config.duration;
+        self.metrics.network = self.medium.stats().clone();
+        SimReport {
+            setting: self.config.attack.map(|a| a.setting),
+            kind: self.config.kind,
+            density: self.config.density,
+            nwade_enabled: self.config.nwade_enabled,
+            metrics: self.metrics,
+        }
+    }
+
+    fn nwade_cfg(&self) -> &NwadeConfig {
+        &self.config.nwade
+    }
+
+    fn tick(&mut self) {
+        self.now += self.config.dt;
+        let now = self.now;
+
+        self.spawn_due(now);
+        self.rerequest_plans(now);
+        self.rebroadcast_announcements(now);
+        self.deploy_attack(now);
+        self.fire_false_reports(now);
+        self.step_physics(now);
+        self.divergence_check(now);
+        self.detect_collisions();
+        self.deliver_messages(now);
+        if now - self.last_sense >= self.config.sense_interval {
+            self.last_sense = now;
+            self.sense_pass(now);
+        }
+        if now - self.last_window >= self.nwade_cfg().processing_window {
+            self.last_window = now;
+            self.process_window(now);
+        }
+        self.check_threat_cleared();
+    }
+
+    // ----- spawning -------------------------------------------------
+
+    fn spawn_due(&mut self, now: f64) {
+        while let Some(front) = self.spawn_queue.front() {
+            if front.time > now {
+                break;
+            }
+            // Gate: the lane entry must be clear far enough that the new
+            // vehicle could brake to a stop behind stalled traffic.
+            let spawn_gap = self.config.limits.stopping_distance(front.speed) + 30.0;
+            let movement = self.topo.movement(front.movement);
+            let lane_key = (movement.from_leg(), movement.from_lane());
+            let blocked = self.vehicles.values().any(|v| {
+                if !v.is_active() {
+                    return false;
+                }
+                let m = self.topo.movement(v.movement);
+                (m.from_leg(), m.from_lane()) == lane_key && v.s < spawn_gap
+            });
+            if blocked {
+                // Hold the spawn until the lane clears.
+                let mut ev = self.spawn_queue.pop_front().expect("front exists");
+                ev.time = now + 1.0;
+                // Keep the queue time-ordered by reinserting behind any
+                // earlier events.
+                let pos = self
+                    .spawn_queue
+                    .iter()
+                    .position(|e| e.time > ev.time)
+                    .unwrap_or(self.spawn_queue.len());
+                self.spawn_queue.insert(pos, ev);
+                continue;
+            }
+            let ev = self.spawn_queue.pop_front().expect("front exists");
+            self.spawn(ev, now);
+        }
+    }
+
+    fn spawn(&mut self, ev: SpawnEvent, now: f64) {
+        let guard = VehicleGuard::new(
+            ev.id,
+            self.topo.clone(),
+            self.scheme.clone(),
+            self.config.nwade,
+        );
+        let agent = VehicleAgent::new(
+            ev.id,
+            ev.movement,
+            ev.descriptor.clone(),
+            guard,
+            ev.speed,
+            now,
+        );
+        let pos = agent.position(&self.topo);
+        self.medium.set_position(NodeId::Vehicle(ev.id.raw()), pos);
+        self.vehicles.insert(ev.id.raw(), agent);
+        self.metrics.spawned += 1;
+        // Request a plan from the manager.
+        let req = PlanRequest {
+            id: ev.id,
+            descriptor: ev.descriptor,
+            movement: ev.movement,
+            position_s: 0.0,
+            speed: ev.speed,
+        };
+        self.medium.send(
+            NodeId::Vehicle(ev.id.raw()),
+            Recipient::Unicast(NodeId::Imu),
+            class::PLAN_REQUEST,
+            NwadeMessage::PlanRequest(req),
+            now,
+            &mut self.rng,
+        );
+    }
+
+    /// Vehicles still cruising without a plan (their plan was deferred by
+    /// the manager or the block was lost) ask again every few seconds.
+    fn rerequest_plans(&mut self, now: f64) {
+        let mut resend: Vec<PlanRequest> = Vec::new();
+        for v in self.vehicles.values_mut() {
+            if v.is_active()
+                && v.mode == DriveMode::Cruise
+                && v.plan.is_none()
+                && now - v.last_request > 5.0
+            {
+                v.last_request = now;
+                resend.push(PlanRequest {
+                    id: v.id,
+                    descriptor: v.descriptor.clone(),
+                    movement: v.movement,
+                    position_s: v.s,
+                    speed: v.speed,
+                });
+            }
+        }
+        for req in resend {
+            self.medium.send(
+                NodeId::Vehicle(req.id.raw()),
+                Recipient::Unicast(NodeId::Imu),
+                class::PLAN_REQUEST,
+                NwadeMessage::PlanRequest(req),
+                now,
+                &mut self.rng,
+            );
+        }
+    }
+
+    /// Self-evacuating vehicles re-broadcast their global report every
+    /// couple of seconds so vehicles arriving after the first
+    /// announcement also learn they are off-plan.
+    fn rebroadcast_announcements(&mut self, now: f64) {
+        let mut sends: Vec<(u64, nwade::messages::GlobalReport)> = Vec::new();
+        for v in self.vehicles.values() {
+            if !v.is_active() || !v.guard.is_evacuating() {
+                continue;
+            }
+            let due = self
+                .last_announce
+                .get(&v.id.raw())
+                .map_or(true, |t| now - t > 2.0);
+            if !due {
+                continue;
+            }
+            if v.guard.evacuation_claim().is_some() {
+                // Re-broadcasts are pure self-announcements ("this
+                // vehicle is off-plan"): they refresh note_threat at
+                // late arrivals without inflating the original claim's
+                // distinct-sender support.
+                sends.push((
+                    v.id.raw(),
+                    GlobalReport {
+                        sender: v.id,
+                        claim: GlobalClaim::AbnormalVehicle { suspect: v.id },
+                        time: now,
+                    },
+                ));
+            }
+        }
+        for (id, report) in sends {
+            self.last_announce.insert(id, now);
+            self.medium.send(
+                NodeId::Vehicle(id),
+                Recipient::Broadcast,
+                class::GLOBAL_REPORT,
+                NwadeMessage::GlobalReport(report),
+                now,
+                &mut self.rng,
+            );
+        }
+    }
+
+    // ----- attack injection -----------------------------------------
+
+    fn deploy_attack(&mut self, now: f64) {
+        let Some(plan) = self.config.attack else {
+            return;
+        };
+        if self.attack_deployed || now < plan.start {
+            return;
+        }
+        use rand::Rng;
+        // Candidate violators: planned, still approaching the box.
+        let candidates: Vec<u64> = self
+            .vehicles
+            .values()
+            .filter(|v| {
+                v.is_active()
+                    && v.mode == DriveMode::FollowPlan
+                    && v.speed > 5.0
+                    && v.plan
+                        .as_ref()
+                        .is_some_and(|p| p.exit_time(&self.topo).is_some())
+                    && v.s < self.topo.movement(v.movement).box_entry() - 40.0
+            })
+            .map(|v| v.id.raw())
+            .collect();
+        let needs_violator = plan.setting.plan_violations() > 0;
+        if needs_violator && candidates.is_empty() {
+            return; // retry next tick
+        }
+        self.attack_deployed = true;
+        self.metrics.attack_start = Some(now);
+
+        if needs_violator {
+            let pick = candidates[self.rng.gen_range(0..candidates.len())];
+            let violator = VehicleId::new(pick);
+            self.violator = Some(violator);
+            self.vehicles
+                .get_mut(&pick)
+                .expect("candidate exists")
+                .start_violation(plan.violation, now);
+            if plan.setting.im_malicious() {
+                self.imu.shielded.insert(violator);
+            }
+        }
+        if plan.setting == AttackSetting::Im {
+            self.imu.corrupt_next_block = true;
+        }
+
+        // Colluders: other active vehicles become false reporters.
+        let n_reporters = plan.setting.false_reports();
+        let mut pool: Vec<u64> = self
+            .vehicles
+            .values()
+            .filter(|v| v.is_active() && Some(v.id) != self.violator)
+            .map(|v| v.id.raw())
+            .collect();
+        for i in 0..n_reporters.min(pool.len()) {
+            let j = self.rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+            let id = VehicleId::new(pool[i]);
+            self.colluders.insert(id);
+            self.vehicles
+                .get_mut(&pool[i])
+                .expect("pool member exists")
+                .role = Role::FalseReporter;
+            self.false_report_schedule
+                .push((now + 0.5 + 0.2 * i as f64, id));
+        }
+        // The innocent vehicle the colluders accuse.
+        let innocents: Vec<u64> = self
+            .vehicles
+            .values()
+            .filter(|v| {
+                v.is_active() && Some(v.id) != self.violator && !self.colluders.contains(&v.id)
+            })
+            .map(|v| v.id.raw())
+            .collect();
+        if !innocents.is_empty() {
+            let pick = innocents[self.rng.gen_range(0..innocents.len())];
+            self.accused = Some(VehicleId::new(pick));
+        }
+    }
+
+    fn fire_false_reports(&mut self, now: f64) {
+        if self.false_report_schedule.is_empty() {
+            return;
+        }
+        let due: Vec<VehicleId> = self
+            .false_report_schedule
+            .iter()
+            .filter(|(t, _)| *t <= now)
+            .map(|(_, v)| *v)
+            .collect();
+        self.false_report_schedule.retain(|(t, _)| *t > now);
+        for reporter in due {
+            let Some(agent) = self.vehicles.get(&reporter.raw()) else {
+                continue;
+            };
+            if !agent.is_active() {
+                continue;
+            }
+            // Type A: accuse the innocent vehicle with fabricated evidence.
+            if let Some(accused) = self.accused {
+                if let Some(victim) = self.vehicles.get(&accused.raw()) {
+                    let fabricated = Observation {
+                        target: accused,
+                        position: victim.position(&self.topo) + Vec2::new(40.0, 0.0),
+                        speed: 0.0,
+                        time: now,
+                    };
+                    self.medium.send(
+                        NodeId::Vehicle(reporter.raw()),
+                        Recipient::Unicast(NodeId::Imu),
+                        class::INCIDENT_REPORT,
+                        NwadeMessage::IncidentReport(IncidentReport {
+                            reporter,
+                            suspect: accused,
+                            evidence: fabricated,
+                            block_index: 0,
+                        }),
+                        now,
+                        &mut self.rng,
+                    );
+                }
+            }
+            // Spread the false accusation globally too (threat iv:
+            // "disseminate false traffic situations to mislead normal
+            // vehicles").
+            if let Some(accused) = self.accused {
+                self.medium.send(
+                    NodeId::Vehicle(reporter.raw()),
+                    Recipient::Broadcast,
+                    class::GLOBAL_REPORT,
+                    NwadeMessage::GlobalReport(GlobalReport {
+                        sender: reporter,
+                        claim: GlobalClaim::AbnormalVehicle { suspect: accused },
+                        time: now,
+                    }),
+                    now,
+                    &mut self.rng,
+                );
+            }
+            // Type B: falsely claim the manager's latest block carries
+            // conflicting plans — an accusation peers can actually check.
+            let bogus_index = self.last_block_index.unwrap_or(0);
+            self.bogus_claim_index = Some(bogus_index);
+            SimMetrics::note_first(&mut self.metrics.type_b_first_broadcast, now);
+            self.medium.send(
+                NodeId::Vehicle(reporter.raw()),
+                Recipient::Broadcast,
+                class::GLOBAL_REPORT,
+                NwadeMessage::GlobalReport(GlobalReport {
+                    sender: reporter,
+                    claim: GlobalClaim::ConflictingPlans { index: bogus_index },
+                    time: now,
+                }),
+                now,
+                &mut self.rng,
+            );
+        }
+    }
+
+    // ----- physics & ground truth ------------------------------------
+
+    fn step_physics(&mut self, now: f64) {
+        // Local collision avoidance (independent of the protocol): a
+        // vehicle whose sensors see an obstacle ahead within its braking
+        // envelope performs an emergency stop regardless of its plan —
+        // real autonomy stacks never drive blindly into stopped traffic.
+        struct BrakeState {
+            id: u64,
+            pos: Vec2,
+            heading: Vec2,
+            speed: f64,
+            s: f64,
+            movement: nwade_intersection::MovementId,
+            lane: (nwade_intersection::LegId, usize),
+            in_approach: bool,
+            malicious: bool,
+            on_plan: bool,
+            /// Farthest arclength the current plan ever reaches (parked
+            /// plans stop short; everything else is unbounded).
+            plan_cap: f64,
+        }
+        let states: Vec<BrakeState> = self
+            .vehicles
+            .values()
+            .filter(|v| v.is_active())
+            .map(|v| {
+                let m = self.topo.movement(v.movement);
+                BrakeState {
+                    id: v.id.raw(),
+                    pos: v.position(&self.topo),
+                    heading: m.path().heading_at(v.s),
+                    speed: v.speed,
+                    s: v.s,
+                    movement: v.movement,
+                    lane: (m.from_leg(), m.from_lane()),
+                    in_approach: v.s < m.box_entry(),
+                    malicious: v.is_malicious(),
+                    on_plan: matches!(v.mode, DriveMode::FollowPlan | DriveMode::Cruise),
+                    plan_cap: match (&v.mode, &v.plan) {
+                        (DriveMode::FollowPlan, Some(p))
+                            if p.profile().final_speed() < 0.1 =>
+                        {
+                            p.profile().end_position()
+                        }
+                        _ => f64::INFINITY,
+                    },
+                }
+            })
+            .collect();
+        let d_max = self.config.limits.d_max;
+        let mut braking: Vec<u64> = Vec::new();
+        for v in &states {
+            // Attackers do not run the safety layer; stopped vehicles
+            // creep back up and re-check as soon as they move.
+            if v.speed < 0.5 || v.malicious {
+                continue;
+            }
+            let envelope = v.speed * v.speed / (2.0 * d_max) + 6.0;
+            let cone = 3.0 + v.speed * 1.2; // one-plus time headway
+            let blocked = states.iter().any(|u| {
+                if u.id == v.id {
+                    return false;
+                }
+                // A (near-)stopped obstacle on the own path or the shared
+                // approach of the own lane, within braking range. Plans
+                // are conflict-free, so moving plan-followers never need
+                // this; it fires for crash sites and freshly stopped
+                // attackers the plans have not caught up with.
+                let comparable = u.movement == v.movement
+                    || (u.lane == v.lane && u.in_approach && v.in_approach);
+                // A follower whose own plan already stops short of the
+                // obstacle needs no physical intervention.
+                if comparable && u.s > v.s && v.plan_cap > u.s - 2.0 {
+                    // Off-plan leaders (evacuating, braking, attacking)
+                    // may keep slowing arbitrarily: keep the full
+                    // relative stopping distance to them. On-plan leaders
+                    // are covered by the scheduler's zone gaps unless
+                    // they are (nearly) stopped.
+                    if !u.on_plan && u.speed < v.speed {
+                        let rel_stop = (v.speed * v.speed - u.speed * u.speed)
+                            / (2.0 * d_max)
+                            + 4.0;
+                        if u.s - v.s < rel_stop {
+                            return true;
+                        }
+                    }
+                    if u.speed < 3.0 && u.s - v.s < envelope {
+                        return true;
+                    }
+                }
+                // The world-space rules below exist for uncoordinated
+                // (off-plan) traffic; two plan-followers are deconflicted
+                // by the scheduler, and straight-line extrapolation would
+                // misfire at lane merges.
+                if u.on_plan && v.on_plan {
+                    return false;
+                }
+                // Anything directly ahead inside the headway cone — this
+                // is what keeps uncoordinated (self-evacuating) traffic
+                // from driving through each other.
+                let rel = u.pos - v.pos;
+                let ahead = rel.dot(v.heading);
+                if ahead > 0.0 && ahead < cone && rel.cross(v.heading).abs() < 2.2 {
+                    return true;
+                }
+                // Anticipated collision course: if straight-line motion
+                // brings the two within 3.5 m in the next 2 s, brake —
+                // but never for traffic *behind* (a leader braking for
+                // its follower freezes the closure speed and guarantees
+                // the rear-end it was trying to avoid).
+                if ahead > 0.0 && rel.norm() < 40.0 {
+                    let dv = u.heading * u.speed - v.heading * v.speed;
+                    let dv_sq = dv.norm_sq();
+                    let t_star = if dv_sq < 1e-9 {
+                        0.0
+                    } else {
+                        (-rel.dot(dv) / dv_sq).clamp(0.0, 2.0)
+                    };
+                    if (rel + dv * t_star).norm() < 3.5 {
+                        return true;
+                    }
+                }
+                false
+            });
+            if blocked {
+                braking.push(v.id);
+            }
+        }
+        for id in braking {
+            if let Some(agent) = self.vehicles.get_mut(&id) {
+                agent.emergency_brake(&self.config.limits, self.config.dt);
+            }
+        }
+        let mut exited: Vec<u64> = Vec::new();
+        for agent in self.vehicles.values_mut() {
+            if !agent.is_active() {
+                continue;
+            }
+            if agent.braked_this_tick {
+                agent.braked_this_tick = false;
+                if agent.s >= self.topo.movement(agent.movement).path().length() {
+                    exited.push(agent.id.raw());
+                }
+                continue;
+            }
+            if agent.step(&self.topo, &self.config.limits, self.config.dt, now) {
+                exited.push(agent.id.raw());
+            } else {
+                self.medium
+                    .set_position(NodeId::Vehicle(agent.id.raw()), agent.position(&self.topo));
+            }
+        }
+        for id in exited {
+            self.finalize_exit(id);
+        }
+    }
+
+    /// A benign vehicle pushed more than a tolerance off its plan by the
+    /// collision-avoidance layer cannot safely rejoin the schedule: it
+    /// self-evacuates and announces itself (§IV-B5's "vehicles very close
+    /// ... have already detected the malicious vehicle through their own
+    /// sensors and started self-evacuation").
+    fn divergence_check(&mut self, now: f64) {
+        let mut forced: Vec<(u64, Vec<GuardAction>)> = Vec::new();
+        for agent in self.vehicles.values_mut() {
+            if !agent.is_active()
+                || agent.is_malicious()
+                || agent.mode != DriveMode::FollowPlan
+            {
+                continue;
+            }
+            let Some(plan) = &agent.plan else { continue };
+            let err = plan.profile().position_at(now) - agent.s;
+            if err > 3.0 {
+                agent.self_evacuate();
+                let actions = agent.guard.force_self_evacuation(now);
+                forced.push((agent.id.raw(), actions));
+            }
+        }
+        for (id, actions) in forced {
+            self.handle_guard_actions(VehicleId::new(id), actions, now);
+        }
+    }
+
+    fn finalize_exit(&mut self, id: u64) {
+        let benign = {
+            let agent = self.vehicles.get_mut(&id).expect("exiting vehicle exists");
+            agent.guard.on_exit();
+            agent.role == Role::Benign
+        };
+        self.medium.remove_node(NodeId::Vehicle(id));
+        self.imu.manager.release_vehicle(VehicleId::new(id));
+        self.metrics.exited += 1;
+        if benign {
+            self.metrics.exited_benign += 1;
+        }
+    }
+
+    fn detect_collisions(&mut self) {
+        let states: Vec<(u64, Vec2)> = self
+            .vehicles
+            .values()
+            .filter(|v| v.is_active())
+            .map(|v| (v.id.raw(), v.position(&self.topo)))
+            .collect();
+        for i in 0..states.len() {
+            for j in i + 1..states.len() {
+                if states[i].1.distance_sq(states[j].1) < COLLISION_DISTANCE * COLLISION_DISTANCE
+                {
+                    let key = (states[i].0.min(states[j].0), states[i].0.max(states[j].0));
+                    if self.collided.insert(key) {
+                        if std::env::var("NWADE_DEBUG").is_ok() {
+                            let a = &self.vehicles[&key.0];
+                            let b = &self.vehicles[&key.1];
+                            eprintln!(
+                                "[nwade-debug] t={:.1} collision V{}({:?} v={:.1} s={:.0} mv={}) x V{}({:?} v={:.1} s={:.0} mv={})",
+                                self.now, key.0, a.mode, a.speed, a.s, a.movement.index(),
+                                key.1, b.mode, b.speed, b.s, b.movement.index()
+                            );
+                        }
+                        self.metrics.accidents += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- sensing ----------------------------------------------------
+
+    fn current_observation(&self, target: VehicleId, now: f64) -> Option<Observation> {
+        let agent = self.vehicles.get(&target.raw())?;
+        if !agent.is_active() {
+            return None;
+        }
+        Some(Observation {
+            target,
+            position: agent.position(&self.topo),
+            speed: agent.speed,
+            time: now,
+        })
+    }
+
+    fn active_positions(&self) -> Vec<(u64, Vec2)> {
+        self.vehicles
+            .values()
+            .filter(|v| v.is_active())
+            .map(|v| (v.id.raw(), v.position(&self.topo)))
+            .collect()
+    }
+
+    fn sense_pass(&mut self, now: f64) {
+        if !self.config.nwade_enabled {
+            return;
+        }
+        let positions = self.active_positions();
+        let radius = self.nwade_cfg().sensing_radius;
+        let r_sq = radius * radius;
+        let mut all_actions: Vec<(u64, Vec<GuardAction>)> = Vec::new();
+        let ids: Vec<u64> = self.vehicles.keys().copied().collect();
+        for id in ids {
+            let agent = self.vehicles.get(&id).expect("listed id");
+            if !agent.is_active() || agent.role != Role::Benign {
+                continue;
+            }
+            let me = agent.position(&self.topo);
+            let observations: Vec<Observation> = positions
+                .iter()
+                .filter(|(other, p)| *other != id && p.distance_sq(me) <= r_sq)
+                .map(|(other, p)| Observation {
+                    target: VehicleId::new(*other),
+                    position: *p,
+                    speed: self.vehicles[other].speed,
+                    time: now,
+                })
+                .collect();
+            let agent = self.vehicles.get_mut(&id).expect("listed id");
+            let mut actions = agent.guard.on_observations(&observations, now);
+            actions.extend(agent.guard.on_tick(now));
+            if !actions.is_empty() {
+                all_actions.push((id, actions));
+            }
+        }
+        for (id, actions) in all_actions {
+            self.handle_guard_actions(VehicleId::new(id), actions, now);
+        }
+    }
+
+    // ----- message plane ----------------------------------------------
+
+    fn deliver_messages(&mut self, now: f64) {
+        let due = self.medium.deliver_due(now);
+        for delivery in due {
+            match delivery.to {
+                NodeId::Imu => self.imu_receive(delivery.from, delivery.payload, now),
+                NodeId::Vehicle(id) => {
+                    self.vehicle_receive(id, delivery.from, delivery.payload, now)
+                }
+            }
+        }
+    }
+
+    fn watchers_near(&self, position: Vec2, exclude: &[VehicleId]) -> Vec<VehicleId> {
+        let radius = self.nwade_cfg().sensing_radius;
+        let r_sq = radius * radius;
+        self.vehicles
+            .values()
+            .filter(|v| {
+                v.is_active()
+                    && !exclude.contains(&v.id)
+                    && v.position(&self.topo).distance_sq(position) <= r_sq
+            })
+            .map(|v| v.id)
+            .collect()
+    }
+
+    fn imu_receive(&mut self, _from: NodeId, message: NwadeMessage, now: f64) {
+        match message {
+            NwadeMessage::PlanRequest(req) => {
+                self.pending_requests.push((now, req));
+            }
+            NwadeMessage::IncidentReport(report) => {
+                if std::env::var("NWADE_DEBUG").is_ok() {
+                    eprintln!("[nwade-debug] t={now:.2} incident report {} -> {} (announced={})",
+                        report.reporter, report.suspect,
+                        self.announced_evacuating.contains(&report.suspect));
+                }
+                if self.announced_evacuating.contains(&report.suspect) {
+                    // Publicly announced self-evacuation, not a new
+                    // attack: acknowledge so the reporter does not time
+                    // out and escalate.
+                    let descriptor = self
+                        .vehicles
+                        .get(&report.suspect.raw())
+                        .map(|v| v.descriptor.clone())
+                        .unwrap_or_else(|| nwade_traffic::VehicleDescriptor {
+                            brand: String::new(),
+                            model: String::new(),
+                            color: String::new(),
+                        });
+                    self.medium.send(
+                        NodeId::Imu,
+                        Recipient::Unicast(NodeId::Vehicle(report.reporter.raw())),
+                        class::EVACUATION_ALERT,
+                        NwadeMessage::EvacuationAlert {
+                            suspect: report.suspect,
+                            descriptor,
+                            location: report.evidence.position,
+                        },
+                        now,
+                        &mut self.rng,
+                    );
+                    return;
+                }
+                let watchers = self.watchers_near(
+                    report.evidence.position,
+                    &[report.suspect, report.reporter],
+                );
+                let actions = self.imu.on_incident_report(
+                    &report,
+                    &watchers,
+                    &self.colluders.clone(),
+                    now,
+                );
+                self.handle_imu_actions(actions, now);
+            }
+            NwadeMessage::VerifyResponse {
+                request_id,
+                suspect,
+                observed,
+                abnormal,
+            } => {
+                let near = self
+                    .current_observation(suspect, now)
+                    .map(|o| o.position)
+                    .unwrap_or(Vec2::ZERO);
+                let fresh = self.watchers_near(near, &[suspect]);
+                let actions = self.imu.on_verify_response(
+                    request_id, suspect, observed, abnormal, &fresh, now,
+                );
+                self.handle_imu_actions(actions, now);
+            }
+            NwadeMessage::GlobalReport(report) => {
+                // The manager hears announcements too: senders of global
+                // reports are publicly off-plan.
+                self.announced_evacuating.insert(report.sender);
+            }
+            NwadeMessage::BlockRequest { from_index } => {
+                // §IV-B1: vehicles may fetch blocks from the manager.
+                let blocks = self.imu.manager.blocks_from(from_index);
+                if !blocks.is_empty() {
+                    if let NodeId::Vehicle(requester) = _from {
+                        self.medium.send(
+                            NodeId::Imu,
+                            Recipient::Unicast(NodeId::Vehicle(requester)),
+                            class::BLOCK_RESPONSE,
+                            NwadeMessage::BlockResponse(blocks),
+                            now,
+                            &mut self.rng,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_imu_actions(&mut self, actions: Vec<ImuAction>, now: f64) {
+        for action in actions {
+            match action {
+                ImuAction::Broadcast(block) => {
+                    if std::env::var("NWADE_DEBUG").is_ok() {
+                        eprintln!("[nwade-debug] t={now:.2} window block idx={} plans={} ids={:?}", block.index(), block.plans().len(), block.plans().iter().map(|p| p.id().raw()).collect::<Vec<_>>());
+                    }
+                    self.last_block_index = Some(block.index());
+                    self.metrics.blocks_broadcast += 1;
+                    self.metrics.block_sizes.push(block.plans().len());
+                    self.metrics.plans_scheduled += block.plans().len();
+                    self.medium.send(
+                        NodeId::Imu,
+                        Recipient::Broadcast,
+                        class::BLOCK,
+                        NwadeMessage::Block(block),
+                        now,
+                        &mut self.rng,
+                    );
+                }
+                ImuAction::Poll {
+                    request_id,
+                    suspect,
+                    group,
+                    plan,
+                } => {
+                    if std::env::var("NWADE_DEBUG").is_ok() {
+                        eprintln!("[nwade-debug] t={now:.2} poll about {suspect}: group={} plan_known={}", group.len(), plan.is_some());
+                    }
+                    for watcher in group {
+                        let Some(plan) = plan.clone() else {
+                            continue;
+                        };
+                        self.medium.send(
+                            NodeId::Imu,
+                            Recipient::Unicast(NodeId::Vehicle(watcher.raw())),
+                            class::VERIFY_REQUEST,
+                            NwadeMessage::VerifyRequest {
+                                request_id,
+                                suspect,
+                                plan,
+                            },
+                            now,
+                            &mut self.rng,
+                        );
+                    }
+                }
+                ImuAction::Dismiss { reporter, suspect } => {
+                    if Some(suspect) == self.accused {
+                        SimMetrics::note_first(
+                            &mut self.metrics.false_accusation_dismissed,
+                            now,
+                        );
+                    }
+                    self.medium.send(
+                        NodeId::Imu,
+                        Recipient::Unicast(NodeId::Vehicle(reporter.raw())),
+                        class::DISMISSAL,
+                        NwadeMessage::Dismissal { suspect },
+                        now,
+                        &mut self.rng,
+                    );
+                }
+                ImuAction::Alert { suspect, location } => {
+                    if std::env::var("NWADE_DEBUG").is_ok() {
+                        eprintln!("[nwade-debug] t={now:.2} evacuation alert for {suspect} (violator={:?}, accused={:?})", self.violator, self.accused);
+                    }
+                    if Some(suspect) == self.violator && !self.imu.malicious {
+                        SimMetrics::note_first(&mut self.metrics.violation_confirmed, now);
+                    }
+                    // A staged alert from a compromised manager is the
+                    // attack *attempt*; only an honest manager evacuating
+                    // against the innocent counts as a triggered false
+                    // alarm.
+                    if Some(suspect) == self.accused && !self.imu.malicious {
+                        SimMetrics::note_first(&mut self.metrics.false_accusation_confirmed, now);
+                    }
+                    let descriptor = self
+                        .vehicles
+                        .get(&suspect.raw())
+                        .map(|v| v.descriptor.clone())
+                        .unwrap_or_else(|| nwade_traffic::VehicleDescriptor {
+                            brand: String::new(),
+                            model: String::new(),
+                            color: String::new(),
+                        });
+                    self.medium.send(
+                        NodeId::Imu,
+                        Recipient::Broadcast,
+                        class::EVACUATION_ALERT,
+                        NwadeMessage::EvacuationAlert {
+                            suspect,
+                            descriptor,
+                            location,
+                        },
+                        now,
+                        &mut self.rng,
+                    );
+                    // An honest manager follows up with evacuation plans
+                    // on the chain (a staged alert from a malicious
+                    // manager sends none).
+                    if !self.imu.malicious {
+                        self.issue_evacuation_block(suspect, location, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue_evacuation_block(&mut self, suspect: VehicleId, location: Vec2, now: f64) {
+        // Every active vehicle is replanned — including those whose first
+        // plan is still in flight, otherwise their stale plans would
+        // conflict with the evacuation plans and fail verification.
+        let states: Vec<PlanRequest> = self
+            .vehicles
+            .values()
+            .filter(|v| {
+                v.is_active()
+                    && v.mode != DriveMode::SelfEvacuate
+                    && !self.announced_evacuating.contains(&v.id)
+            })
+            .map(|v| PlanRequest {
+                id: v.id,
+                descriptor: v.descriptor.clone(),
+                movement: v.movement,
+                position_s: v.s,
+                speed: v.speed,
+            })
+            .collect();
+        // Threats: the confirmed suspect plus every announced
+        // self-evacuating vehicle (they are publicly off-plan).
+        let mut threats = vec![self
+            .current_observation(suspect, now)
+            .map(|o| o.position)
+            .unwrap_or(location)];
+        for v in &self.announced_evacuating {
+            if let Some(obs) = self.current_observation(*v, now) {
+                threats.push(obs.position);
+            }
+        }
+        if let Some(block) = self.imu.evacuation_block(&states, &threats, now) {
+            if std::env::var("NWADE_DEBUG").is_ok() {
+                eprintln!("[nwade-debug] t={now:.2} evacuation block idx={} plans={}", block.index(), block.plans().len());
+            }
+            self.metrics.blocks_broadcast += 1;
+            self.metrics.block_sizes.push(block.plans().len());
+            self.medium.send(
+                NodeId::Imu,
+                Recipient::Broadcast,
+                class::BLOCK,
+                NwadeMessage::Block(block),
+                now,
+                &mut self.rng,
+            );
+        }
+    }
+
+    fn vehicle_receive(&mut self, id: u64, from: NodeId, message: NwadeMessage, now: f64) {
+        let Some(agent) = self.vehicles.get_mut(&id) else {
+            return;
+        };
+        if !agent.is_active() {
+            return;
+        }
+        let malicious = agent.is_malicious();
+        match message {
+            NwadeMessage::Block(block) => {
+                if malicious {
+                    return;
+                }
+                let actions = agent.guard.on_block(&block, now);
+                self.handle_guard_actions(VehicleId::new(id), actions, now);
+            }
+            NwadeMessage::Dismissal { suspect } => {
+                if !malicious {
+                    agent.guard.on_dismissal(suspect);
+                }
+            }
+            NwadeMessage::EvacuationAlert { suspect, .. } => {
+                if malicious {
+                    return;
+                }
+                agent.guard.note_threat(suspect);
+                let obs = self.current_observation(suspect, now).filter(|o| {
+                    let agent = &self.vehicles[&id];
+                    o.position.distance(agent.position(&self.topo))
+                        <= self.nwade_cfg().sensing_radius
+                });
+                let agent = self.vehicles.get_mut(&id).expect("receiver exists");
+                let actions = agent.guard.on_evacuation_alert(suspect, obs.as_ref(), now);
+                self.handle_guard_actions(VehicleId::new(id), actions, now);
+            }
+            NwadeMessage::VerifyRequest {
+                request_id,
+                suspect,
+                plan,
+            } => {
+                let abnormal: (bool, bool) = if malicious {
+                    // Colluders lie (with full "confidence"): shield the
+                    // violator, frame the accused.
+                    if Some(suspect) == self.violator {
+                        (true, false)
+                    } else {
+                        (true, Some(suspect) == self.accused)
+                    }
+                } else {
+                    let obs = self.current_observation(suspect, now).filter(|o| {
+                        let me = self.vehicles[&id].position(&self.topo);
+                        o.position.distance(me) <= self.nwade_cfg().sensing_radius
+                    });
+                    self.vehicles[&id]
+                        .guard
+                        .answer_verify_request(suspect, obs.as_ref(), Some(&plan))
+                };
+                self.medium.send(
+                    NodeId::Vehicle(id),
+                    Recipient::Unicast(NodeId::Imu),
+                    class::VERIFY_RESPONSE,
+                    NwadeMessage::VerifyResponse {
+                        request_id,
+                        suspect,
+                        observed: abnormal.0,
+                        abnormal: abnormal.1,
+                    },
+                    now,
+                    &mut self.rng,
+                );
+            }
+            NwadeMessage::GlobalReport(report) => {
+                if malicious {
+                    return;
+                }
+                // The sender announced it no longer follows its plan.
+                agent.guard.note_threat(report.sender);
+                let me = agent.position(&self.topo);
+                let radius = self.nwade_cfg().sensing_radius;
+                // §IV-B4 sets the safety threshold from the local
+                // majority quorum at medium density; the config default
+                // (11) is the paper's worked example.
+                let threshold = self.nwade_cfg().global_report_threshold;
+                let suspect_pos: std::collections::HashMap<u64, Vec2> = self
+                    .vehicles
+                    .values()
+                    .filter(|v| v.is_active())
+                    .map(|v| (v.id.raw(), v.position(&self.topo)))
+                    .collect();
+                let agent = self.vehicles.get_mut(&id).expect("receiver exists");
+                let actions = agent.guard.on_global_report(
+                    &report,
+                    |s| {
+                        suspect_pos
+                            .get(&s.raw())
+                            .is_some_and(|p| p.distance(me) <= radius)
+                    },
+                    threshold,
+                    now,
+                );
+                self.handle_guard_actions(VehicleId::new(id), actions, now);
+            }
+            NwadeMessage::BlockRequest { from_index } => {
+                // Serve at most a bounded slice of the cache.
+                let blocks: Vec<_> = self.vehicles[&id]
+                    .guard
+                    .cache()
+                    .iter()
+                    .filter(|b| b.index() >= from_index)
+                    .take(16)
+                    .cloned()
+                    .collect();
+                if !blocks.is_empty() {
+                    if let NodeId::Vehicle(requester) = from {
+                        self.medium.send(
+                            NodeId::Vehicle(id),
+                            Recipient::Unicast(NodeId::Vehicle(requester)),
+                            class::BLOCK_RESPONSE,
+                            NwadeMessage::BlockResponse(blocks),
+                            now,
+                            &mut self.rng,
+                        );
+                    }
+                }
+            }
+            NwadeMessage::BlockResponse(blocks) => {
+                if malicious {
+                    return;
+                }
+                let agent = self.vehicles.get_mut(&id).expect("receiver exists");
+                let actions = agent.guard.on_block_response(&blocks, now);
+                self.handle_guard_actions(VehicleId::new(id), actions, now);
+            }
+            NwadeMessage::PlanAssignment(plan) => {
+                agent.follow_plan(plan);
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_guard_actions(&mut self, id: VehicleId, actions: Vec<GuardAction>, now: f64) {
+        // Detect the (SelfEvacuate, Broadcast) pairing to classify the
+        // evacuation cause for Table II.
+        let evacuation_claim = actions.iter().find_map(|a| match a {
+            GuardAction::BroadcastGlobalReport(g) => Some(g.claim),
+            _ => None,
+        });
+        for action in actions {
+            match action {
+                GuardAction::FollowPlan(plan) => {
+                    if let Some(agent) = self.vehicles.get_mut(&id.raw()) {
+                        agent.follow_plan(plan);
+                    }
+                }
+                GuardAction::SendIncidentReport(report) => {
+                    if Some(report.suspect) == self.violator {
+                        SimMetrics::note_first(&mut self.metrics.violation_first_report, now);
+                    }
+                    self.medium.send(
+                        NodeId::Vehicle(id.raw()),
+                        Recipient::Unicast(NodeId::Imu),
+                        class::INCIDENT_REPORT,
+                        NwadeMessage::IncidentReport(report),
+                        now,
+                        &mut self.rng,
+                    );
+                }
+                GuardAction::BroadcastGlobalReport(report) => {
+                    match report.claim {
+                        GlobalClaim::AbnormalVehicle { suspect }
+                            if Some(suspect) == self.violator =>
+                        {
+                            SimMetrics::note_first(
+                                &mut self.metrics.violation_global_report,
+                                now,
+                            );
+                        }
+                        GlobalClaim::WrongfulAccusation { suspect }
+                            if Some(suspect) == self.accused =>
+                        {
+                            SimMetrics::note_first(&mut self.metrics.wrongful_dissent, now);
+                        }
+                        GlobalClaim::ConflictingPlans { index }
+                            if Some(index) == self.corrupted_index =>
+                        {
+                            SimMetrics::note_first(
+                                &mut self.metrics.corrupted_block_detected,
+                                now,
+                            );
+                        }
+                        _ => {}
+                    }
+                    self.medium.send(
+                        NodeId::Vehicle(id.raw()),
+                        Recipient::Broadcast,
+                        class::GLOBAL_REPORT,
+                        NwadeMessage::GlobalReport(report),
+                        now,
+                        &mut self.rng,
+                    );
+                }
+                GuardAction::RequestBlocks { from_index } => {
+                    // Ask the nearest peer ("the vehicles in front of it",
+                    // §IV-B2) rather than flooding the channel.
+                    let me = self
+                        .vehicles
+                        .get(&id.raw())
+                        .map(|v| v.position(&self.topo))
+                        .unwrap_or(Vec2::ZERO);
+                    let nearest = self
+                        .vehicles
+                        .values()
+                        .filter(|v| v.is_active() && v.id != id && !v.is_malicious())
+                        .min_by(|a, b| {
+                            a.position(&self.topo)
+                                .distance_sq(me)
+                                .partial_cmp(&b.position(&self.topo).distance_sq(me))
+                                .expect("finite distances")
+                        })
+                        .map(|v| v.id);
+                    let target = nearest
+                        .map(|p| NodeId::Vehicle(p.raw()))
+                        .unwrap_or(NodeId::Imu);
+                    self.medium.send(
+                        NodeId::Vehicle(id.raw()),
+                        Recipient::Unicast(target),
+                        class::BLOCK_REQUEST,
+                        NwadeMessage::BlockRequest { from_index },
+                        now,
+                        &mut self.rng,
+                    );
+                }
+                GuardAction::RebutGlobalReport { claim } => {
+                    if let GlobalClaim::ConflictingPlans { index } = claim {
+                        if Some(index) == self.bogus_claim_index {
+                            self.metrics.type_b_rebuttals += 1;
+                            SimMetrics::note_first(
+                                &mut self.metrics.type_b_first_rebuttal,
+                                now,
+                            );
+                        }
+                    }
+                }
+                GuardAction::DisregardAlert { .. } => {
+                    // The staged alert is ignored; nothing to execute.
+                }
+                GuardAction::SelfEvacuate => {
+                    if std::env::var("NWADE_DEBUG").is_ok() {
+                        eprintln!("[nwade-debug] t={now:.2} {id} self-evacuates ({evacuation_claim:?})");
+                    }
+                    if let Some(agent) = self.vehicles.get_mut(&id.raw()) {
+                        if agent.role == Role::Benign {
+                            self.metrics.benign_self_evacuations += 1;
+                            match evacuation_claim {
+                                Some(GlobalClaim::AbnormalVehicle { suspect })
+                                    if Some(suspect) == self.accused =>
+                                {
+                                    self.metrics.accused_claim_evacuations += 1;
+                                }
+                                Some(GlobalClaim::ConflictingPlans { index })
+                                    if Some(index) == self.bogus_claim_index =>
+                                {
+                                    self.metrics.type_b_evacuations += 1;
+                                }
+                                Some(GlobalClaim::ConflictingPlans { index })
+                                    if Some(index) != self.corrupted_index =>
+                                {
+                                    self.metrics.honest_block_rejections += 1;
+                                }
+                                _ => {}
+                            }
+                        }
+                        agent.self_evacuate();
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- manager window ----------------------------------------------
+
+    fn process_window(&mut self, now: f64) {
+        let pending = std::mem::take(&mut self.pending_requests);
+        let requests: Vec<PlanRequest> = pending
+            .into_iter()
+            .filter(|(_, req)| {
+                self.vehicles
+                    .get(&req.id.raw())
+                    .is_some_and(VehicleAgent::is_active)
+            })
+            .map(|(recv, mut req)| {
+                // Predict how far the requester has cruised since sending.
+                req.position_s += req.speed * (now - recv);
+                req
+            })
+            .collect();
+        if requests.is_empty() {
+            return;
+        }
+        if self.config.nwade_enabled {
+            // Track the corrupted block's index for metric attribution.
+            let will_corrupt = self.imu.malicious
+                && self.imu.corrupt_next_block
+                && !self.imu.corruption_emitted;
+            let actions = self.imu.on_window(&requests, now);
+            if will_corrupt && self.imu.corruption_emitted {
+                if let Some(ImuAction::Broadcast(b)) = actions.first() {
+                    self.corrupted_index = Some(b.index());
+                }
+            }
+            self.handle_imu_actions(actions, now);
+        } else {
+            // Baseline without NWADE: plans are unicast, no blockchain.
+            let actions = self.imu.on_window(&requests, now);
+            for action in actions {
+                if let ImuAction::Broadcast(block) = action {
+                    self.metrics.plans_scheduled += block.plans().len();
+                    for plan in block.plans() {
+                        self.medium.send(
+                            NodeId::Imu,
+                            Recipient::Unicast(NodeId::Vehicle(plan.id().raw())),
+                            "plan-assignment",
+                            NwadeMessage::PlanAssignment(plan.clone()),
+                            now,
+                            &mut self.rng,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_threat_cleared(&mut self) {
+        if self.threat_cleared {
+            return;
+        }
+        let Some(violator) = self.violator else {
+            return;
+        };
+        if self.metrics.violation_confirmed.is_none() {
+            return;
+        }
+        let gone = self
+            .vehicles
+            .get(&violator.raw())
+            .map_or(true, |v| !v.is_active() || v.speed < 0.1);
+        if gone {
+            self.threat_cleared = true;
+            self.imu.manager.on_threat_cleared();
+            self.imu.manager.on_recovery_complete();
+            // Post-evacuation recovery (§IV-B5): vehicles parked by
+            // evacuation plans are rescheduled at normal speed in the
+            // following windows.
+            let now = self.now;
+            let mut requests = Vec::new();
+            for v in self.vehicles.values() {
+                let needs_replan = v.is_active()
+                    && Some(v.id) != self.violator
+                    && v.mode == DriveMode::FollowPlan
+                    && v.plan
+                        .as_ref()
+                        .is_some_and(|p| p.exit_time(&self.topo).is_none());
+                if needs_replan {
+                    requests.push((
+                        now,
+                        PlanRequest {
+                            id: v.id,
+                            descriptor: v.descriptor.clone(),
+                            movement: v.movement,
+                            position_s: v.s,
+                            speed: v.speed,
+                        },
+                    ));
+                }
+            }
+            self.pending_requests.extend(requests);
+        }
+    }
+}

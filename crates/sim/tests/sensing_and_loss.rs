@@ -1,0 +1,51 @@
+//! Robustness integration tests: reduced sensing range and lossy radio.
+
+use nwade::attack::{AttackSetting, ViolationKind};
+use nwade_geometry::feet_to_meters;
+use nwade_sim::{AttackPlan, SimConfig, Simulation};
+
+fn attacked(seed: u64) -> SimConfig {
+    let mut config = SimConfig::default();
+    config.duration = 150.0;
+    config.seed = seed;
+    config.attack = Some(AttackPlan {
+        setting: AttackSetting::V1,
+        violation: ViolationKind::SuddenStop,
+        start: 60.0,
+    });
+    config
+}
+
+#[test]
+fn detection_survives_minimum_sensing_range() {
+    // §VI-A sweeps sensing down to 300 ft; detection must still work.
+    let mut config = attacked(41);
+    config.nwade.sensing_radius = feet_to_meters(300.0);
+    let r = Simulation::new(config).run();
+    assert!(r.violation_detected(), "300 ft sensing still detects");
+}
+
+#[test]
+fn detection_survives_packet_loss() {
+    // A mildly lossy channel: the chain's gap recovery and re-requests
+    // must keep the system working.
+    let mut config = attacked(42);
+    config.medium.loss_probability = 0.05;
+    let r = Simulation::new(config).run();
+    assert!(r.violation_detected(), "5% loss still detects");
+    assert!(
+        r.metrics.network.total_dropped() > 0,
+        "loss model was active"
+    );
+}
+
+#[test]
+fn clean_run_survives_packet_loss() {
+    let mut config = SimConfig::default();
+    config.duration = 120.0;
+    config.seed = 43;
+    config.medium.loss_probability = 0.05;
+    let r = Simulation::new(config).run();
+    assert_eq!(r.metrics.accidents, 0);
+    assert!(r.metrics.exited > 20, "traffic still flows under loss");
+}

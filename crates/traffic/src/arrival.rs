@@ -1,0 +1,127 @@
+//! Poisson arrival process.
+
+use rand::Rng;
+
+/// Generates exponential inter-arrival times for a Poisson process with a
+/// fixed rate in vehicles per minute (the paper sweeps 20–120 veh/min).
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate_per_second: f64,
+    next_time: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with `rate` vehicles per minute, starting at
+    /// time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is non-positive or not finite.
+    pub fn new(rate_per_minute: f64) -> Self {
+        assert!(
+            rate_per_minute > 0.0 && rate_per_minute.is_finite(),
+            "arrival rate must be positive, got {rate_per_minute}"
+        );
+        PoissonArrivals {
+            rate_per_second: rate_per_minute / 60.0,
+            next_time: 0.0,
+        }
+    }
+
+    /// The configured rate in vehicles per minute.
+    pub fn rate_per_minute(&self) -> f64 {
+        self.rate_per_second * 60.0
+    }
+
+    /// Draws the next arrival time in seconds.
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        // Inverse-CDF exponential sampling; 1-u avoids ln(0).
+        let u: f64 = rng.gen::<f64>();
+        let dt = -(1.0 - u).ln() / self.rate_per_second;
+        self.next_time += dt;
+        self.next_time
+    }
+
+    /// All arrival times within `[0, horizon)` seconds.
+    pub fn arrivals_until<R: Rng + ?Sized>(&mut self, horizon: f64, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_arrival(rng);
+            if t >= horizon {
+                // Keep the overshoot as the next arrival state.
+                self.next_time = t;
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut p = PoissonArrivals::new(80.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut prev = 0.0;
+        for _ in 0..500 {
+            let t = p.next_arrival(&mut rng);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches_configuration() {
+        for rate in [20.0, 80.0, 120.0] {
+            let mut p = PoissonArrivals::new(rate);
+            let mut rng = StdRng::seed_from_u64(7);
+            let horizon = 3600.0; // one hour
+            let n = p.arrivals_until(horizon, &mut rng).len() as f64;
+            let expected = rate * 60.0;
+            assert!(
+                (n - expected).abs() < 4.0 * expected.sqrt(),
+                "rate {rate}: got {n} arrivals, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_until_respects_horizon() {
+        let mut p = PoissonArrivals::new(60.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let times = p.arrivals_until(120.0, &mut rng);
+        assert!(times.iter().all(|&t| t < 120.0));
+        // Subsequent window continues after the horizon.
+        let later = p.arrivals_until(240.0, &mut rng);
+        assert!(later.iter().all(|&t| (120.0..240.0).contains(&t) || t >= 120.0));
+        assert!(later.first().copied().unwrap_or(f64::MAX) >= 120.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gen = |seed| {
+            let mut p = PoissonArrivals::new(40.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            p.arrivals_until(60.0, &mut rng)
+        };
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9), gen(10));
+    }
+
+    #[test]
+    fn rate_accessor() {
+        assert_eq!(PoissonArrivals::new(55.0).rate_per_minute(), 55.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = PoissonArrivals::new(0.0);
+    }
+}

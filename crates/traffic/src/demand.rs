@@ -1,0 +1,180 @@
+//! Combined demand generation: arrivals × legs × turn mix.
+
+use crate::arrival::PoissonArrivals;
+use crate::descriptor::{VehicleDescriptor, VehicleId};
+use crate::turns::TurnMix;
+use nwade_intersection::{MovementId, Topology, TurnKind};
+use rand::Rng;
+
+/// One vehicle entering the modeled area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpawnEvent {
+    /// Spawn time in seconds.
+    pub time: f64,
+    /// Assigned vehicle id.
+    pub id: VehicleId,
+    /// Static characteristics.
+    pub descriptor: VehicleDescriptor,
+    /// The movement the vehicle intends to follow.
+    pub movement: MovementId,
+    /// Initial speed at spawn, m/s.
+    pub speed: f64,
+}
+
+/// Generates spawn events for a topology: Poisson arrivals assigned to a
+/// uniformly random leg, a sampled turn kind, and the matching movement.
+///
+/// If the sampled turn does not exist at the chosen leg (e.g. "straight"
+/// from a DDI ramp), another movement from the same leg is used instead —
+/// drivers take what the geometry offers.
+#[derive(Debug, Clone)]
+pub struct DemandGenerator {
+    arrivals: PoissonArrivals,
+    mix: TurnMix,
+    next_id: u64,
+    initial_speed: f64,
+}
+
+impl DemandGenerator {
+    /// Creates a generator with `rate` vehicles/minute and the given turn
+    /// mix. Vehicles spawn at `initial_speed` m/s.
+    pub fn new(rate_per_minute: f64, mix: TurnMix, initial_speed: f64) -> Self {
+        assert!(
+            initial_speed >= 0.0,
+            "initial speed must be non-negative, got {initial_speed}"
+        );
+        DemandGenerator {
+            arrivals: PoissonArrivals::new(rate_per_minute),
+            mix,
+            next_id: 0,
+            initial_speed,
+        }
+    }
+
+    /// Generates all spawn events in `[0, horizon)` seconds.
+    pub fn generate<R: Rng + ?Sized>(
+        &mut self,
+        topology: &Topology,
+        horizon: f64,
+        rng: &mut R,
+    ) -> Vec<SpawnEvent> {
+        let times = self.arrivals.arrivals_until(horizon, rng);
+        let mut out = Vec::with_capacity(times.len());
+        for time in times {
+            let leg = topology.legs()[rng.gen_range(0..topology.legs().len())].id();
+            let turn = self.mix.sample(rng);
+            let movement = self.pick_movement(topology, leg, turn, rng);
+            let id = VehicleId::new(self.next_id);
+            self.next_id += 1;
+            out.push(SpawnEvent {
+                time,
+                id,
+                descriptor: VehicleDescriptor::random(rng),
+                movement,
+                speed: self.initial_speed,
+            });
+        }
+        out
+    }
+
+    fn pick_movement<R: Rng + ?Sized>(
+        &self,
+        topology: &Topology,
+        leg: nwade_intersection::LegId,
+        turn: TurnKind,
+        rng: &mut R,
+    ) -> MovementId {
+        let preferred = topology.movements_with_turn(leg, turn);
+        let candidates = if preferred.is_empty() {
+            topology.movements_from(leg)
+        } else {
+            preferred
+        };
+        assert!(
+            !candidates.is_empty(),
+            "topology leg {leg} has no movements"
+        );
+        candidates[rng.gen_range(0..candidates.len())].id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwade_intersection::{build, GeometryConfig, IntersectionKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn topo() -> Topology {
+        build(IntersectionKind::FourWayCross, &GeometryConfig::default())
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let t = topo();
+        let mut g = DemandGenerator::new(80.0, TurnMix::default(), 15.0);
+        let events = g.generate(&t, 120.0, &mut StdRng::seed_from_u64(1));
+        assert!(!events.is_empty());
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.id.raw(), i as u64);
+            assert_eq!(e.speed, 15.0);
+        }
+    }
+
+    #[test]
+    fn spawn_times_sorted_within_horizon() {
+        let t = topo();
+        let mut g = DemandGenerator::new(60.0, TurnMix::default(), 10.0);
+        let events = g.generate(&t, 300.0, &mut StdRng::seed_from_u64(2));
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(events.iter().all(|e| e.time < 300.0));
+    }
+
+    #[test]
+    fn movements_are_valid_for_topology() {
+        let t = topo();
+        let mut g = DemandGenerator::new(100.0, TurnMix::default(), 10.0);
+        let events = g.generate(&t, 120.0, &mut StdRng::seed_from_u64(3));
+        for e in &events {
+            assert!(e.movement.index() < t.movements().len());
+        }
+    }
+
+    #[test]
+    fn turn_mix_respected_on_cross() {
+        let t = topo();
+        let mut g = DemandGenerator::new(120.0, TurnMix::default(), 10.0);
+        let events = g.generate(&t, 3600.0, &mut StdRng::seed_from_u64(4));
+        let n = events.len() as f64;
+        let lefts = events
+            .iter()
+            .filter(|e| t.movement(e.movement).turn() == TurnKind::Left)
+            .count() as f64;
+        assert!((lefts / n - 0.25).abs() < 0.03, "left share {}", lefts / n);
+    }
+
+    #[test]
+    fn ddi_fallback_for_unavailable_straight() {
+        // DDI ramps have no straight movement; the generator must fall
+        // back instead of panicking.
+        let t = build(IntersectionKind::FourWayDdi, &GeometryConfig::default());
+        let mut g = DemandGenerator::new(120.0, TurnMix::new(0.0, 1.0, 0.0), 10.0);
+        let events = g.generate(&t, 600.0, &mut StdRng::seed_from_u64(5));
+        // Some vehicles spawned on ramps; all got valid movements.
+        assert!(events
+            .iter()
+            .any(|e| matches!(t.movement(e.movement).from_leg().index(), 1 | 3)));
+    }
+
+    #[test]
+    fn subsequent_generate_calls_continue_ids_and_time() {
+        let t = topo();
+        let mut g = DemandGenerator::new(80.0, TurnMix::default(), 10.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let first = g.generate(&t, 60.0, &mut rng);
+        let second = g.generate(&t, 120.0, &mut rng);
+        let last_id = first.last().expect("events").id.raw();
+        assert_eq!(second.first().expect("events").id.raw(), last_id + 1);
+        assert!(second.iter().all(|e| e.time >= 60.0 && e.time < 120.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Vehicle kinematic limits.
+
+use nwade_geometry::units::{mph_to_mps, paper};
+use serde::{Deserialize, Serialize};
+
+/// Acceleration, deceleration and speed caps for a vehicle.
+///
+/// Defaults are the paper's §VI-A settings: 50 mph speed limit, 2 m/s²
+/// maximum acceleration, 3 m/s² maximum deceleration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KinematicLimits {
+    /// Maximum speed in m/s.
+    pub v_max: f64,
+    /// Maximum acceleration in m/s².
+    pub a_max: f64,
+    /// Maximum deceleration magnitude in m/s².
+    pub d_max: f64,
+}
+
+impl Default for KinematicLimits {
+    fn default() -> Self {
+        KinematicLimits {
+            v_max: mph_to_mps(50.0),
+            a_max: paper::MAX_ACCEL,
+            d_max: paper::MAX_DECEL,
+        }
+    }
+}
+
+impl KinematicLimits {
+    /// Creates limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any limit is non-positive or not finite.
+    pub fn new(v_max: f64, a_max: f64, d_max: f64) -> Self {
+        assert!(
+            v_max > 0.0 && a_max > 0.0 && d_max > 0.0,
+            "kinematic limits must be positive"
+        );
+        assert!(
+            v_max.is_finite() && a_max.is_finite() && d_max.is_finite(),
+            "kinematic limits must be finite"
+        );
+        KinematicLimits { v_max, a_max, d_max }
+    }
+
+    /// Distance needed to brake from `speed` to a stop.
+    pub fn stopping_distance(&self, speed: f64) -> f64 {
+        speed * speed / (2.0 * self.d_max)
+    }
+
+    /// Minimum safe gap to a leader both moving at `speed`, with reaction
+    /// time `t_react`: reaction distance plus a vehicle length of margin.
+    pub fn safe_headway_distance(&self, speed: f64, t_react: f64) -> f64 {
+        speed * t_react + 5.0
+    }
+
+    /// Time to accelerate from `v0` to `v1` (capped at `v_max`).
+    pub fn accel_time(&self, v0: f64, v1: f64) -> f64 {
+        let v1 = v1.min(self.v_max);
+        if v1 >= v0 {
+            (v1 - v0) / self.a_max
+        } else {
+            (v0 - v1) / self.d_max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let k = KinematicLimits::default();
+        assert!((k.v_max - 22.352).abs() < 1e-3);
+        assert_eq!(k.a_max, 2.0);
+        assert_eq!(k.d_max, 3.0);
+    }
+
+    #[test]
+    fn stopping_distance_quadratic() {
+        let k = KinematicLimits::default();
+        assert_eq!(k.stopping_distance(0.0), 0.0);
+        // v²/(2·3): at 22.352 m/s → ~83.3 m.
+        assert!((k.stopping_distance(22.352) - 83.27).abs() < 0.1);
+        // Doubling speed quadruples the distance.
+        assert!((k.stopping_distance(20.0) / k.stopping_distance(10.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headway_grows_with_speed() {
+        let k = KinematicLimits::default();
+        assert!(k.safe_headway_distance(20.0, 1.0) > k.safe_headway_distance(5.0, 1.0));
+        assert!(k.safe_headway_distance(0.0, 1.0) >= 5.0);
+    }
+
+    #[test]
+    fn accel_time_both_directions() {
+        let k = KinematicLimits::new(30.0, 2.0, 3.0);
+        assert_eq!(k.accel_time(0.0, 10.0), 5.0);
+        assert_eq!(k.accel_time(10.0, 4.0), 2.0);
+        // Capped at v_max.
+        assert_eq!(k.accel_time(0.0, 100.0), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limit_panics() {
+        let _ = KinematicLimits::new(0.0, 1.0, 1.0);
+    }
+}

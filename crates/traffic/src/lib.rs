@@ -1,0 +1,25 @@
+//! Traffic demand and vehicle modeling for the NWADE reproduction.
+//!
+//! Implements §VI-A of the paper's experimental setup:
+//!
+//! * Poisson vehicle arrivals at 20–120 vehicles/minute ([`arrival`]),
+//! * a 25% left / 50% straight / 25% right turning mix ([`turns`]),
+//! * kinematic limits of 50 mph, 2 m/s² acceleration, 3 m/s² braking
+//!   ([`kinematics`]),
+//! * the static vehicle characteristics (brand/model/color) used to
+//!   identify suspects in alert messages ([`descriptor`]),
+//! * a combined demand generator emitting spawn events ([`demand`]).
+
+#![forbid(unsafe_code)]
+
+pub mod arrival;
+pub mod demand;
+pub mod descriptor;
+pub mod kinematics;
+pub mod turns;
+
+pub use arrival::PoissonArrivals;
+pub use demand::{DemandGenerator, SpawnEvent};
+pub use descriptor::{VehicleDescriptor, VehicleId};
+pub use kinematics::KinematicLimits;
+pub use turns::TurnMix;

@@ -1,0 +1,115 @@
+//! Turning-movement mix.
+
+use nwade_intersection::TurnKind;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A categorical distribution over turn kinds.
+///
+/// The paper's default is 25% left, 50% straight, 25% right (§VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TurnMix {
+    /// Probability of a left turn.
+    pub left: f64,
+    /// Probability of going straight.
+    pub straight: f64,
+    /// Probability of a right turn.
+    pub right: f64,
+}
+
+impl Default for TurnMix {
+    fn default() -> Self {
+        TurnMix {
+            left: 0.25,
+            straight: 0.50,
+            right: 0.25,
+        }
+    }
+}
+
+impl TurnMix {
+    /// Creates a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the weights are non-negative and sum to 1 (±1e-9).
+    pub fn new(left: f64, straight: f64, right: f64) -> Self {
+        assert!(
+            left >= 0.0 && straight >= 0.0 && right >= 0.0,
+            "turn weights must be non-negative"
+        );
+        assert!(
+            ((left + straight + right) - 1.0).abs() < 1e-9,
+            "turn weights must sum to 1, got {}",
+            left + straight + right
+        );
+        TurnMix {
+            left,
+            straight,
+            right,
+        }
+    }
+
+    /// Samples a turn kind.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> TurnKind {
+        let u: f64 = rng.gen();
+        if u < self.left {
+            TurnKind::Left
+        } else if u < self.left + self.straight {
+            TurnKind::Straight
+        } else {
+            TurnKind::Right
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_is_paper_mix() {
+        let m = TurnMix::default();
+        assert_eq!((m.left, m.straight, m.right), (0.25, 0.50, 0.25));
+    }
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let m = TurnMix::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            match m.sample(&mut rng) {
+                TurnKind::Left => counts[0] += 1,
+                TurnKind::Straight => counts[1] += 1,
+                TurnKind::Right => counts[2] += 1,
+            }
+        }
+        let f = |c: usize| c as f64 / n as f64;
+        assert!((f(counts[0]) - 0.25).abs() < 0.02, "left {}", f(counts[0]));
+        assert!((f(counts[1]) - 0.50).abs() < 0.02);
+        assert!((f(counts[2]) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn degenerate_mix_always_samples_that_kind() {
+        let m = TurnMix::new(0.0, 1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!((0..100).all(|_| m.sample(&mut rng) == TurnKind::Straight));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_weights_panic() {
+        let _ = TurnMix::new(0.5, 0.5, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = TurnMix::new(-0.5, 1.0, 0.5);
+    }
+}

@@ -1,0 +1,46 @@
+//! Property tests over the demand generator's public API.
+
+use nwade_intersection::{build, GeometryConfig, IntersectionKind};
+use nwade_traffic::{DemandGenerator, TurnMix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Spawn streams are sorted, in-horizon, uniquely identified, and
+    /// reference valid movements, for any rate / mix / topology.
+    #[test]
+    fn spawn_streams_are_well_formed(
+        rate in 5.0..150.0f64,
+        horizon in 30.0..400.0f64,
+        kind_idx in 0usize..5,
+        left in 0.0..1.0f64,
+        split in 0.0..1.0f64,
+        seed in any::<u64>(),
+    ) {
+        let kind = IntersectionKind::ALL[kind_idx];
+        let topo = build(kind, &GeometryConfig::default());
+        let straight = (1.0 - left) * split;
+        let right = 1.0 - left - straight;
+        let mix = TurnMix::new(left, straight, right);
+        let mut g = DemandGenerator::new(rate, mix, 12.0);
+        let events = g.generate(&topo, horizon, &mut StdRng::seed_from_u64(seed));
+        let mut ids = std::collections::HashSet::new();
+        for w in events.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        for e in &events {
+            prop_assert!(e.time >= 0.0 && e.time < horizon);
+            prop_assert!(e.movement.index() < topo.movements().len());
+            prop_assert!(ids.insert(e.id), "duplicate id {}", e.id);
+        }
+        // Expected count within 6 sigma of the Poisson mean.
+        let mean = rate / 60.0 * horizon;
+        prop_assert!(
+            (events.len() as f64 - mean).abs() < 6.0 * mean.sqrt() + 6.0,
+            "count {} vs mean {mean:.0}", events.len()
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Simulated VANET / V2I message substrate.
+//!
+//! The paper assumes vehicles talk to each other and to the intersection
+//! manager over VANET or 5G links with a 30 ms latency and a 1500 ft
+//! communication radius (§VI-A, §III). This crate provides that substrate
+//! for the simulator:
+//!
+//! * [`Medium`] — a position-aware message queue: unicast and broadcast
+//!   with configurable latency, radius and loss, delivering messages when
+//!   the simulation clock passes their arrival time,
+//! * [`NetworkStats`] — per-message-class packet accounting, which
+//!   regenerates the paper's Fig. 7 (network load).
+//!
+//! The medium is generic over the payload type; the NWADE layer defines
+//! its own message enum and message-class labels.
+
+#![forbid(unsafe_code)]
+
+pub mod medium;
+pub mod message;
+pub mod stats;
+
+pub use medium::{Medium, MediumConfig};
+pub use message::{Delivery, NodeId, Recipient};
+pub use stats::NetworkStats;

@@ -1,0 +1,433 @@
+//! The position-aware message medium.
+
+use crate::message::{Delivery, NodeId, Recipient};
+use crate::stats::NetworkStats;
+use nwade_geometry::Vec2;
+use rand::Rng;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Medium configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MediumConfig {
+    /// One-way latency in seconds (paper: 30 ms).
+    pub latency: f64,
+    /// Communication radius in meters (paper: 1500 ft ≈ 457 m).
+    pub comm_radius: f64,
+    /// Independent per-reception loss probability.
+    pub loss_probability: f64,
+}
+
+impl Default for MediumConfig {
+    fn default() -> Self {
+        MediumConfig {
+            latency: nwade_geometry::units::paper::NETWORK_LATENCY_S,
+            comm_radius: nwade_geometry::units::paper::comm_radius_m(),
+            loss_probability: 0.0,
+        }
+    }
+}
+
+impl MediumConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.latency >= 0.0) {
+            return Err("latency must be non-negative".into());
+        }
+        if !(self.comm_radius > 0.0) {
+            return Err("communication radius must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.loss_probability) {
+            return Err("loss probability must be within [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// An in-flight message (min-heap by delivery time).
+#[derive(Debug, Clone)]
+struct InFlight<M> {
+    deliver_at: f64,
+    seq: u64,
+    delivery: Delivery<M>,
+}
+
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for InFlight<M> {}
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap; tie-break on sequence for determinism.
+        other
+            .deliver_at
+            .partial_cmp(&self.deliver_at)
+            .expect("finite delivery times")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A simulated radio medium.
+///
+/// Node positions must be kept current via [`Medium::set_position`];
+/// range checks happen at send time (the paper's latency is far below
+/// any position change that would matter).
+#[derive(Debug)]
+pub struct Medium<M> {
+    config: MediumConfig,
+    positions: HashMap<NodeId, Vec2>,
+    queue: BinaryHeap<InFlight<M>>,
+    stats: NetworkStats,
+    seq: u64,
+}
+
+impl<M: Clone> Medium<M> {
+    /// Creates a medium.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid.
+    pub fn new(config: MediumConfig) -> Self {
+        config.validate().expect("medium config must be valid");
+        Medium {
+            config,
+            positions: HashMap::new(),
+            queue: BinaryHeap::new(),
+            stats: NetworkStats::new(),
+            seq: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MediumConfig {
+        &self.config
+    }
+
+    /// Network statistics collected so far.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Registers or updates a node's position.
+    pub fn set_position(&mut self, node: NodeId, position: Vec2) {
+        self.positions.insert(node, position);
+    }
+
+    /// Removes a node (a vehicle that left the area). In-flight messages
+    /// to it are still delivered; future sends no longer reach it.
+    pub fn remove_node(&mut self, node: NodeId) {
+        self.positions.remove(&node);
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Nodes currently within `radius` of `center`, excluding `exclude`.
+    pub fn nodes_within(&self, center: Vec2, radius: f64, exclude: Option<NodeId>) -> Vec<NodeId> {
+        let r_sq = radius * radius;
+        let mut out: Vec<NodeId> = self
+            .positions
+            .iter()
+            .filter(|(n, p)| Some(**n) != exclude && p.distance_sq(center) <= r_sq)
+            .map(|(n, _)| *n)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Sends a message at time `now`. Returns the number of recipients it
+    /// will reach.
+    ///
+    /// Unknown senders and out-of-range recipients drop the message (the
+    /// drop is counted). Loss is sampled independently per recipient.
+    pub fn send<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        to: Recipient,
+        class: &'static str,
+        payload: M,
+        now: f64,
+        rng: &mut R,
+    ) -> usize {
+        let Some(&src) = self.positions.get(&from) else {
+            self.stats.record_drop(class);
+            return 0;
+        };
+        self.stats.record_transmission(class);
+        let targets: Vec<NodeId> = match to {
+            Recipient::Unicast(node) => vec![node],
+            Recipient::Broadcast => {
+                self.nodes_within(src, self.config.comm_radius, Some(from))
+            }
+        };
+        let mut reached = 0;
+        for node in targets {
+            let in_range = self
+                .positions
+                .get(&node)
+                .is_some_and(|p| p.distance(src) <= self.config.comm_radius);
+            let lost = self.config.loss_probability > 0.0
+                && rng.gen::<f64>() < self.config.loss_probability;
+            if !in_range || lost {
+                self.stats.record_drop(class);
+                continue;
+            }
+            self.seq += 1;
+            self.queue.push(InFlight {
+                deliver_at: now + self.config.latency,
+                seq: self.seq,
+                delivery: Delivery {
+                    from,
+                    to: node,
+                    at: now + self.config.latency,
+                    class,
+                    payload: payload.clone(),
+                },
+            });
+            self.stats.record_reception(class);
+            reached += 1;
+        }
+        reached
+    }
+
+    /// Pops every message whose delivery time is `<= now`, in delivery
+    /// order.
+    pub fn deliver_due(&mut self, now: f64) -> Vec<Delivery<M>> {
+        let mut out = Vec::new();
+        while let Some(top) = self.queue.peek() {
+            if top.deliver_at > now {
+                break;
+            }
+            out.push(self.queue.pop().expect("peeked").delivery);
+        }
+        out
+    }
+
+    /// Number of messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn medium() -> Medium<&'static str> {
+        let mut m = Medium::new(MediumConfig {
+            latency: 0.030,
+            comm_radius: 100.0,
+            loss_probability: 0.0,
+        });
+        m.set_position(NodeId::Imu, Vec2::ZERO);
+        m.set_position(NodeId::Vehicle(1), Vec2::new(50.0, 0.0));
+        m.set_position(NodeId::Vehicle(2), Vec2::new(90.0, 0.0));
+        m.set_position(NodeId::Vehicle(3), Vec2::new(500.0, 0.0));
+        m
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn unicast_within_range_delivers_after_latency() {
+        let mut m = medium();
+        let n = m.send(
+            NodeId::Imu,
+            Recipient::Unicast(NodeId::Vehicle(1)),
+            "plan",
+            "hello",
+            10.0,
+            &mut rng(),
+        );
+        assert_eq!(n, 1);
+        assert!(m.deliver_due(10.02).is_empty(), "too early");
+        let due = m.deliver_due(10.03);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].payload, "hello");
+        assert_eq!(due[0].from, NodeId::Imu);
+        assert_eq!(due[0].to, NodeId::Vehicle(1));
+        assert!((due[0].at - 10.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unicast_out_of_range_drops() {
+        let mut m = medium();
+        let n = m.send(
+            NodeId::Imu,
+            Recipient::Unicast(NodeId::Vehicle(3)),
+            "plan",
+            "x",
+            0.0,
+            &mut rng(),
+        );
+        assert_eq!(n, 0);
+        assert_eq!(m.stats().class("plan").dropped, 1);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_only_nodes_in_radius() {
+        let mut m = medium();
+        let n = m.send(
+            NodeId::Imu,
+            Recipient::Broadcast,
+            "block",
+            "b",
+            0.0,
+            &mut rng(),
+        );
+        assert_eq!(n, 2, "vehicles 1 and 2 are within 100 m");
+        assert_eq!(m.stats().class("block").transmissions, 1);
+        assert_eq!(m.stats().class("block").receptions, 2);
+        let due = m.deliver_due(1.0);
+        let mut tos: Vec<_> = due.iter().map(|d| d.to).collect();
+        tos.sort();
+        assert_eq!(tos, vec![NodeId::Vehicle(1), NodeId::Vehicle(2)]);
+    }
+
+    #[test]
+    fn broadcast_excludes_sender() {
+        let mut m = medium();
+        m.send(
+            NodeId::Vehicle(1),
+            Recipient::Broadcast,
+            "report",
+            "r",
+            0.0,
+            &mut rng(),
+        );
+        let due = m.deliver_due(1.0);
+        assert!(due.iter().all(|d| d.to != NodeId::Vehicle(1)));
+    }
+
+    #[test]
+    fn unknown_sender_drops() {
+        let mut m = medium();
+        let n = m.send(
+            NodeId::Vehicle(99),
+            Recipient::Broadcast,
+            "report",
+            "r",
+            0.0,
+            &mut rng(),
+        );
+        assert_eq!(n, 0);
+        assert_eq!(m.stats().class("report").dropped, 1);
+    }
+
+    #[test]
+    fn removed_node_no_longer_reachable() {
+        let mut m = medium();
+        m.remove_node(NodeId::Vehicle(1));
+        assert_eq!(m.node_count(), 3);
+        let n = m.send(
+            NodeId::Imu,
+            Recipient::Unicast(NodeId::Vehicle(1)),
+            "plan",
+            "x",
+            0.0,
+            &mut rng(),
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn deliveries_come_out_in_time_order() {
+        let mut m = medium();
+        let mut r = rng();
+        for t in [5.0, 1.0, 3.0] {
+            m.send(
+                NodeId::Imu,
+                Recipient::Unicast(NodeId::Vehicle(1)),
+                "plan",
+                "x",
+                t,
+                &mut r,
+            );
+        }
+        let due = m.deliver_due(100.0);
+        assert_eq!(due.len(), 3);
+        assert!(due.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut m = Medium::new(MediumConfig {
+            latency: 0.03,
+            comm_radius: 100.0,
+            loss_probability: 1.0,
+        });
+        m.set_position(NodeId::Imu, Vec2::ZERO);
+        m.set_position(NodeId::Vehicle(1), Vec2::new(10.0, 0.0));
+        let n = m.send(
+            NodeId::Imu,
+            Recipient::Broadcast,
+            "block",
+            "b",
+            0.0,
+            &mut rng(),
+        );
+        assert_eq!(n, 0);
+        assert_eq!(m.stats().class("block").dropped, 1);
+    }
+
+    #[test]
+    fn partial_loss_drops_some() {
+        let mut m = Medium::new(MediumConfig {
+            latency: 0.03,
+            comm_radius: 1000.0,
+            loss_probability: 0.5,
+        });
+        m.set_position(NodeId::Imu, Vec2::ZERO);
+        for i in 0..200 {
+            m.set_position(NodeId::Vehicle(i), Vec2::new(i as f64, 0.0));
+        }
+        let reached = m.send(
+            NodeId::Imu,
+            Recipient::Broadcast,
+            "block",
+            "b",
+            0.0,
+            &mut rng(),
+        );
+        assert!(reached > 50 && reached < 150, "reached {reached}");
+    }
+
+    #[test]
+    fn nodes_within_sorted_and_excluding() {
+        let m = medium();
+        let nodes = m.nodes_within(Vec2::ZERO, 95.0, Some(NodeId::Imu));
+        assert_eq!(nodes, vec![NodeId::Vehicle(1), NodeId::Vehicle(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid")]
+    fn invalid_config_panics() {
+        let _ = Medium::<()>::new(MediumConfig {
+            latency: -1.0,
+            comm_radius: 100.0,
+            loss_probability: 0.0,
+        });
+    }
+}

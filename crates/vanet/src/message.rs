@@ -1,0 +1,63 @@
+//! Network node identities and message addressing.
+
+use std::fmt;
+
+/// A network participant: the intersection management unit or a vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    /// The intersection manager (road-side unit).
+    Imu,
+    /// A vehicle, identified by its simulation id.
+    Vehicle(u64),
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Imu => f.write_str("IMU"),
+            NodeId::Vehicle(v) => write!(f, "V{v}"),
+        }
+    }
+}
+
+/// Message addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recipient {
+    /// A single node.
+    Unicast(NodeId),
+    /// Every node within communication range of the sender.
+    Broadcast,
+}
+
+/// A message delivered to a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery<M> {
+    /// Originating node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Simulation time at which the message arrives.
+    pub at: f64,
+    /// Message-class label (for packet accounting).
+    pub class: &'static str,
+    /// The payload.
+    pub payload: M,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId::Imu.to_string(), "IMU");
+        assert_eq!(NodeId::Vehicle(7).to_string(), "V7");
+    }
+
+    #[test]
+    fn node_ordering_groups_imu_first() {
+        let mut v = vec![NodeId::Vehicle(2), NodeId::Imu, NodeId::Vehicle(0)];
+        v.sort();
+        assert_eq!(v, vec![NodeId::Imu, NodeId::Vehicle(0), NodeId::Vehicle(2)]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Packet accounting per message class (regenerates Fig. 7).
+
+use std::collections::BTreeMap;
+
+/// Counters for one message class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounters {
+    /// Radio transmissions (one per unicast / one per broadcast).
+    pub transmissions: u64,
+    /// Receptions (one per reached recipient).
+    pub receptions: u64,
+    /// Messages lost to range or the loss model.
+    pub dropped: u64,
+}
+
+/// Per-class network statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    classes: BTreeMap<&'static str, ClassCounters>,
+}
+
+impl NetworkStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        NetworkStats::default()
+    }
+
+    pub(crate) fn record_transmission(&mut self, class: &'static str) {
+        self.classes.entry(class).or_default().transmissions += 1;
+    }
+
+    pub(crate) fn record_reception(&mut self, class: &'static str) {
+        self.classes.entry(class).or_default().receptions += 1;
+    }
+
+    pub(crate) fn record_drop(&mut self, class: &'static str) {
+        self.classes.entry(class).or_default().dropped += 1;
+    }
+
+    /// Counters for one class (zeros when the class never appeared).
+    pub fn class(&self, class: &str) -> ClassCounters {
+        self.classes.get(class).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(class, counters)` in class-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, ClassCounters)> + '_ {
+        self.classes.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Total packets on the air (transmissions across all classes).
+    pub fn total_transmissions(&self) -> u64 {
+        self.classes.values().map(|c| c.transmissions).sum()
+    }
+
+    /// Total receptions across all classes.
+    pub fn total_receptions(&self) -> u64 {
+        self.classes.values().map(|c| c.receptions).sum()
+    }
+
+    /// Total drops across all classes.
+    pub fn total_dropped(&self) -> u64 {
+        self.classes.values().map(|c| c.dropped).sum()
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        self.classes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetworkStats::new();
+        s.record_transmission("block");
+        s.record_reception("block");
+        s.record_reception("block");
+        s.record_drop("report");
+        assert_eq!(s.class("block").transmissions, 1);
+        assert_eq!(s.class("block").receptions, 2);
+        assert_eq!(s.class("report").dropped, 1);
+        assert_eq!(s.class("unknown"), ClassCounters::default());
+        assert_eq!(s.total_transmissions(), 1);
+        assert_eq!(s.total_receptions(), 2);
+        assert_eq!(s.total_dropped(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_class() {
+        let mut s = NetworkStats::new();
+        s.record_transmission("zeta");
+        s.record_transmission("alpha");
+        let classes: Vec<_> = s.iter().map(|(c, _)| c).collect();
+        assert_eq!(classes, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = NetworkStats::new();
+        s.record_transmission("x");
+        s.reset();
+        assert_eq!(s.total_transmissions(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests over the medium's public API.
+
+use nwade_geometry::Vec2;
+use nwade_vanet::{Medium, MediumConfig, NodeId, Recipient};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Deliveries always come out in non-decreasing time order and every
+    /// reception is accounted once.
+    #[test]
+    fn deliveries_ordered_and_accounted(
+        sends in proptest::collection::vec(
+            (0u64..10, 0u64..10, 0.0..100.0f64), 1..60),
+    ) {
+        let mut medium = Medium::new(MediumConfig {
+            latency: 0.03,
+            comm_radius: 1_000.0,
+            loss_probability: 0.0,
+        });
+        for i in 0..10u64 {
+            medium.set_position(NodeId::Vehicle(i), Vec2::new(i as f64 * 10.0, 0.0));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut expected = 0u64;
+        for (from, to, t) in &sends {
+            let n = medium.send(
+                NodeId::Vehicle(*from),
+                Recipient::Unicast(NodeId::Vehicle(*to)),
+                "test",
+                (),
+                *t,
+                &mut rng,
+            );
+            expected += n as u64;
+        }
+        let due = medium.deliver_due(1e9);
+        prop_assert_eq!(due.len() as u64, expected);
+        prop_assert_eq!(medium.stats().class("test").receptions, expected);
+        for w in due.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        prop_assert_eq!(medium.in_flight(), 0);
+    }
+
+    /// Broadcast reach never exceeds the node count minus the sender and
+    /// always matches the geometric neighbourhood.
+    #[test]
+    fn broadcast_reach_matches_geometry(
+        positions in proptest::collection::vec((-600.0..600.0f64, -600.0..600.0f64), 2..30),
+        radius in 50.0..800.0f64,
+    ) {
+        let mut medium = Medium::new(MediumConfig {
+            latency: 0.03,
+            comm_radius: radius,
+            loss_probability: 0.0,
+        });
+        for (i, (x, y)) in positions.iter().enumerate() {
+            medium.set_position(NodeId::Vehicle(i as u64), Vec2::new(*x, *y));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let sender = Vec2::new(positions[0].0, positions[0].1);
+        let reached = medium.send(
+            NodeId::Vehicle(0),
+            Recipient::Broadcast,
+            "test",
+            (),
+            0.0,
+            &mut rng,
+        );
+        let expected = positions[1..]
+            .iter()
+            .filter(|(x, y)| Vec2::new(*x, *y).distance(sender) <= radius)
+            .count();
+        prop_assert_eq!(reached, expected);
+    }
+}

@@ -1,0 +1,78 @@
+//! Watch a V1 attack unfold as ASCII frames of the intersection.
+//!
+//! Legend: `.` benign on plan, `~` cruising (awaiting plan), `!` the
+//! attacker, `e` self-evacuating, `x` colluder, `+` intersection center.
+//!
+//! ```text
+//! cargo run --release --example ascii_trace
+//! ```
+
+use nwade_repro::nwade::attack::{AttackSetting, ViolationKind};
+use nwade_repro::sim::vehicle::DriveMode;
+use nwade_repro::sim::{AttackPlan, SimConfig, Simulation};
+
+const HALF: f64 = 200.0; // meters rendered each side of the center
+const COLS: usize = 72;
+const ROWS: usize = 28;
+
+fn frame(sim: &Simulation) -> String {
+    let mut grid = vec![vec![' '; COLS]; ROWS];
+    grid[ROWS / 2][COLS / 2] = '+';
+    for (_, pos, _, mode, malicious) in sim.vehicle_snapshot() {
+        if pos.x.abs() > HALF || pos.y.abs() > HALF {
+            continue;
+        }
+        let col = ((pos.x + HALF) / (2.0 * HALF) * (COLS - 1) as f64) as usize;
+        let row = ((HALF - pos.y) / (2.0 * HALF) * (ROWS - 1) as f64) as usize;
+        grid[row][col] = if malicious {
+            if matches!(mode, DriveMode::Violate(_)) {
+                '!'
+            } else {
+                'x'
+            }
+        } else {
+            match mode {
+                DriveMode::FollowPlan => '.',
+                DriveMode::Cruise => '~',
+                DriveMode::SelfEvacuate => 'e',
+                DriveMode::Violate(_) => '!',
+            }
+        };
+    }
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let mut config = SimConfig::default();
+    config.duration = 110.0;
+    config.density = 80.0;
+    config.seed = 11;
+    config.attack = Some(AttackPlan {
+        setting: AttackSetting::V1,
+        violation: ViolationKind::SuddenStop,
+        start: 60.0,
+    });
+    let mut next_frame = 50.0;
+    let report = Simulation::new(config).run_with(|sim| {
+        if sim.now() >= next_frame {
+            next_frame += 20.0;
+            let m = sim.metrics_so_far();
+            println!(
+                "\n=== t = {:5.1} s | active {} | reports so far: violator first seen {:?} ===",
+                sim.now(),
+                sim.vehicle_snapshot().len(),
+                m.violation_first_report,
+            );
+            println!("{}", frame(sim));
+        }
+    });
+    println!(
+        "\nfinal: detected={} latency={:?} accidents={}",
+        report.violation_detected(),
+        report.detection_latency(),
+        report.metrics.accidents
+    );
+}

@@ -1,0 +1,45 @@
+//! Runs one round of every Table I attack setting and prints what NWADE
+//! detected — a miniature of the paper's §VI-B effectiveness study.
+//!
+//! ```text
+//! cargo run --release --example attack_scenarios
+//! ```
+
+use nwade_repro::nwade::attack::{AttackSetting, ViolationKind};
+use nwade_repro::sim::{AttackPlan, SimConfig, Simulation};
+
+fn main() {
+    println!(
+        "{:<8} {:>9} {:>12} {:>11} {:>10} {:>10}",
+        "Setting", "detected", "latency[s]", "self-evac", "A-trigger", "accidents"
+    );
+    for setting in AttackSetting::ALL {
+        let mut config = SimConfig::default();
+        config.duration = 150.0;
+        config.seed = 11;
+        config.attack = Some(AttackPlan {
+            setting,
+            violation: ViolationKind::SuddenStop,
+            start: 60.0,
+        });
+        let report = Simulation::new(config).run();
+        let detected = if setting.plan_violations() > 0 {
+            if report.violation_detected() { "yes" } else { "NO" }.to_string()
+        } else if report.metrics.corrupted_block_detected.is_some() {
+            "yes".to_string()
+        } else {
+            "NO".to_string()
+        };
+        println!(
+            "{:<8} {:>9} {:>12} {:>11} {:>10} {:>10}",
+            setting.label(),
+            detected,
+            report
+                .detection_latency()
+                .map_or("-".into(), |l| format!("{l:.1}")),
+            report.metrics.benign_self_evacuations,
+            if report.false_alarm_a_triggered() { "yes" } else { "no" },
+            report.metrics.accidents,
+        );
+    }
+}

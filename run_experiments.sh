@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure into expgen_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")"
+: "${NWADE_ROUNDS:=10}"
+: "${NWADE_DURATION:=150}"
+export NWADE_ROUNDS NWADE_DURATION
+cargo build --release -p nwade-bench
+./target/release/expgen all | tee expgen_output.txt
+# Also regenerate the auxiliary sweeps.
+NWADE_ROUNDS=5 ./target/release/expgen sensing violations | tee -a expgen_output.txt

@@ -1,0 +1,17 @@
+//! Umbrella crate for the NWADE reproduction workspace.
+//!
+//! Re-exports every subsystem crate so the root `examples/` and `tests/`
+//! can exercise the full public API through one dependency. Downstream
+//! users would normally depend on the individual crates instead.
+
+#![forbid(unsafe_code)]
+
+pub use nwade;
+pub use nwade_aim as aim;
+pub use nwade_chain as chain;
+pub use nwade_crypto as crypto;
+pub use nwade_geometry as geometry;
+pub use nwade_intersection as intersection;
+pub use nwade_sim as sim;
+pub use nwade_traffic as traffic;
+pub use nwade_vanet as vanet;

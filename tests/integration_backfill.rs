@@ -1,0 +1,113 @@
+//! The lossy-channel back-fill path: a vehicle that never saw the block
+//! carrying its own plan recovers it from a peer's response.
+
+use nwade_repro::aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
+use nwade_repro::chain::{Block, BlockPackager};
+use nwade_repro::crypto::MockScheme;
+use nwade_repro::intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology};
+use nwade_repro::nwade::{GuardAction, NwadeConfig, VehicleGuard};
+use nwade_repro::traffic::{VehicleDescriptor, VehicleId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn chain(n: u64) -> (Arc<Topology>, Arc<MockScheme>, Vec<Block>) {
+    let topo = Arc::new(build(
+        IntersectionKind::FourWayCross,
+        &GeometryConfig::default(),
+    ));
+    let scheme = Arc::new(MockScheme::from_seed(8));
+    let mut scheduler = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
+    let mut packager = BlockPackager::new(scheme.clone());
+    let blocks = (0..n)
+        .map(|i| {
+            let plans = scheduler.schedule(
+                &[PlanRequest {
+                    id: VehicleId::new(i),
+                    descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(i)),
+                    movement: MovementId::new(((i * 3) % 16) as u16),
+                    position_s: 0.0,
+                    speed: 15.0,
+                }],
+                i as f64 * 4.0,
+            );
+            packager.package(plans, i as f64 * 4.0)
+        })
+        .collect();
+    (topo, scheme, blocks)
+}
+
+#[test]
+fn planless_vehicle_backfills_and_follows() {
+    let (topo, scheme, blocks) = chain(6);
+    // Vehicle 2's plan is in block 2; it misses blocks 0-3 and first
+    // hears block 4.
+    let mut guard = VehicleGuard::new(
+        VehicleId::new(2),
+        topo.clone(),
+        scheme.clone(),
+        NwadeConfig::default(),
+    );
+    let actions = guard.on_block(&blocks[4], 20.0);
+    // Accepted mid-chain, but no plan yet → history request.
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, GuardAction::RequestBlocks { .. })),
+        "planless vehicle asks for history, got {actions:?}"
+    );
+    assert!(guard.plan().is_none());
+
+    // The peer serves the requested range; the guard back-fills and
+    // finds its plan.
+    let actions = guard.on_block_response(&blocks[0..4].to_vec(), 20.1);
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, GuardAction::FollowPlan(p) if p.id().raw() == 2)),
+        "back-filled plan adopted, got {actions:?}"
+    );
+    assert!(guard.plan().is_some());
+    assert!(guard.cache().len() >= 4, "history integrated");
+    assert!(!guard.is_evacuating());
+}
+
+#[test]
+fn backfill_rejects_forged_history() {
+    let (topo, scheme, blocks) = chain(5);
+    let mut guard = VehicleGuard::new(
+        VehicleId::new(1),
+        topo.clone(),
+        scheme.clone(),
+        NwadeConfig::default(),
+    );
+    guard.on_block(&blocks[3], 20.0);
+    // Forge the history the peer serves.
+    let forged: Vec<Block> = blocks[0..3]
+        .iter()
+        .map(nwade_repro::chain::tamper::forge_signature)
+        .collect();
+    guard.on_block_response(&forged, 20.1);
+    // Nothing integrated: the cache still starts at block 3.
+    assert_eq!(guard.cache().len(), 1);
+    assert_eq!(
+        guard.cache().iter().next().expect("present").index(),
+        3
+    );
+}
+
+#[test]
+fn response_also_extends_forward() {
+    let (topo, scheme, blocks) = chain(5);
+    let mut guard = VehicleGuard::new(
+        VehicleId::new(0),
+        topo.clone(),
+        scheme,
+        NwadeConfig::default(),
+    );
+    guard.on_block(&blocks[0], 1.0);
+    // A response containing the whole chain catches the guard up.
+    guard.on_block_response(&blocks[1..].to_vec(), 2.0);
+    assert_eq!(guard.cache().tip().expect("tip").index(), 4);
+    assert_eq!(guard.cache().len(), 5);
+}

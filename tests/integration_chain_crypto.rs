@@ -1,0 +1,82 @@
+//! Cross-crate integration: real RSA keys driving the travel-plan
+//! blockchain end to end — keygen → schedule → package → verify →
+//! tamper → reject.
+
+use nwade_repro::aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
+use nwade_repro::chain::{tamper, BlockPackager, ChainCache};
+use nwade_repro::crypto::{RsaKeyPair, RsaScheme};
+use nwade_repro::intersection::{build, GeometryConfig, IntersectionKind, MovementId};
+use nwade_repro::nwade::verify::block::{verify_incoming_block, BlockFailure};
+use nwade_repro::traffic::{VehicleDescriptor, VehicleId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn scheduled(
+    scheduler: &mut ReservationScheduler,
+    n: u64,
+    offset: u64,
+    t0: f64,
+) -> Vec<nwade_repro::aim::TravelPlan> {
+    (0..n)
+        .flat_map(|i| {
+            scheduler.schedule(
+                &[PlanRequest {
+                    id: VehicleId::new(offset + i),
+                    descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(offset + i)),
+                    movement: MovementId::new((((offset + i) * 7) % 16) as u16),
+                    position_s: 0.0,
+                    speed: 15.0,
+                }],
+                t0 + i as f64 * 4.0,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn rsa_backed_chain_end_to_end() {
+    // 512-bit keys keep the debug-build test fast; the Fig. 6 harness
+    // measures the full 2048-bit regime.
+    let key = Arc::new(RsaScheme::new(RsaKeyPair::generate(
+        512,
+        &mut StdRng::seed_from_u64(99),
+    )));
+    let topo = Arc::new(build(
+        IntersectionKind::FourWayCross,
+        &GeometryConfig::default(),
+    ));
+    let mut packager = BlockPackager::new(key.clone());
+    let mut cache = ChainCache::new(10);
+    let mut scheduler = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
+
+    for round in 0..3u64 {
+        let plans = scheduled(&mut scheduler, 3, round * 100, round as f64 * 15.0);
+        let block = packager.package(plans, round as f64 * 15.0);
+        verify_incoming_block(&block, &cache, key.as_ref(), &topo, 0.5, &Default::default())
+            .expect("honest RSA-signed block verifies");
+        cache.append(block).expect("chains onto the tip");
+    }
+    assert_eq!(cache.len(), 3);
+
+    // A forged signature is caught by the RSA verification.
+    let plans = scheduled(&mut scheduler, 2, 900, 60.0);
+    let block = packager.package(plans, 60.0);
+    let forged = tamper::forge_signature(&block);
+    let err = verify_incoming_block(&forged, &cache, key.as_ref(), &topo, 0.5, &Default::default())
+        .expect_err("forged signature rejected");
+    assert!(matches!(err, BlockFailure::Crypto(_)));
+
+    // An equivocated block (real key, conflicting plans) passes crypto but
+    // fails the semantic check.
+    let conflicting = nwade_repro::aim::corrupt::make_conflicting(
+        &scheduled(&mut scheduler, 8, 500, 200.0),
+        &topo,
+        200.0,
+    )
+    .expect("crossing traffic available");
+    let evil = tamper::resign_with_plans(&block, conflicting, key.as_ref());
+    let err = verify_incoming_block(&evil, &cache, key.as_ref(), &topo, 0.5, &Default::default())
+        .expect_err("conflicting plans rejected");
+    assert!(matches!(err, BlockFailure::InternalConflict(_)));
+}

@@ -1,0 +1,48 @@
+//! Determinism: identical configurations must reproduce identical runs —
+//! the property every experiment in EXPERIMENTS.md silently relies on.
+
+use nwade_repro::nwade::attack::{AttackSetting, ViolationKind};
+use nwade_repro::sim::{AttackPlan, SimConfig, Simulation};
+
+fn config(seed: u64) -> SimConfig {
+    let mut config = SimConfig::default();
+    config.duration = 100.0;
+    config.density = 60.0;
+    config.seed = seed;
+    config.attack = Some(AttackPlan {
+        setting: AttackSetting::V2,
+        violation: ViolationKind::LaneDeviation,
+        start: 50.0,
+    });
+    config
+}
+
+#[test]
+fn same_seed_same_world() {
+    let a = Simulation::new(config(123)).run();
+    let b = Simulation::new(config(123)).run();
+    assert_eq!(a.metrics.spawned, b.metrics.spawned);
+    assert_eq!(a.metrics.exited, b.metrics.exited);
+    assert_eq!(a.metrics.accidents, b.metrics.accidents);
+    assert_eq!(a.metrics.blocks_broadcast, b.metrics.blocks_broadcast);
+    assert_eq!(
+        a.metrics.benign_self_evacuations,
+        b.metrics.benign_self_evacuations
+    );
+    assert_eq!(a.metrics.violation_confirmed, b.metrics.violation_confirmed);
+    assert_eq!(
+        a.metrics.network.total_transmissions(),
+        b.metrics.network.total_transmissions()
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Simulation::new(config(1)).run();
+    let b = Simulation::new(config(2)).run();
+    // Arrival processes differ, so at least the packet totals do.
+    assert_ne!(
+        a.metrics.network.total_transmissions(),
+        b.metrics.network.total_transmissions()
+    );
+}

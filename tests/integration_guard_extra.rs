@@ -1,0 +1,188 @@
+//! Additional cross-crate guard behaviours: block gap recovery via peer
+//! responses, threshold-driven self-evacuation, and the Type B rebuttal.
+
+use nwade_repro::aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
+use nwade_repro::chain::{Block, BlockPackager};
+use nwade_repro::crypto::MockScheme;
+use nwade_repro::intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology};
+use nwade_repro::nwade::messages::{GlobalClaim, GlobalReport};
+use nwade_repro::nwade::{GuardAction, NwadeConfig, VehicleGuard};
+use nwade_repro::traffic::{VehicleDescriptor, VehicleId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+struct Chain {
+    topo: Arc<Topology>,
+    scheme: Arc<MockScheme>,
+    scheduler: ReservationScheduler,
+    packager: BlockPackager,
+    clock: f64,
+    next: u64,
+}
+
+impl Chain {
+    fn new() -> Self {
+        let topo = Arc::new(build(
+            IntersectionKind::FourWayCross,
+            &GeometryConfig::default(),
+        ));
+        let scheme = Arc::new(MockScheme::from_seed(5));
+        Chain {
+            scheduler: ReservationScheduler::new(topo.clone(), SchedulerConfig::default()),
+            packager: BlockPackager::new(scheme.clone()),
+            topo,
+            scheme,
+            clock: 0.0,
+            next: 0,
+        }
+    }
+
+    fn block(&mut self) -> Block {
+        self.clock += 4.0;
+        let id = self.next;
+        self.next += 1;
+        let plans = self.scheduler.schedule(
+            &[PlanRequest {
+                id: VehicleId::new(id),
+                descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(id)),
+                movement: MovementId::new(((id * 3) % 16) as u16),
+                position_s: 0.0,
+                speed: 15.0,
+            }],
+            self.clock,
+        );
+        self.packager.package(plans, self.clock)
+    }
+
+    fn guard(&self, id: u64) -> VehicleGuard {
+        VehicleGuard::new(
+            VehicleId::new(id),
+            self.topo.clone(),
+            self.scheme.clone(),
+            NwadeConfig::default(),
+        )
+    }
+}
+
+#[test]
+fn gap_recovery_via_peer_block_response() {
+    let mut chain = Chain::new();
+    let b0 = chain.block();
+    let b1 = chain.block();
+    let b2 = chain.block();
+
+    // A well-informed peer holds the full chain.
+    let mut peer = chain.guard(100);
+    for b in [&b0, &b1, &b2] {
+        peer.on_block(b, chain.clock);
+    }
+    assert_eq!(peer.cache().len(), 3);
+
+    // The victim misses b1: receiving b2 asks for the gap.
+    let mut victim = chain.guard(101);
+    victim.on_block(&b0, 10.0);
+    let actions = victim.on_block(&b2, 11.0);
+    let [GuardAction::RequestBlocks { from_index: 1 }] = actions.as_slice() else {
+        panic!("expected a gap request, got {actions:?}");
+    };
+
+    // The peer serves its cache; the victim replays and catches up.
+    let response: Vec<Block> = peer
+        .cache()
+        .iter()
+        .filter(|b| b.index() >= 1)
+        .cloned()
+        .collect();
+    for b in &response {
+        victim.on_block(b, 11.1);
+    }
+    assert_eq!(victim.cache().len(), 3);
+    assert_eq!(victim.cache().tip().expect("tip").index(), 2);
+    assert!(!victim.is_evacuating());
+}
+
+#[test]
+fn distinct_senders_reach_threshold_once() {
+    let mut chain = Chain::new();
+    let b0 = chain.block();
+    let mut guard = chain.guard(50);
+    guard.on_block(&b0, 1.0);
+
+    let claim = GlobalClaim::AbnormalVehicle {
+        suspect: VehicleId::new(999),
+    };
+    let mut evacuated = false;
+    // Nine reports from only three distinct senders at threshold 4: never
+    // evacuates. Then a fourth sender tips it.
+    for i in 0..9u64 {
+        let report = GlobalReport {
+            sender: VehicleId::new(1 + (i % 3)),
+            claim,
+            time: 2.0,
+        };
+        let actions = guard.on_global_report(&report, |_| false, 4, 2.0);
+        evacuated |= actions
+            .iter()
+            .any(|a| matches!(a, GuardAction::SelfEvacuate));
+    }
+    assert!(!evacuated, "three distinct senders stay below threshold 4");
+    let report = GlobalReport {
+        sender: VehicleId::new(9),
+        claim,
+        time: 3.0,
+    };
+    let actions = guard.on_global_report(&report, |_| false, 4, 3.0);
+    assert!(actions
+        .iter()
+        .any(|a| matches!(a, GuardAction::SelfEvacuate)));
+    assert!(guard.is_evacuating());
+    assert_eq!(guard.evacuation_claim(), Some(claim));
+}
+
+#[test]
+fn type_b_claim_about_held_block_is_rebutted_at_any_support() {
+    let mut chain = Chain::new();
+    let b0 = chain.block();
+    let mut guard = chain.guard(60);
+    guard.on_block(&b0, 1.0);
+
+    let claim = GlobalClaim::ConflictingPlans { index: 0 };
+    for sender in 1..=20u64 {
+        let report = GlobalReport {
+            sender: VehicleId::new(sender),
+            claim,
+            time: 2.0,
+        };
+        let actions = guard.on_global_report(&report, |_| false, 3, 2.0);
+        assert!(
+            actions
+                .iter()
+                .all(|a| matches!(a, GuardAction::RebutGlobalReport { .. })),
+            "held-and-verified block: always rebutted, got {actions:?}"
+        );
+    }
+    assert!(!guard.is_evacuating(), "Table II: type B never triggers");
+}
+
+#[test]
+fn alerts_for_confirmed_suspects_do_not_escalate() {
+    let mut chain = Chain::new();
+    let b0 = chain.block();
+    let mut guard = chain.guard(70);
+    guard.on_block(&b0, 1.0);
+    // The manager alerted about vehicle 0; the guard noted the threat.
+    guard.note_threat(VehicleId::new(0));
+    let claim = GlobalClaim::AbnormalVehicle {
+        suspect: VehicleId::new(0),
+    };
+    for sender in 1..=20u64 {
+        let report = GlobalReport {
+            sender: VehicleId::new(sender),
+            claim,
+            time: 2.0,
+        };
+        assert!(guard.on_global_report(&report, |_| false, 3, 2.0).is_empty());
+    }
+    assert!(!guard.is_evacuating(), "handled threats never cause panic");
+}

@@ -1,0 +1,220 @@
+//! Cross-crate integration of the protocol engines (no simulator): a
+//! manager and a fleet of guards exchanging messages by direct calls.
+
+use nwade_repro::aim::{PlanRequest, ReservationScheduler, SchedulerConfig};
+use nwade_repro::crypto::MockScheme;
+use nwade_repro::intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology};
+use nwade_repro::nwade::messages::Observation;
+use nwade_repro::nwade::{GuardAction, ManagerAction, NwadeConfig, NwadeManager, VehicleGuard};
+use nwade_repro::traffic::{VehicleDescriptor, VehicleId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+struct World {
+    topo: Arc<Topology>,
+    manager: NwadeManager,
+    guards: Vec<VehicleGuard>,
+}
+
+fn world(n_vehicles: u64) -> World {
+    let topo = Arc::new(build(
+        IntersectionKind::FourWayCross,
+        &GeometryConfig::default(),
+    ));
+    let scheme = Arc::new(MockScheme::from_seed(7));
+    let manager = NwadeManager::new(
+        topo.clone(),
+        Box::new(ReservationScheduler::new(
+            topo.clone(),
+            SchedulerConfig::default(),
+        )),
+        scheme.clone(),
+        NwadeConfig::default(),
+    );
+    let guards = (0..n_vehicles)
+        .map(|i| {
+            VehicleGuard::new(
+                VehicleId::new(i),
+                topo.clone(),
+                scheme.clone(),
+                NwadeConfig::default(),
+            )
+        })
+        .collect();
+    World {
+        topo,
+        manager,
+        guards,
+    }
+}
+
+fn request(i: u64) -> PlanRequest {
+    PlanRequest {
+        id: VehicleId::new(i),
+        descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(i)),
+        movement: MovementId::new(((i * 5) % 16) as u16),
+        position_s: 0.0,
+        speed: 15.0,
+    }
+}
+
+#[test]
+fn every_vehicle_accepts_its_plan_from_the_block() {
+    let mut w = world(6);
+    // One vehicle per window, as spawns arrive.
+    for i in 0..6u64 {
+        let action = w
+            .manager
+            .on_window(&[request(i)], i as f64 * 4.0)
+            .expect("block produced");
+        let ManagerAction::BroadcastBlock(block) = action else {
+            panic!("expected a block");
+        };
+        for guard in w.guards.iter_mut() {
+            let actions = guard.on_block(&block, i as f64 * 4.0 + 0.03);
+            // Exactly the owner follows a fresh plan from this block.
+            let follows = actions
+                .iter()
+                .any(|a| matches!(a, GuardAction::FollowPlan(p) if p.id() == guard.id()));
+            assert_eq!(follows, guard.id().raw() == i, "vehicle {}", guard.id());
+        }
+    }
+    for guard in &w.guards {
+        assert!(guard.plan().is_some(), "{} got its plan", guard.id());
+        assert_eq!(guard.cache().len(), 6);
+    }
+}
+
+#[test]
+fn report_poll_confirm_cycle_through_both_engines() {
+    let mut w = world(8);
+    // Plan everyone in one window.
+    let reqs: Vec<PlanRequest> = (0..8).map(request).collect();
+    let action = w.manager.on_window(&reqs, 0.0).expect("block");
+    let ManagerAction::BroadcastBlock(block) = action else {
+        panic!()
+    };
+    for guard in w.guards.iter_mut() {
+        guard.on_block(&block, 0.03);
+    }
+
+    // Vehicle 1 deviates; vehicle 0 observes and reports.
+    let plan1 = block.plan_for(VehicleId::new(1)).expect("plan").clone();
+    let (expected, speed) = plan1.expected_state(&w.topo, 10.0);
+    let obs = Observation {
+        target: VehicleId::new(1),
+        position: expected + nwade_repro::geometry::Vec2::new(40.0, 0.0),
+        speed,
+        time: 10.0,
+    };
+    let actions = w.guards[0].on_observations(&[obs], 10.0);
+    let GuardAction::SendIncidentReport(report) = &actions[0] else {
+        panic!("expected a report, got {actions:?}");
+    };
+
+    // Manager polls watchers 2..7; all answer from their caches with the
+    // same deviating observation.
+    let watchers: Vec<VehicleId> = (2..8).map(VehicleId::new).collect();
+    let actions = w.manager.on_incident_report(report, &watchers, 10.03);
+    let [ManagerAction::PollWatchers {
+        request_id, group, ..
+    }] = actions.as_slice()
+    else {
+        panic!("expected a poll, got {actions:?}");
+    };
+    let rid = *request_id;
+    let group = group.clone();
+    let mut outcome = Vec::new();
+    for watcher in &group {
+        let (observed, abnormal) =
+            w.guards[watcher.raw() as usize].answer_verify_request(VehicleId::new(1), Some(&obs), None);
+        assert!(observed, "watcher has the plan and the observation");
+        assert!(abnormal, "watcher confirms the deviation");
+        outcome = w
+            .manager
+            .on_verify_response(rid, VehicleId::new(1), observed, abnormal, &[], 10.1);
+        if !outcome.is_empty() {
+            break;
+        }
+    }
+    // Round 1 confirmed → round-2 poll of fresh watchers; with no fresh
+    // candidates the manager acts on round 1 and alerts.
+    let confirmed = match outcome.as_slice() {
+        [ManagerAction::EvacuationAlert { suspect, .. }] => *suspect,
+        [ManagerAction::PollWatchers { .. }] => panic!("round 2 should have no candidates"),
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    assert_eq!(confirmed, VehicleId::new(1));
+    assert_eq!(w.manager.confirmed_malicious(), &[VehicleId::new(1)]);
+
+    // The reporter resolves its pending report on the alert.
+    let dissent = w.guards[0].on_evacuation_alert(VehicleId::new(1), Some(&obs), 10.2);
+    assert!(dissent.is_empty(), "deviating suspect: no dissent");
+}
+
+#[test]
+fn evacuation_block_replans_the_fleet() {
+    let mut w = world(4);
+    let reqs: Vec<PlanRequest> = (0..4).map(request).collect();
+    let ManagerAction::BroadcastBlock(block) = w.manager.on_window(&reqs, 0.0).expect("block")
+    else {
+        panic!()
+    };
+    for guard in w.guards.iter_mut() {
+        guard.on_block(&block, 0.03);
+    }
+    // Confirm vehicle 3 (no watchers → immediate confirmation) and issue
+    // the evacuation block from everyone's time-10 states.
+    let plan3 = block.plan_for(VehicleId::new(3)).expect("plan").clone();
+    let (pos3, _) = plan3.expected_state(&w.topo, 10.0);
+    let report = nwade_repro::nwade::messages::IncidentReport {
+        reporter: VehicleId::new(0),
+        suspect: VehicleId::new(3),
+        evidence: Observation {
+            target: VehicleId::new(3),
+            position: pos3,
+            speed: 0.0,
+            time: 10.0,
+        },
+        block_index: 0,
+    };
+    let actions = w.manager.on_incident_report(&report, &[], 10.0);
+    assert!(matches!(
+        actions.as_slice(),
+        [ManagerAction::EvacuationAlert { .. }]
+    ));
+    let states: Vec<PlanRequest> = (0..3)
+        .map(|i| {
+            let plan = block.plan_for(VehicleId::new(i)).expect("plan");
+            let (s, v) = plan.profile().state_at(10.0);
+            PlanRequest {
+                id: VehicleId::new(i),
+                descriptor: plan.descriptor().clone(),
+                movement: plan.movement(),
+                position_s: s,
+                speed: v,
+            }
+        })
+        .collect();
+    let action = w
+        .manager
+        .evacuation_block(&states, &[pos3], 10.0)
+        .expect("evacuation block");
+    let ManagerAction::BroadcastBlock(evac) = action else {
+        panic!()
+    };
+    assert_eq!(evac.index(), block.index() + 1);
+    // Every benign guard accepts the evacuation block and re-plans.
+    for guard in w.guards.iter_mut().take(3) {
+        guard.note_threat(VehicleId::new(3));
+        let actions = guard.on_block(&evac, 10.1);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, GuardAction::FollowPlan(_))),
+            "{} re-plans from the evacuation block",
+            guard.id()
+        );
+    }
+}

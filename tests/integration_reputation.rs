@@ -1,0 +1,85 @@
+//! §IV-B2 (iii): the manager records false reporters "for future
+//! reference" — a reporter caught three times loses standing.
+
+use nwade_repro::aim::{ReservationScheduler, SchedulerConfig};
+use nwade_repro::crypto::MockScheme;
+use nwade_repro::geometry::Vec2;
+use nwade_repro::intersection::{build, GeometryConfig, IntersectionKind};
+use nwade_repro::nwade::messages::{IncidentReport, Observation};
+use nwade_repro::nwade::{ManagerAction, NwadeConfig, NwadeManager};
+use nwade_repro::traffic::VehicleId;
+use std::sync::Arc;
+
+fn manager() -> NwadeManager {
+    let topo = Arc::new(build(
+        IntersectionKind::FourWayCross,
+        &GeometryConfig::default(),
+    ));
+    NwadeManager::new(
+        topo.clone(),
+        Box::new(ReservationScheduler::new(
+            topo,
+            SchedulerConfig::default(),
+        )),
+        Arc::new(MockScheme::from_seed(0)),
+        NwadeConfig::default(),
+    )
+}
+
+fn report(reporter: u64, suspect: u64) -> IncidentReport {
+    IncidentReport {
+        reporter: VehicleId::new(reporter),
+        suspect: VehicleId::new(suspect),
+        evidence: Observation {
+            target: VehicleId::new(suspect),
+            position: Vec2::new(5.0, 5.0),
+            speed: 0.0,
+            time: 1.0,
+        },
+        block_index: 0,
+    }
+}
+
+#[test]
+fn serial_false_reporters_lose_standing() {
+    let mut m = manager();
+    let watchers: Vec<VehicleId> = (10..16).map(VehicleId::new).collect();
+    // Vehicle 0 cries wolf three times; honest watchers dismiss each.
+    for round in 0..3u64 {
+        let suspect = 100 + round;
+        let actions = m.on_incident_report(&report(0, suspect), &watchers, round as f64);
+        let [ManagerAction::PollWatchers { request_id, .. }] = actions.as_slice() else {
+            panic!("verification starts while the reporter has standing");
+        };
+        let rid = *request_id;
+        let mut done = Vec::new();
+        for _ in 0..4 {
+            done = m.on_verify_response(
+                rid,
+                VehicleId::new(suspect),
+                true,
+                false,
+                &[],
+                round as f64,
+            );
+            if !done.is_empty() {
+                break;
+            }
+        }
+        assert!(
+            done.iter()
+                .any(|a| matches!(a, ManagerAction::Dismiss { .. })),
+            "round {round} dismissed"
+        );
+    }
+    assert_eq!(m.false_report_count(VehicleId::new(0)), 3);
+    // The fourth cry is ignored outright.
+    let actions = m.on_incident_report(&report(0, 200), &watchers, 10.0);
+    assert!(actions.is_empty(), "discredited reporter is ignored");
+    // An honest reporter still gets service.
+    let actions = m.on_incident_report(&report(1, 200), &watchers, 11.0);
+    assert!(matches!(
+        actions.as_slice(),
+        [ManagerAction::PollWatchers { .. }]
+    ));
+}
