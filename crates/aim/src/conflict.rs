@@ -41,7 +41,7 @@ pub fn find_conflicts(
 mod tests {
     use super::*;
     use crate::plan::VehicleStatus;
-    use nwade_geometry::{MotionProfile, Vec2};
+    use nwade_geometry::MotionProfile;
     use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
     use nwade_traffic::VehicleDescriptor;
     use rand::rngs::StdRng;

@@ -63,7 +63,13 @@ pub fn make_conflicting(
             v,
             MotionProfile::cruise(now, v, remaining).segments().to_vec(),
         );
-        TravelPlan::new(p.id(), p.descriptor().clone(), *p.status(), p.movement(), profile)
+        TravelPlan::new(
+            p.id(),
+            p.descriptor().clone(),
+            *p.status(),
+            p.movement(),
+            profile,
+        )
     };
     out[i] = retime(&plans[i], da);
     out[j] = retime(&plans[j], db);
@@ -79,7 +85,11 @@ pub fn make_conflicting(
 /// consistent by itself but blocks everyone scheduled behind it.
 ///
 /// Returns `None` when `plans` is empty.
-pub fn make_parking(plans: &[TravelPlan], topology: &Topology, now: f64) -> Option<Vec<TravelPlan>> {
+pub fn make_parking(
+    plans: &[TravelPlan],
+    topology: &Topology,
+    now: f64,
+) -> Option<Vec<TravelPlan>> {
     let mut out = plans.to_vec();
     let victim = out.first_mut()?;
     let m = topology.movement(victim.movement());

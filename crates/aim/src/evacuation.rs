@@ -97,12 +97,7 @@ impl EvacuationPlanner {
     /// Replans `vehicles` (their *current* states) around `threats` at
     /// time `now`. Vehicles closer to their exit are planned first so the
     /// intersection drains outward.
-    pub fn plan(
-        &self,
-        vehicles: &[PlanRequest],
-        threats: &[Vec2],
-        now: f64,
-    ) -> Vec<TravelPlan> {
+    pub fn plan(&self, vehicles: &[PlanRequest], threats: &[Vec2], now: f64) -> Vec<TravelPlan> {
         let mut table = ReservationTable::new();
         let block = TimeInterval::new(now, now + self.config.block_duration);
         let blocked: Vec<_> = self
@@ -126,8 +121,8 @@ impl EvacuationPlanner {
             let movement = self.topology.movement(req.movement);
             let path = movement.path();
             let d_end = (path.length() - req.position_s).max(0.0);
-            let earliest =
-                now + MotionProfile::earliest_arrival(req.speed.min(v_cap), v_cap, lim.a_max, d_end);
+            let earliest = now
+                + MotionProfile::earliest_arrival(req.speed.min(v_cap), v_cap, lim.a_max, d_end);
             let mut target = earliest;
             let deadline = earliest + self.scheduler_config.max_delay;
             let chosen = loop {

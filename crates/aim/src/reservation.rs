@@ -235,10 +235,7 @@ mod tests {
     #[test]
     fn open_ended_interval_blocks_forever() {
         let mut t = ReservationTable::new();
-        t.reserve(
-            VehicleId::new(1),
-            &occ(&[(zid(0, 0), 5.0, f64::INFINITY)]),
-        );
+        t.reserve(VehicleId::new(1), &occ(&[(zid(0, 0), 5.0, f64::INFINITY)]));
         assert!(!t.is_free(&occ(&[(zid(0, 0), 1e9, 1e9 + 1.0)]), 1.0, None));
         // But before it starts (minus gap) the zone is usable.
         assert!(t.is_free(&occ(&[(zid(0, 0), 0.0, 3.0)]), 1.0, None));

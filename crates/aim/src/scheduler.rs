@@ -123,13 +123,7 @@ impl ReservationScheduler {
         let chosen = loop {
             let horizon = target - now;
             let mut profile = MotionProfile::arrive_at(
-                now,
-                req.speed,
-                lim.v_max,
-                lim.a_max,
-                lim.d_max,
-                d_plan,
-                horizon,
+                now, req.speed, lim.v_max, lim.a_max, lim.d_max, d_plan, horizon,
             );
             // arrive_at positions start at 0; shift to the request's
             // arclength so occupancy uses path coordinates.
@@ -279,9 +273,7 @@ mod tests {
         topo.conflicting_pairs()
             .iter()
             .map(|(a, b)| (a.index(), b.index()))
-            .find(|(a, b)| {
-                topo.movements()[*a].from_leg() != topo.movements()[*b].from_leg()
-            })
+            .find(|(a, b)| topo.movements()[*a].from_leg() != topo.movements()[*b].from_leg())
             .expect("crossing pair exists")
     }
 
@@ -300,7 +292,7 @@ mod tests {
         let topo = topo();
         let mut s = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
         let req = request(0, 0, 15.0);
-        let plans = s.schedule(&[req.clone()], 100.0);
+        let plans = s.schedule(std::slice::from_ref(&req), 100.0);
         assert_eq!(plans.len(), 1);
         let m = topo.movement(req.movement);
         let lim = SchedulerConfig::default().limits;
@@ -321,10 +313,7 @@ mod tests {
         let topo = topo();
         let (ma, mb) = crossing_movements(&topo);
         let mut s = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
-        let plans = s.schedule(
-            &[request(0, ma, 15.0), request(1, mb, 15.0)],
-            0.0,
-        );
+        let plans = s.schedule(&[request(0, ma, 15.0), request(1, mb, 15.0)], 0.0);
         assert_eq!(plans.len(), 2);
         assert!(
             find_conflicts(&plans, &topo, 0.5).is_empty(),
@@ -367,14 +356,22 @@ mod tests {
         // Three vehicles entering the same lane 4 s apart.
         let plans = schedule_staggered(
             &mut s,
-            &[request(0, 0, 15.0), request(1, 0, 15.0), request(2, 0, 15.0)],
+            &[
+                request(0, 0, 15.0),
+                request(1, 0, 15.0),
+                request(2, 0, 15.0),
+            ],
         );
         assert!(find_conflicts(&plans, &topo, 0.5).is_empty());
         // Box-entry times are strictly increasing.
         let m = topo.movement(MovementId::new(0));
         let entries: Vec<f64> = plans
             .iter()
-            .map(|p| p.profile().time_at_position(m.box_entry()).expect("arrives"))
+            .map(|p| {
+                p.profile()
+                    .time_at_position(m.box_entry())
+                    .expect("arrives")
+            })
             .collect();
         assert!(entries.windows(2).all(|w| w[1] > w[0] + 0.5));
     }
@@ -404,7 +401,8 @@ mod tests {
         let topo = topo();
         let run = || {
             let mut s = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
-            let reqs: Vec<PlanRequest> = (0..10).map(|i| request(i, i as usize % 4, 12.0)).collect();
+            let reqs: Vec<PlanRequest> =
+                (0..10).map(|i| request(i, i as usize % 4, 12.0)).collect();
             s.schedule(&reqs, 0.0)
                 .iter()
                 .map(|p| p.encode())
@@ -419,8 +417,9 @@ mod tests {
             let topo = Arc::new(build(kind, &GeometryConfig::default()));
             let mut s = ReservationScheduler::new(topo.clone(), SchedulerConfig::default());
             let n = topo.movements().len();
-            let reqs: Vec<PlanRequest> =
-                (0..20).map(|i| request(i, (i as usize * 3) % n, 12.0)).collect();
+            let reqs: Vec<PlanRequest> = (0..20)
+                .map(|i| request(i, (i as usize * 3) % n, 12.0))
+                .collect();
             let plans = schedule_staggered(&mut s, &reqs);
             assert!(
                 find_conflicts(&plans, &topo, 0.5).is_empty(),

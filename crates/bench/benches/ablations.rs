@@ -6,13 +6,13 @@
 //! * bounded chain cache verification cost vs cache depth.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwade_aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
+use nwade_chain::BlockPackager;
+use nwade_chain::ChainCache;
 use nwade_crypto::merkle::leaf_hash;
 use nwade_crypto::modular::{modpow_plain, Montgomery};
-use nwade_crypto::{sha256, BigUint, MerkleTree, RsaKeyPair};
-use nwade_chain::ChainCache;
-use nwade_chain::BlockPackager;
 use nwade_crypto::MockScheme;
-use nwade_aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
+use nwade_crypto::{sha256, BigUint, MerkleTree, RsaKeyPair};
 use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
 use nwade_traffic::{VehicleDescriptor, VehicleId};
 use rand::rngs::StdRng;
@@ -44,9 +44,7 @@ fn bench_montgomery_vs_plain(c: &mut Criterion) {
     group.bench_function("montgomery", |b| {
         b.iter(|| Montgomery::new(&m).modpow(&base, &exp))
     });
-    group.bench_function("division", |b| {
-        b.iter(|| modpow_plain(&base, &exp, &m))
-    });
+    group.bench_function("division", |b| b.iter(|| modpow_plain(&base, &exp, &m)));
     group.finish();
 }
 

@@ -1,0 +1,67 @@
+//! Chaos benches: end-to-end detection rounds over a faulty channel, and
+//! an IM outage/recovery round. Measures how much wall-clock the fault
+//! machinery (duplication, jitter re-sorting, burst-loss state, invariant
+//! checking) adds to a simulation round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nwade::attack::{AttackSetting, ViolationKind};
+use nwade_sim::{AttackPlan, ImOutage, SimConfig, Simulation};
+use nwade_vanet::FaultModel;
+
+fn attacked(seed: u64) -> SimConfig {
+    let mut config = SimConfig::default();
+    config.duration = 90.0;
+    config.density = 60.0;
+    config.seed = seed;
+    config.attack = Some(AttackPlan {
+        setting: AttackSetting::V1,
+        violation: ViolationKind::SuddenStop,
+        start: 40.0,
+    });
+    config
+}
+
+fn bench_faulty_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos_round");
+    group.sample_size(10);
+    for intensity in [0.0, 0.1, 0.3] {
+        group.bench_function(format!("v1_intensity_{intensity:.1}"), |b| {
+            b.iter(|| {
+                let mut config = attacked(9);
+                config.medium.faults = FaultModel::at_intensity(intensity);
+                let report = Simulation::new(config).run();
+                assert!(report.metrics.invariants.is_clean());
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_outage_recovery_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos_outage");
+    group.sample_size(10);
+    group.bench_function("im_outage_20s_recovery", |b| {
+        b.iter(|| {
+            let mut config = attacked(41);
+            config.duration = 150.0;
+            config.density = 80.0;
+            config.attack = Some(AttackPlan {
+                setting: AttackSetting::V1,
+                violation: ViolationKind::SuddenStop,
+                start: 50.0,
+            });
+            config.im_outage = Some(ImOutage {
+                start: 50.0,
+                duration: 20.0,
+            });
+            let report = Simulation::new(config).run();
+            assert!(report.metrics.invariants.is_clean());
+            report
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_faulty_round, bench_outage_recovery_round);
+criterion_main!(benches);

@@ -6,11 +6,24 @@
 //! NWADE_ROUNDS=3 NWADE_DURATION=120 cargo run --release -p nwade-bench --bin expgen -- fig8
 //! ```
 
-use nwade_bench::{analytic, duration, fig4, fig5, fig6, fig7, fig8, rounds, sensing, table1, table2, violations};
+use nwade_bench::{
+    analytic, chaos, duration, fig4, fig5, fig6, fig7, fig8, rounds, sensing, table1, table2,
+    violations,
+};
 
-const EXPERIMENTS: [&str; 11] = [
-    "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "eq2", "eq3", "sensing",
+const EXPERIMENTS: [&str; 12] = [
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "eq2",
+    "eq3",
+    "sensing",
     "violations",
+    "chaos",
 ];
 
 fn run(name: &str) -> Result<(), String> {
@@ -28,6 +41,7 @@ fn run(name: &str) -> Result<(), String> {
         "eq3" => analytic::eq3_report(),
         "sensing" => sensing::report(r, d),
         "violations" => violations::report(r, d),
+        "chaos" => chaos::report(r, d),
         other => return Err(format!("unknown experiment '{other}'")),
     };
     println!("{out}");

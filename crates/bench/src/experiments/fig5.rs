@@ -31,7 +31,7 @@ pub fn points(rounds: u64, duration: f64) -> Vec<Point> {
             config.density = density;
             let summary = run_rounds(&config, rounds);
             let mean = |f: &dyn Fn(&nwade_sim::SimReport) -> Option<f64>| -> Option<f64> {
-                let vals: Vec<f64> = summary.rounds.iter().filter_map(|r| f(r)).collect();
+                let vals: Vec<f64> = summary.rounds.iter().filter_map(f).collect();
                 if vals.is_empty() {
                     None
                 } else {
@@ -66,7 +66,11 @@ pub fn report(rounds: u64, duration: f64) -> String {
     format!(
         "Fig. 5: Detection Time, 4-way cross ({rounds} rounds/point)\n{}",
         render(
-            &["Density", "Deviation report verified", "Wrong-plan claim rebutted"],
+            &[
+                "Density",
+                "Deviation report verified",
+                "Wrong-plan claim rebutted"
+            ],
             &body,
         )
     )

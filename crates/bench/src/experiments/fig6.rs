@@ -122,7 +122,12 @@ pub fn report() -> String {
     format!(
         "Fig. 6: Blockchain Management and Verification (SHA-256 + RSA-2048)\n{}",
         render(
-            &["Intersection (veh/min)", "Plans/window", "Manage [ms]", "Verify [ms]"],
+            &[
+                "Intersection (veh/min)",
+                "Plans/window",
+                "Manage [ms]",
+                "Verify [ms]"
+            ],
             &body,
         )
     )

@@ -71,7 +71,12 @@ pub fn report(rounds: u64, duration: f64) -> String {
     format!(
         "Fig. 8: Traffic Throughput with/without NWADE ({rounds} rounds/point)\n{}",
         render(
-            &["Intersection (veh/min)", "with NWADE", "without", "overhead"],
+            &[
+                "Intersection (veh/min)",
+                "with NWADE",
+                "without",
+                "overhead"
+            ],
             &body,
         )
     )

@@ -1,6 +1,7 @@
 //! One module per paper table / figure, plus the analytic models.
 
 pub mod analytic;
+pub mod chaos;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

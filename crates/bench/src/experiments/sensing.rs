@@ -47,8 +47,7 @@ pub fn report(rounds: u64, duration: f64) -> String {
             vec![
                 format!("{:.0} ft", p.radius_ft),
                 format!("{:.0}%", p.detection_rate * 100.0),
-                p.latency_s
-                    .map_or("n/a".into(), |l| format!("{:.2} s", l)),
+                p.latency_s.map_or("n/a".into(), |l| format!("{:.2} s", l)),
             ]
         })
         .collect();

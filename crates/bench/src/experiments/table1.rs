@@ -26,7 +26,11 @@ pub fn rows() -> Vec<Row> {
         .map(|s| Row {
             setting: s.label().to_string(),
             malicious_vehicles: s.malicious_vehicles(),
-            intersection_manager: if s.im_malicious() { "Malicious" } else { "Benign" },
+            intersection_manager: if s.im_malicious() {
+                "Malicious"
+            } else {
+                "Benign"
+            },
             plan_violations: s.plan_violations(),
             false_reports: s.false_reports(),
         })

@@ -20,7 +20,9 @@
 pub mod experiments;
 pub mod table;
 
-pub use experiments::{analytic, fig4, fig5, fig6, fig7, fig8, sensing, table1, table2, violations};
+pub use experiments::{
+    analytic, chaos, fig4, fig5, fig6, fig7, fig8, sensing, table1, table2, violations,
+};
 
 /// Rounds per configuration (paper: 10). Override with `NWADE_ROUNDS`.
 pub fn rounds() -> u64 {

@@ -90,7 +90,12 @@ impl Block {
 
     /// This block's signing digest (over its own header fields).
     pub fn own_signing_digest(&self) -> Digest {
-        Block::signing_digest(self.index, &self.prev_hash, self.timestamp, &self.merkle_root)
+        Block::signing_digest(
+            self.index,
+            &self.prev_hash,
+            self.timestamp,
+            &self.merkle_root,
+        )
     }
 
     /// The block hash `hash(B_i)` that the next block's `h_i` must match:
@@ -116,8 +121,7 @@ impl Block {
     ///
     /// Panics on an empty batch — the manager never emits empty blocks.
     pub fn root_of(plans: &[TravelPlan]) -> Digest {
-        MerkleTree::from_leaf_hashes(plans.iter().map(|p| leaf_hash(&p.encode())).collect())
-            .root()
+        MerkleTree::from_leaf_hashes(plans.iter().map(|p| leaf_hash(&p.encode())).collect()).root()
     }
 
     /// Builds the Merkle tree over the carried plans, for proof

@@ -105,10 +105,7 @@ impl ChainCache {
     /// The most recent plan for `vehicle` across cached blocks (a vehicle
     /// may be re-planned; later blocks win).
     pub fn plan_for(&self, vehicle: VehicleId) -> Option<&TravelPlan> {
-        self.blocks
-            .iter()
-            .rev()
-            .find_map(|b| b.plan_for(vehicle))
+        self.blocks.iter().rev().find_map(|b| b.plan_for(vehicle))
     }
 
     /// All plans visible in the cache, most recent block first, first
@@ -192,7 +189,10 @@ mod tests {
         // ids per block); the lookup must return the latest.
         let vid = bs[2].plans()[0].id();
         let found = cache.plan_for(vid).expect("plan present");
-        assert_eq!(found.encode(), bs[2].plan_for(vid).expect("in tip").encode());
+        assert_eq!(
+            found.encode(),
+            bs[2].plan_for(vid).expect("in tip").encode()
+        );
     }
 
     #[test]

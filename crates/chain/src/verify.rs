@@ -133,7 +133,10 @@ mod tests {
     #[test]
     fn broken_link_detected() {
         let (_, blocks) = chain(3);
-        assert_eq!(verify_link(&blocks[0], &blocks[2]), Err(BlockError::BadIndex));
+        assert_eq!(
+            verify_link(&blocks[0], &blocks[2]),
+            Err(BlockError::BadIndex)
+        );
         let rehung = tamper::relink(&blocks[1], Digest::ZERO);
         assert_eq!(
             verify_link(&blocks[0], &rehung),
@@ -147,10 +150,7 @@ mod tests {
         let mut p = BlockPackager::new(scheme);
         let b0 = p.package(crate::block::tests::plans(2), 10.0);
         let b1 = p.package(crate::block::tests::plans(2), 5.0);
-        assert_eq!(
-            verify_link(&b0, &b1),
-            Err(BlockError::TimestampRegression)
-        );
+        assert_eq!(verify_link(&b0, &b1), Err(BlockError::TimestampRegression));
     }
 
     #[test]
@@ -164,7 +164,10 @@ mod tests {
             blocks[0].merkle_root(),
             Vec::new(),
         );
-        assert_eq!(verify_block(&empty, scheme.as_ref()), Err(BlockError::Empty));
+        assert_eq!(
+            verify_block(&empty, scheme.as_ref()),
+            Err(BlockError::Empty)
+        );
     }
 
     #[test]

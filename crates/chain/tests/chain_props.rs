@@ -1,0 +1,166 @@
+//! Property tests for the chaos-hardening guarantees: no corrupted block
+//! is ever accepted by Algorithm 1's cryptographic checks, and the chain
+//! cache never desyncs — it stays hash-linked and bounded under arbitrary
+//! interleavings of appends, back-fills, and foreign-chain injections.
+
+use nwade_aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
+use nwade_chain::{verify_block, verify_link, Block, BlockPackager, ChainCache};
+use nwade_crypto::{Digest, MockScheme};
+use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
+use nwade_traffic::{VehicleDescriptor, VehicleId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+struct Factory {
+    scheduler: ReservationScheduler,
+    packager: BlockPackager,
+    scheme: Arc<MockScheme>,
+    clock: f64,
+    next: u64,
+}
+
+impl Factory {
+    fn new(seed: u64) -> Self {
+        let topo = Arc::new(build(
+            IntersectionKind::FourWayCross,
+            &GeometryConfig::default(),
+        ));
+        let scheme = Arc::new(MockScheme::from_seed(seed));
+        Factory {
+            scheduler: ReservationScheduler::new(topo, SchedulerConfig::default()),
+            packager: BlockPackager::new(scheme.clone()),
+            scheme,
+            clock: 0.0,
+            next: 0,
+        }
+    }
+
+    fn block(&mut self, n: usize) -> Block {
+        let plans: Vec<_> = (0..n)
+            .flat_map(|_| {
+                let id = self.next;
+                self.next += 1;
+                self.clock += 3.0;
+                self.scheduler.schedule(
+                    &[PlanRequest {
+                        id: VehicleId::new(id),
+                        descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(id)),
+                        movement: MovementId::new(((id * 3) % 16) as u16),
+                        position_s: 0.0,
+                        speed: 15.0,
+                    }],
+                    self.clock,
+                )
+            })
+            .collect();
+        self.packager.package(plans, self.clock)
+    }
+
+    fn chain(seed: u64, n: usize) -> (Arc<MockScheme>, Vec<Block>) {
+        let mut f = Factory::new(seed);
+        let blocks = (0..n).map(|i| f.block(1 + i % 3)).collect();
+        (f.scheme.clone(), blocks)
+    }
+}
+
+fn flip_bit(d: &Digest, byte: usize, bit: u8) -> Digest {
+    let mut out = *d;
+    out.0[byte % 32] ^= 1 << (bit % 8);
+    out
+}
+
+/// Applies one of the corruption modes a hostile channel or peer could
+/// produce and returns the mutated block.
+fn corrupt(block: &Block, mode: usize, byte: usize, bit: u8) -> Block {
+    let mut signature = block.signature().to_vec();
+    let mut prev_hash = block.prev_hash();
+    let mut timestamp = block.timestamp();
+    let mut index = block.index();
+    let mut root = block.merkle_root();
+    let mut plans = block.plans().to_vec();
+    match mode {
+        0 => {
+            let i = byte % signature.len();
+            signature[i] ^= 1 << (bit % 8);
+        }
+        1 => prev_hash = flip_bit(&prev_hash, byte, bit),
+        2 => root = flip_bit(&root, byte, bit),
+        3 => timestamp += 0.125 + byte as f64,
+        4 => index = index.wrapping_add(1 + byte as u64),
+        _ => {
+            // Plan-set tampering: drop a plan, or duplicate one.
+            if plans.len() > 1 && bit.is_multiple_of(2) {
+                plans.remove(byte % plans.len());
+            } else {
+                let p = plans[byte % plans.len()].clone();
+                plans.push(p);
+            }
+        }
+    }
+    Block::from_parts(index, signature, prev_hash, timestamp, root, plans)
+}
+
+proptest! {
+    /// Algorithm 1 rejects every single-field corruption of an honestly
+    /// packaged block: the signature covers index, prev-hash, timestamp
+    /// and Merkle root, and the root covers the plan set, so any bit flip
+    /// or plan tampering fails `verify_block`.
+    #[test]
+    fn corrupted_block_is_never_accepted(
+        block_idx in 0usize..4,
+        mode in 0usize..6,
+        byte in 0usize..32,
+        bit in 0u8..8,
+    ) {
+        let (scheme, blocks) = Factory::chain(7, 4);
+        let target = &blocks[block_idx];
+        let mutated = corrupt(target, mode, byte, bit);
+        prop_assert!(
+            verify_block(&mutated, scheme.as_ref()).is_err(),
+            "mode {} corruption of block {} must not verify",
+            mode,
+            block_idx
+        );
+        // The honest original still verifies (the factory is sound).
+        prop_assert!(verify_block(target, scheme.as_ref()).is_ok());
+        // Link-level checks also catch the mutations they cover.
+        if block_idx > 0 && matches!(mode, 1 | 4) {
+            prop_assert!(verify_link(&blocks[block_idx - 1], &mutated).is_err());
+        }
+    }
+
+    /// The cache never desyncs: under any interleaving of in-order and
+    /// out-of-order appends, history back-fills, and blocks from a
+    /// foreign chain, the cached blocks always form a hash-linked run of
+    /// consecutive indices within capacity.
+    #[test]
+    fn cache_stays_hash_linked_under_arbitrary_ops(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec((0usize..3, 0usize..10), 1..50),
+    ) {
+        let (_, blocks) = Factory::chain(11, 10);
+        let (_, foreign) = Factory::chain(13, 10);
+        let mut cache = ChainCache::new(capacity);
+        for (op, idx) in ops {
+            // Results are allowed to be errors — rejection IS the
+            // mechanism. What must never happen is a desync.
+            let _ = match op {
+                0 => cache.append(blocks[idx].clone()),
+                1 => cache.prepend(blocks[idx].clone()),
+                _ => cache.append(foreign[idx].clone()),
+            };
+            prop_assert!(cache.len() <= capacity, "capacity bound holds");
+            let cached: Vec<&Block> = cache.iter().collect();
+            for w in cached.windows(2) {
+                prop_assert!(
+                    verify_link(w[0], w[1]).is_ok(),
+                    "cache desynced: block {} does not chain onto block {}",
+                    w[1].index(),
+                    w[0].index()
+                );
+            }
+        }
+    }
+}

@@ -6,14 +6,13 @@ use nwade_aim::{PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig};
 use nwade_chain::{Block, BlockPackager, ChainCache};
 use nwade_crypto::merkle::leaf_hash;
 use nwade_crypto::MockScheme;
-use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology};
+use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId};
 use nwade_traffic::{VehicleDescriptor, VehicleId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
 struct Factory {
-    topo: Arc<Topology>,
     scheduler: ReservationScheduler,
     packager: BlockPackager,
     clock: f64,
@@ -27,9 +26,8 @@ impl Factory {
             &GeometryConfig::default(),
         ));
         Factory {
-            scheduler: ReservationScheduler::new(topo.clone(), SchedulerConfig::default()),
+            scheduler: ReservationScheduler::new(topo, SchedulerConfig::default()),
             packager: BlockPackager::new(Arc::new(MockScheme::from_seed(seed))),
-            topo,
             clock: 0.0,
             next: 0,
         }

@@ -102,7 +102,8 @@ impl AttackSetting {
 
     /// Number of vehicles sending false reports (column 5).
     pub fn false_reports(&self) -> usize {
-        self.malicious_vehicles().saturating_sub(self.plan_violations())
+        self.malicious_vehicles()
+            .saturating_sub(self.plan_violations())
     }
 
     /// Table I label.

@@ -171,7 +171,9 @@ mod tests {
             .step(ImEvent::PlansGenerated)
             .expect_err("no plans without requests");
         assert!(err.to_string().contains("Standby"));
-        assert!(ImState::BlockPackaging.step(ImEvent::ThreatCleared).is_err());
+        assert!(ImState::BlockPackaging
+            .step(ImEvent::ThreatCleared)
+            .is_err());
         assert!(ImState::Evacuation.step(ImEvent::RecoveryComplete).is_err());
     }
 

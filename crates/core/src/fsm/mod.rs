@@ -20,7 +20,11 @@ pub struct InvalidTransition {
 
 impl fmt::Display for InvalidTransition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "event {} not accepted in state {}", self.event, self.state)
+        write!(
+            f,
+            "event {} not accepted in state {}",
+            self.event, self.state
+        )
     }
 }
 

@@ -44,6 +44,10 @@ pub enum VehicleEvent {
     EvacuationOrdered,
     /// The manager failed to answer within the timeout.
     ImTimeout,
+    /// The manager came back after an outage with a verifiably intact
+    /// chain: a vehicle that self-evacuated purely because the manager
+    /// went silent re-enters the admission flow.
+    ImRecovered,
     /// Enough peer global reports arrived to warrant checking.
     GlobalReportsReceived,
     /// Global verification found the manager trustworthy after all.
@@ -89,6 +93,12 @@ impl VehicleState {
             (GlobalVerification, GlobalCheckPassed) => Following,
             (GlobalVerification, GlobalCheckFailed) => SelfEvacuation,
             (SelfEvacuation, Exited) => Left,
+            // Outage recovery: the silence that caused the evacuation is
+            // over and the chain still verifies; rejoin like a newcomer.
+            // Evacuations caused by *distrust* (invalid blocks, global
+            // check failures) never take this edge — the guard only
+            // raises ImRecovered for timeout-caused evacuations.
+            (SelfEvacuation, ImRecovered) => Preparation,
             (state, event) => {
                 return Err(InvalidTransition {
                     state: state.to_string(),
@@ -191,7 +201,7 @@ mod tests {
     }
 
     #[test]
-    fn self_evacuation_only_exits() {
+    fn self_evacuation_only_exits_or_readmits() {
         assert!(VehicleState::SelfEvacuation
             .step(VehicleEvent::BlockReceived)
             .is_err());
@@ -199,6 +209,20 @@ mod tests {
             VehicleState::SelfEvacuation.step(VehicleEvent::Exited),
             Ok(VehicleState::Left)
         );
+        // Recovery from a manager outage re-enters the admission flow.
+        assert_eq!(
+            VehicleState::SelfEvacuation.step(VehicleEvent::ImRecovered),
+            Ok(VehicleState::Preparation)
+        );
+        // No other state accepts the recovery event.
+        for s in [
+            VehicleState::Preparation,
+            VehicleState::Following,
+            VehicleState::ReportWaiting,
+            VehicleState::Left,
+        ] {
+            assert!(s.step(VehicleEvent::ImRecovered).is_err());
+        }
     }
 
     #[test]

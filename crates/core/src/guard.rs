@@ -10,7 +10,8 @@
 use crate::config::NwadeConfig;
 use crate::fsm::vehicle::{VehicleEvent, VehicleState};
 use crate::messages::{GlobalClaim, GlobalReport, IncidentReport, Observation};
-use crate::verify::block::verify_incoming_block;
+use crate::retry::{Retrier, RetryDecision, RetryPolicy};
+use crate::verify::block::{verify_incoming_block, BlockFailure};
 use crate::verify::global::{GlobalAction, GlobalVerifier};
 use crate::verify::local::local_verify;
 use nwade_aim::TravelPlan;
@@ -20,6 +21,26 @@ use nwade_intersection::Topology;
 use nwade_traffic::VehicleId;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Cryptographic failures tolerated per block index before the guard
+/// treats them as a real forgery instead of channel corruption. A
+/// bit-flipped copy fails the signature check exactly like a forged
+/// block; the difference is that a re-fetched genuine block verifies,
+/// while a manager actually signing garbage keeps failing.
+const MAX_CRYPTO_FAILURES: u32 = 3;
+
+/// Why a guard entered self-evacuation — decides whether it may ever be
+/// re-admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvacuationCause {
+    /// The manager went silent past the report timeout (Algorithm 2,
+    /// lines 11–13). Recoverable: if the manager returns with an intact
+    /// chain, the vehicle re-enters the admission flow.
+    ImTimeout,
+    /// The protocol proved misbehaviour (invalid block, failed global
+    /// check, shielding). Terminal: the manager is never trusted again.
+    Protocol,
+}
 
 /// What the guard wants its host to do.
 #[derive(Debug, Clone)]
@@ -35,6 +56,11 @@ pub enum GuardAction {
         /// First missing index.
         from_index: u64,
     },
+    /// The manager recovered from an outage with a verifiably intact
+    /// chain: this timeout-evacuated vehicle rejoins. The host should
+    /// clear any evacuation announcements it relayed for this vehicle
+    /// and request a fresh travel plan (the old one is stale).
+    Readmit,
     /// A received global report was provably false (the accused block is
     /// held and verified) — the false alarm is *detected* (Table II).
     RebutGlobalReport {
@@ -51,6 +77,15 @@ pub enum GuardAction {
     SelfEvacuate,
 }
 
+/// An incident report awaiting the manager's verdict, kept whole so it
+/// can be resent while the timeout clock runs.
+#[derive(Debug, Clone)]
+struct PendingReport {
+    report: IncidentReport,
+    sent: f64,
+    retry: Retrier,
+}
+
 /// The per-vehicle protocol engine.
 pub struct VehicleGuard {
     id: VehicleId,
@@ -61,8 +96,9 @@ pub struct VehicleGuard {
     cache: ChainCache,
     global: GlobalVerifier,
     own_plan: Option<TravelPlan>,
-    /// Outstanding incident report: suspect → send time.
-    pending_report: Option<(VehicleId, f64)>,
+    /// Outstanding incident report (resent with backoff until the
+    /// manager answers or the report timeout escalates).
+    pending_report: Option<PendingReport>,
     /// Suspects already reported (avoid re-reporting every tick).
     reported: HashMap<VehicleId, f64>,
     /// Suspects whose reports the manager dismissed, with the dismissal
@@ -74,11 +110,19 @@ pub struct VehicleGuard {
     known_threats: std::collections::HashSet<VehicleId>,
     /// Set once the guard has decided to self-evacuate.
     evacuating: bool,
+    /// Why (only meaningful while `evacuating`).
+    evacuation_cause: Option<EvacuationCause>,
     /// The claim broadcast when self-evacuation began (re-broadcast
     /// periodically so late arrivals learn this vehicle is off-plan).
     evacuation_claim: Option<GlobalClaim>,
-    /// Last time a block request was issued (rate limiting).
-    last_block_request: f64,
+    /// The outstanding block request: target index and its retry
+    /// schedule. Replaces the old fixed 2 s rate limit with bounded
+    /// exponential backoff; cleared whenever the cache advances.
+    block_retry: Option<(u64, Retrier)>,
+    /// Cryptographic/link verification failures per block index —
+    /// transient channel corruption is retried, persistent failure is
+    /// treated as a forgery (Algorithm 1's reject path).
+    crypto_failures: HashMap<u64, u32>,
 }
 
 impl std::fmt::Debug for VehicleGuard {
@@ -118,19 +162,40 @@ impl VehicleGuard {
             dismissed: HashMap::new(),
             known_threats: std::collections::HashSet::new(),
             evacuating: false,
+            evacuation_cause: None,
             evacuation_claim: None,
-            last_block_request: f64::NEG_INFINITY,
+            block_retry: None,
+            crypto_failures: HashMap::new(),
         }
     }
 
-    /// Emits a rate-limited block request (at most one every 2 s) so
-    /// gossip storms cannot amplify into request floods.
+    /// Emits a block request under bounded exponential backoff, so
+    /// gossip storms and lossy channels cannot amplify into request
+    /// floods. One logical request is outstanding at a time; asking for
+    /// an earlier index restarts the schedule (the need changed), and a
+    /// successful cache advance clears it.
     fn request_blocks(&mut self, from_index: u64, now: f64) -> Vec<GuardAction> {
-        if now - self.last_block_request < 2.0 {
-            return Vec::new();
+        let salt = self.id.raw() ^ 0xB10C_FE7C;
+        let retry = match &mut self.block_retry {
+            Some((index, retry)) if *index <= from_index => retry,
+            slot => {
+                *slot = Some((
+                    from_index,
+                    Retrier::new(RetryPolicy::block_backfill(), now, salt),
+                ));
+                &mut slot.as_mut().expect("just set").1
+            }
+        };
+        match retry.poll(now) {
+            RetryDecision::Fire(_) => vec![GuardAction::RequestBlocks { from_index }],
+            RetryDecision::Wait | RetryDecision::Exhausted => Vec::new(),
         }
-        self.last_block_request = now;
-        vec![GuardAction::RequestBlocks { from_index }]
+    }
+
+    /// The cache advanced: the outstanding block request (if any) is
+    /// satisfied or superseded.
+    fn note_cache_progress(&mut self) {
+        self.block_retry = None;
     }
 
     /// This vehicle's id.
@@ -174,11 +239,22 @@ impl VehicleGuard {
         }
     }
 
-    fn enter_self_evacuation(&mut self, claim: GlobalClaim, now: f64) -> Vec<GuardAction> {
+    fn enter_self_evacuation(
+        &mut self,
+        claim: GlobalClaim,
+        cause: EvacuationCause,
+        now: f64,
+    ) -> Vec<GuardAction> {
         if self.evacuating {
+            // A proven-misbehaviour cause overrides a recoverable one:
+            // once distrust is earned, no outage recovery re-admits.
+            if cause == EvacuationCause::Protocol {
+                self.evacuation_cause = Some(EvacuationCause::Protocol);
+            }
             return Vec::new();
         }
         self.evacuating = true;
+        self.evacuation_cause = Some(cause);
         self.state = VehicleState::SelfEvacuation;
         self.evacuation_claim = Some(claim);
         vec![
@@ -199,15 +275,43 @@ impl VehicleGuard {
     pub fn force_self_evacuation(&mut self, now: f64) -> Vec<GuardAction> {
         self.enter_self_evacuation(
             GlobalClaim::AbnormalVehicle { suspect: self.id },
+            EvacuationCause::Protocol,
             now,
         )
     }
 
-    /// Handles a received block (Algorithm 1 end to end).
-    pub fn on_block(&mut self, block: &Block, now: f64) -> Vec<GuardAction> {
+    /// Why this guard is evacuating (`None` while it is not).
+    pub fn evacuation_cause(&self) -> Option<EvacuationCause> {
         if self.evacuating {
-            return Vec::new(); // manager no longer trusted
+            self.evacuation_cause
+        } else {
+            None
         }
+    }
+
+    /// Handles a received block (Algorithm 1 end to end).
+    ///
+    /// Two robustness layers sit on top of the paper's algorithm:
+    ///
+    /// * **Transient-corruption tolerance** — a copy whose signature or
+    ///   hash link fails is indistinguishable from a forgery, but on a
+    ///   faulty channel it is far more likely a bit-flipped copy. The
+    ///   guard discards it, re-requests the index, and only takes
+    ///   Algorithm 1's reject path (self-evacuation) after
+    ///   [`MAX_CRYPTO_FAILURES`] failures of the *same* index. Validly
+    ///   signed blocks with conflicting plans are proof of manager
+    ///   misbehaviour — no channel produces a valid signature over
+    ///   corrupted plans — and still reject immediately.
+    /// * **Outage re-admission** — a guard that evacuated only because
+    ///   the manager went silent ([`EvacuationCause::ImTimeout`]) treats
+    ///   a fresh, fully verifying broadcast from the manager as proof of
+    ///   recovery: it steps the `ImRecovered` FSM edge back into the
+    ///   admission flow and emits [`GuardAction::Readmit`].
+    pub fn on_block(&mut self, block: &Block, now: f64) -> Vec<GuardAction> {
+        if self.evacuating && self.evacuation_cause != Some(EvacuationCause::ImTimeout) {
+            return Vec::new(); // manager no longer trusted, ever
+        }
+        let readmitting = self.evacuating;
         // Gap: ask for the missing prefix before judging this block.
         if let Some(tip) = self.cache.tip() {
             if block.index() > tip.index() + 1 {
@@ -218,7 +322,10 @@ impl VehicleGuard {
                 return Vec::new(); // duplicate or stale
             }
         }
-        self.step_fsm(VehicleEvent::BlockReceived);
+        let state_before = self.state;
+        if !readmitting {
+            self.step_fsm(VehicleEvent::BlockReceived);
+        }
         match verify_incoming_block(
             block,
             &self.cache,
@@ -229,6 +336,19 @@ impl VehicleGuard {
         ) {
             Ok(()) => {
                 let index = block.index();
+                self.crypto_failures.remove(&index);
+                self.note_cache_progress();
+                let mut actions = Vec::new();
+                if readmitting {
+                    // The manager is back and its chain verifies.
+                    self.evacuating = false;
+                    self.evacuation_cause = None;
+                    self.evacuation_claim = None;
+                    self.pending_report = None;
+                    self.step_fsm(VehicleEvent::ImRecovered);
+                    self.step_fsm(VehicleEvent::BlockReceived);
+                    actions.push(GuardAction::Readmit);
+                }
                 self.cache.append(block.clone()).expect("verified link");
                 self.step_fsm(VehicleEvent::BlockValid);
                 if let Some(plan) = self.cache.plan_for(self.id) {
@@ -236,18 +356,49 @@ impl VehicleGuard {
                     let fresh = self
                         .own_plan
                         .as_ref()
-                        .map_or(true, |p| p.encode() != plan.encode());
+                        .is_none_or(|p| p.encode() != plan.encode());
                     self.own_plan = Some(plan.clone());
-                    if fresh {
-                        return vec![GuardAction::FollowPlan(plan)];
+                    // A re-admitted vehicle must not resume its stale
+                    // pre-outage plan; it waits for a re-issued one.
+                    if fresh && !readmitting {
+                        actions.push(GuardAction::FollowPlan(plan));
                     }
-                } else if self.own_plan.is_none() && index > 0 {
+                } else if self.own_plan.is_none() && index > 0 && !readmitting {
                     // Still no plan: the block that carried it may have
                     // been lost before this vehicle's window started.
                     // Back-fill recent history from a peer.
-                    return self.request_blocks(index.saturating_sub(8), now);
+                    actions.extend(self.request_blocks(index.saturating_sub(8), now));
                 }
-                Vec::new()
+                actions
+            }
+            Err(e @ (BlockFailure::Crypto(_) | BlockFailure::Chain(_))) => {
+                if std::env::var("NWADE_DEBUG").is_ok() {
+                    eprintln!(
+                        "[nwade-debug] guard {} crypto-rejects block {}: {e:?}",
+                        self.id,
+                        block.index()
+                    );
+                }
+                let failures = self.crypto_failures.entry(block.index()).or_insert(0);
+                *failures += 1;
+                if *failures < MAX_CRYPTO_FAILURES {
+                    // Probably a corrupted copy: drop it, fetch a clean
+                    // one, and pretend this block never arrived.
+                    self.state = state_before;
+                    return self.request_blocks(block.index(), now);
+                }
+                if readmitting {
+                    // Still broken after the outage: stay evacuated.
+                    return Vec::new();
+                }
+                self.step_fsm(VehicleEvent::BlockInvalid);
+                self.enter_self_evacuation(
+                    GlobalClaim::ConflictingPlans {
+                        index: block.index(),
+                    },
+                    EvacuationCause::Protocol,
+                    now,
+                )
             }
             Err(e) => {
                 if std::env::var("NWADE_DEBUG").is_ok() {
@@ -257,11 +408,18 @@ impl VehicleGuard {
                         block.index()
                     );
                 }
+                if readmitting {
+                    // A validly signed conflicting block while waiting
+                    // for recovery: the manager is provably misbehaving.
+                    self.evacuation_cause = Some(EvacuationCause::Protocol);
+                    return Vec::new();
+                }
                 self.step_fsm(VehicleEvent::BlockInvalid);
                 self.enter_self_evacuation(
                     GlobalClaim::ConflictingPlans {
                         index: block.index(),
                     },
+                    EvacuationCause::Protocol,
                     now,
                 )
             }
@@ -285,7 +443,7 @@ impl VehicleGuard {
             let extends = self
                 .cache
                 .tip()
-                .map_or(true, |tip| block.index() == tip.index() + 1);
+                .is_none_or(|tip| block.index() == tip.index() + 1);
             if extends {
                 actions.extend(self.on_block(block, now));
             }
@@ -300,8 +458,10 @@ impl VehicleGuard {
             if !fits {
                 continue;
             }
-            if nwade_chain::verify_block(block, self.verifier.as_ref()).is_ok() {
-                let _ = self.cache.prepend((*block).clone());
+            if nwade_chain::verify_block(block, self.verifier.as_ref()).is_ok()
+                && self.cache.prepend((*block).clone()).is_ok()
+            {
+                self.note_cache_progress();
             }
         }
         // A back-filled plan is as good as a broadcast one.
@@ -327,7 +487,8 @@ impl VehicleGuard {
             if obs.target == self.id || self.known_threats.contains(&obs.target) {
                 continue;
             }
-            // Re-report a suspect only after a cooldown.
+            // Re-report a suspect only after a cooldown (retries of the
+            // *pending* report are handled by its retrier in `on_tick`).
             if let Some(&t) = self.reported.get(&obs.target) {
                 if now - t < self.config.report_timeout * 2.0 {
                     continue;
@@ -351,24 +512,36 @@ impl VehicleGuard {
                     // attacker. Escalate globally and get out.
                     self.known_threats.insert(obs.target);
                     let mut out = self.enter_self_evacuation(
-                        GlobalClaim::AbnormalVehicle { suspect: obs.target },
+                        GlobalClaim::AbnormalVehicle {
+                            suspect: obs.target,
+                        },
+                        EvacuationCause::Protocol,
                         now,
                     );
                     actions.append(&mut out);
                     continue;
                 }
                 let block_index = self.cache.tip().map_or(0, Block::index);
-                if self.pending_report.is_none() {
-                    self.pending_report = Some((obs.target, now));
-                }
-                self.step_fsm(VehicleEvent::AnomalyDetected);
-                self.step_fsm(VehicleEvent::ReportSent);
-                actions.push(GuardAction::SendIncidentReport(IncidentReport {
+                let report = IncidentReport {
                     reporter: self.id,
                     suspect: obs.target,
                     evidence: *obs,
                     block_index,
-                }));
+                };
+                if self.pending_report.is_none() {
+                    self.pending_report = Some(PendingReport {
+                        report: report.clone(),
+                        sent: now,
+                        retry: Retrier::after_initial_send(
+                            RetryPolicy::report_submission(self.config.report_timeout),
+                            now,
+                            self.id.raw() ^ 0x5E4D_0127,
+                        ),
+                    });
+                }
+                self.step_fsm(VehicleEvent::AnomalyDetected);
+                self.step_fsm(VehicleEvent::ReportSent);
+                actions.push(GuardAction::SendIncidentReport(report));
             }
         }
         actions
@@ -381,21 +554,31 @@ impl VehicleGuard {
         self.known_threats.insert(vehicle);
     }
 
-    /// Periodic housekeeping: report-timeout detection (Algorithm 2,
-    /// lines 11–13).
+    /// Periodic housekeeping: resends the pending incident report under
+    /// its backoff schedule, then applies the report-timeout escalation
+    /// (Algorithm 2, lines 11–13).
     pub fn on_tick(&mut self, now: f64) -> Vec<GuardAction> {
         if self.evacuating {
             return Vec::new();
         }
-        if let Some((suspect, sent)) = self.pending_report {
-            if now - sent > self.config.report_timeout {
-                self.pending_report = None;
-                self.step_fsm(VehicleEvent::ImTimeout);
-                return self.enter_self_evacuation(
-                    GlobalClaim::AbnormalVehicle { suspect },
-                    now,
-                );
-            }
+        let Some(pending) = &mut self.pending_report else {
+            return Vec::new();
+        };
+        if now - pending.sent > self.config.report_timeout {
+            let suspect = pending.report.suspect;
+            self.pending_report = None;
+            self.step_fsm(VehicleEvent::ImTimeout);
+            return self.enter_self_evacuation(
+                GlobalClaim::AbnormalVehicle { suspect },
+                EvacuationCause::ImTimeout,
+                now,
+            );
+        }
+        // The channel may have eaten the report; resend within the
+        // timeout window so a single lost packet does not escalate a
+        // local anomaly into a full self-evacuation.
+        if let RetryDecision::Fire(_) = pending.retry.poll(now) {
+            return vec![GuardAction::SendIncidentReport(pending.report.clone())];
         }
         Vec::new()
     }
@@ -403,7 +586,7 @@ impl VehicleGuard {
     /// The manager dismissed this vehicle's report.
     pub fn on_dismissal(&mut self, suspect: VehicleId) {
         *self.dismissed.entry(suspect).or_insert(0) += 1;
-        if self.pending_report.map(|(s, _)| s) == Some(suspect) {
+        if self.pending_report.as_ref().map(|p| p.report.suspect) == Some(suspect) {
             self.pending_report = None;
             self.step_fsm(VehicleEvent::AlarmDismissed);
         }
@@ -421,7 +604,7 @@ impl VehicleGuard {
         own_observation: Option<&Observation>,
         now: f64,
     ) -> Vec<GuardAction> {
-        if self.pending_report.map(|(s, _)| s) == Some(suspect) {
+        if self.pending_report.as_ref().map(|p| p.report.suspect) == Some(suspect) {
             self.pending_report = None;
             self.step_fsm(VehicleEvent::EvacuationOrdered);
         }
@@ -543,7 +726,7 @@ impl VehicleGuard {
                     }
                 }
                 self.step_fsm(VehicleEvent::GlobalCheckFailed);
-                self.enter_self_evacuation(report.claim, now)
+                self.enter_self_evacuation(report.claim, EvacuationCause::Protocol, now)
             }
         }
     }
@@ -636,11 +819,24 @@ mod tests {
     }
 
     #[test]
-    fn invalid_block_triggers_self_evacuation_and_global_report() {
+    fn forged_block_retried_then_rejected_with_global_report() {
         let mut w = World::new();
         let mut g = w.guard(0);
         let evil = tamper::forge_signature(&w.block_with_vehicles(2));
+        // First failed copy is treated as channel corruption: the guard
+        // discards it and asks for a clean copy instead of panicking
+        // into self-evacuation.
         let actions = g.on_block(&evil, 1.0);
+        assert!(matches!(
+            actions.as_slice(),
+            [GuardAction::RequestBlocks { from_index: 0 }]
+        ));
+        assert!(!g.is_evacuating());
+        assert_eq!(g.cache().len(), 0, "corrupted copy not cached");
+        // The same index keeps failing: after the tolerance is spent the
+        // guard takes Algorithm 1's reject path.
+        assert!(g.on_block(&evil, 2.0).is_empty(), "second strike absorbed");
+        let actions = g.on_block(&evil, 3.0);
         assert_eq!(actions.len(), 2);
         assert!(matches!(actions[0], GuardAction::SelfEvacuate));
         assert!(matches!(
@@ -651,10 +847,45 @@ mod tests {
             })
         ));
         assert!(g.is_evacuating());
+        assert_eq!(g.evacuation_cause(), Some(EvacuationCause::Protocol));
         assert_eq!(g.state(), VehicleState::SelfEvacuation);
-        // Further blocks are ignored.
+        // Further blocks are ignored: protocol distrust is terminal.
         let next = w.block_with_vehicles(1);
-        assert!(g.on_block(&next, 2.0).is_empty());
+        assert!(g.on_block(&next, 4.0).is_empty());
+    }
+
+    #[test]
+    fn corrupted_copy_then_clean_copy_accepted() {
+        let mut w = World::new();
+        let mut g = w.guard(0);
+        let block = w.block_with_vehicles(3);
+        let mangled = tamper::forge_signature(&block);
+        g.on_block(&mangled, 1.0);
+        assert!(!g.is_evacuating());
+        // A clean copy of the same block (e.g. the duplicate injected by
+        // the duplication fault, or a peer's response) verifies normally.
+        let actions = g.on_block(&block, 1.5);
+        assert!(matches!(actions.as_slice(), [GuardAction::FollowPlan(_)]));
+        assert_eq!(g.state(), VehicleState::Following);
+        assert_eq!(g.cache().len(), 1);
+    }
+
+    #[test]
+    fn validly_signed_conflicts_still_reject_immediately() {
+        let mut w = World::new();
+        let mut g = w.guard(0);
+        let honest = w.block_with_vehicles(8);
+        let Some(bad_plans) = nwade_aim::corrupt::make_conflicting(honest.plans(), &w.topo, 0.0)
+        else {
+            panic!("expected crossing traffic among 8 plans");
+        };
+        let evil = tamper::resign_with_plans(&honest, bad_plans, w.scheme.as_ref());
+        // No retry budget for provable misbehaviour: a valid signature
+        // over conflicting plans cannot be channel noise.
+        let actions = g.on_block(&evil, 1.0);
+        assert!(matches!(actions[0], GuardAction::SelfEvacuate));
+        assert!(g.is_evacuating());
+        assert_eq!(g.evacuation_cause(), Some(EvacuationCause::Protocol));
     }
 
     #[test]
@@ -740,8 +971,15 @@ mod tests {
             time: 5.0,
         };
         g.on_observations(&[obs], 5.0);
-        // Within the timeout: nothing.
-        assert!(g.on_tick(5.5).is_empty());
+        // Before the first backoff interval elapses: nothing.
+        assert!(g.on_tick(5.2).is_empty());
+        // Mid-window the retrier re-submits the same report in case the
+        // first copy was lost in the channel.
+        let actions = g.on_tick(5.5);
+        assert!(matches!(
+            actions.as_slice(),
+            [GuardAction::SendIncidentReport(r)] if r.suspect.raw() == 1
+        ));
         // Past the timeout: self-evacuation + abnormal-vehicle broadcast.
         let actions = g.on_tick(6.2);
         assert!(matches!(actions[0], GuardAction::SelfEvacuate));
@@ -752,6 +990,63 @@ mod tests {
                 ..
             }) if suspect.raw() == 1
         ));
+        assert_eq!(g.evacuation_cause(), Some(EvacuationCause::ImTimeout));
+    }
+
+    #[test]
+    fn im_timeout_evacuee_readmits_on_fresh_block() {
+        let mut w = World::new();
+        let mut g = w.guard(0);
+        let block = w.block_with_vehicles(2);
+        g.on_block(&block, 0.0);
+        let plan1 = block.plan_for(VehicleId::new(1)).expect("plan").clone();
+        let (pos, _) = plan1.expected_state(&w.topo, 5.0);
+        let obs = Observation {
+            target: VehicleId::new(1),
+            position: pos + nwade_geometry::Vec2::new(50.0, 0.0),
+            speed: 0.0,
+            time: 5.0,
+        };
+        g.on_observations(&[obs], 5.0);
+        g.on_tick(6.2); // manager silent → ImTimeout self-evacuation
+        assert!(g.is_evacuating());
+        assert_eq!(g.evacuation_cause(), Some(EvacuationCause::ImTimeout));
+        // The manager restarts and broadcasts a fresh, correctly chained
+        // block: the evacuee verifies it and rejoins the admission flow.
+        let fresh = w.block_with_vehicles(1);
+        let actions = g.on_block(&fresh, 8.0);
+        assert!(
+            actions.iter().any(|a| matches!(a, GuardAction::Readmit)),
+            "expected Readmit, got {actions:?}"
+        );
+        assert!(!g.is_evacuating());
+        assert_eq!(g.evacuation_cause(), None);
+        assert_eq!(g.state(), VehicleState::Following);
+        // The stale pre-outage plan must not be resumed blindly.
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, GuardAction::FollowPlan(_))),
+            "stale plan resumed: {actions:?}"
+        );
+        assert_eq!(g.cache().len(), 2, "fresh block appended to cache");
+    }
+
+    #[test]
+    fn protocol_evacuee_never_readmits() {
+        let mut w = World::new();
+        let mut g = w.guard(0);
+        let evil = tamper::forge_signature(&w.block_with_vehicles(2));
+        for t in [1.0, 2.0, 3.0] {
+            g.on_block(&evil, t);
+        }
+        assert!(g.is_evacuating());
+        assert_eq!(g.evacuation_cause(), Some(EvacuationCause::Protocol));
+        // Even a perfectly valid fresh block cannot win back a vehicle
+        // that evacuated because it caught the manager misbehaving.
+        let fresh = w.block_with_vehicles(1);
+        assert!(g.on_block(&fresh, 4.0).is_empty());
+        assert!(g.is_evacuating());
     }
 
     #[test]
@@ -841,10 +1136,22 @@ mod tests {
             speed,
             time: 5.0,
         };
-        assert_eq!(g.answer_verify_request(VehicleId::new(1), Some(&good), None), (true, false));
-        assert_eq!(g.answer_verify_request(VehicleId::new(1), Some(&bad), None), (true, true));
-        assert_eq!(g.answer_verify_request(VehicleId::new(1), None, None), (false, false));
-        assert_eq!(g.answer_verify_request(VehicleId::new(55), Some(&good), None), (false, false));
+        assert_eq!(
+            g.answer_verify_request(VehicleId::new(1), Some(&good), None),
+            (true, false)
+        );
+        assert_eq!(
+            g.answer_verify_request(VehicleId::new(1), Some(&bad), None),
+            (true, true)
+        );
+        assert_eq!(
+            g.answer_verify_request(VehicleId::new(1), None, None),
+            (false, false)
+        );
+        assert_eq!(
+            g.answer_verify_request(VehicleId::new(55), Some(&good), None),
+            (false, false)
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   Eq. 3 (self-evacuation probability),
 //! * [`attack`] — Table I's eleven attack settings and the attacker
 //!   behaviours they inject,
+//! * [`retry`] — [`Retrier`], bounded exponential-backoff retry shared by
+//!   every request/response exchange in the protocol,
 //! * [`messages`] — the protocol message set exchanged over the VANET.
 //!
 //! # Quick start
@@ -40,10 +42,12 @@ pub mod guard;
 pub mod manager;
 pub mod messages;
 pub mod prob;
+pub mod retry;
 pub mod verify;
 
 pub use attack::{AttackSetting, ViolationKind};
 pub use config::NwadeConfig;
-pub use guard::{GuardAction, VehicleGuard};
+pub use guard::{EvacuationCause, GuardAction, VehicleGuard};
 pub use manager::{ManagerAction, NwadeManager};
 pub use messages::{GlobalClaim, GlobalReport, IncidentReport, NwadeMessage, Observation};
+pub use retry::{Retrier, RetryDecision, RetryPolicy};

@@ -147,6 +147,18 @@ impl NwadeManager {
             .collect()
     }
 
+    /// Brings the manager back after an outage. The chain and the
+    /// published-plan ledger are durable (rebuilt from persisted blocks),
+    /// but everything conversational is not: in-flight report
+    /// verifications died with the process, so they are dropped rather
+    /// than resumed against watcher groups that have long since moved on.
+    /// Confirmed threats and the false-reporter ledger are part of the
+    /// durable record and survive.
+    pub fn restart(&mut self) {
+        self.pending.clear();
+        self.state = ImState::Standby;
+    }
+
     /// Drops batch plans that would fail the vehicle-side conflict check
     /// against the published plan set (rare: the saturated-intersection
     /// park fallback can strand a vehicle in a cell another plan crosses).
@@ -552,7 +564,9 @@ mod tests {
     fn duplicate_reports_are_absorbed() {
         let mut m = manager();
         m.on_incident_report(&incident(0, 9), &ids(1..8), 5.0);
-        assert!(m.on_incident_report(&incident(2, 9), &ids(1..8), 5.1).is_empty());
+        assert!(m
+            .on_incident_report(&incident(2, 9), &ids(1..8), 5.1)
+            .is_empty());
     }
 
     #[test]
@@ -578,8 +592,14 @@ mod tests {
         // Round 1: 3 of 5 say abnormal → round 2 poll of fresh watchers.
         let mut second_poll = None;
         for i in 0..3 {
-            let actions =
-                m.on_verify_response(rid1, VehicleId::new(9), true, true, &ids(1..20), 5.0 + i as f64);
+            let actions = m.on_verify_response(
+                rid1,
+                VehicleId::new(9),
+                true,
+                true,
+                &ids(1..20),
+                5.0 + i as f64,
+            );
             if !actions.is_empty() {
                 second_poll = Some(actions);
             }
@@ -602,7 +622,8 @@ mod tests {
         // Round 2 confirms.
         let mut confirmed = Vec::new();
         for i in 0..3 {
-            confirmed = m.on_verify_response(*rid2, VehicleId::new(9), true, true, &[], 6.0 + i as f64);
+            confirmed =
+                m.on_verify_response(*rid2, VehicleId::new(9), true, true, &[], 6.0 + i as f64);
             if !confirmed.is_empty() {
                 break;
             }
@@ -624,7 +645,8 @@ mod tests {
         let rid = *request_id;
         let mut dismissed = Vec::new();
         for i in 0..3 {
-            dismissed = m.on_verify_response(rid, VehicleId::new(9), true, false, &[], 5.0 + i as f64);
+            dismissed =
+                m.on_verify_response(rid, VehicleId::new(9), true, false, &[], 5.0 + i as f64);
             if !dismissed.is_empty() {
                 break;
             }

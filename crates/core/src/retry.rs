@@ -1,0 +1,349 @@
+//! [`Retrier`]: bounded retry with exponential backoff and jitter.
+//!
+//! The protocol layers all need the same shape of resilience against a
+//! lossy channel: send a request, wait, resend with growing spacing, and
+//! give up after a bounded number of attempts or a hard deadline. Before
+//! this module each call site hand-rolled its own ad-hoc per-tick resend
+//! (fixed 5 s plan re-requests, a fixed 2 s block-request rate limit,
+//! fire-and-forget incident reports). The [`Retrier`] centralizes the
+//! policy so the simulator's chaos experiments can reason about retry
+//! storms and request deadlines uniformly.
+//!
+//! Jitter is deterministic: it is derived by hashing the retrier's salt
+//! with the attempt number, so two runs with the same seed produce the
+//! same schedule (a hard requirement for reproducible experiments), while
+//! distinct vehicles (distinct salts) still desynchronize and avoid
+//! thundering-herd resends after a shared outage.
+
+/// When and how often to retry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry, seconds.
+    pub base: f64,
+    /// Multiplier applied to the delay after every attempt (≥ 1).
+    pub factor: f64,
+    /// Upper bound on the delay between attempts, seconds.
+    pub max_backoff: f64,
+    /// Jitter fraction in `[0, 1)`: each delay is scaled by a
+    /// deterministic factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Total attempts allowed (including the initial send).
+    pub max_attempts: u32,
+    /// Optional hard deadline, seconds after the retrier started; once
+    /// passed, no further attempts fire.
+    pub deadline: Option<f64>,
+}
+
+impl RetryPolicy {
+    /// Validates the policy fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.base > 0.0 && self.base.is_finite()) {
+            return Err("retry base delay must be positive and finite".into());
+        }
+        if !(self.factor >= 1.0 && self.factor.is_finite()) {
+            return Err("retry factor must be >= 1".into());
+        }
+        if !(self.max_backoff >= self.base && self.max_backoff.is_finite()) {
+            return Err("max backoff must be >= base delay".into());
+        }
+        if !(0.0..1.0).contains(&self.jitter) {
+            return Err("jitter must be in [0, 1)".into());
+        }
+        if self.max_attempts == 0 {
+            return Err("max attempts must be at least 1".into());
+        }
+        if let Some(d) = self.deadline {
+            if !(d > 0.0 && d.is_finite()) {
+                return Err("deadline must be positive and finite".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Plan requests: patient, because the manager may defer a vehicle
+    /// across several windows even on a healthy network.
+    pub fn plan_request() -> Self {
+        RetryPolicy {
+            base: 2.0,
+            factor: 1.6,
+            max_backoff: 8.0,
+            jitter: 0.25,
+            max_attempts: 16,
+            deadline: None,
+        }
+    }
+
+    /// Chain back-fill requests: quick first retry (a peer is usually one
+    /// hop away), capped so gossip storms cannot amplify.
+    pub fn block_backfill() -> Self {
+        RetryPolicy {
+            base: 2.0,
+            factor: 2.0,
+            max_backoff: 8.0,
+            jitter: 0.2,
+            max_attempts: 6,
+            deadline: None,
+        }
+    }
+
+    /// Incident-report resends: everything must happen inside the
+    /// protocol's report timeout, after which the guard escalates to
+    /// self-evacuation anyway (Algorithm 2, lines 11–13).
+    pub fn report_submission(report_timeout: f64) -> Self {
+        RetryPolicy {
+            base: (report_timeout * 0.4).max(1e-3),
+            factor: 1.5,
+            max_backoff: report_timeout,
+            jitter: 0.1,
+            max_attempts: 3,
+            deadline: Some(report_timeout),
+        }
+    }
+}
+
+/// The outcome of polling a [`Retrier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Send (or resend) now; carries the attempt number (1-based).
+    Fire(u32),
+    /// Nothing to do yet; the next attempt is not due.
+    Wait,
+    /// Attempts or deadline exhausted; the caller should give up (and,
+    /// when the request matters for safety, escalate).
+    Exhausted,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Tracks one logical request's retry schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrier {
+    policy: RetryPolicy,
+    started: f64,
+    next_at: f64,
+    attempts: u32,
+    salt: u64,
+}
+
+impl Retrier {
+    /// Creates a retrier whose first [`RetryDecision::Fire`] is due
+    /// immediately (at or after `now`). `salt` individualizes the jitter
+    /// schedule (e.g. the vehicle id).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `policy` is invalid.
+    pub fn new(policy: RetryPolicy, now: f64, salt: u64) -> Self {
+        policy.validate().expect("retry policy must be valid");
+        Retrier {
+            policy,
+            started: now,
+            next_at: now,
+            attempts: 0,
+            salt,
+        }
+    }
+
+    /// Creates a retrier for a request that was *already sent once* at
+    /// `now` (the caller fired attempt 1 itself): the first poll waits
+    /// for the first backoff instead of firing immediately.
+    pub fn after_initial_send(policy: RetryPolicy, now: f64, salt: u64) -> Self {
+        let mut r = Retrier::new(policy, now, salt);
+        let _ = r.poll(now);
+        r
+    }
+
+    /// Deterministic jitter factor in `[1 - j, 1 + j]` for an attempt.
+    fn jitter_factor(&self, attempt: u32) -> f64 {
+        if self.policy.jitter == 0.0 {
+            return 1.0;
+        }
+        let h = splitmix64(self.salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9));
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64); // [0, 1)
+        1.0 + self.policy.jitter * (2.0 * unit - 1.0)
+    }
+
+    /// The backoff after `attempt` sends (attempt ≥ 1).
+    fn backoff(&self, attempt: u32) -> f64 {
+        let exp = self.policy.base * self.policy.factor.powi(attempt as i32 - 1);
+        exp.min(self.policy.max_backoff) * self.jitter_factor(attempt)
+    }
+
+    /// Polls the schedule. Returns [`RetryDecision::Fire`] when an
+    /// attempt is due (the caller must then actually send), `Wait` when
+    /// between attempts, and `Exhausted` once attempts or the deadline
+    /// are spent.
+    pub fn poll(&mut self, now: f64) -> RetryDecision {
+        if self.attempts >= self.policy.max_attempts {
+            return RetryDecision::Exhausted;
+        }
+        if let Some(deadline) = self.policy.deadline {
+            if now - self.started > deadline {
+                return RetryDecision::Exhausted;
+            }
+        }
+        if now < self.next_at {
+            return RetryDecision::Wait;
+        }
+        self.attempts += 1;
+        self.next_at = now + self.backoff(self.attempts);
+        RetryDecision::Fire(self.attempts)
+    }
+
+    /// Attempts fired so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// `true` once no further attempt can ever fire.
+    pub fn is_exhausted(&self, now: f64) -> bool {
+        self.attempts >= self.policy.max_attempts
+            || self.policy.deadline.is_some_and(|d| now - self.started > d)
+    }
+
+    /// Restarts the schedule for a fresh request at `now` (attempt
+    /// counter and deadline reset; the next poll fires immediately).
+    pub fn reset(&mut self, now: f64) {
+        self.started = now;
+        self.next_at = now;
+        self.attempts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            base: 1.0,
+            factor: 2.0,
+            max_backoff: 8.0,
+            jitter: 0.0,
+            max_attempts: 4,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn fires_immediately_then_backs_off_exponentially() {
+        let mut r = Retrier::new(policy(), 0.0, 7);
+        assert_eq!(r.poll(0.0), RetryDecision::Fire(1));
+        // Backoff 1 s: not due at 0.5.
+        assert_eq!(r.poll(0.5), RetryDecision::Wait);
+        assert_eq!(r.poll(1.0), RetryDecision::Fire(2));
+        // Backoff doubles to 2 s.
+        assert_eq!(r.poll(2.5), RetryDecision::Wait);
+        assert_eq!(r.poll(3.0), RetryDecision::Fire(3));
+        // Then 4 s.
+        assert_eq!(r.poll(7.0), RetryDecision::Fire(4));
+        // Attempts exhausted.
+        assert_eq!(r.poll(100.0), RetryDecision::Exhausted);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let mut p = policy();
+        p.max_attempts = 10;
+        p.max_backoff = 3.0;
+        let mut r = Retrier::new(p, 0.0, 0);
+        let mut t = 0.0;
+        let mut gaps = Vec::new();
+        let mut last_fire = None;
+        while r.attempts() < 6 {
+            if let RetryDecision::Fire(_) = r.poll(t) {
+                if let Some(prev) = last_fire {
+                    let gap: f64 = t - prev;
+                    gaps.push(gap);
+                }
+                last_fire = Some(t);
+            }
+            t += 0.01;
+        }
+        assert!(gaps.iter().all(|g| *g <= 3.0 + 0.011), "gaps {gaps:?}");
+    }
+
+    #[test]
+    fn deadline_cuts_off_attempts() {
+        let mut p = policy();
+        p.deadline = Some(1.5);
+        let mut r = Retrier::new(p, 10.0, 0);
+        assert_eq!(r.poll(10.0), RetryDecision::Fire(1));
+        assert_eq!(r.poll(11.0), RetryDecision::Fire(2));
+        assert_eq!(r.poll(12.0), RetryDecision::Exhausted);
+        assert!(r.is_exhausted(12.0));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mut p = policy();
+        p.jitter = 0.3;
+        let a = Retrier::new(p, 0.0, 42).backoff(1);
+        let b = Retrier::new(p, 0.0, 42).backoff(1);
+        assert_eq!(a, b, "same salt, same schedule");
+        let c = Retrier::new(p, 0.0, 43).backoff(1);
+        assert_ne!(a, c, "different salt, different schedule");
+        for attempt in 1..=4 {
+            let d = Retrier::new(p, 0.0, 42).backoff(attempt);
+            let nominal = (p.base * p.factor.powi(attempt as i32 - 1)).min(p.max_backoff);
+            assert!(d >= nominal * 0.7 - 1e-12 && d <= nominal * 1.3 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn after_initial_send_waits_first() {
+        let mut r = Retrier::after_initial_send(policy(), 5.0, 1);
+        assert_eq!(r.attempts(), 1);
+        assert_eq!(r.poll(5.0), RetryDecision::Wait);
+        assert_eq!(r.poll(6.0), RetryDecision::Fire(2));
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut r = Retrier::new(policy(), 0.0, 0);
+        let mut t = 100.0;
+        while r.poll(t) != RetryDecision::Exhausted {
+            t += 10.0; // past every backoff, so each poll fires
+        }
+        r.reset(200.0);
+        assert_eq!(r.poll(200.0), RetryDecision::Fire(1));
+    }
+
+    #[test]
+    fn invalid_policies_rejected() {
+        let mut p = policy();
+        p.base = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.factor = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.max_backoff = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.jitter = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.max_attempts = 0;
+        assert!(p.validate().is_err());
+        let mut p = policy();
+        p.deadline = Some(f64::INFINITY);
+        assert!(p.validate().is_err());
+        for preset in [
+            RetryPolicy::plan_request(),
+            RetryPolicy::block_backfill(),
+            RetryPolicy::report_submission(1.0),
+        ] {
+            preset.validate().expect("presets valid");
+        }
+    }
+}

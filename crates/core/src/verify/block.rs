@@ -166,8 +166,15 @@ mod tests {
         let mut cache = ChainCache::new(10);
         for i in 0..3 {
             let block = fx.honest_block(3, i as f64 * 20.0);
-            verify_incoming_block(&block, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
-                .expect("honest block accepted");
+            verify_incoming_block(
+                &block,
+                &cache,
+                fx.scheme.as_ref(),
+                &fx.topo,
+                0.5,
+                &Default::default(),
+            )
+            .expect("honest block accepted");
             cache.append(block).expect("chains");
         }
     }
@@ -177,9 +184,19 @@ mod tests {
         let mut fx = Fixture::new();
         let cache = ChainCache::new(10);
         let block = tamper::forge_signature(&fx.honest_block(2, 0.0));
-        let err = verify_incoming_block(&block, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
-            .expect_err("forgery detected");
-        assert!(matches!(err, BlockFailure::Crypto(BlockError::BadSignature)));
+        let err = verify_incoming_block(
+            &block,
+            &cache,
+            fx.scheme.as_ref(),
+            &fx.topo,
+            0.5,
+            &Default::default(),
+        )
+        .expect_err("forgery detected");
+        assert!(matches!(
+            err,
+            BlockFailure::Crypto(BlockError::BadSignature)
+        ));
     }
 
     #[test]
@@ -187,14 +204,20 @@ mod tests {
         let mut fx = Fixture::new();
         let cache = ChainCache::new(10);
         let honest = fx.honest_block(8, 0.0);
-        let corrupted_plans =
-            nwade_aim::corrupt::make_conflicting(honest.plans(), &fx.topo, 0.0)
-                .expect("crossing traffic");
+        let corrupted_plans = nwade_aim::corrupt::make_conflicting(honest.plans(), &fx.topo, 0.0)
+            .expect("crossing traffic");
         // The compromised manager re-signs properly: crypto passes, the
         // conflict check must catch it.
         let evil = tamper::resign_with_plans(&honest, corrupted_plans, fx.scheme.as_ref());
-        let err = verify_incoming_block(&evil, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
-            .expect_err("conflict detected");
+        let err = verify_incoming_block(
+            &evil,
+            &cache,
+            fx.scheme.as_ref(),
+            &fx.topo,
+            0.5,
+            &Default::default(),
+        )
+        .expect_err("conflict detected");
         assert!(matches!(err, BlockFailure::InternalConflict(_)));
     }
 
@@ -207,9 +230,17 @@ mod tests {
         cache.append(b0).expect("first");
         let rehung = tamper::relink(&b1, nwade_crypto::Digest::ZERO);
         // Re-sign so only the linkage is wrong.
-        let rehung = tamper::resign_with_plans(&rehung, rehung.plans().to_vec(), fx.scheme.as_ref());
-        let err = verify_incoming_block(&rehung, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
-            .expect_err("link break detected");
+        let rehung =
+            tamper::resign_with_plans(&rehung, rehung.plans().to_vec(), fx.scheme.as_ref());
+        let err = verify_incoming_block(
+            &rehung,
+            &cache,
+            fx.scheme.as_ref(),
+            &fx.topo,
+            0.5,
+            &Default::default(),
+        )
+        .expect_err("link break detected");
         assert!(matches!(err, BlockFailure::Chain(BlockError::BrokenLink)));
     }
 
@@ -237,8 +268,15 @@ mod tests {
             vec![intruder],
             fx.scheme.as_ref(),
         );
-        let err = verify_incoming_block(&evil, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
-            .expect_err("cross-block conflict detected");
+        let err = verify_incoming_block(
+            &evil,
+            &cache,
+            fx.scheme.as_ref(),
+            &fx.topo,
+            0.5,
+            &Default::default(),
+        )
+        .expect_err("cross-block conflict detected");
         assert!(matches!(err, BlockFailure::CrossBlockConflict(_)));
     }
 
@@ -269,8 +307,15 @@ mod tests {
         let mut plans = block1.plans().to_vec();
         plans.push(replanned);
         let resigned = tamper::resign_with_plans(&block1, plans, fx.scheme.as_ref());
-        verify_incoming_block(&resigned, &cache, fx.scheme.as_ref(), &fx.topo, 0.5, &Default::default())
-            .expect("replanning accepted");
+        verify_incoming_block(
+            &resigned,
+            &cache,
+            fx.scheme.as_ref(),
+            &fx.topo,
+            0.5,
+            &Default::default(),
+        )
+        .expect("replanning accepted");
     }
 
     #[test]

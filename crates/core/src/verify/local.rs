@@ -80,7 +80,13 @@ mod tests {
         (topo, plan)
     }
 
-    fn observe(topo: &Topology, plan: &TravelPlan, t: f64, pos_err: f64, speed_err: f64) -> Observation {
+    fn observe(
+        topo: &Topology,
+        plan: &TravelPlan,
+        t: f64,
+        pos_err: f64,
+        speed_err: f64,
+    ) -> Observation {
         let (pos, speed) = plan.expected_state(topo, t);
         Observation {
             target: plan.id(),

@@ -191,7 +191,10 @@ mod tests {
         assert!(rv.round1_confirmed());
         assert_eq!(rv.round(), 2);
         rv.begin_round(&ids(6..11));
-        assert_eq!(feed(&mut rv, &[true, true, true]), ReportDecision::Confirmed);
+        assert_eq!(
+            feed(&mut rv, &[true, true, true]),
+            ReportDecision::Confirmed
+        );
     }
 
     #[test]
@@ -249,7 +252,7 @@ mod tests {
     fn exhausted_round_leaning_abnormal_advances() {
         let mut rv = ReportVerification::new(VehicleId::new(0), VehicleId::new(99));
         rv.begin_round(&ids(1..4)); // 3 watchers
-        // 2 abnormal reach the quorum (2 of 3).
+                                    // 2 abnormal reach the quorum (2 of 3).
         assert_eq!(feed(&mut rv, &[true, false, true]), ReportDecision::Pending);
         assert_eq!(rv.round(), 2);
     }

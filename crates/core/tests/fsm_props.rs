@@ -65,7 +65,7 @@ proptest! {
             if state == VehicleState::Left && left_at.is_none() {
                 left_at = Some(i);
             }
-            if let Some(_) = left_at {
+            if left_at.is_some() {
                 prop_assert_eq!(state, VehicleState::Left);
             }
         }

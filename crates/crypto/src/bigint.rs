@@ -127,7 +127,7 @@ impl BigUint {
 
     /// `true` when the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -290,7 +290,11 @@ impl BigUint {
 
     /// Knuth Algorithm D for multi-limb divisors.
     fn divrem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
-        let shift = divisor.limbs.last().expect("non-zero divisor").leading_zeros() as usize;
+        let shift = divisor
+            .limbs
+            .last()
+            .expect("non-zero divisor")
+            .leading_zeros() as usize;
         let u = self.shl(shift);
         let v = divisor.shl(shift);
         let n = v.limbs.len();
@@ -306,9 +310,7 @@ impl BigUint {
             let top = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
             let mut qhat = top / vn[n - 1] as u64;
             let mut rhat = top % vn[n - 1] as u64;
-            while qhat >= b
-                || qhat * vn[n - 2] as u64 > ((rhat << 32) | un[j + n - 2] as u64)
-            {
+            while qhat >= b || qhat * vn[n - 2] as u64 > ((rhat << 32) | un[j + n - 2] as u64) {
                 qhat -= 1;
                 rhat += vn[n - 1] as u64;
                 if rhat >= b {
@@ -472,7 +474,10 @@ mod tests {
         assert!(BigUint::one().is_one());
         assert_eq!(BigUint::from_u64(0), BigUint::zero());
         assert_eq!(BigUint::from_limbs(vec![5, 0, 0]), BigUint::from_u64(5));
-        assert_eq!(BigUint::from_bytes_be(&[0, 0, 1, 0]), BigUint::from_u64(256));
+        assert_eq!(
+            BigUint::from_bytes_be(&[0, 0, 1, 0]),
+            BigUint::from_u64(256)
+        );
     }
 
     #[test]
@@ -554,10 +559,7 @@ mod tests {
     fn division_by_single_limb() {
         let n = BigUint::from_decimal("123456789012345678901234567890");
         let (q, r) = n.divrem(&BigUint::from_u64(97));
-        assert_eq!(
-            &(&q * &BigUint::from_u64(97)) + &r,
-            n
-        );
+        assert_eq!(&(&q * &BigUint::from_u64(97)) + &r, n);
         assert!(r < BigUint::from_u64(97));
     }
 
@@ -599,7 +601,13 @@ mod tests {
 
     #[test]
     fn decimal_round_trip() {
-        for s in ["0", "1", "999999999", "1000000000", "123456789012345678901234567890123456789"] {
+        for s in [
+            "0",
+            "1",
+            "999999999",
+            "1000000000",
+            "123456789012345678901234567890123456789",
+        ] {
             assert_eq!(BigUint::from_decimal(s).to_decimal(), s);
         }
     }

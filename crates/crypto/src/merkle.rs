@@ -54,7 +54,7 @@ impl MerkleTree {
         let mut levels = vec![leaves];
         while levels.last().expect("non-empty").len() > 1 {
             let prev = levels.last().expect("non-empty");
-            let mut next = Vec::with_capacity((prev.len() + 1) / 2);
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {
                 let left = &pair[0];
                 // Odd node is paired with itself.

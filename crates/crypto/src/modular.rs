@@ -150,6 +150,9 @@ impl Montgomery {
 
     /// CIOS Montgomery product: `a·b·R⁻¹ mod n` for limb vectors already
     /// reduced below n.
+    // Index-based inner loops keep the carry chains legible; iterator
+    // rewrites obscure the CIOS structure.
+    #[allow(clippy::needless_range_loop)]
     fn mont_mul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
         let l = self.n.len();
         let mut t = vec![0u32; l + 2];

@@ -6,9 +6,9 @@ use rand::Rng;
 
 /// Small primes used for cheap trial division before Miller–Rabin.
 const SMALL_PRIMES: [u32; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Uniformly random value in `[0, bound)`.
@@ -18,7 +18,7 @@ const SMALL_PRIMES: [u32; 54] = [
 /// Panics when `bound` is zero.
 pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
     assert!(!bound.is_zero(), "random_below with zero bound");
-    let bytes = (bound.bit_len() + 7) / 8;
+    let bytes = bound.bit_len().div_ceil(8);
     loop {
         let mut buf = vec![0u8; bytes];
         rng.fill_bytes(&mut buf);
@@ -35,7 +35,7 @@ pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
 /// Random integer with exactly `bits` bits (top bit set).
 pub fn random_with_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
     assert!(bits >= 2, "need at least 2 bits");
-    let bytes = (bits + 7) / 8;
+    let bytes = bits.div_ceil(8);
     let mut buf = vec![0u8; bytes];
     rng.fill_bytes(&mut buf);
     let excess = bytes * 8 - bits;

@@ -14,8 +14,8 @@ use std::fmt;
 
 /// ASN.1 DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_PREFIX: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// The public half of an RSA key: modulus and public exponent.
@@ -50,7 +50,7 @@ impl fmt::Debug for RsaSignature {
 impl RsaPublicKey {
     /// Modulus size in bytes.
     pub fn modulus_len(&self) -> usize {
-        (self.n.bit_len() + 7) / 8
+        self.n.bit_len().div_ceil(8)
     }
 
     /// Modulus size in bits.
@@ -103,7 +103,10 @@ impl RsaKeyPair {
     ///
     /// Panics if `bits` is odd or below 128.
     pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
-        assert!(bits >= 128 && bits % 2 == 0, "key size must be even and >= 128");
+        assert!(
+            bits >= 128 && bits.is_multiple_of(2),
+            "key size must be even and >= 128"
+        );
         let e = BigUint::from_u64(65_537);
         let rounds = 16;
         loop {
@@ -261,7 +264,10 @@ mod tests {
     #[test]
     fn signature_width_equals_modulus() {
         let key = test_key();
-        assert_eq!(key.sign(b"x").as_bytes().len(), key.public_key().modulus_len());
+        assert_eq!(
+            key.sign(b"x").as_bytes().len(),
+            key.public_key().modulus_len()
+        );
         assert_eq!(key.public_key().modulus_bits(), 512);
     }
 

@@ -124,10 +124,11 @@ mod tests {
         // At the start (point (10,0)) a CCW arc heads in +y.
         assert!(arc.heading_at(0.0).distance(Vec2::new(0.0, 1.0)) < 1e-12);
         // Halfway (point (0,10)) it heads in -x.
-        assert!(arc
-            .heading_at(arc.length() / 2.0)
-            .distance(Vec2::new(-1.0, 0.0))
-            < 1e-12);
+        assert!(
+            arc.heading_at(arc.length() / 2.0)
+                .distance(Vec2::new(-1.0, 0.0))
+                < 1e-12
+        );
     }
 
     #[test]

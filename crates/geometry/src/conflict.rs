@@ -203,10 +203,7 @@ mod tests {
         let a = (east_path(), MotionProfile::cruise(0.0, 10.0, 200.0));
         let b = (north_path(), MotionProfile::cruise(0.0, 10.0, 200.0));
         let fp = Footprint::CAR;
-        assert!(trajectories_conflict(
-            (&a.0, &a.1, &fp),
-            (&b.0, &b.1, &fp)
-        ));
+        assert!(trajectories_conflict((&a.0, &a.1, &fp), (&b.0, &b.1, &fp)));
     }
 
     #[test]
@@ -216,10 +213,7 @@ mod tests {
         let a = (east_path(), MotionProfile::cruise(0.0, 10.0, 200.0));
         let b = (north_path(), MotionProfile::cruise(8.0, 10.0, 200.0));
         let fp = Footprint::CAR;
-        assert!(!trajectories_conflict(
-            (&a.0, &a.1, &fp),
-            (&b.0, &b.1, &fp)
-        ));
+        assert!(!trajectories_conflict((&a.0, &a.1, &fp), (&b.0, &b.1, &fp)));
     }
 
     #[test]

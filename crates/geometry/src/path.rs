@@ -68,7 +68,10 @@ impl Path {
     /// Panics if `elements` is empty or consecutive elements are not
     /// connected end-to-start (within 1 cm).
     pub fn new(elements: Vec<PathElement>) -> Self {
-        assert!(!elements.is_empty(), "path must contain at least one element");
+        assert!(
+            !elements.is_empty(),
+            "path must contain at least one element"
+        );
         for w in elements.windows(2) {
             let gap = w[0].end().distance(w[1].start());
             assert!(
@@ -122,7 +125,11 @@ impl Path {
             Ok(i) => (i + 1).min(self.elements.len() - 1),
             Err(i) => i.min(self.elements.len() - 1),
         };
-        let elem_start = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+        let elem_start = if idx == 0 {
+            0.0
+        } else {
+            self.cumulative[idx - 1]
+        };
         (idx, s - elem_start)
     }
 
@@ -290,7 +297,10 @@ mod tests {
         // (100 + 10·cos(-π/4), 10 + 10·sin(-π/4)).
         let on_arc = p.point_at(100.0 + 5.0 * FRAC_PI_2);
         let expected = Vec2::new(100.0, 10.0) + Vec2::from_angle(-FRAC_PI_2 / 2.0) * 10.0;
-        assert!(on_arc.distance(expected) < 1e-9, "got {on_arc}, want {expected}");
+        assert!(
+            on_arc.distance(expected) < 1e-9,
+            "got {on_arc}, want {expected}"
+        );
     }
 
     #[test]

@@ -226,12 +226,7 @@ impl MotionProfile {
         let x_acc = v0 * t_acc + 0.5 * a_max * t_acc * t_acc;
         if x_acc >= distance {
             let total = MotionProfile::earliest_arrival(v0, v_max, a_max, distance);
-            MotionProfile::new(
-                start_time,
-                0.0,
-                v0,
-                vec![ProfileSegment::new(total, a_max)],
-            )
+            MotionProfile::new(start_time, 0.0, v0, vec![ProfileSegment::new(total, a_max)])
         } else {
             let t_cruise = (distance - x_acc) / v_max;
             MotionProfile::new(

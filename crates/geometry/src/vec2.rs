@@ -216,7 +216,12 @@ mod tests {
     fn rotation_quarter_turn() {
         let v = Vec2::new(1.0, 0.0).rotated(FRAC_PI_2);
         assert!(v.distance(Vec2::new(0.0, 1.0)) < 1e-12);
-        assert!(Vec2::new(1.0, 0.0).rotated(PI).distance(Vec2::new(-1.0, 0.0)) < 1e-12);
+        assert!(
+            Vec2::new(1.0, 0.0)
+                .rotated(PI)
+                .distance(Vec2::new(-1.0, 0.0))
+                < 1e-12
+        );
     }
 
     #[test]

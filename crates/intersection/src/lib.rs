@@ -113,9 +113,6 @@ mod tests {
 
     #[test]
     fn display_matches_label() {
-        assert_eq!(
-            IntersectionKind::FourWayCross.to_string(),
-            "4-way cross"
-        );
+        assert_eq!(IntersectionKind::FourWayCross.to_string(), "4-way cross");
     }
 }

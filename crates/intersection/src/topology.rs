@@ -326,10 +326,13 @@ mod tests {
         let t = simple_topology();
         assert_eq!(t.movements_from(LegId::new(0)).len(), 1);
         assert_eq!(
-            t.movements_with_turn(LegId::new(0), TurnKind::Straight).len(),
+            t.movements_with_turn(LegId::new(0), TurnKind::Straight)
+                .len(),
             1
         );
-        assert!(t.movements_with_turn(LegId::new(0), TurnKind::Left).is_empty());
+        assert!(t
+            .movements_with_turn(LegId::new(0), TurnKind::Left)
+            .is_empty());
         assert!(t.movements_from(LegId::new(9)).is_empty());
     }
 

@@ -57,10 +57,9 @@ pub fn build(cfg: &GeometryConfig) -> Topology {
 
                 let (elements, box_entry) = if turn == TurnKind::Left {
                     // Displaced left: lane offset beyond the outgoing side.
-                    let disp =
-                        -u_a.perp() * (cfg.lane_width * (cfg.lanes_out as f64 + 0.7));
-                    let p1 = u_a * (box_r + CROSSOVER_FAR)
-                        + util::in_offset(u_a, cfg.lane_width, lane);
+                    let disp = -u_a.perp() * (cfg.lane_width * (cfg.lanes_out as f64 + 0.7));
+                    let p1 =
+                        u_a * (box_r + CROSSOVER_FAR) + util::in_offset(u_a, cfg.lane_width, lane);
                     let p2 = u_a * (box_r + CROSSOVER_NEAR) + disp;
                     let p3 = u_a * box_r + disp;
                     let elements = vec![
@@ -141,8 +140,7 @@ mod tests {
         let topo = build(&cfg);
         let left_w = topo.movement(left_from(&topo, 2));
         let through_ew = topo.movement(straight(&topo, 0, 2));
-        let zones_l: std::collections::HashSet<_> =
-            left_w.zones().iter().map(|z| z.zone).collect();
+        let zones_l: std::collections::HashSet<_> = left_w.zones().iter().map(|z| z.zone).collect();
         let shared: Vec<_> = through_ew
             .zones()
             .iter()

@@ -170,10 +170,7 @@ mod tests {
                     && m.turn() == TurnKind::Straight
             })
             .expect("straight east to west");
-        let key = (
-            left.id().min(opposing.id()),
-            left.id().max(opposing.id()),
-        );
+        let key = (left.id().min(opposing.id()), left.id().max(opposing.id()));
         assert!(topo.conflicting_pairs().contains(&key));
     }
 

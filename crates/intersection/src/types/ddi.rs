@@ -57,13 +57,13 @@ pub fn build(cfg: &GeometryConfig) -> Topology {
 
     let mut movements: Vec<Movement> = Vec::new();
     let push = |movements: &mut Vec<Movement>,
-                    from: u8,
-                    lane: usize,
-                    to: u8,
-                    turn: TurnKind,
-                    pts: Vec<Vec2>,
-                    approach: f64,
-                    exit: f64| {
+                from: u8,
+                lane: usize,
+                to: u8,
+                turn: TurnKind,
+                pts: Vec<Vec2>,
+                approach: f64,
+                exit: f64| {
         let elements: Vec<PathElement> = pts
             .windows(2)
             .map(|p| PathElement::Line(LineSegment::new(p[0], p[1])))
@@ -351,7 +351,10 @@ mod tests {
         let zl: std::collections::HashSet<_> = lm
             .zones()
             .iter()
-            .filter(|z| (z.zone.col as f64) * topo.zone_cell() > -(crossover_x(&GeometryConfig::with_lanes(1)) - DIAG))
+            .filter(|z| {
+                (z.zone.col as f64) * topo.zone_cell()
+                    > -(crossover_x(&GeometryConfig::with_lanes(1)) - DIAG)
+            })
             .map(|z| z.zone)
             .collect();
         let shared_inside = om

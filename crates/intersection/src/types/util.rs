@@ -103,7 +103,10 @@ mod tests {
         // From the west leg (π) going to the east leg (0): straight.
         assert!(turn_delta(PI, 0.0).abs() < 1e-9);
         // West → north (π/2): eastbound turning left.
-        assert_eq!(TurnKind::from_delta(turn_delta(PI, PI / 2.0)), TurnKind::Left);
+        assert_eq!(
+            TurnKind::from_delta(turn_delta(PI, PI / 2.0)),
+            TurnKind::Left
+        );
         // West → south (3π/2): eastbound turning right.
         assert_eq!(
             TurnKind::from_delta(turn_delta(PI, 3.0 * PI / 2.0)),

@@ -42,6 +42,24 @@ pub struct AttackPlan {
     pub start: f64,
 }
 
+/// A scheduled intersection-manager outage: the manager goes silent
+/// (receives nothing, sends nothing, schedules nothing) for a window,
+/// then restarts from its persisted chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImOutage {
+    /// Simulation time at which the manager goes dark.
+    pub start: f64,
+    /// How long it stays dark, seconds.
+    pub duration: f64,
+}
+
+impl ImOutage {
+    /// `true` while `now` falls inside the outage window.
+    pub fn covers(&self, now: f64) -> bool {
+        now >= self.start && now < self.start + self.duration
+    }
+}
+
 /// Full simulation configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -66,6 +84,8 @@ pub struct SimConfig {
     pub nwade_enabled: bool,
     /// Optional attack injection.
     pub attack: Option<AttackPlan>,
+    /// Optional manager outage/restart window.
+    pub im_outage: Option<ImOutage>,
     /// Total simulated time, seconds.
     pub duration: f64,
     /// Physics timestep, seconds.
@@ -93,6 +113,7 @@ impl Default for SimConfig {
             scheduler: SchedulerChoice::Reservation,
             nwade_enabled: true,
             attack: None,
+            im_outage: None,
             duration: 300.0,
             dt: 0.1,
             sense_interval: 0.5,
@@ -133,6 +154,14 @@ impl SimConfig {
                 return Err("attack start must fall inside the run".into());
             }
         }
+        if let Some(outage) = &self.im_outage {
+            if !(outage.start > 0.0 && outage.start < self.duration) {
+                return Err("IM outage start must fall inside the run".into());
+            }
+            if !(outage.duration > 0.0 && outage.duration.is_finite()) {
+                return Err("IM outage duration must be positive and finite".into());
+            }
+        }
         Ok(())
     }
 }
@@ -171,5 +200,31 @@ mod tests {
             start: 1e9,
         });
         assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.im_outage = Some(ImOutage {
+            start: 1e9,
+            duration: 10.0,
+        });
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.im_outage = Some(ImOutage {
+            start: 100.0,
+            duration: 0.0,
+        });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn outage_window_membership() {
+        let o = ImOutage {
+            start: 100.0,
+            duration: 20.0,
+        };
+        assert!(!o.covers(99.9));
+        assert!(o.covers(100.0));
+        assert!(o.covers(119.9));
+        assert!(!o.covers(120.0));
     }
 }

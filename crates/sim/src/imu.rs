@@ -116,8 +116,7 @@ impl ImuAgent {
             return vec![Self::convert(action)];
         };
         if self.malicious && self.corrupt_next_block && !self.corruption_emitted {
-            if let Some(bad_plans) = corrupt::make_conflicting(block.plans(), &self.topology, now)
-            {
+            if let Some(bad_plans) = corrupt::make_conflicting(block.plans(), &self.topology, now) {
                 self.corruption_emitted = true;
                 self.corrupt_next_block = false;
                 let evil = tamper::resign_with_plans(&block, bad_plans, self.signer.as_ref());
@@ -178,7 +177,14 @@ impl ImuAgent {
             return Vec::new();
         }
         self.manager
-            .on_verify_response(request_id, suspect, observed, abnormal, fresh_candidates, now)
+            .on_verify_response(
+                request_id,
+                suspect,
+                observed,
+                abnormal,
+                fresh_candidates,
+                now,
+            )
             .into_iter()
             .map(Self::convert)
             .collect()

@@ -24,13 +24,15 @@
 
 pub mod config;
 pub mod imu;
+pub mod invariant;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
 pub mod vehicle;
 pub mod world;
 
-pub use config::{AttackPlan, SchedulerChoice, SignatureChoice, SimConfig};
+pub use config::{AttackPlan, ImOutage, SchedulerChoice, SignatureChoice, SimConfig};
+pub use invariant::{InvariantChecker, InvariantKind, InvariantReport, InvariantViolation};
 pub use metrics::SimMetrics;
 pub use report::SimReport;
 pub use scenario::{run_rounds, RoundsSummary};

@@ -1,5 +1,6 @@
 //! Measurements collected during a simulation run.
 
+use crate::invariant::InvariantReport;
 use nwade_vanet::NetworkStats;
 
 /// Raw counters and event timestamps from one run.
@@ -49,6 +50,19 @@ pub struct SimMetrics {
     /// First benign self-evacuation after a malicious-IM block corruption
     /// (the IM-attack detection signal).
     pub corrupted_block_detected: Option<f64>,
+    /// Benign self-evacuations caused by the manager going silent past
+    /// the report timeout (recoverable; distinct from protocol distrust).
+    pub im_timeout_evacuations: usize,
+    /// Timeout-evacuated vehicles re-admitted after the manager restarted
+    /// and broadcast a fresh, verifiably chained block.
+    pub readmitted_after_outage: usize,
+    /// Messages addressed to the manager that fell into its outage
+    /// window.
+    pub imu_outage_drops: usize,
+    /// Deliveries whose payload arrived corrupted and was dropped at the
+    /// framing layer (anything but a block, whose corruption must reach
+    /// Algorithm 1's verifier).
+    pub corrupted_drops: usize,
     /// Ground-truth collisions between distinct vehicle pairs.
     pub accidents: usize,
     /// Blocks broadcast by the manager.
@@ -59,6 +73,8 @@ pub struct SimMetrics {
     pub block_sizes: Vec<usize>,
     /// Network statistics snapshot.
     pub network: NetworkStats,
+    /// Safety-invariant violations observed during the run.
+    pub invariants: InvariantReport,
     /// Simulated duration, seconds.
     pub duration: f64,
 }
@@ -117,7 +133,7 @@ impl SimMetrics {
 
     /// Marks the earlier of the existing and the new timestamp.
     pub(crate) fn note_first(slot: &mut Option<f64>, t: f64) {
-        if slot.map_or(true, |prev| t < prev) {
+        if slot.is_none_or(|prev| t < prev) {
             *slot = Some(t);
         }
     }

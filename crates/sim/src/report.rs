@@ -23,13 +23,13 @@ pub struct SimReport {
 impl SimReport {
     /// Whether the run's staged violation was detected.
     pub fn violation_detected(&self) -> bool {
-        let im = self.setting.map_or(false, |s| s.im_malicious());
+        let im = self.setting.is_some_and(|s| s.im_malicious());
         self.metrics.violation_detected(im)
     }
 
     /// Detection latency in seconds, when applicable.
     pub fn detection_latency(&self) -> Option<f64> {
-        let im = self.setting.map_or(false, |s| s.im_malicious());
+        let im = self.setting.is_some_and(|s| s.im_malicious());
         self.metrics.violation_detection_latency(im)
     }
 
@@ -45,8 +45,7 @@ impl SimReport {
     /// (dismissed by an honest manager, or dissented against under a
     /// malicious one).
     pub fn false_alarm_a_detected(&self) -> bool {
-        self.metrics.false_accusation_dismissed.is_some()
-            || self.metrics.wrongful_dissent.is_some()
+        self.metrics.false_accusation_dismissed.is_some() || self.metrics.wrongful_dissent.is_some()
     }
 
     /// Whether the Type B false claim triggered any benign

@@ -1,7 +1,7 @@
 //! Vehicle agents: physics plus the NWADE guard.
 
 use nwade::attack::ViolationKind;
-use nwade::VehicleGuard;
+use nwade::{Retrier, RetryPolicy, VehicleGuard};
 use nwade_aim::TravelPlan;
 use nwade_geometry::Vec2;
 use nwade_intersection::{MovementId, Topology};
@@ -68,8 +68,10 @@ pub struct VehicleAgent {
     pub plan: Option<TravelPlan>,
     /// Time the vehicle exited, once it has.
     pub exited_at: Option<f64>,
-    /// When the last plan request was sent (for re-requests).
-    pub last_request: f64,
+    /// Retry schedule for the plan request (replaces the old fixed 5 s
+    /// re-request): exponential backoff with per-vehicle jitter so a
+    /// fleet left planless by an outage does not resend in lockstep.
+    pub plan_retry: Retrier,
     /// Set when local collision avoidance overrode this tick's motion.
     pub braked_this_tick: bool,
 }
@@ -97,7 +99,12 @@ impl VehicleAgent {
             spawned_at: now,
             plan: None,
             exited_at: None,
-            last_request: now,
+            // The world sends the first request at spawn time itself.
+            plan_retry: Retrier::after_initial_send(
+                RetryPolicy::plan_request(),
+                now,
+                id.raw() ^ 0x9A4E_5D01,
+            ),
             braked_this_tick: false,
         }
     }
@@ -143,6 +150,15 @@ impl VehicleAgent {
     /// Switches to autonomous self-evacuation.
     pub fn self_evacuate(&mut self) {
         self.mode = DriveMode::SelfEvacuate;
+    }
+
+    /// Re-enters normal operation after the guard re-admitted the vehicle
+    /// (manager back from an outage). The pre-outage plan is stale — the
+    /// vehicle cruises and re-requests a fresh one immediately.
+    pub fn readmit(&mut self, now: f64) {
+        self.mode = DriveMode::Cruise;
+        self.plan = None;
+        self.plan_retry.reset(now);
     }
 
     /// Local collision avoidance: hard-brake this tick regardless of the

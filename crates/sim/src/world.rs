@@ -34,16 +34,20 @@
 
 use crate::config::{SchedulerChoice, SignatureChoice, SimConfig};
 use crate::imu::{ImuAction, ImuAgent};
+use crate::invariant::{InvariantChecker, VehicleSnapshot};
 use crate::metrics::SimMetrics;
 use crate::report::SimReport;
 use crate::vehicle::{DriveMode, Role, VehicleAgent};
 use nwade::attack::AttackSetting;
-use nwade::messages::{class, GlobalClaim, GlobalReport, IncidentReport, NwadeMessage, Observation};
-use nwade::{GuardAction, NwadeConfig, NwadeManager, VehicleGuard};
+use nwade::messages::{
+    class, GlobalClaim, GlobalReport, IncidentReport, NwadeMessage, Observation,
+};
+use nwade::{EvacuationCause, GuardAction, NwadeConfig, NwadeManager, RetryDecision, VehicleGuard};
 use nwade_aim::{
     FcfsScheduler, PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig,
     TrafficLightScheduler,
 };
+use nwade_chain::tamper;
 use nwade_crypto::{MockScheme, RsaKeyPair, RsaScheme, SignatureScheme};
 use nwade_geometry::Vec2;
 use nwade_intersection::{build, Topology};
@@ -93,6 +97,11 @@ pub struct Simulation {
     announced_evacuating: HashSet<VehicleId>,
     /// Last re-broadcast time per evacuating vehicle.
     last_announce: std::collections::HashMap<u64, f64>,
+    /// Tick-time safety-invariant checking (chaos harness).
+    invariants: InvariantChecker,
+    /// Whether the manager was inside its outage window last tick (for
+    /// restart edge detection).
+    im_was_down: bool,
 }
 
 impl Simulation {
@@ -126,25 +135,15 @@ impl Simulation {
                 Default::default(),
             )),
         };
-        let manager = NwadeManager::new(
-            topo.clone(),
-            scheduler,
-            scheme.clone(),
-            config.nwade,
-        );
-        let im_malicious = config
-            .attack
-            .map_or(false, |a| a.setting.im_malicious());
+        let manager = NwadeManager::new(topo.clone(), scheduler, scheme.clone(), config.nwade);
+        let im_malicious = config.attack.is_some_and(|a| a.setting.im_malicious());
         let imu = ImuAgent::new(manager, topo.clone(), scheme.clone(), im_malicious);
 
-        let mut demand = DemandGenerator::new(
-            config.density,
-            config.turn_mix,
-            config.initial_speed,
-        );
+        let mut demand =
+            DemandGenerator::new(config.density, config.turn_mix, config.initial_speed);
         let spawns = demand.generate(&topo, config.duration, &mut rng);
 
-        let mut medium = Medium::new(config.medium);
+        let mut medium = Medium::new(config.medium.clone());
         medium.set_position(NodeId::Imu, Vec2::ZERO);
 
         Simulation {
@@ -172,6 +171,8 @@ impl Simulation {
             bogus_claim_index: None,
             announced_evacuating: HashSet::new(),
             last_announce: std::collections::HashMap::new(),
+            invariants: InvariantChecker::new(),
+            im_was_down: false,
             config,
         }
     }
@@ -209,6 +210,26 @@ impl Simulation {
         &self.metrics
     }
 
+    /// The invariant report accumulated so far (final copy lands in
+    /// [`SimMetrics::invariants`] after the run).
+    pub fn invariants_so_far(&self) -> &crate::invariant::InvariantReport {
+        self.invariants.report()
+    }
+
+    /// Active vehicles the world still treats as publicly self-evacuating
+    /// although their guard no longer is — after an outage recovery this
+    /// must drain to zero (no lingering global-report state).
+    pub fn lingering_announcements(&self) -> usize {
+        self.announced_evacuating
+            .iter()
+            .filter(|id| {
+                self.vehicles
+                    .get(&id.raw())
+                    .is_some_and(|v| v.is_active() && !v.guard.is_evacuating())
+            })
+            .count()
+    }
+
     /// Runs to completion and returns the report.
     pub fn run(self) -> SimReport {
         self.run_with(|_| {})
@@ -224,6 +245,7 @@ impl Simulation {
         }
         self.metrics.duration = self.config.duration;
         self.metrics.network = self.medium.stats().clone();
+        self.metrics.invariants = std::mem::take(&mut self.invariants).finish();
         SimReport {
             setting: self.config.attack.map(|a| a.setting),
             kind: self.config.kind,
@@ -241,6 +263,12 @@ impl Simulation {
         self.now += self.config.dt;
         let now = self.now;
 
+        let im_down = self.im_down(now);
+        if self.im_was_down && !im_down {
+            self.im_restart(now);
+        }
+        self.im_was_down = im_down;
+
         self.spawn_due(now);
         self.rerequest_plans(now);
         self.rebroadcast_announcements(now);
@@ -256,9 +284,54 @@ impl Simulation {
         }
         if now - self.last_window >= self.nwade_cfg().processing_window {
             self.last_window = now;
-            self.process_window(now);
+            if !im_down {
+                self.process_window(now);
+            }
+            // Chain integrity is checked at window cadence (the chain
+            // only grows in windows; per-tick would re-verify the same
+            // blocks ten times over).
+            let chain = self.imu.manager.blocks_from(0);
+            self.invariants.check_chain(&chain, now);
         }
         self.check_threat_cleared();
+        self.check_vehicle_invariants(now);
+    }
+
+    /// `true` while the manager is inside its configured outage window.
+    fn im_down(&self, now: f64) -> bool {
+        self.config.im_outage.is_some_and(|o| o.covers(now))
+    }
+
+    /// The manager comes back from an outage: transient conversational
+    /// state (in-flight report verifications) is gone, the chain and the
+    /// published-plan ledger survive. Vehicles that self-evacuated on the
+    /// IM timeout re-admit themselves when the next fresh block they can
+    /// verify against their cached chain arrives — no special resync
+    /// message exists, exactly as in the paper's model where the chain is
+    /// the only shared state.
+    fn im_restart(&mut self, _now: f64) {
+        self.imu.manager.restart();
+    }
+
+    /// Ground-truth and protocol-consistency invariants, every tick.
+    fn check_vehicle_invariants(&mut self, now: f64) {
+        let snapshots: Vec<VehicleSnapshot> = self
+            .vehicles
+            .values()
+            .filter(|v| v.is_active())
+            .map(|v| VehicleSnapshot {
+                id: v.id,
+                position: v.position(&self.topo),
+                active: true,
+                malicious: v.is_malicious(),
+                evacuating: v.guard.is_evacuating(),
+                state_self_evacuation: v.guard.state()
+                    == nwade::fsm::vehicle::VehicleState::SelfEvacuation,
+                mode_self_evacuate: v.mode == DriveMode::SelfEvacuate,
+            })
+            .collect();
+        self.invariants
+            .check_vehicles(&snapshots, &self.collided, COLLISION_DISTANCE, now);
     }
 
     // ----- spawning -------------------------------------------------
@@ -337,23 +410,24 @@ impl Simulation {
     }
 
     /// Vehicles still cruising without a plan (their plan was deferred by
-    /// the manager or the block was lost) ask again every few seconds.
+    /// the manager or the block was lost) ask again on their retrier's
+    /// backoff schedule. An exhausted retrier means the manager has been
+    /// unreachable through every attempt: the vehicle keeps cruising
+    /// planless, exactly the degraded state the old fixed-interval resend
+    /// ended in — but now with bounded, jittered channel load.
     fn rerequest_plans(&mut self, now: f64) {
         let mut resend: Vec<PlanRequest> = Vec::new();
         for v in self.vehicles.values_mut() {
-            if v.is_active()
-                && v.mode == DriveMode::Cruise
-                && v.plan.is_none()
-                && now - v.last_request > 5.0
-            {
-                v.last_request = now;
-                resend.push(PlanRequest {
-                    id: v.id,
-                    descriptor: v.descriptor.clone(),
-                    movement: v.movement,
-                    position_s: v.s,
-                    speed: v.speed,
-                });
+            if v.is_active() && v.mode == DriveMode::Cruise && v.plan.is_none() {
+                if let RetryDecision::Fire(_) = v.plan_retry.poll(now) {
+                    resend.push(PlanRequest {
+                        id: v.id,
+                        descriptor: v.descriptor.clone(),
+                        movement: v.movement,
+                        position_s: v.s,
+                        speed: v.speed,
+                    });
+                }
             }
         }
         for req in resend {
@@ -380,7 +454,7 @@ impl Simulation {
             let due = self
                 .last_announce
                 .get(&v.id.raw())
-                .map_or(true, |t| now - t > 2.0);
+                .is_none_or(|t| now - t > 2.0);
             if !due {
                 continue;
             }
@@ -614,9 +688,7 @@ impl Simulation {
                     malicious: v.is_malicious(),
                     on_plan: matches!(v.mode, DriveMode::FollowPlan | DriveMode::Cruise),
                     plan_cap: match (&v.mode, &v.plan) {
-                        (DriveMode::FollowPlan, Some(p))
-                            if p.profile().final_speed() < 0.1 =>
-                        {
+                        (DriveMode::FollowPlan, Some(p)) if p.profile().final_speed() < 0.1 => {
                             p.profile().end_position()
                         }
                         _ => f64::INFINITY,
@@ -654,9 +726,8 @@ impl Simulation {
                     // are covered by the scheduler's zone gaps unless
                     // they are (nearly) stopped.
                     if !u.on_plan && u.speed < v.speed {
-                        let rel_stop = (v.speed * v.speed - u.speed * u.speed)
-                            / (2.0 * d_max)
-                            + 4.0;
+                        let rel_stop =
+                            (v.speed * v.speed - u.speed * u.speed) / (2.0 * d_max) + 4.0;
                         if u.s - v.s < rel_stop {
                             return true;
                         }
@@ -740,10 +811,7 @@ impl Simulation {
     fn divergence_check(&mut self, now: f64) {
         let mut forced: Vec<(u64, Vec<GuardAction>)> = Vec::new();
         for agent in self.vehicles.values_mut() {
-            if !agent.is_active()
-                || agent.is_malicious()
-                || agent.mode != DriveMode::FollowPlan
-            {
+            if !agent.is_active() || agent.is_malicious() || agent.mode != DriveMode::FollowPlan {
                 continue;
             }
             let Some(plan) = &agent.plan else { continue };
@@ -782,8 +850,7 @@ impl Simulation {
             .collect();
         for i in 0..states.len() {
             for j in i + 1..states.len() {
-                if states[i].1.distance_sq(states[j].1) < COLLISION_DISTANCE * COLLISION_DISTANCE
-                {
+                if states[i].1.distance_sq(states[j].1) < COLLISION_DISTANCE * COLLISION_DISTANCE {
                     let key = (states[i].0.min(states[j].0), states[i].0.max(states[j].0));
                     if self.collided.insert(key) {
                         if std::env::var("NWADE_DEBUG").is_ok() {
@@ -865,13 +932,40 @@ impl Simulation {
     // ----- message plane ----------------------------------------------
 
     fn deliver_messages(&mut self, now: f64) {
+        let im_down = self.im_down(now);
         let due = self.medium.deliver_due(now);
         for delivery in due {
-            match delivery.to {
-                NodeId::Imu => self.imu_receive(delivery.from, delivery.payload, now),
-                NodeId::Vehicle(id) => {
-                    self.vehicle_receive(id, delivery.from, delivery.payload, now)
+            self.invariants.note_delivery(delivery.to, delivery.at, now);
+            if im_down && delivery.to == NodeId::Imu {
+                // The manager is dark: whatever reaches its antenna dies.
+                self.metrics.imu_outage_drops += 1;
+                continue;
+            }
+            let payload = if delivery.corrupted {
+                // Corruption-as-flag: the medium marked this copy mangled
+                // in transit. Blocks reach the receiver bit-flipped so
+                // Algorithm 1's signature check exercises its reject
+                // path; everything else fails framing (CRC) and is
+                // dropped before the protocol sees it.
+                match delivery.payload {
+                    NwadeMessage::Block(b) => NwadeMessage::Block(tamper::forge_signature(&b)),
+                    NwadeMessage::BlockResponse(mut blocks) => {
+                        if let Some(first) = blocks.first_mut() {
+                            *first = tamper::forge_signature(first);
+                        }
+                        NwadeMessage::BlockResponse(blocks)
+                    }
+                    _ => {
+                        self.metrics.corrupted_drops += 1;
+                        continue;
+                    }
                 }
+            } else {
+                delivery.payload
+            };
+            match delivery.to {
+                NodeId::Imu => self.imu_receive(delivery.from, payload, now),
+                NodeId::Vehicle(id) => self.vehicle_receive(id, delivery.from, payload, now),
             }
         }
     }
@@ -897,9 +991,12 @@ impl Simulation {
             }
             NwadeMessage::IncidentReport(report) => {
                 if std::env::var("NWADE_DEBUG").is_ok() {
-                    eprintln!("[nwade-debug] t={now:.2} incident report {} -> {} (announced={})",
-                        report.reporter, report.suspect,
-                        self.announced_evacuating.contains(&report.suspect));
+                    eprintln!(
+                        "[nwade-debug] t={now:.2} incident report {} -> {} (announced={})",
+                        report.reporter,
+                        report.suspect,
+                        self.announced_evacuating.contains(&report.suspect)
+                    );
                 }
                 if self.announced_evacuating.contains(&report.suspect) {
                     // Publicly announced self-evacuation, not a new
@@ -928,16 +1025,11 @@ impl Simulation {
                     );
                     return;
                 }
-                let watchers = self.watchers_near(
-                    report.evidence.position,
-                    &[report.suspect, report.reporter],
-                );
-                let actions = self.imu.on_incident_report(
-                    &report,
-                    &watchers,
-                    &self.colluders.clone(),
-                    now,
-                );
+                let watchers = self
+                    .watchers_near(report.evidence.position, &[report.suspect, report.reporter]);
+                let actions =
+                    self.imu
+                        .on_incident_report(&report, &watchers, &self.colluders.clone(), now);
                 self.handle_imu_actions(actions, now);
             }
             NwadeMessage::VerifyResponse {
@@ -951,9 +1043,9 @@ impl Simulation {
                     .map(|o| o.position)
                     .unwrap_or(Vec2::ZERO);
                 let fresh = self.watchers_near(near, &[suspect]);
-                let actions = self.imu.on_verify_response(
-                    request_id, suspect, observed, abnormal, &fresh, now,
-                );
+                let actions = self
+                    .imu
+                    .on_verify_response(request_id, suspect, observed, abnormal, &fresh, now);
                 self.handle_imu_actions(actions, now);
             }
             NwadeMessage::GlobalReport(report) => {
@@ -986,7 +1078,16 @@ impl Simulation {
             match action {
                 ImuAction::Broadcast(block) => {
                     if std::env::var("NWADE_DEBUG").is_ok() {
-                        eprintln!("[nwade-debug] t={now:.2} window block idx={} plans={} ids={:?}", block.index(), block.plans().len(), block.plans().iter().map(|p| p.id().raw()).collect::<Vec<_>>());
+                        eprintln!(
+                            "[nwade-debug] t={now:.2} window block idx={} plans={} ids={:?}",
+                            block.index(),
+                            block.plans().len(),
+                            block
+                                .plans()
+                                .iter()
+                                .map(|p| p.id().raw())
+                                .collect::<Vec<_>>()
+                        );
                     }
                     self.last_block_index = Some(block.index());
                     self.metrics.blocks_broadcast += 1;
@@ -1008,7 +1109,11 @@ impl Simulation {
                     plan,
                 } => {
                     if std::env::var("NWADE_DEBUG").is_ok() {
-                        eprintln!("[nwade-debug] t={now:.2} poll about {suspect}: group={} plan_known={}", group.len(), plan.is_some());
+                        eprintln!(
+                            "[nwade-debug] t={now:.2} poll about {suspect}: group={} plan_known={}",
+                            group.len(),
+                            plan.is_some()
+                        );
                     }
                     for watcher in group {
                         let Some(plan) = plan.clone() else {
@@ -1030,10 +1135,7 @@ impl Simulation {
                 }
                 ImuAction::Dismiss { reporter, suspect } => {
                     if Some(suspect) == self.accused {
-                        SimMetrics::note_first(
-                            &mut self.metrics.false_accusation_dismissed,
-                            now,
-                        );
+                        SimMetrics::note_first(&mut self.metrics.false_accusation_dismissed, now);
                     }
                     self.medium.send(
                         NodeId::Imu,
@@ -1123,7 +1225,11 @@ impl Simulation {
         }
         if let Some(block) = self.imu.evacuation_block(&states, &threats, now) {
             if std::env::var("NWADE_DEBUG").is_ok() {
-                eprintln!("[nwade-debug] t={now:.2} evacuation block idx={} plans={}", block.index(), block.plans().len());
+                eprintln!(
+                    "[nwade-debug] t={now:.2} evacuation block idx={} plans={}",
+                    block.index(),
+                    block.plans().len()
+                );
             }
             self.metrics.blocks_broadcast += 1;
             self.metrics.block_sizes.push(block.plans().len());
@@ -1154,10 +1260,8 @@ impl Simulation {
                 let actions = agent.guard.on_block(&block, now);
                 self.handle_guard_actions(VehicleId::new(id), actions, now);
             }
-            NwadeMessage::Dismissal { suspect } => {
-                if !malicious {
-                    agent.guard.on_dismissal(suspect);
-                }
+            NwadeMessage::Dismissal { suspect } if !malicious => {
+                agent.guard.on_dismissal(suspect);
             }
             NwadeMessage::EvacuationAlert { suspect, .. } => {
                 if malicious {
@@ -1191,9 +1295,11 @@ impl Simulation {
                         let me = self.vehicles[&id].position(&self.topo);
                         o.position.distance(me) <= self.nwade_cfg().sensing_radius
                     });
-                    self.vehicles[&id]
-                        .guard
-                        .answer_verify_request(suspect, obs.as_ref(), Some(&plan))
+                    self.vehicles[&id].guard.answer_verify_request(
+                        suspect,
+                        obs.as_ref(),
+                        Some(&plan),
+                    )
                 };
                 self.medium.send(
                     NodeId::Vehicle(id),
@@ -1310,10 +1416,7 @@ impl Simulation {
                         GlobalClaim::AbnormalVehicle { suspect }
                             if Some(suspect) == self.violator =>
                         {
-                            SimMetrics::note_first(
-                                &mut self.metrics.violation_global_report,
-                                now,
-                            );
+                            SimMetrics::note_first(&mut self.metrics.violation_global_report, now);
                         }
                         GlobalClaim::WrongfulAccusation { suspect }
                             if Some(suspect) == self.accused =>
@@ -1323,10 +1426,7 @@ impl Simulation {
                         GlobalClaim::ConflictingPlans { index }
                             if Some(index) == self.corrupted_index =>
                         {
-                            SimMetrics::note_first(
-                                &mut self.metrics.corrupted_block_detected,
-                                now,
-                            );
+                            SimMetrics::note_first(&mut self.metrics.corrupted_block_detected, now);
                         }
                         _ => {}
                     }
@@ -1374,10 +1474,7 @@ impl Simulation {
                     if let GlobalClaim::ConflictingPlans { index } = claim {
                         if Some(index) == self.bogus_claim_index {
                             self.metrics.type_b_rebuttals += 1;
-                            SimMetrics::note_first(
-                                &mut self.metrics.type_b_first_rebuttal,
-                                now,
-                            );
+                            SimMetrics::note_first(&mut self.metrics.type_b_first_rebuttal, now);
                         }
                     }
                 }
@@ -1386,11 +1483,16 @@ impl Simulation {
                 }
                 GuardAction::SelfEvacuate => {
                     if std::env::var("NWADE_DEBUG").is_ok() {
-                        eprintln!("[nwade-debug] t={now:.2} {id} self-evacuates ({evacuation_claim:?})");
+                        eprintln!(
+                            "[nwade-debug] t={now:.2} {id} self-evacuates ({evacuation_claim:?})"
+                        );
                     }
                     if let Some(agent) = self.vehicles.get_mut(&id.raw()) {
                         if agent.role == Role::Benign {
                             self.metrics.benign_self_evacuations += 1;
+                            if agent.guard.evacuation_cause() == Some(EvacuationCause::ImTimeout) {
+                                self.metrics.im_timeout_evacuations += 1;
+                            }
                             match evacuation_claim {
                                 Some(GlobalClaim::AbnormalVehicle { suspect })
                                     if Some(suspect) == self.accused =>
@@ -1412,6 +1514,24 @@ impl Simulation {
                         }
                         agent.self_evacuate();
                     }
+                }
+                GuardAction::Readmit => {
+                    // The guard verified a fresh post-outage block: the
+                    // vehicle rejoins. Clear the evacuation announcement
+                    // bookkeeping so the manager stops treating it as
+                    // publicly off-plan, and let it request a fresh plan
+                    // right away (the pre-outage one is stale).
+                    if std::env::var("NWADE_DEBUG").is_ok() {
+                        eprintln!("[nwade-debug] t={now:.2} {id} re-admitted after IM outage");
+                    }
+                    if let Some(agent) = self.vehicles.get_mut(&id.raw()) {
+                        agent.readmit(now);
+                        if agent.role == Role::Benign {
+                            self.metrics.readmitted_after_outage += 1;
+                        }
+                    }
+                    self.announced_evacuating.remove(&id);
+                    self.last_announce.remove(&id.raw());
                 }
             }
         }
@@ -1439,9 +1559,8 @@ impl Simulation {
         }
         if self.config.nwade_enabled {
             // Track the corrupted block's index for metric attribution.
-            let will_corrupt = self.imu.malicious
-                && self.imu.corrupt_next_block
-                && !self.imu.corruption_emitted;
+            let will_corrupt =
+                self.imu.malicious && self.imu.corrupt_next_block && !self.imu.corruption_emitted;
             let actions = self.imu.on_window(&requests, now);
             if will_corrupt && self.imu.corruption_emitted {
                 if let Some(ImuAction::Broadcast(b)) = actions.first() {
@@ -1483,7 +1602,7 @@ impl Simulation {
         let gone = self
             .vehicles
             .get(&violator.raw())
-            .map_or(true, |v| !v.is_active() || v.speed < 0.1);
+            .is_none_or(|v| !v.is_active() || v.speed < 0.1);
         if gone {
             self.threat_cleared = true;
             self.imu.manager.on_threat_cleared();

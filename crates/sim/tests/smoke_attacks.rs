@@ -19,10 +19,15 @@ fn run(setting: AttackSetting, violation: ViolationKind, seed: u64) -> nwade_sim
 #[test]
 fn v1_sudden_stop_detected() {
     let r = run(AttackSetting::V1, ViolationKind::SuddenStop, 1);
-    eprintln!("V1: first_report={:?} confirmed={:?} global={:?} start={:?} self_evac={} accidents={}",
-        r.metrics.violation_first_report, r.metrics.violation_confirmed,
-        r.metrics.violation_global_report, r.metrics.attack_start,
-        r.metrics.benign_self_evacuations, r.metrics.accidents);
+    eprintln!(
+        "V1: first_report={:?} confirmed={:?} global={:?} start={:?} self_evac={} accidents={}",
+        r.metrics.violation_first_report,
+        r.metrics.violation_confirmed,
+        r.metrics.violation_global_report,
+        r.metrics.attack_start,
+        r.metrics.benign_self_evacuations,
+        r.metrics.accidents
+    );
     assert!(r.metrics.attack_start.is_some(), "attack deployed");
     assert!(r.violation_detected(), "V1 must be detected");
 }
@@ -30,10 +35,15 @@ fn v1_sudden_stop_detected() {
 #[test]
 fn v3_with_false_reports() {
     let r = run(AttackSetting::V3, ViolationKind::LaneDeviation, 2);
-    eprintln!("V3: detected={} latency={:?} A_trig={} A_det={} B_trig={} B_det={}",
-        r.violation_detected(), r.detection_latency(),
-        r.false_alarm_a_triggered(), r.false_alarm_a_detected(),
-        r.false_alarm_b_triggered(), r.false_alarm_b_detected());
+    eprintln!(
+        "V3: detected={} latency={:?} A_trig={} A_det={} B_trig={} B_det={}",
+        r.violation_detected(),
+        r.detection_latency(),
+        r.false_alarm_a_triggered(),
+        r.false_alarm_a_detected(),
+        r.false_alarm_b_triggered(),
+        r.false_alarm_b_detected()
+    );
     assert!(r.violation_detected());
     assert!(r.false_alarm_b_detected(), "type B rebutted");
     assert!(!r.false_alarm_b_triggered(), "type B never triggers");
@@ -42,21 +52,35 @@ fn v3_with_false_reports() {
 #[test]
 fn im_corrupted_block_detected() {
     let r = run(AttackSetting::Im, ViolationKind::SuddenStop, 3);
-    eprintln!("IM: corrupted_detected={:?} self_evac={} spawned={} exited={}",
-        r.metrics.corrupted_block_detected, r.metrics.benign_self_evacuations,
-        r.metrics.spawned, r.metrics.exited);
+    eprintln!(
+        "IM: corrupted_detected={:?} self_evac={} spawned={} exited={}",
+        r.metrics.corrupted_block_detected,
+        r.metrics.benign_self_evacuations,
+        r.metrics.spawned,
+        r.metrics.exited
+    );
     assert!(r.metrics.attack_start.is_some());
-    assert!(r.metrics.corrupted_block_detected.is_some(), "corrupted block must be flagged");
+    assert!(
+        r.metrics.corrupted_block_detected.is_some(),
+        "corrupted block must be flagged"
+    );
     assert!(r.metrics.benign_self_evacuations > 0);
 }
 
 #[test]
 fn im_v2_collusion_detected() {
     let r = run(AttackSetting::ImV2, ViolationKind::SuddenStop, 4);
-    eprintln!("IM_V2: detected={} latency={:?} global={:?} dissent={:?}",
-        r.violation_detected(), r.detection_latency(),
-        r.metrics.violation_global_report, r.metrics.wrongful_dissent);
-    assert!(r.violation_detected(), "collusion must still be detected globally");
+    eprintln!(
+        "IM_V2: detected={} latency={:?} global={:?} dissent={:?}",
+        r.violation_detected(),
+        r.detection_latency(),
+        r.metrics.violation_global_report,
+        r.metrics.wrongful_dissent
+    );
+    assert!(
+        r.violation_detected(),
+        "collusion must still be detected globally"
+    );
 }
 
 #[test]
@@ -65,10 +89,18 @@ fn no_attack_clean_run() {
     config.duration = 120.0;
     config.seed = 5;
     let r = Simulation::new(config).run();
-    eprintln!("clean: spawned={} exited={} accidents={} self_evac={} blocks={}",
-        r.metrics.spawned, r.metrics.exited, r.metrics.accidents,
-        r.metrics.benign_self_evacuations, r.metrics.blocks_broadcast);
+    eprintln!(
+        "clean: spawned={} exited={} accidents={} self_evac={} blocks={}",
+        r.metrics.spawned,
+        r.metrics.exited,
+        r.metrics.accidents,
+        r.metrics.benign_self_evacuations,
+        r.metrics.blocks_broadcast
+    );
     assert_eq!(r.metrics.accidents, 0);
-    assert_eq!(r.metrics.benign_self_evacuations, 0, "no false self-evacuations");
+    assert_eq!(
+        r.metrics.benign_self_evacuations, 0,
+        "no false self-evacuations"
+    );
     assert!(r.metrics.exited > 30);
 }

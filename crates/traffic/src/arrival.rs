@@ -99,7 +99,9 @@ mod tests {
         assert!(times.iter().all(|&t| t < 120.0));
         // Subsequent window continues after the horizon.
         let later = p.arrivals_until(240.0, &mut rng);
-        assert!(later.iter().all(|&t| (120.0..240.0).contains(&t) || t >= 120.0));
+        assert!(later
+            .iter()
+            .all(|&t| (120.0..240.0).contains(&t) || t >= 120.0));
         assert!(later.first().copied().unwrap_or(f64::MAX) >= 120.0);
     }
 

@@ -94,9 +94,14 @@ mod tests {
     #[test]
     fn descriptors_vary_across_draws() {
         let mut rng = StdRng::seed_from_u64(0);
-        let draws: std::collections::HashSet<_> =
-            (0..100).map(|_| VehicleDescriptor::random(&mut rng)).collect();
-        assert!(draws.len() > 10, "only {} distinct descriptors", draws.len());
+        let draws: std::collections::HashSet<_> = (0..100)
+            .map(|_| VehicleDescriptor::random(&mut rng))
+            .collect();
+        assert!(
+            draws.len() > 10,
+            "only {} distinct descriptors",
+            draws.len()
+        );
     }
 
     #[test]

@@ -42,7 +42,11 @@ impl KinematicLimits {
             v_max.is_finite() && a_max.is_finite() && d_max.is_finite(),
             "kinematic limits must be finite"
         );
-        KinematicLimits { v_max, a_max, d_max }
+        KinematicLimits {
+            v_max,
+            a_max,
+            d_max,
+        }
     }
 
     /// Distance needed to brake from `speed` to a stop.

@@ -1,0 +1,317 @@
+//! Composable channel fault injection.
+//!
+//! The paper assumes detection and evacuation keep working over an
+//! adversarial, lossy VANET (§VI). The [`FaultModel`] makes that
+//! assumption testable: it layers message duplication, latency jitter
+//! (which reorders deliveries), payload corruption, Gilbert–Elliott burst
+//! loss, per-node degradation, and timed communication blackouts on top of
+//! the medium's base latency/loss model. All faults default to off, so a
+//! default model behaves exactly like the pre-fault medium.
+//!
+//! Corruption is modelled as a flag on the delivery rather than in-band
+//! bit-flips, because the medium is generic over the payload type; the
+//! protocol layer mangles the payload of flagged deliveries so that
+//! signature / hash verification fails (Algorithm 1's reject path).
+
+use crate::message::NodeId;
+use std::collections::BTreeMap;
+
+/// Two-state Gilbert–Elliott burst-loss channel.
+///
+/// The channel is either *good* or *bad*; each reception attempt first
+/// samples a state transition, then samples loss at the state's rate.
+/// Long stays in the bad state produce the bursty, correlated losses that
+/// independent per-packet loss cannot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstLoss {
+    /// Probability of moving good → bad per reception attempt.
+    pub enter_bad: f64,
+    /// Probability of moving bad → good per reception attempt.
+    pub exit_bad: f64,
+    /// Loss rate while in the good state.
+    pub loss_good: f64,
+    /// Loss rate while in the bad state.
+    pub loss_bad: f64,
+}
+
+impl BurstLoss {
+    /// A conventional parameterization: mostly-good channel whose bad
+    /// state loses everything, with `average` long-run loss.
+    pub fn bursty(average: f64) -> Self {
+        let average = average.clamp(0.0, 1.0);
+        // Stationary P(bad) = enter / (enter + exit); with loss_bad = 1,
+        // loss_good = 0 the long-run loss equals P(bad).
+        BurstLoss {
+            enter_bad: 0.05 * average / (1.0 - average).max(0.05),
+            exit_bad: 0.05,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("burst enter_bad", self.enter_bad),
+            ("burst exit_bad", self.exit_bad),
+            ("burst loss_good", self.loss_good),
+            ("burst loss_bad", self.loss_bad),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be within [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Extra impairment applied to every reception at (or send from) one node.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeDegradation {
+    /// Additional loss probability, combined independently with the
+    /// channel loss.
+    pub extra_loss: f64,
+    /// Additional one-way latency in seconds.
+    pub extra_latency: f64,
+}
+
+impl NodeDegradation {
+    fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.extra_loss) {
+            return Err("node extra_loss must be within [0, 1]".into());
+        }
+        if !(self.extra_latency >= 0.0 && self.extra_latency.is_finite()) {
+            return Err("node extra_latency must be finite and non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// A timed communication blackout (network partition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blackout {
+    /// Start of the window, seconds.
+    pub start: f64,
+    /// End of the window, seconds (exclusive).
+    pub end: f64,
+    /// The node cut off from the network, or `None` for a total blackout.
+    pub node: Option<NodeId>,
+}
+
+impl Blackout {
+    /// Whether this blackout silences `node` at time `now`.
+    pub fn covers(&self, now: f64, node: NodeId) -> bool {
+        now >= self.start && now < self.end && self.node.is_none_or(|n| n == node)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(self.start.is_finite() && self.end.is_finite() && self.start < self.end) {
+            return Err("blackout window must be finite with start < end".into());
+        }
+        Ok(())
+    }
+}
+
+/// The composable fault model; all faults default to off.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultModel {
+    /// Probability that a reached recipient receives a second copy.
+    pub duplicate_probability: f64,
+    /// Maximum extra delivery latency in seconds, drawn uniformly per
+    /// copy; distinct draws reorder deliveries.
+    pub latency_jitter: f64,
+    /// Probability that a delivered copy arrives corrupted (flagged; the
+    /// protocol layer mangles the payload so verification must fail).
+    pub corruption_probability: f64,
+    /// Gilbert–Elliott burst loss layered over the base loss rate.
+    pub burst: Option<BurstLoss>,
+    /// Per-node degradation (extra loss / latency for that endpoint).
+    pub degraded: BTreeMap<NodeId, NodeDegradation>,
+    /// Timed blackout windows.
+    pub blackouts: Vec<Blackout>,
+}
+
+impl FaultModel {
+    /// `true` when every fault is off (the medium can skip fault paths).
+    pub fn is_quiet(&self) -> bool {
+        self.duplicate_probability == 0.0
+            && self.latency_jitter == 0.0
+            && self.corruption_probability == 0.0
+            && self.burst.is_none()
+            && self.degraded.is_empty()
+            && self.blackouts.is_empty()
+    }
+
+    /// A model whose faults all scale with one `intensity` knob in
+    /// `[0, 1]`: at 0 the channel is clean; at 1 it duplicates ~30 % of
+    /// copies, jitters up to 150 ms, corrupts ~20 %, and suffers ~30 %
+    /// bursty loss.
+    pub fn at_intensity(intensity: f64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        let burst = if i > 0.0 {
+            Some(BurstLoss::bursty(0.3 * i))
+        } else {
+            None
+        };
+        FaultModel {
+            duplicate_probability: 0.3 * i,
+            latency_jitter: 0.15 * i,
+            corruption_probability: 0.2 * i,
+            burst,
+            degraded: BTreeMap::new(),
+            blackouts: Vec::new(),
+        }
+    }
+
+    /// Whether any blackout silences `node` at `now`.
+    pub fn blacked_out(&self, now: f64, node: NodeId) -> bool {
+        self.blackouts.iter().any(|b| b.covers(now, node))
+    }
+
+    /// The degradation for `node`, defaulting to none.
+    pub fn degradation(&self, node: NodeId) -> NodeDegradation {
+        self.degraded.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Validates every layered fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("duplicate probability", self.duplicate_probability),
+            ("corruption probability", self.corruption_probability),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be within [0, 1]"));
+            }
+        }
+        if !(self.latency_jitter >= 0.0 && self.latency_jitter.is_finite()) {
+            return Err("latency jitter must be finite and non-negative".into());
+        }
+        if let Some(burst) = &self.burst {
+            burst.validate()?;
+        }
+        for degradation in self.degraded.values() {
+            degradation.validate()?;
+        }
+        for blackout in &self.blackouts {
+            blackout.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet_and_valid() {
+        let m = FaultModel::default();
+        assert!(m.is_quiet());
+        m.validate().expect("default valid");
+    }
+
+    #[test]
+    fn intensity_zero_is_quiet_one_is_valid() {
+        assert!(FaultModel::at_intensity(0.0).is_quiet());
+        let full = FaultModel::at_intensity(1.0);
+        assert!(!full.is_quiet());
+        full.validate().expect("full intensity valid");
+        // Out-of-range intensities clamp instead of producing invalid
+        // probabilities.
+        FaultModel::at_intensity(7.0).validate().expect("clamped");
+        FaultModel::at_intensity(-3.0).validate().expect("clamped");
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected() {
+        let mut m = FaultModel::default();
+        m.duplicate_probability = 1.5;
+        assert!(m.validate().is_err());
+        let mut m = FaultModel::default();
+        m.corruption_probability = -0.1;
+        assert!(m.validate().is_err());
+        let mut m = FaultModel::default();
+        m.latency_jitter = f64::NAN;
+        assert!(m.validate().is_err());
+        let mut m = FaultModel::default();
+        m.latency_jitter = f64::INFINITY;
+        assert!(m.validate().is_err());
+        let mut m = FaultModel::default();
+        m.burst = Some(BurstLoss {
+            enter_bad: 2.0,
+            exit_bad: 0.1,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        });
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn blackout_windows_cover_scoped_nodes() {
+        let b = Blackout {
+            start: 10.0,
+            end: 20.0,
+            node: Some(NodeId::Imu),
+        };
+        assert!(b.covers(10.0, NodeId::Imu));
+        assert!(!b.covers(20.0, NodeId::Imu), "end exclusive");
+        assert!(!b.covers(15.0, NodeId::Vehicle(1)), "scoped to the IMU");
+        let global = Blackout {
+            start: 10.0,
+            end: 20.0,
+            node: None,
+        };
+        assert!(global.covers(15.0, NodeId::Vehicle(1)));
+        let mut m = FaultModel::default();
+        m.blackouts.push(b);
+        assert!(m.blacked_out(12.0, NodeId::Imu));
+        assert!(!m.blacked_out(25.0, NodeId::Imu));
+    }
+
+    #[test]
+    fn invalid_blackout_rejected() {
+        let mut m = FaultModel::default();
+        m.blackouts.push(Blackout {
+            start: 5.0,
+            end: 5.0,
+            node: None,
+        });
+        assert!(m.validate().is_err());
+        m.blackouts[0].end = f64::INFINITY;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn bursty_parameterization_is_valid_across_range() {
+        for i in 0..=10 {
+            let b = BurstLoss::bursty(i as f64 / 10.0);
+            b.validate().expect("valid");
+        }
+    }
+
+    #[test]
+    fn degradation_lookup_defaults_to_none() {
+        let mut m = FaultModel::default();
+        m.degraded.insert(
+            NodeId::Vehicle(3),
+            NodeDegradation {
+                extra_loss: 0.5,
+                extra_latency: 0.1,
+            },
+        );
+        assert_eq!(m.degradation(NodeId::Vehicle(3)).extra_loss, 0.5);
+        assert_eq!(m.degradation(NodeId::Vehicle(4)).extra_loss, 0.0);
+        m.validate().expect("valid");
+        m.degraded.insert(
+            NodeId::Vehicle(5),
+            NodeDegradation {
+                extra_loss: 0.0,
+                extra_latency: -1.0,
+            },
+        );
+        assert!(m.validate().is_err());
+    }
+}

@@ -16,10 +16,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod medium;
 pub mod message;
 pub mod stats;
 
+pub use fault::{Blackout, BurstLoss, FaultModel, NodeDegradation};
 pub use medium::{Medium, MediumConfig};
 pub use message::{Delivery, NodeId, Recipient};
 pub use stats::NetworkStats;

@@ -1,5 +1,6 @@
 //! The position-aware message medium.
 
+use crate::fault::FaultModel;
 use crate::message::{Delivery, NodeId, Recipient};
 use crate::stats::NetworkStats;
 use nwade_geometry::Vec2;
@@ -7,7 +8,7 @@ use rand::Rng;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Medium configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MediumConfig {
     /// One-way latency in seconds (paper: 30 ms).
     pub latency: f64,
@@ -15,6 +16,8 @@ pub struct MediumConfig {
     pub comm_radius: f64,
     /// Independent per-reception loss probability.
     pub loss_probability: f64,
+    /// Injected channel faults; defaults to a clean channel.
+    pub faults: FaultModel,
 }
 
 impl Default for MediumConfig {
@@ -23,27 +26,30 @@ impl Default for MediumConfig {
             latency: nwade_geometry::units::paper::NETWORK_LATENCY_S,
             comm_radius: nwade_geometry::units::paper::comm_radius_m(),
             loss_probability: 0.0,
+            faults: FaultModel::default(),
         }
     }
 }
 
 impl MediumConfig {
-    /// Validates the configuration.
+    /// Validates the configuration, including the fault model. Finiteness
+    /// is checked here so delivery times are always totally ordered and a
+    /// malformed config fails at construction, not mid-simulation.
     ///
     /// # Errors
     ///
     /// Returns a message describing the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.latency >= 0.0) {
-            return Err("latency must be non-negative".into());
+        if !(self.latency >= 0.0 && self.latency.is_finite()) {
+            return Err("latency must be finite and non-negative".into());
         }
-        if !(self.comm_radius > 0.0) {
-            return Err("communication radius must be positive".into());
+        if !(self.comm_radius > 0.0 && self.comm_radius.is_finite()) {
+            return Err("communication radius must be finite and positive".into());
         }
         if !(0.0..=1.0).contains(&self.loss_probability) {
             return Err("loss probability must be within [0, 1]".into());
         }
-        Ok(())
+        self.faults.validate()
     }
 }
 
@@ -68,11 +74,14 @@ impl<M> PartialOrd for InFlight<M> {
 }
 impl<M> Ord for InFlight<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse for a min-heap; tie-break on sequence for determinism.
+        // Reverse for a min-heap; tie-break on send sequence so equal
+        // delivery times pop in send order and runs stay reproducible
+        // even under reordering faults. `total_cmp` keeps the ordering
+        // total; `MediumConfig::validate` rejects non-finite latencies at
+        // construction so NaN never reaches the queue.
         other
             .deliver_at
-            .partial_cmp(&self.deliver_at)
-            .expect("finite delivery times")
+            .total_cmp(&self.deliver_at)
             .then(other.seq.cmp(&self.seq))
     }
 }
@@ -89,6 +98,8 @@ pub struct Medium<M> {
     queue: BinaryHeap<InFlight<M>>,
     stats: NetworkStats,
     seq: u64,
+    /// Gilbert–Elliott channel state: `true` while in the bad state.
+    burst_bad: bool,
 }
 
 impl<M: Clone> Medium<M> {
@@ -105,6 +116,7 @@ impl<M: Clone> Medium<M> {
             queue: BinaryHeap::new(),
             stats: NetworkStats::new(),
             seq: 0,
+            burst_bad: false,
         }
     }
 
@@ -170,41 +182,116 @@ impl<M: Clone> Medium<M> {
             self.stats.record_drop(class);
             return 0;
         };
+        if self.config.faults.blacked_out(now, from) {
+            // The sender's radio is dark: nothing goes on the air.
+            self.stats.record_drop(class);
+            return 0;
+        }
         self.stats.record_transmission(class);
         let targets: Vec<NodeId> = match to {
             Recipient::Unicast(node) => vec![node],
-            Recipient::Broadcast => {
-                self.nodes_within(src, self.config.comm_radius, Some(from))
-            }
+            Recipient::Broadcast => self.nodes_within(src, self.config.comm_radius, Some(from)),
         };
+        let sender_degradation = self.config.faults.degradation(from);
         let mut reached = 0;
         for node in targets {
             let in_range = self
                 .positions
                 .get(&node)
                 .is_some_and(|p| p.distance(src) <= self.config.comm_radius);
-            let lost = self.config.loss_probability > 0.0
-                && rng.gen::<f64>() < self.config.loss_probability;
-            if !in_range || lost {
+            if !in_range || self.config.faults.blacked_out(now, node) {
                 self.stats.record_drop(class);
                 continue;
             }
-            self.seq += 1;
-            self.queue.push(InFlight {
-                deliver_at: now + self.config.latency,
-                seq: self.seq,
-                delivery: Delivery {
-                    from,
-                    to: node,
-                    at: now + self.config.latency,
-                    class,
-                    payload: payload.clone(),
-                },
-            });
+            let node_degradation = self.config.faults.degradation(node);
+            if self.sample_loss(
+                node_degradation.extra_loss,
+                sender_degradation.extra_loss,
+                rng,
+            ) {
+                self.stats.record_drop(class);
+                continue;
+            }
+            let base_latency = self.config.latency
+                + sender_degradation.extra_latency
+                + node_degradation.extra_latency;
+            self.enqueue_copy(from, node, class, payload.clone(), now, base_latency, rng);
+            if self.config.faults.duplicate_probability > 0.0
+                && rng.gen::<f64>() < self.config.faults.duplicate_probability
+            {
+                self.enqueue_copy(from, node, class, payload.clone(), now, base_latency, rng);
+                self.stats.record_duplicate(class);
+            }
             self.stats.record_reception(class);
             reached += 1;
         }
         reached
+    }
+
+    /// Samples the layered loss processes: base loss, Gilbert–Elliott
+    /// burst state, and per-endpoint degradation combine independently.
+    fn sample_loss<R: Rng + ?Sized>(
+        &mut self,
+        receiver_extra: f64,
+        sender_extra: f64,
+        rng: &mut R,
+    ) -> bool {
+        let mut pass = 1.0 - self.config.loss_probability;
+        if let Some(burst) = self.config.faults.burst {
+            if self.burst_bad {
+                if rng.gen::<f64>() < burst.exit_bad {
+                    self.burst_bad = false;
+                }
+            } else if rng.gen::<f64>() < burst.enter_bad {
+                self.burst_bad = true;
+            }
+            let burst_loss = if self.burst_bad {
+                burst.loss_bad
+            } else {
+                burst.loss_good
+            };
+            pass *= 1.0 - burst_loss;
+        }
+        pass *= (1.0 - receiver_extra) * (1.0 - sender_extra);
+        let loss = 1.0 - pass;
+        loss > 0.0 && rng.gen::<f64>() < loss
+    }
+
+    /// Enqueues one delivered copy, sampling jitter and corruption.
+    fn enqueue_copy<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: &'static str,
+        payload: M,
+        now: f64,
+        base_latency: f64,
+        rng: &mut R,
+    ) {
+        let jitter = if self.config.faults.latency_jitter > 0.0 {
+            rng.gen::<f64>() * self.config.faults.latency_jitter
+        } else {
+            0.0
+        };
+        let corrupted = self.config.faults.corruption_probability > 0.0
+            && rng.gen::<f64>() < self.config.faults.corruption_probability;
+        if corrupted {
+            self.stats.record_corruption(class);
+        }
+        let deliver_at = now + base_latency + jitter;
+        self.seq += 1;
+        self.queue.push(InFlight {
+            deliver_at,
+            seq: self.seq,
+            delivery: Delivery {
+                from,
+                to,
+                at: deliver_at,
+                class,
+                corrupted,
+                payload,
+            },
+        });
     }
 
     /// Pops every message whose delivery time is `<= now`, in delivery
@@ -237,6 +324,7 @@ mod tests {
             latency: 0.030,
             comm_radius: 100.0,
             loss_probability: 0.0,
+            faults: Default::default(),
         });
         m.set_position(NodeId::Imu, Vec2::ZERO);
         m.set_position(NodeId::Vehicle(1), Vec2::new(50.0, 0.0));
@@ -377,6 +465,7 @@ mod tests {
             latency: 0.03,
             comm_radius: 100.0,
             loss_probability: 1.0,
+            faults: Default::default(),
         });
         m.set_position(NodeId::Imu, Vec2::ZERO);
         m.set_position(NodeId::Vehicle(1), Vec2::new(10.0, 0.0));
@@ -398,6 +487,7 @@ mod tests {
             latency: 0.03,
             comm_radius: 1000.0,
             loss_probability: 0.5,
+            faults: Default::default(),
         });
         m.set_position(NodeId::Imu, Vec2::ZERO);
         for i in 0..200 {
@@ -428,6 +518,273 @@ mod tests {
             latency: -1.0,
             comm_radius: 100.0,
             loss_probability: 0.0,
+            faults: Default::default(),
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_latency_rejected_at_construction() {
+        let _ = Medium::<()>::new(MediumConfig {
+            latency: f64::NAN,
+            comm_radius: 100.0,
+            loss_probability: 0.0,
+            faults: Default::default(),
+        });
+    }
+
+    fn faulty_medium(faults: crate::fault::FaultModel) -> Medium<&'static str> {
+        let mut m = Medium::new(MediumConfig {
+            latency: 0.030,
+            comm_radius: 100.0,
+            loss_probability: 0.0,
+            faults,
+        });
+        m.set_position(NodeId::Imu, Vec2::ZERO);
+        m.set_position(NodeId::Vehicle(1), Vec2::new(50.0, 0.0));
+        m
+    }
+
+    #[test]
+    fn duplication_injects_extra_copies() {
+        let mut m = faulty_medium(crate::fault::FaultModel {
+            duplicate_probability: 1.0,
+            ..Default::default()
+        });
+        let reached = m.send(
+            NodeId::Imu,
+            Recipient::Unicast(NodeId::Vehicle(1)),
+            "plan",
+            "p",
+            0.0,
+            &mut rng(),
+        );
+        assert_eq!(reached, 1, "duplicates do not inflate reach");
+        let due = m.deliver_due(1.0);
+        assert_eq!(due.len(), 2, "recipient sees two copies");
+        assert_eq!(m.stats().class("plan").receptions, 1);
+        assert_eq!(m.stats().class("plan").duplicated, 1);
+    }
+
+    #[test]
+    fn corruption_flags_copies_and_counts() {
+        let mut m = faulty_medium(crate::fault::FaultModel {
+            corruption_probability: 1.0,
+            ..Default::default()
+        });
+        m.send(
+            NodeId::Imu,
+            Recipient::Unicast(NodeId::Vehicle(1)),
+            "block",
+            "b",
+            0.0,
+            &mut rng(),
+        );
+        let due = m.deliver_due(1.0);
+        assert_eq!(due.len(), 1);
+        assert!(due[0].corrupted);
+        assert_eq!(m.stats().class("block").corrupted, 1);
+        // A clean channel never flags.
+        let mut clean = medium();
+        clean.send(
+            NodeId::Imu,
+            Recipient::Unicast(NodeId::Vehicle(1)),
+            "block",
+            "b",
+            0.0,
+            &mut rng(),
+        );
+        assert!(clean.deliver_due(1.0).iter().all(|d| !d.corrupted));
+    }
+
+    #[test]
+    fn jitter_reorders_but_deliveries_stay_time_ordered() {
+        let mut m = faulty_medium(crate::fault::FaultModel {
+            latency_jitter: 0.5,
+            ..Default::default()
+        });
+        let mut r = rng();
+        for _ in 0..20 {
+            m.send(
+                NodeId::Imu,
+                Recipient::Unicast(NodeId::Vehicle(1)),
+                "plan",
+                "x",
+                0.0,
+                &mut r,
+            );
+        }
+        let due = m.deliver_due(10.0);
+        assert_eq!(due.len(), 20);
+        assert!(due.windows(2).all(|w| w[0].at <= w[1].at));
+        // Jitter actually spread the arrivals.
+        assert!(due.last().expect("due").at - due[0].at > 1e-6);
+    }
+
+    #[test]
+    fn equal_delivery_times_pop_in_send_order() {
+        let mut m = medium();
+        let mut r = rng();
+        for _ in 0..10 {
+            m.send(
+                NodeId::Imu,
+                Recipient::Unicast(NodeId::Vehicle(1)),
+                "plan",
+                "x",
+                0.0,
+                &mut r,
+            );
+        }
+        // All ten share one delivery instant; order must be send order.
+        let due = m.deliver_due(1.0);
+        assert_eq!(due.len(), 10);
+        assert!(due.windows(2).all(|w| w[0].at == w[1].at));
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run = || {
+            let mut m = faulty_medium(crate::fault::FaultModel {
+                duplicate_probability: 0.4,
+                latency_jitter: 0.3,
+                corruption_probability: 0.3,
+                burst: Some(crate::fault::BurstLoss::bursty(0.2)),
+                ..Default::default()
+            });
+            let mut r = StdRng::seed_from_u64(99);
+            for i in 0..50 {
+                m.send(
+                    NodeId::Imu,
+                    Recipient::Unicast(NodeId::Vehicle(1)),
+                    "plan",
+                    "x",
+                    i as f64 * 0.01,
+                    &mut r,
+                );
+            }
+            m.deliver_due(100.0)
+                .iter()
+                .map(|d| (d.at.to_bits(), d.corrupted))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "identical seeds give identical schedules");
+    }
+
+    #[test]
+    fn saturated_burst_loses_everything() {
+        let mut m = faulty_medium(crate::fault::FaultModel {
+            burst: Some(crate::fault::BurstLoss {
+                enter_bad: 1.0,
+                exit_bad: 0.0,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            }),
+            ..Default::default()
+        });
+        let mut r = rng();
+        for _ in 0..10 {
+            let n = m.send(
+                NodeId::Imu,
+                Recipient::Unicast(NodeId::Vehicle(1)),
+                "plan",
+                "x",
+                0.0,
+                &mut r,
+            );
+            assert_eq!(n, 0);
+        }
+        assert_eq!(m.stats().class("plan").dropped, 10);
+    }
+
+    #[test]
+    fn blackout_silences_sender_and_receiver() {
+        let mut m = faulty_medium(crate::fault::FaultModel {
+            blackouts: vec![crate::fault::Blackout {
+                start: 10.0,
+                end: 20.0,
+                node: Some(NodeId::Imu),
+            }],
+            ..Default::default()
+        });
+        let mut r = rng();
+        // IMU cannot send during its blackout.
+        let n = m.send(
+            NodeId::Imu,
+            Recipient::Unicast(NodeId::Vehicle(1)),
+            "plan",
+            "x",
+            15.0,
+            &mut r,
+        );
+        assert_eq!(n, 0);
+        // Nor receive.
+        let n = m.send(
+            NodeId::Vehicle(1),
+            Recipient::Unicast(NodeId::Imu),
+            "report",
+            "r",
+            15.0,
+            &mut r,
+        );
+        assert_eq!(n, 0);
+        // Outside the window everything flows again.
+        let n = m.send(
+            NodeId::Imu,
+            Recipient::Unicast(NodeId::Vehicle(1)),
+            "plan",
+            "x",
+            25.0,
+            &mut r,
+        );
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn degraded_node_suffers_extra_loss_and_latency() {
+        let mut degraded = std::collections::BTreeMap::new();
+        degraded.insert(
+            NodeId::Vehicle(1),
+            crate::fault::NodeDegradation {
+                extra_loss: 1.0,
+                extra_latency: 0.0,
+            },
+        );
+        let mut m = faulty_medium(crate::fault::FaultModel {
+            degraded,
+            ..Default::default()
+        });
+        let n = m.send(
+            NodeId::Imu,
+            Recipient::Unicast(NodeId::Vehicle(1)),
+            "plan",
+            "x",
+            0.0,
+            &mut rng(),
+        );
+        assert_eq!(n, 0, "fully degraded node receives nothing");
+
+        let mut degraded = std::collections::BTreeMap::new();
+        degraded.insert(
+            NodeId::Vehicle(1),
+            crate::fault::NodeDegradation {
+                extra_loss: 0.0,
+                extra_latency: 1.0,
+            },
+        );
+        let mut m = faulty_medium(crate::fault::FaultModel {
+            degraded,
+            ..Default::default()
+        });
+        m.send(
+            NodeId::Imu,
+            Recipient::Unicast(NodeId::Vehicle(1)),
+            "plan",
+            "x",
+            0.0,
+            &mut rng(),
+        );
+        assert!(m.deliver_due(1.0).is_empty(), "still in flight");
+        let due = m.deliver_due(1.04);
+        assert_eq!(due.len(), 1, "arrives after latency + degradation");
     }
 }

@@ -40,6 +40,10 @@ pub struct Delivery<M> {
     pub at: f64,
     /// Message-class label (for packet accounting).
     pub class: &'static str,
+    /// Whether the channel corrupted this copy in transit (fault
+    /// injection); the receiving layer must mangle the payload so
+    /// signature / hash verification fails.
+    pub corrupted: bool,
     /// The payload.
     pub payload: M,
 }

@@ -11,6 +11,11 @@ pub struct ClassCounters {
     pub receptions: u64,
     /// Messages lost to range or the loss model.
     pub dropped: u64,
+    /// Extra copies injected by the duplication fault (not counted as
+    /// receptions).
+    pub duplicated: u64,
+    /// Delivered copies flagged as corrupted by the fault model.
+    pub corrupted: u64,
 }
 
 /// Per-class network statistics.
@@ -37,6 +42,14 @@ impl NetworkStats {
         self.classes.entry(class).or_default().dropped += 1;
     }
 
+    pub(crate) fn record_duplicate(&mut self, class: &'static str) {
+        self.classes.entry(class).or_default().duplicated += 1;
+    }
+
+    pub(crate) fn record_corruption(&mut self, class: &'static str) {
+        self.classes.entry(class).or_default().corrupted += 1;
+    }
+
     /// Counters for one class (zeros when the class never appeared).
     pub fn class(&self, class: &str) -> ClassCounters {
         self.classes.get(class).copied().unwrap_or_default()
@@ -60,6 +73,16 @@ impl NetworkStats {
     /// Total drops across all classes.
     pub fn total_dropped(&self) -> u64 {
         self.classes.values().map(|c| c.dropped).sum()
+    }
+
+    /// Total duplicated copies across all classes.
+    pub fn total_duplicated(&self) -> u64 {
+        self.classes.values().map(|c| c.duplicated).sum()
+    }
+
+    /// Total corrupted copies across all classes.
+    pub fn total_corrupted(&self) -> u64 {
+        self.classes.values().map(|c| c.corrupted).sum()
     }
 
     /// Resets all counters.

@@ -1,10 +1,44 @@
 //! Property tests over the medium's public API.
 
 use nwade_geometry::Vec2;
-use nwade_vanet::{Medium, MediumConfig, NodeId, Recipient};
+use nwade_vanet::{FaultModel, Medium, MediumConfig, NodeId, Recipient};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Runs `sends` through a medium with the given fault model and returns
+/// the full delivery trace (payload dropped — it is `()`).
+fn trace(
+    faults: FaultModel,
+    sends: &[(u64, u64, f64)],
+    seed: u64,
+) -> Vec<(NodeId, NodeId, f64, bool)> {
+    let mut medium = Medium::new(MediumConfig {
+        latency: 0.03,
+        comm_radius: 1_000.0,
+        loss_probability: 0.0,
+        faults,
+    });
+    for i in 0..10u64 {
+        medium.set_position(NodeId::Vehicle(i), Vec2::new(i as f64 * 10.0, 0.0));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for (from, to, t) in sends {
+        medium.send(
+            NodeId::Vehicle(*from),
+            Recipient::Unicast(NodeId::Vehicle(*to)),
+            "test",
+            (),
+            *t,
+            &mut rng,
+        );
+    }
+    medium
+        .deliver_due(1e9)
+        .into_iter()
+        .map(|d| (d.from, d.to, d.at, d.corrupted))
+        .collect()
+}
 
 proptest! {
     /// Deliveries always come out in non-decreasing time order and every
@@ -18,6 +52,7 @@ proptest! {
             latency: 0.03,
             comm_radius: 1_000.0,
             loss_probability: 0.0,
+            faults: Default::default(),
         });
         for i in 0..10u64 {
             medium.set_position(NodeId::Vehicle(i), Vec2::new(i as f64 * 10.0, 0.0));
@@ -55,6 +90,7 @@ proptest! {
             latency: 0.03,
             comm_radius: radius,
             loss_probability: 0.0,
+            faults: Default::default(),
         });
         for (i, (x, y)) in positions.iter().enumerate() {
             medium.set_position(NodeId::Vehicle(i as u64), Vec2::new(*x, *y));
@@ -74,5 +110,66 @@ proptest! {
             .filter(|(x, y)| Vec2::new(*x, *y).distance(sender) <= radius)
             .count();
         prop_assert_eq!(reached, expected);
+    }
+
+    /// Under any fault intensity, delivery is still deterministic (same
+    /// seed → identical trace) and time-ordered, even though duplication
+    /// and jitter reshuffle copies internally.
+    #[test]
+    fn faulty_medium_is_deterministic_and_time_ordered(
+        intensity in 0.0..1.0f64,
+        seed in 0u64..1_000,
+        sends in proptest::collection::vec(
+            (0u64..10, 0u64..10, 0.0..100.0f64), 1..40),
+    ) {
+        let a = trace(FaultModel::at_intensity(intensity), &sends, seed);
+        let b = trace(FaultModel::at_intensity(intensity), &sends, seed);
+        prop_assert_eq!(&a, &b, "identical seeds must replay identically");
+        for w in a.windows(2) {
+            prop_assert!(w[0].2 <= w[1].2, "deliveries sorted by arrival time");
+        }
+    }
+
+    /// With corruption probability 1 every surviving copy arrives flagged
+    /// corrupted — the flag is never silently dropped on any path
+    /// (duplicated copies included).
+    #[test]
+    fn total_corruption_flags_every_delivery(
+        seed in 0u64..1_000,
+        duplicate in 0.0..1.0f64,
+        sends in proptest::collection::vec(
+            (0u64..10, 0u64..10, 0.0..100.0f64), 1..40),
+    ) {
+        let mut faults = FaultModel::default();
+        faults.corruption_probability = 1.0;
+        faults.duplicate_probability = duplicate;
+        let t = trace(faults, &sends, seed);
+        prop_assert!(!t.is_empty());
+        prop_assert!(t.iter().all(|d| d.3), "every copy flagged corrupted");
+    }
+
+    /// A total blackout covering the whole send window delivers nothing;
+    /// outside it the channel behaves normally.
+    #[test]
+    fn blackout_silences_exactly_its_window(
+        seed in 0u64..1_000,
+        sends in proptest::collection::vec(
+            (0u64..10, 0u64..10, 0.0..100.0f64), 1..40),
+    ) {
+        let mut faults = FaultModel::default();
+        faults.blackouts.push(nwade_vanet::Blackout {
+            start: 0.0,
+            end: 100.0,
+            node: None,
+        });
+        prop_assert!(trace(faults, &sends, seed).is_empty());
+        let mut scoped = FaultModel::default();
+        scoped.blackouts.push(nwade_vanet::Blackout {
+            start: 200.0,
+            end: 300.0,
+            node: None,
+        });
+        let t = trace(scoped, &sends, seed);
+        prop_assert_eq!(t.len(), sends.len(), "blackout outside window is inert");
     }
 }

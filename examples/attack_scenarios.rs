@@ -24,7 +24,12 @@ fn main() {
         });
         let report = Simulation::new(config).run();
         let detected = if setting.plan_violations() > 0 {
-            if report.violation_detected() { "yes" } else { "NO" }.to_string()
+            if report.violation_detected() {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string()
         } else if report.metrics.corrupted_block_detected.is_some() {
             "yes".to_string()
         } else {
@@ -38,7 +43,11 @@ fn main() {
                 .detection_latency()
                 .map_or("-".into(), |l| format!("{l:.1}")),
             report.metrics.benign_self_evacuations,
-            if report.false_alarm_a_triggered() { "yes" } else { "no" },
+            if report.false_alarm_a_triggered() {
+                "yes"
+            } else {
+                "no"
+            },
             report.metrics.accidents,
         );
     }

@@ -66,14 +66,27 @@ fn main() {
 
     // 4. A vehicle verifies the block (Algorithm 1).
     let cache = ChainCache::new(60);
-    verify_incoming_block(&block, &cache, signer.as_ref(), &topo, 0.5, &Default::default())
-        .expect("the honest block verifies");
+    verify_incoming_block(
+        &block,
+        &cache,
+        signer.as_ref(),
+        &topo,
+        0.5,
+        &Default::default(),
+    )
+    .expect("the honest block verifies");
     println!("vehicle-side verification: OK (signature, Merkle root, conflicts)");
 
     // 5. A compromised relay tampers with the block → caught immediately.
     let forged = tamper::forge_signature(&block);
-    let verdict =
-        verify_incoming_block(&forged, &cache, signer.as_ref(), &topo, 0.5, &Default::default());
+    let verdict = verify_incoming_block(
+        &forged,
+        &cache,
+        signer.as_ref(),
+        &topo,
+        0.5,
+        &Default::default(),
+    );
     println!("tampered block verdict: {}", verdict.unwrap_err());
 
     // 6. The full guard: a vehicle accepts its plan from the block.

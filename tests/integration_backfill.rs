@@ -60,7 +60,7 @@ fn planless_vehicle_backfills_and_follows() {
 
     // The peer serves the requested range; the guard back-fills and
     // finds its plan.
-    let actions = guard.on_block_response(&blocks[0..4].to_vec(), 20.1);
+    let actions = guard.on_block_response(&blocks[0..4], 20.1);
     assert!(
         actions
             .iter()
@@ -90,10 +90,7 @@ fn backfill_rejects_forged_history() {
     guard.on_block_response(&forged, 20.1);
     // Nothing integrated: the cache still starts at block 3.
     assert_eq!(guard.cache().len(), 1);
-    assert_eq!(
-        guard.cache().iter().next().expect("present").index(),
-        3
-    );
+    assert_eq!(guard.cache().iter().next().expect("present").index(), 3);
 }
 
 #[test]
@@ -107,7 +104,7 @@ fn response_also_extends_forward() {
     );
     guard.on_block(&blocks[0], 1.0);
     // A response containing the whole chain catches the guard up.
-    guard.on_block_response(&blocks[1..].to_vec(), 2.0);
+    guard.on_block_response(&blocks[1..], 2.0);
     assert_eq!(guard.cache().tip().expect("tip").index(), 4);
     assert_eq!(guard.cache().len(), 5);
 }

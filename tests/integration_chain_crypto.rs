@@ -53,8 +53,15 @@ fn rsa_backed_chain_end_to_end() {
     for round in 0..3u64 {
         let plans = scheduled(&mut scheduler, 3, round * 100, round as f64 * 15.0);
         let block = packager.package(plans, round as f64 * 15.0);
-        verify_incoming_block(&block, &cache, key.as_ref(), &topo, 0.5, &Default::default())
-            .expect("honest RSA-signed block verifies");
+        verify_incoming_block(
+            &block,
+            &cache,
+            key.as_ref(),
+            &topo,
+            0.5,
+            &Default::default(),
+        )
+        .expect("honest RSA-signed block verifies");
         cache.append(block).expect("chains onto the tip");
     }
     assert_eq!(cache.len(), 3);
@@ -63,8 +70,15 @@ fn rsa_backed_chain_end_to_end() {
     let plans = scheduled(&mut scheduler, 2, 900, 60.0);
     let block = packager.package(plans, 60.0);
     let forged = tamper::forge_signature(&block);
-    let err = verify_incoming_block(&forged, &cache, key.as_ref(), &topo, 0.5, &Default::default())
-        .expect_err("forged signature rejected");
+    let err = verify_incoming_block(
+        &forged,
+        &cache,
+        key.as_ref(),
+        &topo,
+        0.5,
+        &Default::default(),
+    )
+    .expect_err("forged signature rejected");
     assert!(matches!(err, BlockFailure::Crypto(_)));
 
     // An equivocated block (real key, conflicting plans) passes crypto but

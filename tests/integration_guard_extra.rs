@@ -182,7 +182,9 @@ fn alerts_for_confirmed_suspects_do_not_escalate() {
             claim,
             time: 2.0,
         };
-        assert!(guard.on_global_report(&report, |_| false, 3, 2.0).is_empty());
+        assert!(guard
+            .on_global_report(&report, |_| false, 3, 2.0)
+            .is_empty());
     }
     assert!(!guard.is_evacuating(), "handled threats never cause panic");
 }

@@ -127,13 +127,16 @@ fn report_poll_confirm_cycle_through_both_engines() {
     let group = group.clone();
     let mut outcome = Vec::new();
     for watcher in &group {
-        let (observed, abnormal) =
-            w.guards[watcher.raw() as usize].answer_verify_request(VehicleId::new(1), Some(&obs), None);
+        let (observed, abnormal) = w.guards[watcher.raw() as usize].answer_verify_request(
+            VehicleId::new(1),
+            Some(&obs),
+            None,
+        );
         assert!(observed, "watcher has the plan and the observation");
         assert!(abnormal, "watcher confirms the deviation");
-        outcome = w
-            .manager
-            .on_verify_response(rid, VehicleId::new(1), observed, abnormal, &[], 10.1);
+        outcome =
+            w.manager
+                .on_verify_response(rid, VehicleId::new(1), observed, abnormal, &[], 10.1);
         if !outcome.is_empty() {
             break;
         }

@@ -2,9 +2,7 @@
 //! own vehicles would reject, even when handed a scheduler state that
 //! was damaged on purpose.
 
-use nwade_repro::aim::{
-    find_conflicts, PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig,
-};
+use nwade_repro::aim::{find_conflicts, PlanRequest, ReservationScheduler, SchedulerConfig};
 use nwade_repro::crypto::MockScheme;
 use nwade_repro::intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology};
 use nwade_repro::nwade::{ManagerAction, NwadeConfig, NwadeManager};
@@ -53,8 +51,7 @@ fn every_published_block_is_verifier_clean() {
                 request(id, (id as usize * 7) % n_mv, 0.0)
             })
             .collect();
-        let Some(ManagerAction::BroadcastBlock(block)) =
-            m.on_window(&reqs, window as f64 * 2.0)
+        let Some(ManagerAction::BroadcastBlock(block)) = m.on_window(&reqs, window as f64 * 2.0)
         else {
             continue;
         };
@@ -85,18 +82,22 @@ fn manager_survives_pathological_request_streams() {
     );
     let streams: Vec<Vec<PlanRequest>> = vec![
         // Same spawn point, same instant, crossing movements.
-        (0..6).map(|i| request(i, (i as usize * 5) % 16, 0.0)).collect(),
+        (0..6)
+            .map(|i| request(i, (i as usize * 5) % 16, 0.0))
+            .collect(),
         // Re-requests of already-planned vehicles from new positions.
-        (0..6).map(|i| request(i, (i as usize * 5) % 16, 120.0)).collect(),
+        (0..6)
+            .map(|i| request(i, (i as usize * 5) % 16, 120.0))
+            .collect(),
         // Vehicles already past the box.
-        (10..14).map(|i| request(i, (i as usize * 3) % 16, 400.0)).collect(),
+        (10..14)
+            .map(|i| request(i, (i as usize * 3) % 16, 400.0))
+            .collect(),
     ];
     let mut current: std::collections::HashMap<VehicleId, nwade_repro::aim::TravelPlan> =
         std::collections::HashMap::new();
     for (w, reqs) in streams.into_iter().enumerate() {
-        if let Some(ManagerAction::BroadcastBlock(block)) =
-            m.on_window(&reqs, w as f64 * 5.0)
-        {
+        if let Some(ManagerAction::BroadcastBlock(block)) = m.on_window(&reqs, w as f64 * 5.0) {
             for plan in block.plans() {
                 current.insert(plan.id(), plan.clone());
             }

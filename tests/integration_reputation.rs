@@ -17,10 +17,7 @@ fn manager() -> NwadeManager {
     ));
     NwadeManager::new(
         topo.clone(),
-        Box::new(ReservationScheduler::new(
-            topo,
-            SchedulerConfig::default(),
-        )),
+        Box::new(ReservationScheduler::new(topo, SchedulerConfig::default())),
         Arc::new(MockScheme::from_seed(0)),
         NwadeConfig::default(),
     )
@@ -54,14 +51,8 @@ fn serial_false_reporters_lose_standing() {
         let rid = *request_id;
         let mut done = Vec::new();
         for _ in 0..4 {
-            done = m.on_verify_response(
-                rid,
-                VehicleId::new(suspect),
-                true,
-                false,
-                &[],
-                round as f64,
-            );
+            done =
+                m.on_verify_response(rid, VehicleId::new(suspect), true, false, &[], round as f64);
             if !done.is_empty() {
                 break;
             }

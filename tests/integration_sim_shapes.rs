@@ -27,7 +27,11 @@ fn benign_runs_have_no_alarms_and_no_accidents() {
     let r = Simulation::new(config).run();
     assert_eq!(r.metrics.accidents, 0);
     assert_eq!(r.metrics.benign_self_evacuations, 0);
-    assert!(r.metrics.exited > 30, "traffic flowed: {}", r.metrics.exited);
+    assert!(
+        r.metrics.exited > 30,
+        "traffic flowed: {}",
+        r.metrics.exited
+    );
     assert!(r.metrics.blocks_broadcast > 30);
 }
 
@@ -91,9 +95,15 @@ fn nwade_throughput_overhead_is_negligible() {
     config.duration = 150.0;
     config.seed = 36;
     config.density = 60.0;
-    let with = Simulation::new(config.clone()).run().metrics.throughput_per_minute();
+    let with = Simulation::new(config.clone())
+        .run()
+        .metrics
+        .throughput_per_minute();
     config.nwade_enabled = false;
-    let without = Simulation::new(config).run().metrics.throughput_per_minute();
+    let without = Simulation::new(config)
+        .run()
+        .metrics
+        .throughput_per_minute();
     let overhead = (without - with).abs() / without.max(1.0);
     assert!(
         overhead < 0.10,

@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking
+//! markers but never feeds the types to an actual serializer (there is no
+//! `serde_json` dependency), so marker traits are sufficient. The derive
+//! macros in the sibling `serde_derive` crate emit empty impls.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types declared serializable.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for seed-free deserialization (blanket, as in real serde).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

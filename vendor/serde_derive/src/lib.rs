@@ -1,0 +1,58 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Emits empty marker-trait impls (`impl serde::Serialize for T {}`) for
+//! the derived type. Supports plain (non-generic) structs and enums,
+//! which covers every derive site in the workspace; a generic type
+//! produces a clear compile error rather than silently-wrong code.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum a derive is attached to, or an
+/// error message when the item is generic or unrecognized.
+fn derived_type_name(input: &TokenStream) -> Result<String, String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(ident) = &tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            return Err("expected a type name after `struct`/`enum`".into());
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '<' {
+                return Err(format!(
+                    "vendored serde_derive does not support generic type `{name}`"
+                ));
+            }
+        }
+        return Ok(name.to_string());
+    }
+    Err("vendored serde_derive found no struct or enum".into())
+}
+
+fn emit(input: TokenStream, make_impl: impl Fn(&str) -> String) -> TokenStream {
+    match derived_type_name(&input) {
+        Ok(name) => make_impl(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("generated error parses"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}
