@@ -1,0 +1,39 @@
+//! Tick-engine microbenchmarks: per-tick and per-sense-pass cost over a
+//! prespawned fleet for each execution variant. The full density sweep
+//! (and the committed baseline) lives in `expgen perf`; this bench is
+//! the quick interactive view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwade_bench::perf::{fleet_config, VARIANTS};
+use nwade_sim::Simulation;
+
+fn bench_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_tick");
+    group.sample_size(20);
+    for &(variant, engine, spatial_index) in &VARIANTS {
+        for density in [100usize, 400] {
+            let mut sim = Simulation::new(fleet_config(engine, spatial_index));
+            sim.prespawn_fleet(density);
+            group.bench_function(BenchmarkId::new(variant, density), |b| {
+                b.iter(|| sim.tick_once())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_sense");
+    group.sample_size(20);
+    for &(variant, engine, spatial_index) in &VARIANTS {
+        let mut sim = Simulation::new(fleet_config(engine, spatial_index));
+        sim.prespawn_fleet(400);
+        group.bench_function(BenchmarkId::new(variant, 400usize), |b| {
+            b.iter(|| sim.force_sense_pass())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tick, bench_sense);
+criterion_main!(benches);

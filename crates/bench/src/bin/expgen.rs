@@ -7,11 +7,11 @@
 //! ```
 
 use nwade_bench::{
-    analytic, chaos, duration, fig4, fig5, fig6, fig7, fig8, rounds, sensing, table1, table2,
+    analytic, chaos, duration, fig4, fig5, fig6, fig7, fig8, perf, rounds, sensing, table1, table2,
     violations,
 };
 
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "table1",
     "table2",
     "fig4",
@@ -24,6 +24,7 @@ const EXPERIMENTS: [&str; 12] = [
     "sensing",
     "violations",
     "chaos",
+    "perf",
 ];
 
 fn run(name: &str) -> Result<(), String> {
@@ -42,6 +43,11 @@ fn run(name: &str) -> Result<(), String> {
         "sensing" => sensing::report(r, d),
         "violations" => violations::report(r, d),
         "chaos" => chaos::report(r, d),
+        "perf" => perf::report(),
+        // Not in EXPERIMENTS (and so not in `all`): the guard compares
+        // against the baseline, so running it right after `perf`
+        // regenerated that baseline would be vacuous.
+        "perf-guard" => perf::guard()?,
         other => return Err(format!("unknown experiment '{other}'")),
     };
     println!("{out}");
@@ -52,7 +58,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: expgen <experiment>...\n  experiments: {} | all\n  env: NWADE_ROUNDS (default 10), NWADE_DURATION (default 150)",
+            "usage: expgen <experiment>...\n  experiments: {} | all | perf-guard\n  env: NWADE_ROUNDS (default 10), NWADE_DURATION (default 150)",
             EXPERIMENTS.join(" | ")
         );
         std::process::exit(if args.is_empty() { 2 } else { 0 });

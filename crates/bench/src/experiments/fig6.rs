@@ -76,11 +76,13 @@ pub fn measure(kind: IntersectionKind, density: f64, key: &RsaScheme) -> Point {
     let manage_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
     let block = last.expect("packaged at least once");
 
-    // Vehicle side: Algorithm 1 (signature + root + conflicts).
-    let cache = ChainCache::new(NwadeConfig::default().chain_cache_capacity);
+    // Vehicle side: Algorithm 1 (signature + root + conflicts). A fresh
+    // cache per rep keeps this the *uncached* verification cost — the
+    // digest memo would otherwise absorb every rep after the first.
     let t0 = Instant::now();
     for _ in 0..reps {
-        verify_incoming_block(&block, &cache, key, &topo, 0.5, &Default::default())
+        let mut cache = ChainCache::new(NwadeConfig::default().chain_cache_capacity);
+        verify_incoming_block(&block, &mut cache, key, &topo, 0.5, &Default::default())
             .expect("honest block verifies");
     }
     let verify_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;

@@ -7,6 +7,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod perf;
 pub mod sensing;
 pub mod table1;
 pub mod table2;

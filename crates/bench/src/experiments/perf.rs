@@ -1,0 +1,401 @@
+//! Perf baseline: tick throughput, sense-pass latency, and window
+//! processing latency across engine variants and fleet densities.
+//!
+//! Three execution variants run the *same* simulation (differentially
+//! tested to produce identical reports):
+//!
+//! * **baseline** — serial engine, all-pairs neighbourhood scans (the
+//!   seed behaviour),
+//! * **serial** — serial engine over the uniform-grid spatial index,
+//! * **parallel** — threaded engine over the grid index.
+//!
+//! `report()` sweeps density × variant over a prespawned fleet, writes
+//! the machine-readable baseline to `BENCH_perf.json` at the repo root
+//! (one result object per line, hand-rolled — the workspace has no JSON
+//! dependency), and renders a human table. `guard()` re-measures every
+//! point recorded in the committed baseline and fails on a >2×
+//! per-tick slowdown, for use as a CI regression gate.
+
+use std::time::Instant;
+
+use nwade_sim::{EngineChoice, SignatureChoice, SimConfig, Simulation};
+
+/// Fleet sizes swept by the baseline (vehicles prespawned on approach).
+pub const DENSITIES: [usize; 5] = [50, 200, 500, 1000, 2000];
+
+/// `(label, engine, spatial_index)` execution variants.
+pub const VARIANTS: [(&str, EngineChoice, bool); 3] = [
+    ("baseline", EngineChoice::Serial, false),
+    ("serial", EngineChoice::Serial, true),
+    ("parallel", EngineChoice::Parallel, true),
+];
+
+const WARMUP_TICKS: usize = 5;
+const MEASURED_TICKS: usize = 20;
+const SENSE_ITERS: usize = 5;
+const WINDOW_ITERS: usize = 3;
+/// Timed blocks per metric; the *minimum* block time is reported, which
+/// discards co-tenant / frequency-scaling spikes on shared CI hosts.
+const REPEAT_BLOCKS: usize = 3;
+
+/// Plan requests enqueued per window-latency measurement. The batch is
+/// capped so the measured latency covers a bounded workload; the cap is
+/// recorded in the JSON header rather than truncating silently.
+pub const WINDOW_REQUEST_CAP: usize = 256;
+
+/// One measured (density, variant) cell.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Requested fleet size.
+    pub density: usize,
+    /// Variant label from [`VARIANTS`].
+    pub variant: &'static str,
+    /// Vehicles actually placed by `prespawn_fleet`.
+    pub placed: usize,
+    /// Mean wall-clock per `tick_once`, milliseconds.
+    pub tick_ms: f64,
+    /// `1000 / tick_ms`.
+    pub ticks_per_sec: f64,
+    /// Mean wall-clock per forced sensing pass, milliseconds.
+    pub sense_ms: f64,
+    /// Mean wall-clock per processing window, milliseconds.
+    pub window_ms: f64,
+    /// Requests actually enqueued per window (≤ [`WINDOW_REQUEST_CAP`]).
+    pub window_requests: usize,
+}
+
+/// Simulation config for the prespawned perf fleet.
+///
+/// Arrivals are effectively disabled (the fleet is prespawned), the
+/// approaches are stretched so 2000 vehicles fit single-file, and the
+/// sensing radius is shrunk to 60 m: the paper's 1000 ft radius covers
+/// the entire modeled area, which turns observation building into
+/// O(V²) under *every* variant and would hide the index.
+pub fn fleet_config(engine: EngineChoice, spatial_index: bool) -> SimConfig {
+    let mut config = SimConfig::default();
+    config.duration = 60.0;
+    config.density = 0.001;
+    config.seed = 7;
+    config.signature = SignatureChoice::Mock;
+    config.engine = engine;
+    config.spatial_index = spatial_index;
+    config.nwade.sensing_radius = 60.0;
+    config.geometry.approach_len = 2100.0;
+    config
+}
+
+/// Measures one (density, variant) cell on a fresh simulation.
+pub fn measure(
+    density: usize,
+    variant: &'static str,
+    engine: EngineChoice,
+    spatial_index: bool,
+) -> PerfPoint {
+    let config = fleet_config(engine, spatial_index);
+    config.validate().expect("perf config valid");
+    let mut sim = Simulation::new(config);
+    let placed = sim.prespawn_fleet(density);
+    for _ in 0..WARMUP_TICKS {
+        sim.tick_once();
+    }
+
+    let mut tick_s = f64::INFINITY;
+    for _ in 0..REPEAT_BLOCKS {
+        let start = Instant::now();
+        for _ in 0..MEASURED_TICKS {
+            sim.tick_once();
+        }
+        tick_s = tick_s.min(start.elapsed().as_secs_f64() / MEASURED_TICKS as f64);
+    }
+
+    let mut sense_s = f64::INFINITY;
+    for _ in 0..REPEAT_BLOCKS {
+        let start = Instant::now();
+        for _ in 0..SENSE_ITERS {
+            sim.force_sense_pass();
+        }
+        sense_s = sense_s.min(start.elapsed().as_secs_f64() / SENSE_ITERS as f64);
+    }
+
+    let mut window_s = 0.0;
+    let mut window_requests = 0;
+    for _ in 0..WINDOW_ITERS {
+        window_requests = sim.enqueue_plan_requests(WINDOW_REQUEST_CAP);
+        let start = Instant::now();
+        sim.force_process_window();
+        window_s += start.elapsed().as_secs_f64();
+    }
+    window_s /= WINDOW_ITERS as f64;
+
+    PerfPoint {
+        density,
+        variant,
+        placed,
+        tick_ms: tick_s * 1e3,
+        ticks_per_sec: if tick_s > 0.0 {
+            1.0 / tick_s
+        } else {
+            f64::INFINITY
+        },
+        sense_ms: sense_s * 1e3,
+        window_ms: window_s * 1e3,
+        window_requests,
+    }
+}
+
+/// Runs the full density × variant sweep.
+pub fn sweep() -> Vec<PerfPoint> {
+    let mut points = Vec::new();
+    for &density in &DENSITIES {
+        for &(variant, engine, spatial_index) in &VARIANTS {
+            points.push(measure(density, variant, engine, spatial_index));
+        }
+    }
+    points
+}
+
+/// Hardware threads on the measuring host (recorded in the baseline so
+/// single-core CI numbers are not read as parallel speedups).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Serialises the sweep: a header object, then one result per line.
+pub fn to_json(points: &[PerfPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":\"nwade-perf-v1\",\"host_threads\":{},\"warmup_ticks\":{WARMUP_TICKS},\
+         \"measured_ticks\":{MEASURED_TICKS},\"repeat_blocks\":{REPEAT_BLOCKS},\"sense_iters\":{SENSE_ITERS},\
+         \"window_iters\":{WINDOW_ITERS},\"window_request_cap\":{WINDOW_REQUEST_CAP}}}\n",
+        host_threads()
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{{\"density\":{},\"variant\":\"{}\",\"placed\":{},\"tick_ms\":{:.4},\
+             \"ticks_per_sec\":{:.2},\"sense_ms\":{:.4},\"window_ms\":{:.4},\
+             \"window_requests\":{}}}\n",
+            p.density,
+            p.variant,
+            p.placed,
+            p.tick_ms,
+            p.ticks_per_sec,
+            p.sense_ms,
+            p.window_ms,
+            p.window_requests,
+        ));
+    }
+    out
+}
+
+/// Path of the committed baseline at the repository root.
+pub fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json")
+}
+
+fn render(points: &[PerfPoint]) -> String {
+    let baseline_tick = |density: usize| {
+        points
+            .iter()
+            .find(|p| p.density == density && p.variant == "baseline")
+            .map(|p| p.tick_ms)
+    };
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let speedup = baseline_tick(p.density)
+                .filter(|&b| p.tick_ms > 0.0 && b > 0.0)
+                .map_or_else(|| "-".into(), |b| format!("{:.2}x", b / p.tick_ms));
+            vec![
+                p.density.to_string(),
+                p.variant.to_string(),
+                p.placed.to_string(),
+                format!("{:.4}", p.tick_ms),
+                format!("{:.1}", p.ticks_per_sec),
+                speedup,
+                format!("{:.4}", p.sense_ms),
+                format!("{:.4}", p.window_ms),
+            ]
+        })
+        .collect();
+    crate::table::render(
+        &[
+            "density",
+            "variant",
+            "placed",
+            "tick ms",
+            "ticks/s",
+            "speedup",
+            "sense ms",
+            "window ms",
+        ],
+        &rows,
+    )
+}
+
+/// Runs the sweep, rewrites `BENCH_perf.json`, and renders the table.
+pub fn report() -> String {
+    let points = sweep();
+    let json = to_json(&points);
+    let path = baseline_path();
+    let status = match std::fs::write(&path, &json) {
+        Ok(()) => format!("baseline written to {}", path.display()),
+        Err(e) => format!("WARNING: could not write {}: {e}", path.display()),
+    };
+    format!(
+        "Perf baseline ({} hardware threads)\n{}\n{status}",
+        host_threads(),
+        render(&points)
+    )
+}
+
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let idx = line.find(&pat)? + pat.len();
+    let rest = &line[idx..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let idx = line.find(&pat)? + pat.len();
+    let rest = &line[idx..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Regression gate: re-measures every point in the committed baseline
+/// and fails if any cell's per-tick time regressed by more than 2×.
+///
+/// # Errors
+///
+/// Returns a description of the missing/corrupt baseline or the list of
+/// regressed cells.
+pub fn guard() -> Result<String, String> {
+    let path = baseline_path();
+    let committed = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (generate it with `expgen perf` and commit it)",
+            path.display()
+        )
+    })?;
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for line in committed.lines().filter(|l| l.contains("\"density\"")) {
+        let density = json_num(line, "density")
+            .ok_or_else(|| format!("baseline line missing density: {line}"))?
+            as usize;
+        let variant = json_str(line, "variant")
+            .ok_or_else(|| format!("baseline line missing variant: {line}"))?;
+        let committed_tick = json_num(line, "tick_ms")
+            .ok_or_else(|| format!("baseline line missing tick_ms: {line}"))?;
+        let &(label, engine, spatial_index) = VARIANTS
+            .iter()
+            .find(|v| v.0 == variant)
+            .ok_or_else(|| format!("baseline names unknown variant '{variant}'"))?;
+        let mut fresh = measure(density, label, engine, spatial_index);
+        let mut ratio = if committed_tick > 0.0 {
+            fresh.tick_ms / committed_tick
+        } else {
+            1.0
+        };
+        if ratio > 2.0 {
+            // Shared CI hosts spike; only flag a cell regressed if it
+            // exceeds the threshold on two consecutive measurements.
+            let retry = measure(density, label, engine, spatial_index);
+            if retry.tick_ms < fresh.tick_ms {
+                fresh = retry;
+                ratio = if committed_tick > 0.0 {
+                    fresh.tick_ms / committed_tick
+                } else {
+                    1.0
+                };
+            }
+        }
+        if ratio > 2.0 {
+            failures.push(format!(
+                "{label}@{density}: tick {committed_tick:.4} ms -> {:.4} ms ({ratio:.2}x)",
+                fresh.tick_ms
+            ));
+        }
+        rows.push(vec![
+            density.to_string(),
+            label.to_string(),
+            format!("{committed_tick:.4}"),
+            format!("{:.4}", fresh.tick_ms),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    if rows.is_empty() {
+        return Err(format!("no result lines found in {}", path.display()));
+    }
+    let table = crate::table::render(
+        &["density", "variant", "committed ms", "fresh ms", "ratio"],
+        &rows,
+    );
+    if failures.is_empty() {
+        Ok(format!(
+            "Perf guard: all cells within 2x of baseline\n{table}"
+        ))
+    } else {
+        Err(format!(
+            "perf regression (>2x slowdown vs committed baseline):\n  {}\n{table}",
+            failures.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_config_is_valid() {
+        for &(_, engine, grid) in &VARIANTS {
+            fleet_config(engine, grid).validate().expect("valid");
+        }
+    }
+
+    #[test]
+    fn json_round_trip_scans_back() {
+        let point = PerfPoint {
+            density: 50,
+            variant: "serial",
+            placed: 50,
+            tick_ms: 1.25,
+            ticks_per_sec: 800.0,
+            sense_ms: 0.5,
+            window_ms: 0.75,
+            window_requests: 50,
+        };
+        let json = to_json(&[point]);
+        let line = json
+            .lines()
+            .find(|l| l.contains("\"density\""))
+            .expect("result line");
+        assert_eq!(json_num(line, "density"), Some(50.0));
+        assert_eq!(json_str(line, "variant").as_deref(), Some("serial"));
+        assert_eq!(json_num(line, "tick_ms"), Some(1.25));
+        assert_eq!(json_num(line, "window_requests"), Some(50.0));
+    }
+
+    #[test]
+    fn header_records_host_and_caps() {
+        let json = to_json(&[]);
+        let header = json.lines().next().expect("header");
+        assert!(header.contains("\"schema\":\"nwade-perf-v1\""));
+        assert!(header.contains("\"host_threads\":"));
+        assert!(header.contains(&format!("\"window_request_cap\":{WINDOW_REQUEST_CAP}")));
+    }
+
+    #[test]
+    fn measure_small_fleet_produces_sane_point() {
+        let point = measure(8, "serial", EngineChoice::Serial, true);
+        assert_eq!(point.density, 8);
+        assert_eq!(point.placed, 8);
+        assert!(point.tick_ms > 0.0);
+        assert!(point.sense_ms >= 0.0);
+        assert!(point.window_requests <= WINDOW_REQUEST_CAP);
+        assert!(point.window_requests > 0);
+    }
+}

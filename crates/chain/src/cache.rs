@@ -7,16 +7,25 @@
 //! the intersection.
 
 use crate::block::Block;
-use crate::verify::{verify_link, BlockError};
+use crate::verify::{verify_block, verify_link, BlockError};
 use nwade_aim::TravelPlan;
+use nwade_crypto::{Digest, SignatureScheme};
 use nwade_traffic::VehicleId;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+
+/// Upper bound on remembered signature verdicts; cleared wholesale when
+/// reached. Re-broadcasts cluster around recent blocks, so a periodic
+/// cold restart costs a handful of re-verifications at most.
+const VERIFIED_SIGNATURES_BOUND: usize = 256;
 
 /// A bounded, linkage-checked window of recent blocks.
 #[derive(Debug, Clone, Default)]
 pub struct ChainCache {
     blocks: VecDeque<Block>,
     capacity: usize,
+    /// Signing digests whose signatures this cache has already accepted,
+    /// keyed by digest with the accepted signature bytes as value.
+    verified: HashMap<Digest, Vec<u8>>,
 }
 
 impl ChainCache {
@@ -30,7 +39,47 @@ impl ChainCache {
         ChainCache {
             blocks: VecDeque::with_capacity(capacity),
             capacity,
+            verified: HashMap::new(),
         }
+    }
+
+    /// Cryptographically verifies `block` (the first half of Algorithm 1)
+    /// with a digest-keyed memo of previously accepted signatures: when a
+    /// block is re-delivered — rebroadcasts, retries, history back-fill —
+    /// the public-key operation is skipped. The Merkle-root and
+    /// non-emptiness checks still run on every call, because the signing
+    /// digest covers only the root, not the carried plans: a replayed
+    /// header with swapped plans must still be rejected. Verdicts are
+    /// identical to [`verify_block`] in all cases.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check, exactly as [`verify_block`] would.
+    pub fn verify_block_cached(
+        &mut self,
+        block: &Block,
+        verifier: &dyn SignatureScheme,
+    ) -> Result<(), BlockError> {
+        let digest = block.own_signing_digest();
+        if self
+            .verified
+            .get(&digest)
+            .is_some_and(|sig| sig == block.signature())
+        {
+            if block.plans().is_empty() {
+                return Err(BlockError::Empty);
+            }
+            if block.computed_root() != block.merkle_root() {
+                return Err(BlockError::BadMerkleRoot);
+            }
+            return Ok(());
+        }
+        verify_block(block, verifier)?;
+        if self.verified.len() >= VERIFIED_SIGNATURES_BOUND {
+            self.verified.clear();
+        }
+        self.verified.insert(digest, block.signature().to_vec());
+        Ok(())
     }
 
     /// The capacity τ/δ.
@@ -123,9 +172,11 @@ impl ChainCache {
         out
     }
 
-    /// Clears the cache (vehicle has left the intersection).
+    /// Clears the cache (vehicle has left the intersection), including
+    /// remembered signature verdicts.
     pub fn clear(&mut self) {
         self.blocks.clear();
+        self.verified.clear();
     }
 }
 
@@ -133,7 +184,9 @@ impl ChainCache {
 mod tests {
     use super::*;
     use crate::package::BlockPackager;
+    use crate::tamper;
     use nwade_crypto::MockScheme;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     fn blocks(n: usize) -> Vec<Block> {
@@ -141,6 +194,41 @@ mod tests {
         (0..n)
             .map(|i| p.package(crate::block::tests::plans(3), i as f64))
             .collect()
+    }
+
+    /// Wraps the mock scheme counting `verify` invocations, so tests can
+    /// assert how many public-key operations the cache actually spent.
+    struct CountingScheme {
+        inner: MockScheme,
+        verifies: AtomicU64,
+    }
+
+    impl CountingScheme {
+        fn new(seed: u64) -> Self {
+            CountingScheme {
+                inner: MockScheme::from_seed(seed),
+                verifies: AtomicU64::new(0),
+            }
+        }
+
+        fn verify_count(&self) -> u64 {
+            self.verifies.load(Ordering::SeqCst)
+        }
+    }
+
+    impl SignatureScheme for CountingScheme {
+        fn sign(&self, digest: &Digest) -> Vec<u8> {
+            self.inner.sign(digest)
+        }
+
+        fn verify(&self, digest: &Digest, signature: &[u8]) -> bool {
+            self.verifies.fetch_add(1, Ordering::SeqCst);
+            self.inner.verify(digest, signature)
+        }
+
+        fn name(&self) -> &'static str {
+            "counting-mock"
+        }
     }
 
     #[test]
@@ -239,6 +327,80 @@ mod tests {
         let mut cache2 = ChainCache::new(10);
         cache2.append(bs[3].clone()).expect("start");
         assert!(cache2.prepend(bs[0].clone()).is_err());
+    }
+
+    #[test]
+    fn cached_verification_skips_repeat_signature_checks() {
+        let scheme = Arc::new(CountingScheme::new(6));
+        let mut p = BlockPackager::new(scheme.clone());
+        let b = p.package(crate::block::tests::plans(3), 0.0);
+        let mut cache = ChainCache::new(4);
+        for _ in 0..5 {
+            cache
+                .verify_block_cached(&b, scheme.as_ref())
+                .expect("honest block verifies");
+        }
+        assert_eq!(
+            scheme.verify_count(),
+            1,
+            "one signature check per distinct block"
+        );
+    }
+
+    #[test]
+    fn cached_path_still_rejects_swapped_plans() {
+        let scheme = Arc::new(CountingScheme::new(7));
+        let mut p = BlockPackager::new(scheme.clone());
+        let b0 = p.package(crate::block::tests::plans(2), 0.0);
+        let b1 = p.package(crate::block::tests::plans(3), 1.0);
+        let mut cache = ChainCache::new(4);
+        cache
+            .verify_block_cached(&b0, scheme.as_ref())
+            .expect("honest block verifies");
+        // Replay b0's verified header with b1's plans: the signature memo
+        // hits, but the Merkle-root recheck must still fire.
+        let tampered = tamper::swap_plans(&b0, &b1);
+        assert_eq!(
+            cache.verify_block_cached(&tampered, scheme.as_ref()),
+            Err(BlockError::BadMerkleRoot)
+        );
+        assert_eq!(scheme.verify_count(), 1, "no second signature check");
+    }
+
+    #[test]
+    fn forged_signature_never_enters_the_memo() {
+        let scheme = Arc::new(CountingScheme::new(8));
+        let mut p = BlockPackager::new(scheme.clone());
+        let b = p.package(crate::block::tests::plans(2), 0.0);
+        let forged = tamper::forge_signature(&b);
+        let mut cache = ChainCache::new(4);
+        for _ in 0..2 {
+            assert_eq!(
+                cache.verify_block_cached(&forged, scheme.as_ref()),
+                Err(BlockError::BadSignature)
+            );
+        }
+        assert_eq!(scheme.verify_count(), 2, "rejections are not memoised");
+        // The honest block still verifies afterwards.
+        cache
+            .verify_block_cached(&b, scheme.as_ref())
+            .expect("honest block verifies");
+    }
+
+    #[test]
+    fn clear_forgets_verified_signatures() {
+        let scheme = Arc::new(CountingScheme::new(9));
+        let mut p = BlockPackager::new(scheme.clone());
+        let b = p.package(crate::block::tests::plans(2), 0.0);
+        let mut cache = ChainCache::new(4);
+        cache
+            .verify_block_cached(&b, scheme.as_ref())
+            .expect("verifies");
+        cache.clear();
+        cache
+            .verify_block_cached(&b, scheme.as_ref())
+            .expect("verifies again");
+        assert_eq!(scheme.verify_count(), 2, "clear drops the memo");
     }
 
     #[test]

@@ -328,7 +328,7 @@ impl VehicleGuard {
         }
         match verify_incoming_block(
             block,
-            &self.cache,
+            &mut self.cache,
             self.verifier.as_ref(),
             &self.topology,
             self.config.conflict_gap,
@@ -458,7 +458,10 @@ impl VehicleGuard {
             if !fits {
                 continue;
             }
-            if nwade_chain::verify_block(block, self.verifier.as_ref()).is_ok()
+            if self
+                .cache
+                .verify_block_cached(block, self.verifier.as_ref())
+                .is_ok()
                 && self.cache.prepend((*block).clone()).is_ok()
             {
                 self.note_cache_progress();

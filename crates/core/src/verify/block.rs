@@ -6,7 +6,7 @@
 //! from previously received blocks (lines 4 and 9 of Algorithm 1).
 
 use nwade_aim::{find_conflicts, TravelPlan};
-use nwade_chain::{verify_block, verify_link, Block, BlockError, ChainCache};
+use nwade_chain::{verify_link, Block, BlockError, ChainCache};
 use nwade_crypto::SignatureScheme;
 use nwade_intersection::Topology;
 use nwade_traffic::VehicleId;
@@ -49,6 +49,13 @@ impl Error for BlockFailure {}
 /// Runs Algorithm 1 on an incoming block against the vehicle's chain
 /// cache. On success the caller appends the block to its cache.
 ///
+/// The cache is taken mutably so the signature check can go through its
+/// digest-keyed memo ([`ChainCache::verify_block_cached`]): a block
+/// re-delivered to the same vehicle costs no second public-key
+/// operation. Every *semantic* check — internal conflicts, linkage,
+/// cross-block conflicts — still runs on every call, so the Algorithm 1
+/// verdict is unchanged.
+///
 /// `known_threats` are vehicles this verifier knows to be off-plan —
 /// confirmed malicious vehicles and peers that announced self-evacuation.
 /// Their cached plans are stale by definition (that is *why* they are
@@ -62,14 +69,16 @@ impl Error for BlockFailure {}
 /// internal conflicts → linkage → cross-block conflicts.
 pub fn verify_incoming_block(
     block: &Block,
-    cache: &ChainCache,
+    cache: &mut ChainCache,
     verifier: &dyn SignatureScheme,
     topology: &Topology,
     conflict_gap: f64,
     known_threats: &std::collections::HashSet<VehicleId>,
 ) -> Result<(), BlockFailure> {
-    // (i) Signature and Merkle root.
-    verify_block(block, verifier).map_err(BlockFailure::Crypto)?;
+    // (i) Signature and Merkle root, memoised per (digest, signature).
+    cache
+        .verify_block_cached(block, verifier)
+        .map_err(BlockFailure::Crypto)?;
 
     // (ii) Plans within the block must be mutually conflict-free.
     let internal = find_conflicts(block.plans(), topology, conflict_gap);
@@ -168,7 +177,7 @@ mod tests {
             let block = fx.honest_block(3, i as f64 * 20.0);
             verify_incoming_block(
                 &block,
-                &cache,
+                &mut cache,
                 fx.scheme.as_ref(),
                 &fx.topo,
                 0.5,
@@ -182,11 +191,11 @@ mod tests {
     #[test]
     fn forged_signature_rejected() {
         let mut fx = Fixture::new();
-        let cache = ChainCache::new(10);
+        let mut cache = ChainCache::new(10);
         let block = tamper::forge_signature(&fx.honest_block(2, 0.0));
         let err = verify_incoming_block(
             &block,
-            &cache,
+            &mut cache,
             fx.scheme.as_ref(),
             &fx.topo,
             0.5,
@@ -202,7 +211,7 @@ mod tests {
     #[test]
     fn conflicting_plans_rejected_even_with_valid_signature() {
         let mut fx = Fixture::new();
-        let cache = ChainCache::new(10);
+        let mut cache = ChainCache::new(10);
         let honest = fx.honest_block(8, 0.0);
         let corrupted_plans = nwade_aim::corrupt::make_conflicting(honest.plans(), &fx.topo, 0.0)
             .expect("crossing traffic");
@@ -211,7 +220,7 @@ mod tests {
         let evil = tamper::resign_with_plans(&honest, corrupted_plans, fx.scheme.as_ref());
         let err = verify_incoming_block(
             &evil,
-            &cache,
+            &mut cache,
             fx.scheme.as_ref(),
             &fx.topo,
             0.5,
@@ -234,7 +243,7 @@ mod tests {
             tamper::resign_with_plans(&rehung, rehung.plans().to_vec(), fx.scheme.as_ref());
         let err = verify_incoming_block(
             &rehung,
-            &cache,
+            &mut cache,
             fx.scheme.as_ref(),
             &fx.topo,
             0.5,
@@ -270,7 +279,7 @@ mod tests {
         );
         let err = verify_incoming_block(
             &evil,
-            &cache,
+            &mut cache,
             fx.scheme.as_ref(),
             &fx.topo,
             0.5,
@@ -309,7 +318,7 @@ mod tests {
         let resigned = tamper::resign_with_plans(&block1, plans, fx.scheme.as_ref());
         verify_incoming_block(
             &resigned,
-            &cache,
+            &mut cache,
             fx.scheme.as_ref(),
             &fx.topo,
             0.5,

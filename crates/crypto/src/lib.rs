@@ -36,4 +36,4 @@ pub use bigint::BigUint;
 pub use merkle::{MerkleProof, MerkleTree};
 pub use rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
 pub use sha256::{sha256, Digest, Sha256};
-pub use signature::{MockScheme, RsaScheme, SignatureScheme};
+pub use signature::{CachingVerifier, MockScheme, RsaScheme, SignatureScheme};

@@ -5,12 +5,13 @@
 //! produces keys of any even size ≥ 128 bits; tests use small keys for
 //! speed while the benchmark harness measures the full 2048-bit regime.
 
-use crate::modular::{mod_inverse, modpow};
+use crate::modular::{mod_inverse, modpow, Montgomery};
 use crate::prime::gen_prime;
 use crate::sha256::{sha256, Digest};
 use crate::BigUint;
 use rand::Rng;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// ASN.1 DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_PREFIX: [u8; 19] = [
@@ -19,11 +20,33 @@ const SHA256_PREFIX: [u8; 19] = [
 ];
 
 /// The public half of an RSA key: modulus and public exponent.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct RsaPublicKey {
     n: BigUint,
     e: BigUint,
+    /// Montgomery context for `n`, built on the first verification and
+    /// reused for every later one. The setup (limb inverse, R² mod n)
+    /// costs several multiplications per call when rebuilt each time —
+    /// pure overhead for a verifier checking many signatures under one
+    /// manager key.
+    ctx: OnceLock<Montgomery>,
 }
+
+impl fmt::Debug for RsaPublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RsaPublicKey({} bits)", self.modulus_bits())
+    }
+}
+
+/// Key identity is the (n, e) pair; the lazily built Montgomery context
+/// is derived state and never participates in comparisons.
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for RsaPublicKey {}
 
 /// An RSA signature (big-endian, exactly the modulus width).
 #[derive(Clone, PartialEq, Eq)]
@@ -72,7 +95,15 @@ impl RsaPublicKey {
         if s >= self.n {
             return false;
         }
-        let em = modpow(&s, &self.e, &self.n);
+        // RSA moduli are odd (products of odd primes); the even branch
+        // only guards hand-built test keys.
+        let em = if self.n.is_even() {
+            modpow(&s, &self.e, &self.n)
+        } else {
+            self.ctx
+                .get_or_init(|| Montgomery::new(&self.n))
+                .modpow(&s, &self.e)
+        };
         em.to_bytes_be_padded(self.modulus_len()) == encode_em(digest, self.modulus_len())
     }
 }
@@ -87,6 +118,10 @@ pub struct RsaKeyPair {
     d_p: BigUint,
     d_q: BigUint,
     q_inv: BigUint,
+    /// Montgomery contexts for p and q, precomputed at generation so
+    /// every CRT signature skips the per-prime modexp setup.
+    mont_p: Montgomery,
+    mont_q: Montgomery,
 }
 
 impl fmt::Debug for RsaKeyPair {
@@ -127,14 +162,22 @@ impl RsaKeyPair {
             let d_p = d.rem(&(&p - &one));
             let d_q = d.rem(&(&q - &one));
             let q_inv = mod_inverse(&q, &p).expect("p, q distinct primes");
+            let mont_p = Montgomery::new(&p);
+            let mont_q = Montgomery::new(&q);
             return RsaKeyPair {
-                public: RsaPublicKey { n, e },
+                public: RsaPublicKey {
+                    n,
+                    e,
+                    ctx: OnceLock::new(),
+                },
                 d,
                 p,
                 q,
                 d_p,
                 d_q,
                 q_inv,
+                mont_p,
+                mont_q,
             };
         }
     }
@@ -155,8 +198,8 @@ impl RsaKeyPair {
         let em = BigUint::from_bytes_be(&encode_em(digest, k));
         // CRT: m1 = em^dP mod p, m2 = em^dQ mod q,
         //      h = qInv (m1 − m2) mod p, s = m2 + q h.
-        let m1 = modpow(&em, &self.d_p, &self.p);
-        let m2 = modpow(&em, &self.d_q, &self.q);
+        let m1 = self.mont_p.modpow(&em, &self.d_p);
+        let m2 = self.mont_q.modpow(&em, &self.d_q);
         let diff = if m1 >= m2.rem(&self.p) {
             (&m1 - &m2.rem(&self.p)).rem(&self.p)
         } else {
@@ -290,6 +333,22 @@ mod tests {
         let key = test_key();
         let s = format!("{key:?}");
         assert_eq!(s, "RsaKeyPair(512 bits)");
+    }
+
+    #[test]
+    fn cached_montgomery_context_is_stable_across_verifies() {
+        let key = test_key();
+        let public = key.public_key().clone();
+        let sig = key.sign(b"repeat");
+        // Repeated verifies share one lazily built context.
+        for _ in 0..3 {
+            assert!(public.verify(b"repeat", &sig));
+        }
+        assert!(!public.verify(b"other", &sig));
+        // The context is derived state: clones and equality ignore it
+        // (`public` has verified, the original key may not have).
+        assert_eq!(&public, key.public_key());
+        assert_eq!(public.clone(), public);
     }
 
     #[test]

@@ -52,6 +52,37 @@ impl GridIndex {
         }
     }
 
+    /// An empty index with the given cell size, meant for repeated
+    /// [`GridIndex::rebuild`] calls over a moving point set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is non-positive.
+    pub fn with_cell(cell: f64) -> Self {
+        assert!(cell > 0.0, "cell size must be positive, got {cell}");
+        GridIndex {
+            cell,
+            cells: HashMap::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Re-indexes `points` in place, keeping bucket and point-buffer
+    /// allocations warm across calls — the per-tick path of a simulation
+    /// that re-indexes every frame. Buckets that held points last call
+    /// stay allocated (empty) so steady-state rebuilds allocate nothing.
+    pub fn rebuild(&mut self, points: &[Vec2]) {
+        for bucket in self.cells.values_mut() {
+            bucket.clear();
+        }
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        let cell = self.cell;
+        for (i, p) in points.iter().enumerate() {
+            self.cells.entry(Self::key(cell, *p)).or_default().push(i);
+        }
+    }
+
     fn key(cell: f64, p: Vec2) -> (i64, i64) {
         ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
     }
@@ -150,6 +181,37 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_cell_panics() {
         let _ = GridIndex::build(0.0, &[]);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        let mut idx = GridIndex::with_cell(7.0);
+        assert!(idx.is_empty());
+        // First fill, then move every point and refill: queries must
+        // always agree with a fresh index over the same points.
+        for shift in [0.0, 13.0, -40.0] {
+            let pts: Vec<Vec2> = cluster()
+                .into_iter()
+                .map(|p| p + Vec2::new(shift, shift))
+                .collect();
+            idx.rebuild(&pts);
+            let fresh = GridIndex::build(7.0, &pts);
+            assert_eq!(idx.len(), pts.len());
+            for r in [1.0, 8.0, 100.0] {
+                for center in [Vec2::ZERO, Vec2::new(shift, shift)] {
+                    assert_eq!(idx.query(center, r), fresh.query(center, r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_to_empty() {
+        let mut idx = GridIndex::with_cell(5.0);
+        idx.rebuild(&cluster());
+        idx.rebuild(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.query(Vec2::ZERO, 1000.0).is_empty());
     }
 }
 

@@ -31,6 +31,22 @@ pub enum SignatureChoice {
     },
 }
 
+/// How the per-vehicle tick phases execute.
+///
+/// Both engines run the exact same phase code over the same vehicle
+/// order; the parallel engine merely executes independent per-vehicle
+/// maps on worker threads and concatenates the results in chunk order.
+/// Reports are bit-identical across the two (covered by the
+/// `integration_perf_engines` differential test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// Run every phase inline on the calling thread.
+    Serial,
+    /// Fan per-vehicle phases out over a thread pool sized to the host.
+    #[default]
+    Parallel,
+}
+
 /// The attack to inject, per Table I.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackPlan {
@@ -98,6 +114,13 @@ pub struct SimConfig {
     pub signature: SignatureChoice,
     /// Speed at which vehicles enter the modeled area, m/s.
     pub initial_speed: f64,
+    /// Tick-engine execution mode (results are identical either way).
+    pub engine: EngineChoice,
+    /// Use the uniform-grid spatial index for neighbourhood scans
+    /// (sensing, braking, collision, invariants) instead of the O(V²)
+    /// all-pairs sweeps. Observation sets are identical either way; the
+    /// flag exists for differential testing and perf baselines.
+    pub spatial_index: bool,
 }
 
 impl Default for SimConfig {
@@ -120,6 +143,8 @@ impl Default for SimConfig {
             seed: 0,
             signature: SignatureChoice::Mock,
             initial_speed: 15.0,
+            engine: EngineChoice::default(),
+            spatial_index: true,
         }
     }
 }

@@ -1,0 +1,247 @@
+//! Deterministic fan-out for per-vehicle tick phases.
+//!
+//! The tick pipeline is decomposed into *per-vehicle maps*: each phase
+//! computes, for every vehicle independently, a small result (brake
+//! decision, physics delta, guard actions, invariant snapshot). Such a
+//! map can run over contiguous chunks of the vehicle list on worker
+//! threads and concatenate the chunk results in chunk order — which is
+//! the original iteration order — so the output is **bit-identical** to
+//! the serial loop. All side effects (medium sends, RNG draws, metric
+//! updates, exits) stay serial in the reduction step.
+//!
+//! The helpers here encode that contract: the closure passed to
+//! [`fan_out`] / [`fan_out_mut`] / [`fan_out_indices`] must be
+//! element-wise, i.e. `f(a ++ b) == f(a) ++ f(b)`. Under that contract
+//! the thread count is unobservable.
+
+use crate::config::EngineChoice;
+use nwade_geometry::{GridIndex, Vec2};
+
+/// Below this many items a phase runs inline: spawning threads costs
+/// more than the work itself.
+const PARALLEL_CUTOFF: usize = 64;
+
+/// Worker-thread count for an engine choice: 1 for serial, the host's
+/// available parallelism otherwise.
+pub fn resolve_threads(choice: EngineChoice) -> usize {
+    match choice {
+        EngineChoice::Serial => 1,
+        EngineChoice::Parallel => rayon::current_num_threads().max(1),
+    }
+}
+
+/// Splits `0..n` into at most `threads` contiguous ranges.
+fn ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = n.div_ceil(threads).max(1);
+    (0..n.div_ceil(chunk))
+        .map(|t| (t * chunk)..((t + 1) * chunk).min(n))
+        .collect()
+}
+
+/// Runs an element-wise map over index ranges of `0..n`, concatenating
+/// per-range results in range order. With `threads <= 1` (or few items)
+/// this is exactly `f(0..n)`.
+pub fn fan_out_indices<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+{
+    if threads <= 1 || n < PARALLEL_CUTOFF {
+        return f(0..n);
+    }
+    let ranges = ranges(n, threads);
+    let mut parts: Vec<Vec<R>> = Vec::new();
+    parts.resize_with(ranges.len(), Vec::new);
+    rayon::scope(|s| {
+        for (slot, range) in parts.iter_mut().zip(ranges) {
+            let f = &f;
+            s.spawn(move || *slot = f(range));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Runs an element-wise map over chunks of a shared slice.
+pub fn fan_out<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    if threads <= 1 || items.len() < PARALLEL_CUTOFF {
+        return f(items);
+    }
+    let chunk = items.len().div_ceil(threads).max(1);
+    let pieces: Vec<&[T]> = items.chunks(chunk).collect();
+    let mut parts: Vec<Vec<R>> = Vec::new();
+    parts.resize_with(pieces.len(), Vec::new);
+    rayon::scope(|s| {
+        for (slot, piece) in parts.iter_mut().zip(pieces) {
+            let f = &f;
+            s.spawn(move || *slot = f(piece));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Runs an element-wise map over disjoint mutable chunks of a slice —
+/// the shape of phases that advance vehicle state or drive the guards.
+pub fn fan_out_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut [T]) -> Vec<R> + Sync,
+{
+    if threads <= 1 || items.len() < PARALLEL_CUTOFF {
+        return f(items);
+    }
+    let chunk = items.len().div_ceil(threads).max(1);
+    let pieces: Vec<&mut [T]> = items.chunks_mut(chunk).collect();
+    let mut parts: Vec<Vec<R>> = Vec::new();
+    parts.resize_with(pieces.len(), Vec::new);
+    rayon::scope(|s| {
+        for (slot, piece) in parts.iter_mut().zip(pieces) {
+            let f = &f;
+            s.spawn(move || *slot = f(piece));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Indices into `snapshot` a vehicle at `me` observes: everything within
+/// `radius`, excluding itself. With a grid the candidate set is narrowed
+/// to nearby cells; the result — set *and* order (ascending snapshot
+/// index, which is ascending vehicle id) — is identical to the
+/// brute-force sweep, because the grid returns a superset of the disc
+/// filtered by the same distance predicate.
+pub fn observed_neighbors(
+    snapshot: &[(u64, Vec2, f64)],
+    grid: Option<&GridIndex>,
+    self_id: u64,
+    me: Vec2,
+    radius: f64,
+) -> Vec<usize> {
+    let r_sq = radius * radius;
+    match grid {
+        Some(grid) => grid
+            .query(me, radius)
+            .into_iter()
+            .filter(|&i| snapshot[i].0 != self_id && snapshot[i].1.distance_sq(me) <= r_sq)
+            .collect(),
+        None => snapshot
+            .iter()
+            .enumerate()
+            .filter(|(_, (id, p, _))| *id != self_id && p.distance_sq(me) <= r_sq)
+            .map(|(i, _)| i)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_modes() {
+        assert_eq!(resolve_threads(EngineChoice::Serial), 1);
+        assert!(resolve_threads(EngineChoice::Parallel) >= 1);
+    }
+
+    #[test]
+    fn fan_out_indices_matches_serial_map() {
+        for n in [0usize, 1, 5, PARALLEL_CUTOFF, 1000, 1001] {
+            for threads in [1usize, 2, 3, 8] {
+                let out = fan_out_indices(n, threads, |range| {
+                    range.map(|i| i * 3 + 1).collect::<Vec<_>>()
+                });
+                let expected: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+                assert_eq!(out, expected, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_preserves_order_and_filtering() {
+        let items: Vec<u64> = (0..500).collect();
+        for threads in [1usize, 4] {
+            let out = fan_out(&items, threads, |chunk| {
+                chunk.iter().filter(|x| **x % 7 == 0).copied().collect()
+            });
+            let expected: Vec<u64> = items.iter().filter(|x| **x % 7 == 0).copied().collect();
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn fan_out_mut_applies_every_element_once() {
+        let mut items: Vec<u64> = vec![1; 999];
+        let echoed = fan_out_mut(&mut items, 5, |chunk| {
+            chunk
+                .iter_mut()
+                .map(|x| {
+                    *x += 1;
+                    *x
+                })
+                .collect()
+        });
+        assert!(items.iter().all(|x| *x == 2));
+        assert_eq!(echoed, items);
+    }
+
+    #[test]
+    fn observed_neighbors_excludes_self_and_far() {
+        let snapshot = vec![
+            (10u64, Vec2::new(0.0, 0.0), 1.0),
+            (20u64, Vec2::new(3.0, 0.0), 2.0),
+            (30u64, Vec2::new(100.0, 0.0), 3.0),
+        ];
+        let got = observed_neighbors(&snapshot, None, 10, Vec2::ZERO, 5.0);
+        assert_eq!(got, vec![1]);
+        let grid = GridIndex::build(
+            5.0,
+            &[Vec2::ZERO, Vec2::new(3.0, 0.0), Vec2::new(100.0, 0.0)],
+        );
+        assert_eq!(
+            observed_neighbors(&snapshot, Some(&grid), 10, Vec2::ZERO, 5.0),
+            vec![1]
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Grid-index sensing produces the same observation set (and
+        /// order) as the brute-force O(V²) sweep, for random vehicle
+        /// layouts and sensing radii — the exact helper the sense pass
+        /// runs through.
+        #[test]
+        fn grid_sensing_equals_brute_force(
+            layout in proptest::collection::vec(
+                (0u64..200, -400.0..400.0f64, -400.0..400.0f64, 0.0..30.0f64), 0..80),
+            observer in 0usize..80,
+            radius in 1.0..500.0f64,
+        ) {
+            let snapshot: Vec<(u64, Vec2, f64)> = layout
+                .iter()
+                .map(|(id, x, y, v)| (*id, Vec2::new(*x, *y), *v))
+                .collect();
+            let points: Vec<Vec2> = snapshot.iter().map(|(_, p, _)| *p).collect();
+            // Cell size = sensing radius, as the engine builds it.
+            let grid = GridIndex::build(radius, &points);
+            let (self_id, me) = if snapshot.is_empty() {
+                (0, Vec2::ZERO)
+            } else {
+                let o = &snapshot[observer % snapshot.len()];
+                (o.0, o.1)
+            };
+            prop_assert_eq!(
+                observed_neighbors(&snapshot, Some(&grid), self_id, me, radius),
+                observed_neighbors(&snapshot, None, self_id, me, radius)
+            );
+        }
+    }
+}

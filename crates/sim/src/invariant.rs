@@ -21,7 +21,7 @@
 //! not the first corpse.
 
 use nwade_chain::Block;
-use nwade_geometry::Vec2;
+use nwade_geometry::{GridIndex, Vec2};
 use nwade_traffic::VehicleId;
 use nwade_vanet::NodeId;
 use std::collections::{HashMap, HashSet};
@@ -220,9 +220,16 @@ impl InvariantChecker {
     /// counted as accidents — those are known casualties, not fresh
     /// violations; `min_gap` is the center-to-center distance below
     /// which two vehicles count as overlapping.
+    ///
+    /// `grid` optionally narrows the overlap sweep to nearby candidates:
+    /// it must index `vehicles` by position in slice order. Candidates
+    /// come back in ascending index order and pass through the same
+    /// strict `< min_gap` predicate, so the pairs found — and the order
+    /// they are recorded in — match the all-pairs sweep exactly.
     pub fn check_vehicles(
         &mut self,
         vehicles: &[VehicleSnapshot],
+        grid: Option<&GridIndex>,
         collided: &HashSet<(u64, u64)>,
         min_gap: f64,
         now: f64,
@@ -258,17 +265,17 @@ impl InvariantChecker {
             if !a.active {
                 continue;
             }
-            for b in &vehicles[i + 1..] {
+            let consider = |this: &mut Self, b: &VehicleSnapshot| {
                 if !b.active {
-                    continue;
+                    return;
                 }
                 let key = (a.id.raw().min(b.id.raw()), a.id.raw().max(b.id.raw()));
-                if collided.contains(&key) || self.reported_overlaps.contains(&key) {
-                    continue;
+                if collided.contains(&key) || this.reported_overlaps.contains(&key) {
+                    return;
                 }
                 if a.position.distance(b.position) < min_gap {
-                    self.reported_overlaps.insert(key);
-                    self.report.record(
+                    this.reported_overlaps.insert(key);
+                    this.report.record(
                         now,
                         InvariantKind::VehicleOverlap,
                         format!(
@@ -276,6 +283,22 @@ impl InvariantChecker {
                             key.0, key.1
                         ),
                     );
+                }
+            };
+            match grid {
+                Some(grid) => {
+                    // Query returns ascending indices; keeping only j > i
+                    // walks the same (i, j) pairs the nested loop would.
+                    for j in grid.query(a.position, min_gap) {
+                        if j > i {
+                            consider(self, &vehicles[j]);
+                        }
+                    }
+                }
+                None => {
+                    for b in &vehicles[i + 1..] {
+                        consider(self, b);
+                    }
                 }
             }
         }
@@ -319,8 +342,8 @@ mod tests {
         let mut c = InvariantChecker::new();
         let vs = vec![snapshot(1, 0.0), snapshot(2, 0.5), snapshot(3, 100.0)];
         let collided = HashSet::new();
-        c.check_vehicles(&vs, &collided, 2.0, 1.0);
-        c.check_vehicles(&vs, &collided, 2.0, 1.1);
+        c.check_vehicles(&vs, None, &collided, 2.0, 1.0);
+        c.check_vehicles(&vs, None, &collided, 2.0, 1.1);
         assert_eq!(
             c.report().counts.get(&InvariantKind::VehicleOverlap),
             Some(&1),
@@ -330,7 +353,7 @@ mod tests {
         // an invariant violation.
         let mut c = InvariantChecker::new();
         let collided: HashSet<_> = [(1, 2)].into_iter().collect();
-        c.check_vehicles(&vs, &collided, 2.0, 1.0);
+        c.check_vehicles(&vs, None, &collided, 2.0, 1.0);
         assert!(c.report().is_clean());
     }
 
@@ -339,7 +362,7 @@ mod tests {
         let mut c = InvariantChecker::new();
         let mut v = snapshot(7, 0.0);
         v.mode_self_evacuate = true; // but guard not evacuating
-        c.check_vehicles(&[v], &HashSet::new(), 2.0, 3.0);
+        c.check_vehicles(&[v], None, &HashSet::new(), 2.0, 3.0);
         assert_eq!(
             c.report().counts.get(&InvariantKind::FsmConsistency),
             Some(&1)
@@ -349,8 +372,31 @@ mod tests {
         let mut v = snapshot(8, 0.0);
         v.mode_self_evacuate = true;
         v.malicious = true;
-        c.check_vehicles(&[v], &HashSet::new(), 2.0, 3.0);
+        c.check_vehicles(&[v], None, &HashSet::new(), 2.0, 3.0);
         assert!(c.report().is_clean());
+    }
+
+    #[test]
+    fn gridded_overlap_sweep_matches_all_pairs() {
+        // A line of vehicles with several overlapping pairs; the gridded
+        // sweep must record the same pairs in the same order.
+        let vs: Vec<VehicleSnapshot> = (0..40).map(|i| snapshot(i, i as f64 * 1.1)).collect();
+        let collided = HashSet::new();
+        let mut brute = InvariantChecker::new();
+        brute.check_vehicles(&vs, None, &collided, 2.0, 1.0);
+        let points: Vec<Vec2> = vs.iter().map(|v| v.position).collect();
+        let grid = GridIndex::build(2.0, &points);
+        let mut gridded = InvariantChecker::new();
+        gridded.check_vehicles(&vs, Some(&grid), &collided, 2.0, 1.0);
+        let details = |c: &InvariantChecker| {
+            c.report()
+                .violations
+                .iter()
+                .map(|v| v.detail.clone())
+                .collect::<Vec<_>>()
+        };
+        assert!(!brute.report().is_clean(), "fixture has overlaps");
+        assert_eq!(details(&brute), details(&gridded));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod engine;
 pub mod imu;
 pub mod invariant;
 pub mod metrics;
@@ -31,7 +32,7 @@ pub mod scenario;
 pub mod vehicle;
 pub mod world;
 
-pub use config::{AttackPlan, ImOutage, SchedulerChoice, SignatureChoice, SimConfig};
+pub use config::{AttackPlan, EngineChoice, ImOutage, SchedulerChoice, SignatureChoice, SimConfig};
 pub use invariant::{InvariantChecker, InvariantKind, InvariantReport, InvariantViolation};
 pub use metrics::SimMetrics;
 pub use report::SimReport;

@@ -32,7 +32,7 @@ pub enum DriveMode {
 }
 
 /// Maximum lateral offset of the lane-deviation attack, meters.
-const MAX_LATERAL: f64 = 8.0;
+pub(crate) const MAX_LATERAL: f64 = 8.0;
 /// Lateral drift rate of the lane-deviation attack, m/s.
 const LATERAL_RATE: f64 = 1.5;
 /// Speed factor a self-evacuating vehicle targets — deliberately slow:

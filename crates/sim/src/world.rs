@@ -33,25 +33,27 @@
 //!     exits, recovery replans every vehicle parked by the evacuation.
 
 use crate::config::{SchedulerChoice, SignatureChoice, SimConfig};
+use crate::engine::{fan_out, fan_out_indices, fan_out_mut, observed_neighbors, resolve_threads};
 use crate::imu::{ImuAction, ImuAgent};
 use crate::invariant::{InvariantChecker, VehicleSnapshot};
 use crate::metrics::SimMetrics;
 use crate::report::SimReport;
-use crate::vehicle::{DriveMode, Role, VehicleAgent};
+use crate::vehicle::{DriveMode, Role, VehicleAgent, MAX_LATERAL};
 use nwade::attack::AttackSetting;
 use nwade::messages::{
     class, GlobalClaim, GlobalReport, IncidentReport, NwadeMessage, Observation,
 };
 use nwade::{EvacuationCause, GuardAction, NwadeConfig, NwadeManager, RetryDecision, VehicleGuard};
+use nwade_aim::TravelPlan;
 use nwade_aim::{
     FcfsScheduler, PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig,
     TrafficLightScheduler,
 };
 use nwade_chain::tamper;
-use nwade_crypto::{MockScheme, RsaKeyPair, RsaScheme, SignatureScheme};
-use nwade_geometry::Vec2;
-use nwade_intersection::{build, Topology};
-use nwade_traffic::{DemandGenerator, SpawnEvent, VehicleId};
+use nwade_crypto::{CachingVerifier, MockScheme, RsaKeyPair, RsaScheme, SignatureScheme};
+use nwade_geometry::{GridIndex, MotionProfile, Vec2};
+use nwade_intersection::{build, LegId, MovementId, Topology};
+use nwade_traffic::{DemandGenerator, SpawnEvent, VehicleDescriptor, VehicleId};
 use nwade_vanet::{Medium, NodeId, Recipient};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,6 +63,32 @@ use std::sync::Arc;
 /// Center-to-center distance below which two vehicles count as a
 /// ground-truth collision.
 const COLLISION_DISTANCE: f64 = 2.0;
+
+/// Cell size of the braking-scan grid. Only a performance knob: queries
+/// use the per-tick conservative interaction radius regardless of the
+/// cell, so candidate sets (and results) are unaffected.
+const BRAKE_GRID_CELL: f64 = 60.0;
+
+/// Persistent per-tick buffers. The hot phases (positions, sensing
+/// snapshot, invariant snapshots, grid rebuilds) reuse these instead of
+/// re-allocating every tick — at high density the churn dominated the
+/// allocator profile.
+struct TickScratch {
+    /// `(id, position)` of every active vehicle, ID order.
+    positions: Vec<(u64, Vec2)>,
+    /// `(id, position, speed)` sensing snapshot, ID order.
+    sense: Vec<(u64, Vec2, f64)>,
+    /// Invariant snapshots, ID order.
+    snapshots: Vec<VehicleSnapshot>,
+    /// Bare positions fed to grid rebuilds.
+    points: Vec<Vec2>,
+    /// Grid over active positions for the collision / overlap sweeps.
+    pair_grid: GridIndex,
+    /// Grid over active positions for the braking scan.
+    brake_grid: GridIndex,
+    /// Grid over the sensing snapshot (cell = sensing radius).
+    sense_grid: GridIndex,
+}
 
 /// The simulation world.
 pub struct Simulation {
@@ -102,6 +130,10 @@ pub struct Simulation {
     /// Whether the manager was inside its outage window last tick (for
     /// restart edge detection).
     im_was_down: bool,
+    /// Worker threads for the per-vehicle phases (1 = serial engine).
+    threads: usize,
+    /// Reusable per-tick buffers and spatial indices.
+    scratch: TickScratch,
 }
 
 impl Simulation {
@@ -114,11 +146,18 @@ impl Simulation {
         config.validate().expect("sim config must be valid");
         let topo = Arc::new(build(config.kind, &config.geometry));
         let mut rng = StdRng::seed_from_u64(config.seed);
+        // The scheme is shared by the manager (signing) and every guard
+        // (verifying). The caching wrapper memoises verification verdicts
+        // by (digest, signature), so a block broadcast to N vehicles costs
+        // one public-key operation instead of N — signing is a pure
+        // pass-through.
         let scheme: Arc<dyn SignatureScheme> = match config.signature {
-            SignatureChoice::Mock => Arc::new(MockScheme::from_seed(config.seed ^ 0xA5A5)),
-            SignatureChoice::Rsa { bits } => {
-                Arc::new(RsaScheme::new(RsaKeyPair::generate(bits, &mut rng)))
-            }
+            SignatureChoice::Mock => Arc::new(CachingVerifier::new(MockScheme::from_seed(
+                config.seed ^ 0xA5A5,
+            ))),
+            SignatureChoice::Rsa { bits } => Arc::new(CachingVerifier::new(RsaScheme::new(
+                RsaKeyPair::generate(bits, &mut rng),
+            ))),
         };
         let sched_cfg = SchedulerConfig {
             limits: config.limits,
@@ -173,6 +212,16 @@ impl Simulation {
             last_announce: std::collections::HashMap::new(),
             invariants: InvariantChecker::new(),
             im_was_down: false,
+            threads: resolve_threads(config.engine),
+            scratch: TickScratch {
+                positions: Vec::new(),
+                sense: Vec::new(),
+                snapshots: Vec::new(),
+                points: Vec::new(),
+                pair_grid: GridIndex::with_cell(2.0 * COLLISION_DISTANCE),
+                brake_grid: GridIndex::with_cell(BRAKE_GRID_CELL),
+                sense_grid: GridIndex::with_cell(config.nwade.sensing_radius),
+            },
             config,
         }
     }
@@ -228,6 +277,143 @@ impl Simulation {
                     .is_some_and(|v| v.is_active() && !v.guard.is_evacuating())
             })
             .count()
+    }
+
+    // ----- bench / differential-test drivers -----------------------
+
+    /// Number of vehicles currently inside the modeled area.
+    pub fn active_vehicle_count(&self) -> usize {
+        self.vehicles.values().filter(|v| v.is_active()).count()
+    }
+
+    /// Advances the world by exactly one tick. Benchmarks drive the
+    /// engine through this instead of [`Simulation::run`] so they can
+    /// time individual ticks against a prepared fleet.
+    pub fn tick_once(&mut self) {
+        self.tick();
+    }
+
+    /// Runs one sensing pass immediately, ignoring the sense-interval
+    /// cadence — isolates Algorithm 2 for latency measurements.
+    pub fn force_sense_pass(&mut self) {
+        let now = self.now;
+        self.sense_pass(now);
+    }
+
+    /// Queues plan requests as if up to `max` active vehicles had just
+    /// asked the manager; returns how many were queued. Pairs with
+    /// [`Simulation::force_process_window`] to measure window-processing
+    /// latency at a controlled request count.
+    pub fn enqueue_plan_requests(&mut self, max: usize) -> usize {
+        let now = self.now;
+        let requests: Vec<(f64, PlanRequest)> = self
+            .vehicles
+            .values()
+            .filter(|v| v.is_active())
+            .take(max)
+            .map(|v| {
+                (
+                    now,
+                    PlanRequest {
+                        id: v.id,
+                        descriptor: v.descriptor.clone(),
+                        movement: v.movement,
+                        position_s: v.s,
+                        speed: v.speed,
+                    },
+                )
+            })
+            .collect();
+        let queued = requests.len();
+        self.pending_requests.extend(requests);
+        queued
+    }
+
+    /// Runs one manager processing window immediately (scheduling,
+    /// packaging, broadcast), ignoring the window cadence.
+    pub fn force_process_window(&mut self) {
+        let now = self.now;
+        self.process_window(now);
+    }
+
+    /// Pre-places up to `n` slow-cruising vehicles single-file on the
+    /// approach lanes and returns how many fit. This is the benchmark
+    /// fleet: deterministic (no RNG draws), dense enough to exercise the
+    /// neighbourhood scans, and quiescent — 8 m spacing at 1 m/s keeps
+    /// every vehicle outside its leader's braking envelope, and the dummy
+    /// cruise plan (mode stays `Cruise`) suppresses plan-request traffic.
+    /// Vehicles in one lane share the approach geometry, so single-file
+    /// placement cannot overlap across movements.
+    pub fn prespawn_fleet(&mut self, n: usize) -> usize {
+        const SPACING: f64 = 8.0;
+        const FIRST_S: f64 = 4.0;
+        const SPEED: f64 = 1.0;
+        let mut lanes: BTreeMap<(LegId, usize), Vec<MovementId>> = BTreeMap::new();
+        for m in self.topo.movements() {
+            lanes
+                .entry((m.from_leg(), m.from_lane()))
+                .or_default()
+                .push(m.id());
+        }
+        let lanes: Vec<Vec<MovementId>> = lanes.into_values().collect();
+        let mut placed = 0usize;
+        let mut row = 0usize;
+        while placed < n {
+            let mut any_fit = false;
+            for movements in &lanes {
+                if placed >= n {
+                    break;
+                }
+                let s = FIRST_S + row as f64 * SPACING;
+                let limit = movements
+                    .iter()
+                    .map(|m| self.topo.movement(*m).box_entry())
+                    .fold(f64::INFINITY, f64::min)
+                    - 10.0;
+                if s > limit {
+                    continue;
+                }
+                any_fit = true;
+                let movement = movements[row % movements.len()];
+                let id = VehicleId::new(1_000_000 + placed as u64);
+                let descriptor = VehicleDescriptor {
+                    brand: "bench".into(),
+                    model: "fleet".into(),
+                    color: "grey".into(),
+                };
+                let guard = VehicleGuard::new(
+                    id,
+                    self.topo.clone(),
+                    self.scheme.clone(),
+                    self.config.nwade,
+                );
+                let mut agent =
+                    VehicleAgent::new(id, movement, descriptor.clone(), guard, SPEED, self.now);
+                agent.s = s;
+                let path = self.topo.movement(movement).path();
+                agent.plan = Some(TravelPlan::new(
+                    id,
+                    descriptor,
+                    nwade_aim::VehicleStatus {
+                        position: path.point_at(s),
+                        speed: SPEED,
+                        heading: path.heading_at(s),
+                    },
+                    movement,
+                    MotionProfile::cruise(self.now, SPEED, path.length()),
+                ));
+                let pos = agent.position(&self.topo);
+                self.medium.set_position(NodeId::Vehicle(id.raw()), pos);
+                self.vehicles.insert(id.raw(), agent);
+                self.metrics.spawned += 1;
+                placed += 1;
+            }
+            if !any_fit {
+                break; // every lane is full
+            }
+            row += 1;
+        }
+        placed
     }
 
     /// Runs to completion and returns the report.
@@ -314,24 +500,49 @@ impl Simulation {
     }
 
     /// Ground-truth and protocol-consistency invariants, every tick.
+    /// Snapshotting is a pure per-vehicle map fanned out over the worker
+    /// pool; the overlap sweep runs over the pair grid when the spatial
+    /// index is enabled.
     fn check_vehicle_invariants(&mut self, now: f64) {
-        let snapshots: Vec<VehicleSnapshot> = self
-            .vehicles
-            .values()
-            .filter(|v| v.is_active())
-            .map(|v| VehicleSnapshot {
-                id: v.id,
-                position: v.position(&self.topo),
-                active: true,
-                malicious: v.is_malicious(),
-                evacuating: v.guard.is_evacuating(),
-                state_self_evacuation: v.guard.state()
-                    == nwade::fsm::vehicle::VehicleState::SelfEvacuation,
-                mode_self_evacuate: v.mode == DriveMode::SelfEvacuate,
-            })
-            .collect();
-        self.invariants
-            .check_vehicles(&snapshots, &self.collided, COLLISION_DISTANCE, now);
+        let topo = &self.topo;
+        let actives: Vec<&VehicleAgent> =
+            self.vehicles.values().filter(|v| v.is_active()).collect();
+        let snaps = fan_out(&actives, self.threads, |chunk| {
+            chunk
+                .iter()
+                .map(|v| VehicleSnapshot {
+                    id: v.id,
+                    position: v.position(topo),
+                    active: true,
+                    malicious: v.is_malicious(),
+                    evacuating: v.guard.is_evacuating(),
+                    state_self_evacuation: v.guard.state()
+                        == nwade::fsm::vehicle::VehicleState::SelfEvacuation,
+                    mode_self_evacuate: v.mode == DriveMode::SelfEvacuate,
+                })
+                .collect()
+        });
+        drop(actives);
+        {
+            let scratch = &mut self.scratch;
+            scratch.snapshots.clear();
+            scratch.snapshots.extend(snaps);
+            if self.config.spatial_index {
+                scratch.points.clear();
+                scratch
+                    .points
+                    .extend(scratch.snapshots.iter().map(|s| s.position));
+                scratch.pair_grid.rebuild(&scratch.points);
+            }
+        }
+        let grid = self.config.spatial_index.then_some(&self.scratch.pair_grid);
+        self.invariants.check_vehicles(
+            &self.scratch.snapshots,
+            grid,
+            &self.collided,
+            COLLISION_DISTANCE,
+            now,
+        );
     }
 
     // ----- spawning -------------------------------------------------
@@ -670,132 +881,187 @@ impl Simulation {
             /// plans stop short; everything else is unbounded).
             plan_cap: f64,
         }
-        let states: Vec<BrakeState> = self
-            .vehicles
-            .values()
-            .filter(|v| v.is_active())
-            .map(|v| {
-                let m = self.topo.movement(v.movement);
-                BrakeState {
-                    id: v.id.raw(),
-                    pos: v.position(&self.topo),
-                    heading: m.path().heading_at(v.s),
-                    speed: v.speed,
-                    s: v.s,
-                    movement: v.movement,
-                    lane: (m.from_leg(), m.from_lane()),
-                    in_approach: v.s < m.box_entry(),
-                    malicious: v.is_malicious(),
-                    on_plan: matches!(v.mode, DriveMode::FollowPlan | DriveMode::Cruise),
-                    plan_cap: match (&v.mode, &v.plan) {
-                        (DriveMode::FollowPlan, Some(p)) if p.profile().final_speed() < 0.1 => {
-                            p.profile().end_position()
-                        }
-                        _ => f64::INFINITY,
-                    },
-                }
-            })
-            .collect();
+        let topo = &self.topo;
+        let actives: Vec<&VehicleAgent> =
+            self.vehicles.values().filter(|v| v.is_active()).collect();
+        let states: Vec<BrakeState> = fan_out(&actives, self.threads, |chunk| {
+            chunk
+                .iter()
+                .map(|v| {
+                    let m = topo.movement(v.movement);
+                    BrakeState {
+                        id: v.id.raw(),
+                        pos: v.position(topo),
+                        heading: m.path().heading_at(v.s),
+                        speed: v.speed,
+                        s: v.s,
+                        movement: v.movement,
+                        lane: (m.from_leg(), m.from_lane()),
+                        in_approach: v.s < m.box_entry(),
+                        malicious: v.is_malicious(),
+                        on_plan: matches!(v.mode, DriveMode::FollowPlan | DriveMode::Cruise),
+                        plan_cap: match (&v.mode, &v.plan) {
+                            (DriveMode::FollowPlan, Some(p)) if p.profile().final_speed() < 0.1 => {
+                                p.profile().end_position()
+                            }
+                            _ => f64::INFINITY,
+                        },
+                    }
+                })
+                .collect()
+        });
+        drop(actives);
         let d_max = self.config.limits.d_max;
-        let mut braking: Vec<u64> = Vec::new();
-        for v in &states {
-            // Attackers do not run the safety layer; stopped vehicles
-            // creep back up and re-check as soon as they move.
-            if v.speed < 0.5 || v.malicious {
-                continue;
-            }
-            let envelope = v.speed * v.speed / (2.0 * d_max) + 6.0;
-            let cone = 3.0 + v.speed * 1.2; // one-plus time headway
-            let blocked = states.iter().any(|u| {
-                if u.id == v.id {
-                    return false;
-                }
-                // A (near-)stopped obstacle on the own path or the shared
-                // approach of the own lane, within braking range. Plans
-                // are conflict-free, so moving plan-followers never need
-                // this; it fires for crash sites and freshly stopped
-                // attackers the plans have not caught up with.
-                let comparable = u.movement == v.movement
-                    || (u.lane == v.lane && u.in_approach && v.in_approach);
-                // A follower whose own plan already stops short of the
-                // obstacle needs no physical intervention.
-                if comparable && u.s > v.s && v.plan_cap > u.s - 2.0 {
-                    // Off-plan leaders (evacuating, braking, attacking)
-                    // may keep slowing arbitrarily: keep the full
-                    // relative stopping distance to them. On-plan leaders
-                    // are covered by the scheduler's zone gaps unless
-                    // they are (nearly) stopped.
-                    if !u.on_plan && u.speed < v.speed {
-                        let rel_stop =
-                            (v.speed * v.speed - u.speed * u.speed) / (2.0 * d_max) + 4.0;
-                        if u.s - v.s < rel_stop {
+        // Conservative interaction radius for this tick: every rule below
+        // is distance-bounded. The arclength rules reach at most the
+        // braking envelope (paths are arclength-parameterized, so world
+        // distance never exceeds the arclength gap plus both lateral
+        // offsets); the headway cone reaches `cone`; the anticipation
+        // rule reaches 40 m. Anything outside the radius cannot satisfy
+        // any rule, so scanning only grid candidates is exact.
+        let max_speed = states.iter().fold(0.0_f64, |m, s| m.max(s.speed));
+        let brake_radius = (max_speed * max_speed / (2.0 * d_max) + 6.0)
+            .max(3.0 + max_speed * 1.2)
+            .max(40.0)
+            + 2.0 * MAX_LATERAL
+            + 4.0;
+        let grid = if self.config.spatial_index {
+            let scratch = &mut self.scratch;
+            scratch.points.clear();
+            scratch.points.extend(states.iter().map(|s| s.pos));
+            scratch.brake_grid.rebuild(&scratch.points);
+            Some(&self.scratch.brake_grid)
+        } else {
+            None
+        };
+        let braking: Vec<u64> = fan_out_indices(states.len(), self.threads, |range| {
+            range
+                .filter_map(|i| {
+                    let v = &states[i];
+                    // Attackers do not run the safety layer; stopped
+                    // vehicles creep back up and re-check as soon as they
+                    // move.
+                    if v.speed < 0.5 || v.malicious {
+                        return None;
+                    }
+                    let envelope = v.speed * v.speed / (2.0 * d_max) + 6.0;
+                    let cone = 3.0 + v.speed * 1.2; // one-plus time headway
+                    let obstructs = |u: &BrakeState| {
+                        if u.id == v.id {
+                            return false;
+                        }
+                        // A (near-)stopped obstacle on the own path or the shared
+                        // approach of the own lane, within braking range. Plans
+                        // are conflict-free, so moving plan-followers never need
+                        // this; it fires for crash sites and freshly stopped
+                        // attackers the plans have not caught up with.
+                        let comparable = u.movement == v.movement
+                            || (u.lane == v.lane && u.in_approach && v.in_approach);
+                        // A follower whose own plan already stops short of the
+                        // obstacle needs no physical intervention.
+                        if comparable && u.s > v.s && v.plan_cap > u.s - 2.0 {
+                            // Off-plan leaders (evacuating, braking, attacking)
+                            // may keep slowing arbitrarily: keep the full
+                            // relative stopping distance to them. On-plan leaders
+                            // are covered by the scheduler's zone gaps unless
+                            // they are (nearly) stopped.
+                            if !u.on_plan && u.speed < v.speed {
+                                let rel_stop =
+                                    (v.speed * v.speed - u.speed * u.speed) / (2.0 * d_max) + 4.0;
+                                if u.s - v.s < rel_stop {
+                                    return true;
+                                }
+                            }
+                            if u.speed < 3.0 && u.s - v.s < envelope {
+                                return true;
+                            }
+                        }
+                        // The world-space rules below exist for uncoordinated
+                        // (off-plan) traffic; two plan-followers are deconflicted
+                        // by the scheduler, and straight-line extrapolation would
+                        // misfire at lane merges.
+                        if u.on_plan && v.on_plan {
+                            return false;
+                        }
+                        // Anything directly ahead inside the headway cone — this
+                        // is what keeps uncoordinated (self-evacuating) traffic
+                        // from driving through each other.
+                        let rel = u.pos - v.pos;
+                        let ahead = rel.dot(v.heading);
+                        if ahead > 0.0 && ahead < cone && rel.cross(v.heading).abs() < 2.2 {
                             return true;
                         }
-                    }
-                    if u.speed < 3.0 && u.s - v.s < envelope {
-                        return true;
-                    }
-                }
-                // The world-space rules below exist for uncoordinated
-                // (off-plan) traffic; two plan-followers are deconflicted
-                // by the scheduler, and straight-line extrapolation would
-                // misfire at lane merges.
-                if u.on_plan && v.on_plan {
-                    return false;
-                }
-                // Anything directly ahead inside the headway cone — this
-                // is what keeps uncoordinated (self-evacuating) traffic
-                // from driving through each other.
-                let rel = u.pos - v.pos;
-                let ahead = rel.dot(v.heading);
-                if ahead > 0.0 && ahead < cone && rel.cross(v.heading).abs() < 2.2 {
-                    return true;
-                }
-                // Anticipated collision course: if straight-line motion
-                // brings the two within 3.5 m in the next 2 s, brake —
-                // but never for traffic *behind* (a leader braking for
-                // its follower freezes the closure speed and guarantees
-                // the rear-end it was trying to avoid).
-                if ahead > 0.0 && rel.norm() < 40.0 {
-                    let dv = u.heading * u.speed - v.heading * v.speed;
-                    let dv_sq = dv.norm_sq();
-                    let t_star = if dv_sq < 1e-9 {
-                        0.0
-                    } else {
-                        (-rel.dot(dv) / dv_sq).clamp(0.0, 2.0)
+                        // Anticipated collision course: if straight-line motion
+                        // brings the two within 3.5 m in the next 2 s, brake —
+                        // but never for traffic *behind* (a leader braking for
+                        // its follower freezes the closure speed and guarantees
+                        // the rear-end it was trying to avoid).
+                        if ahead > 0.0 && rel.norm() < 40.0 {
+                            let dv = u.heading * u.speed - v.heading * v.speed;
+                            let dv_sq = dv.norm_sq();
+                            let t_star = if dv_sq < 1e-9 {
+                                0.0
+                            } else {
+                                (-rel.dot(dv) / dv_sq).clamp(0.0, 2.0)
+                            };
+                            if (rel + dv * t_star).norm() < 3.5 {
+                                return true;
+                            }
+                        }
+                        false
                     };
-                    if (rel + dv * t_star).norm() < 3.5 {
-                        return true;
-                    }
-                }
-                false
-            });
-            if blocked {
-                braking.push(v.id);
-            }
-        }
+                    let blocked = match grid {
+                        Some(grid) => grid
+                            .query(v.pos, brake_radius)
+                            .into_iter()
+                            .any(|j| obstructs(&states[j])),
+                        None => states.iter().any(obstructs),
+                    };
+                    blocked.then_some(v.id)
+                })
+                .collect()
+        });
         for id in braking {
             if let Some(agent) = self.vehicles.get_mut(&id) {
                 agent.emergency_brake(&self.config.limits, self.config.dt);
             }
         }
+        // Advance every active vehicle: a pure per-vehicle map returning
+        // (id, crossed the path end, new position). Side effects — medium
+        // position updates and exit finalization — replay serially in ID
+        // order, exactly as the serial engine interleaved them.
+        let limits = self.config.limits;
+        let dt = self.config.dt;
+        let topo = self.topo.clone();
+        let mut movers: Vec<&mut VehicleAgent> = self
+            .vehicles
+            .values_mut()
+            .filter(|v| v.is_active())
+            .collect();
+        let outcomes: Vec<(u64, bool, Option<Vec2>)> =
+            fan_out_mut(&mut movers, self.threads, |chunk| {
+                chunk
+                    .iter_mut()
+                    .map(|agent| {
+                        if agent.braked_this_tick {
+                            agent.braked_this_tick = false;
+                            let crossed = agent.s >= topo.movement(agent.movement).path().length();
+                            (agent.id.raw(), crossed, None)
+                        } else if agent.step(&topo, &limits, dt, now) {
+                            (agent.id.raw(), true, None)
+                        } else {
+                            (agent.id.raw(), false, Some(agent.position(&topo)))
+                        }
+                    })
+                    .collect()
+            });
+        drop(movers);
         let mut exited: Vec<u64> = Vec::new();
-        for agent in self.vehicles.values_mut() {
-            if !agent.is_active() {
-                continue;
-            }
-            if agent.braked_this_tick {
-                agent.braked_this_tick = false;
-                if agent.s >= self.topo.movement(agent.movement).path().length() {
-                    exited.push(agent.id.raw());
-                }
-                continue;
-            }
-            if agent.step(&self.topo, &self.config.limits, self.config.dt, now) {
-                exited.push(agent.id.raw());
-            } else {
-                self.medium
-                    .set_position(NodeId::Vehicle(agent.id.raw()), agent.position(&self.topo));
+        for (id, crossed, pos) in outcomes {
+            if crossed {
+                exited.push(id);
+            } else if let Some(pos) = pos {
+                self.medium.set_position(NodeId::Vehicle(id), pos);
             }
         }
         for id in exited {
@@ -842,29 +1108,61 @@ impl Simulation {
     }
 
     fn detect_collisions(&mut self) {
-        let states: Vec<(u64, Vec2)> = self
-            .vehicles
-            .values()
-            .filter(|v| v.is_active())
-            .map(|v| (v.id.raw(), v.position(&self.topo)))
-            .collect();
-        for i in 0..states.len() {
-            for j in i + 1..states.len() {
-                if states[i].1.distance_sq(states[j].1) < COLLISION_DISTANCE * COLLISION_DISTANCE {
-                    let key = (states[i].0.min(states[j].0), states[i].0.max(states[j].0));
-                    if self.collided.insert(key) {
-                        if std::env::var("NWADE_DEBUG").is_ok() {
-                            let a = &self.vehicles[&key.0];
-                            let b = &self.vehicles[&key.1];
-                            eprintln!(
-                                "[nwade-debug] t={:.1} collision V{}({:?} v={:.1} s={:.0} mv={}) x V{}({:?} v={:.1} s={:.0} mv={})",
-                                self.now, key.0, a.mode, a.speed, a.s, a.movement.index(),
-                                key.1, b.mode, b.speed, b.s, b.movement.index()
-                            );
-                        }
-                        self.metrics.accidents += 1;
+        {
+            let scratch = &mut self.scratch;
+            scratch.positions.clear();
+            scratch.positions.extend(
+                self.vehicles
+                    .values()
+                    .filter(|v| v.is_active())
+                    .map(|v| (v.id.raw(), v.position(&self.topo))),
+            );
+            if self.config.spatial_index {
+                scratch.points.clear();
+                scratch
+                    .points
+                    .extend(scratch.positions.iter().map(|(_, p)| *p));
+                scratch.pair_grid.rebuild(&scratch.points);
+            }
+        }
+        // Candidate pairs in the nested loop's (i, j) order: the grid
+        // query returns ascending indices, so keeping j > i walks exactly
+        // the pairs `for i { for j in i+1.. }` would, through the same
+        // strict distance predicate.
+        let states = &self.scratch.positions;
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let r_sq = COLLISION_DISTANCE * COLLISION_DISTANCE;
+        if self.config.spatial_index {
+            let grid = &self.scratch.pair_grid;
+            for i in 0..states.len() {
+                for j in grid.query(states[i].1, COLLISION_DISTANCE) {
+                    if j > i && states[i].1.distance_sq(states[j].1) < r_sq {
+                        pairs.push((states[i].0, states[j].0));
                     }
                 }
+            }
+        } else {
+            for i in 0..states.len() {
+                for j in i + 1..states.len() {
+                    if states[i].1.distance_sq(states[j].1) < r_sq {
+                        pairs.push((states[i].0, states[j].0));
+                    }
+                }
+            }
+        }
+        for (a_id, b_id) in pairs {
+            let key = (a_id.min(b_id), a_id.max(b_id));
+            if self.collided.insert(key) {
+                if std::env::var("NWADE_DEBUG").is_ok() {
+                    let a = &self.vehicles[&key.0];
+                    let b = &self.vehicles[&key.1];
+                    eprintln!(
+                        "[nwade-debug] t={:.1} collision V{}({:?} v={:.1} s={:.0} mv={}) x V{}({:?} v={:.1} s={:.0} mv={})",
+                        self.now, key.0, a.mode, a.speed, a.s, a.movement.index(),
+                        key.1, b.mode, b.speed, b.s, b.movement.index()
+                    );
+                }
+                self.metrics.accidents += 1;
             }
         }
     }
@@ -884,46 +1182,72 @@ impl Simulation {
         })
     }
 
-    fn active_positions(&self) -> Vec<(u64, Vec2)> {
-        self.vehicles
-            .values()
-            .filter(|v| v.is_active())
-            .map(|v| (v.id.raw(), v.position(&self.topo)))
-            .collect()
-    }
-
+    /// Algorithm 2 for every benign vehicle: observe neighbours in range,
+    /// run the guard. The pass snapshots `(id, position, speed)` of every
+    /// active vehicle first — the guards only mutate protocol state, so
+    /// the snapshot equals the live values the serial loop read — then
+    /// fans the guard calls out over the worker pool. Actions replay
+    /// serially in ID order.
     fn sense_pass(&mut self, now: f64) {
         if !self.config.nwade_enabled {
             return;
         }
-        let positions = self.active_positions();
         let radius = self.nwade_cfg().sensing_radius;
-        let r_sq = radius * radius;
-        let mut all_actions: Vec<(u64, Vec<GuardAction>)> = Vec::new();
-        let ids: Vec<u64> = self.vehicles.keys().copied().collect();
-        for id in ids {
-            let agent = self.vehicles.get(&id).expect("listed id");
-            if !agent.is_active() || agent.role != Role::Benign {
-                continue;
-            }
-            let me = agent.position(&self.topo);
-            let observations: Vec<Observation> = positions
-                .iter()
-                .filter(|(other, p)| *other != id && p.distance_sq(me) <= r_sq)
-                .map(|(other, p)| Observation {
-                    target: VehicleId::new(*other),
-                    position: *p,
-                    speed: self.vehicles[other].speed,
-                    time: now,
-                })
-                .collect();
-            let agent = self.vehicles.get_mut(&id).expect("listed id");
-            let mut actions = agent.guard.on_observations(&observations, now);
-            actions.extend(agent.guard.on_tick(now));
-            if !actions.is_empty() {
-                all_actions.push((id, actions));
+        {
+            let scratch = &mut self.scratch;
+            scratch.sense.clear();
+            scratch.sense.extend(
+                self.vehicles
+                    .values()
+                    .filter(|v| v.is_active())
+                    .map(|v| (v.id.raw(), v.position(&self.topo), v.speed)),
+            );
+            if self.config.spatial_index {
+                scratch.points.clear();
+                scratch
+                    .points
+                    .extend(scratch.sense.iter().map(|(_, p, _)| *p));
+                scratch.sense_grid.rebuild(&scratch.points);
             }
         }
+        let snapshot = self.scratch.sense.as_slice();
+        let grid = self
+            .config
+            .spatial_index
+            .then_some(&self.scratch.sense_grid);
+        let topo = self.topo.clone();
+        let mut sensors: Vec<&mut VehicleAgent> = self
+            .vehicles
+            .values_mut()
+            .filter(|v| v.is_active() && v.role == Role::Benign)
+            .collect();
+        let all_actions: Vec<(u64, Vec<GuardAction>)> =
+            fan_out_mut(&mut sensors, self.threads, |chunk| {
+                chunk
+                    .iter_mut()
+                    .filter_map(|agent| {
+                        let id = agent.id.raw();
+                        let me = agent.position(&topo);
+                        let observations: Vec<Observation> =
+                            observed_neighbors(snapshot, grid, id, me, radius)
+                                .into_iter()
+                                .map(|i| {
+                                    let (other, position, speed) = snapshot[i];
+                                    Observation {
+                                        target: VehicleId::new(other),
+                                        position,
+                                        speed,
+                                        time: now,
+                                    }
+                                })
+                                .collect();
+                        let mut actions = agent.guard.on_observations(&observations, now);
+                        actions.extend(agent.guard.on_tick(now));
+                        (!actions.is_empty()).then_some((id, actions))
+                    })
+                    .collect()
+            });
+        drop(sensors);
         for (id, actions) in all_actions {
             self.handle_guard_actions(VehicleId::new(id), actions, now);
         }

@@ -65,10 +65,10 @@ fn main() {
     );
 
     // 4. A vehicle verifies the block (Algorithm 1).
-    let cache = ChainCache::new(60);
+    let mut cache = ChainCache::new(60);
     verify_incoming_block(
         &block,
-        &cache,
+        &mut cache,
         signer.as_ref(),
         &topo,
         0.5,
@@ -81,7 +81,7 @@ fn main() {
     let forged = tamper::forge_signature(&block);
     let verdict = verify_incoming_block(
         &forged,
-        &cache,
+        &mut cache,
         signer.as_ref(),
         &topo,
         0.5,

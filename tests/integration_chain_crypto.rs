@@ -55,7 +55,7 @@ fn rsa_backed_chain_end_to_end() {
         let block = packager.package(plans, round as f64 * 15.0);
         verify_incoming_block(
             &block,
-            &cache,
+            &mut cache,
             key.as_ref(),
             &topo,
             0.5,
@@ -72,7 +72,7 @@ fn rsa_backed_chain_end_to_end() {
     let forged = tamper::forge_signature(&block);
     let err = verify_incoming_block(
         &forged,
-        &cache,
+        &mut cache,
         key.as_ref(),
         &topo,
         0.5,
@@ -90,7 +90,14 @@ fn rsa_backed_chain_end_to_end() {
     )
     .expect("crossing traffic available");
     let evil = tamper::resign_with_plans(&block, conflicting, key.as_ref());
-    let err = verify_incoming_block(&evil, &cache, key.as_ref(), &topo, 0.5, &Default::default())
-        .expect_err("conflicting plans rejected");
+    let err = verify_incoming_block(
+        &evil,
+        &mut cache,
+        key.as_ref(),
+        &topo,
+        0.5,
+        &Default::default(),
+    )
+    .expect_err("conflicting plans rejected");
     assert!(matches!(err, BlockFailure::InternalConflict(_)));
 }

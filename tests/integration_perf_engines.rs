@@ -1,0 +1,120 @@
+//! Differential test for the tick engines: the parallel engine and the
+//! spatial sensing index are pure execution strategies — every variant
+//! must produce the identical `SimReport` for the same configuration.
+//!
+//! Three variants run per scenario:
+//! * **baseline** — serial engine, all-pairs scans (the seed behaviour),
+//! * **serial** — serial engine over the grid index,
+//! * **parallel** — threaded engine over the grid index.
+
+use nwade_repro::nwade::attack::{AttackSetting, ViolationKind};
+use nwade_repro::sim::{AttackPlan, EngineChoice, ImOutage, SimConfig, SimReport, Simulation};
+
+fn run_variant(mut config: SimConfig, engine: EngineChoice, spatial_index: bool) -> SimReport {
+    config.engine = engine;
+    config.spatial_index = spatial_index;
+    Simulation::new(config).run()
+}
+
+fn assert_reports_identical(label: &str, a: &SimReport, b: &SimReport) {
+    assert_eq!(a.metrics.spawned, b.metrics.spawned, "{label}: spawned");
+    assert_eq!(a.metrics.exited, b.metrics.exited, "{label}: exited");
+    assert_eq!(
+        a.metrics.exited_benign, b.metrics.exited_benign,
+        "{label}: exited_benign"
+    );
+    assert_eq!(
+        a.metrics.accidents, b.metrics.accidents,
+        "{label}: accidents"
+    );
+    assert_eq!(
+        a.metrics.blocks_broadcast, b.metrics.blocks_broadcast,
+        "{label}: blocks_broadcast"
+    );
+    assert_eq!(
+        a.metrics.plans_scheduled, b.metrics.plans_scheduled,
+        "{label}: plans_scheduled"
+    );
+    assert_eq!(
+        a.metrics.benign_self_evacuations, b.metrics.benign_self_evacuations,
+        "{label}: benign_self_evacuations"
+    );
+    assert_eq!(
+        a.metrics.violation_confirmed, b.metrics.violation_confirmed,
+        "{label}: violation_confirmed"
+    );
+    assert_eq!(
+        a.metrics.im_timeout_evacuations, b.metrics.im_timeout_evacuations,
+        "{label}: im_timeout_evacuations"
+    );
+    assert_eq!(
+        a.metrics.readmitted_after_outage, b.metrics.readmitted_after_outage,
+        "{label}: readmitted_after_outage"
+    );
+    assert_eq!(
+        a.metrics.network.total_transmissions(),
+        b.metrics.network.total_transmissions(),
+        "{label}: network transmissions"
+    );
+    assert_eq!(
+        a.metrics.invariants.total(),
+        b.metrics.invariants.total(),
+        "{label}: invariant violations"
+    );
+}
+
+fn check_scenario(label: &str, config: SimConfig) {
+    let baseline = run_variant(config.clone(), EngineChoice::Serial, false);
+    let serial = run_variant(config.clone(), EngineChoice::Serial, true);
+    let parallel = run_variant(config, EngineChoice::Parallel, true);
+    assert_reports_identical(&format!("{label} serial-vs-baseline"), &baseline, &serial);
+    assert_reports_identical(
+        &format!("{label} parallel-vs-baseline"),
+        &baseline,
+        &parallel,
+    );
+}
+
+#[test]
+fn plain_traffic_identical_across_engines() {
+    let mut config = SimConfig::default();
+    config.duration = 90.0;
+    config.density = 70.0;
+    config.seed = 2024;
+    check_scenario("plain", config);
+}
+
+#[test]
+fn attack_scenario_identical_across_engines() {
+    let mut config = SimConfig::default();
+    config.duration = 120.0;
+    config.density = 60.0;
+    config.seed = 77;
+    config.attack = Some(AttackPlan {
+        setting: AttackSetting::V2,
+        violation: ViolationKind::LaneDeviation,
+        start: 50.0,
+    });
+    check_scenario("attack", config);
+}
+
+/// The chaos scenario from the outage-recovery harness: an attack unfolds
+/// while the manager goes dark, reporters time out and self-evacuate,
+/// then the restart re-admits the fleet.
+#[test]
+fn chaos_outage_scenario_identical_across_engines() {
+    let mut config = SimConfig::default();
+    config.duration = 130.0;
+    config.density = 60.0;
+    config.seed = 41;
+    config.attack = Some(AttackPlan {
+        setting: AttackSetting::V1,
+        violation: ViolationKind::SuddenStop,
+        start: 50.0,
+    });
+    config.im_outage = Some(ImOutage {
+        start: 50.0,
+        duration: 20.0,
+    });
+    check_scenario("chaos", config);
+}

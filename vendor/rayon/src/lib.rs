@@ -1,0 +1,84 @@
+//! Offline vendored stand-in implementing the subset of the rayon API
+//! this workspace uses: a scoped fork-join pool built on
+//! `std::thread::scope`.
+//!
+//! The real rayon keeps a global work-stealing pool; this stand-in
+//! spawns OS threads per scope instead. Callers here fan out a handful
+//! of coarse chunks per scope (one per hardware thread), so thread
+//! startup cost is negligible against the chunk work, and the semantics
+//! match the subset used: tasks may borrow from the enclosing stack
+//! frame, every task finishes before `scope` returns, and a panicking
+//! task propagates its panic to the caller.
+
+#![forbid(unsafe_code)]
+
+/// Number of worker threads a fan-out should target: the machine's
+/// available parallelism (1 when it cannot be determined).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A scope in which borrowed tasks can be spawned; mirrors
+/// `rayon::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope; it is
+    /// joined before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+/// Creates a fork-join scope: all tasks spawned inside have completed
+/// when this returns. A panic in any task resumes on the caller.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_write_disjoint_slots_and_join() {
+        let mut out = vec![0usize; 8];
+        scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * i);
+            }
+        });
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn at_least_one_thread_reported() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|| panic!("worker died"));
+            });
+        });
+        assert!(r.is_err());
+    }
+}
