@@ -9,8 +9,9 @@
 //! exit without entering a blocked cell pulls over (brakes to a stop).
 
 use crate::plan::{PlanRequest, TravelPlan, VehicleStatus};
-use crate::reservation::{occupancy_of, ReservationTable};
+use crate::reservation::ReservationTable;
 use crate::scheduler::SchedulerConfig;
+use crate::seek::{EntrySeeker, SeekScratch};
 use nwade_geometry::{MotionProfile, TimeInterval, Vec2};
 use nwade_intersection::{Topology, ZoneId};
 use nwade_traffic::VehicleId;
@@ -116,6 +117,7 @@ impl EvacuationPlanner {
 
         let lim = self.scheduler_config.limits;
         let v_cap = lim.v_max * self.config.speed_factor;
+        let mut scratch = SeekScratch::new();
         let mut plans = Vec::with_capacity(vehicles.len());
         for req in order {
             let movement = self.topology.movement(req.movement);
@@ -123,32 +125,26 @@ impl EvacuationPlanner {
             let d_end = (path.length() - req.position_s).max(0.0);
             let earliest = now
                 + MotionProfile::earliest_arrival(req.speed.min(v_cap), v_cap, lim.a_max, d_end);
-            let mut target = earliest;
-            let deadline = earliest + self.scheduler_config.max_delay;
-            let chosen = loop {
-                let profile = MotionProfile::arrive_at(
-                    now,
-                    req.speed.min(v_cap),
-                    v_cap,
-                    lim.a_max,
-                    lim.d_max,
-                    d_end,
-                    target - now,
-                );
-                let profile = MotionProfile::new(
-                    profile.start_time(),
-                    req.position_s,
-                    profile.start_speed(),
-                    profile.segments().to_vec(),
-                );
-                let occupancy = occupancy_of(movement, &profile);
-                if table.is_free(&occupancy, self.scheduler_config.zone_gap, Some(req.id)) {
-                    break Some((profile, occupancy));
-                }
-                target += self.scheduler_config.search_step;
-                if target > deadline {
-                    break None;
-                }
+            let seeker = EntrySeeker {
+                movement,
+                table: &table,
+                gap: self.scheduler_config.zone_gap,
+                ignore: req.id,
+                now,
+                v0: req.speed.min(v_cap),
+                v_max: v_cap,
+                a_max: lim.a_max,
+                d_max: lim.d_max,
+                d_plan: d_end,
+                position_s: req.position_s,
+                start: earliest,
+                step: self.scheduler_config.search_step,
+                deadline: earliest + self.scheduler_config.max_delay,
+            };
+            let chosen = if self.scheduler_config.probe {
+                seeker.linear(&mut scratch)
+            } else {
+                seeker.seek(None, &mut scratch)
             };
             let (profile, occupancy) = chosen.unwrap_or_else(|| {
                 // Pull over: brake to a stop without planning through

@@ -7,6 +7,7 @@
 use crate::plan::{PlanRequest, TravelPlan, VehicleStatus};
 use crate::reservation::{occupancy_of, ReservationTable};
 use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::seek::{EntrySeeker, SeekScratch};
 use nwade_geometry::MotionProfile;
 use nwade_intersection::Topology;
 use std::sync::Arc;
@@ -18,6 +19,7 @@ pub struct FcfsScheduler {
     config: SchedulerConfig,
     table: ReservationTable,
     box_free_at: f64,
+    scratch: SeekScratch,
 }
 
 impl FcfsScheduler {
@@ -28,6 +30,7 @@ impl FcfsScheduler {
             config,
             table: ReservationTable::new(),
             box_free_at: f64::NEG_INFINITY,
+            scratch: SeekScratch::new(),
         }
     }
 
@@ -45,40 +48,32 @@ impl FcfsScheduler {
         let earliest =
             now + MotionProfile::earliest_arrival(req.speed, lim.v_max, lim.a_max, d_plan);
         // The global box lock only gates vehicles still approaching it.
-        let mut target = if in_approach {
+        let target = if in_approach {
             earliest.max(self.box_free_at + self.config.zone_gap)
         } else {
             earliest
         };
-        let deadline = target + self.config.max_delay;
 
-        let chosen = loop {
-            let profile = MotionProfile::arrive_at(
-                now,
-                req.speed,
-                lim.v_max,
-                lim.a_max,
-                lim.d_max,
-                d_plan,
-                target - now,
-            );
-            let profile = MotionProfile::new(
-                profile.start_time(),
-                req.position_s,
-                profile.start_speed(),
-                profile.segments().to_vec(),
-            );
-            let occupancy = occupancy_of(movement, &profile);
-            if self
-                .table
-                .is_free(&occupancy, self.config.zone_gap, Some(req.id))
-            {
-                break Some((profile, occupancy));
-            }
-            target += self.config.search_step;
-            if target > deadline {
-                break None;
-            }
+        let seeker = EntrySeeker {
+            movement,
+            table: &self.table,
+            gap: self.config.zone_gap,
+            ignore: req.id,
+            now,
+            v0: req.speed,
+            v_max: lim.v_max,
+            a_max: lim.a_max,
+            d_max: lim.d_max,
+            d_plan,
+            position_s: req.position_s,
+            start: target,
+            step: self.config.search_step,
+            deadline: target + self.config.max_delay,
+        };
+        let chosen = if self.config.probe {
+            seeker.linear(&mut self.scratch)
+        } else {
+            seeker.seek(None, &mut self.scratch)
         };
 
         let (profile, occupancy) = chosen.unwrap_or_else(|| {

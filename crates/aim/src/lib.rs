@@ -28,12 +28,14 @@ pub mod fcfs;
 pub mod plan;
 pub mod reservation;
 pub mod scheduler;
+pub mod seek;
 pub mod traffic_light;
 
 pub use conflict::find_conflicts;
 pub use evacuation::EvacuationPlanner;
 pub use fcfs::FcfsScheduler;
 pub use plan::{PlanRequest, TravelPlan, VehicleStatus};
-pub use reservation::{occupancy_of, park_fallback, ReservationTable};
+pub use reservation::{occupancy_into, occupancy_of, park_fallback, Blocking, ReservationTable};
 pub use scheduler::{ReservationScheduler, Scheduler, SchedulerConfig};
+pub use seek::{EntrySeeker, SeekScratch};
 pub use traffic_light::TrafficLightScheduler;

@@ -1,19 +1,33 @@
 //! Time-interval reservations over conflict-zone cells.
+//!
+//! The table keeps every zone's bookings **sorted by (start, end,
+//! vehicle)** with a prefix-maximum-of-ends array alongside. That makes
+//! conflict checks binary-searchable (candidates are the prefix whose
+//! starts precede our end; the prefix maximum cuts the backward scan as
+//! soon as no earlier booking can still reach us), `release` O(holdings)
+//! via a vehicle→zones reverse index instead of a full-table sweep, and
+//! — the piece the slot-seeking planners build on — supports
+//! [`ReservationTable::first_blocking`], which reports not just *that* a
+//! placement conflicts but a proven lower bound on when the zone next
+//! admits an interval of that shape.
 
 use nwade_geometry::{occupancy_interval, MotionProfile, TimeInterval};
 use nwade_intersection::{Movement, ZoneId};
 use nwade_traffic::VehicleId;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// The zone occupancy of one plan: which cells it holds and when.
 pub type Occupancy = Vec<(ZoneId, TimeInterval)>;
 
-/// Computes the zone occupancy of `profile` along `movement`.
+/// Computes the zone occupancy of `profile` along `movement` into a
+/// caller-owned buffer (cleared first), so planners probing many
+/// candidate entry times reuse one allocation.
 ///
 /// A profile that brakes to a stop inside a cell holds that cell forever
 /// (interval end `= ∞`) and occupies nothing beyond it.
-pub fn occupancy_of(movement: &Movement, profile: &MotionProfile) -> Occupancy {
-    let mut out = Vec::with_capacity(movement.zones().len());
+pub fn occupancy_into(movement: &Movement, profile: &MotionProfile, out: &mut Occupancy) {
+    out.clear();
     for zi in movement.zones() {
         if zi.exit <= profile.start_position() {
             continue; // already behind the vehicle
@@ -29,6 +43,12 @@ pub fn occupancy_of(movement: &Movement, profile: &MotionProfile) -> Occupancy {
             None => break, // never reaches this cell
         }
     }
+}
+
+/// Computes the zone occupancy of `profile` along `movement`.
+pub fn occupancy_of(movement: &Movement, profile: &MotionProfile) -> Occupancy {
+    let mut out = Vec::with_capacity(movement.zones().len());
+    occupancy_into(movement, profile, &mut out);
     out
 }
 
@@ -57,6 +77,7 @@ pub fn park_fallback(
         0.0
     };
     let mut stop_dist = natural;
+    let mut occupancy = Occupancy::new();
     loop {
         let profile = if stop_dist <= 0.01 || speed <= 0.01 {
             MotionProfile::stopped(now, position_s)
@@ -69,11 +90,139 @@ pub fn park_fallback(
                 vec![nwade_geometry::ProfileSegment::new(speed / rate, -rate)],
             )
         };
-        let occupancy = occupancy_of(movement, &profile);
+        occupancy_into(movement, &profile, &mut occupancy);
         if stop_dist <= 0.01 || table.is_free(&occupancy, gap, Some(vehicle)) {
             return (profile, occupancy);
         }
         stop_dist = (stop_dist - 3.0).max(0.0);
+    }
+}
+
+/// The first conflicting zone of a rejected booking attempt, plus a
+/// proven bound the slot-seeking planners jump by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blocking {
+    /// The first zone (in occupancy order) with a conflict.
+    pub zone: ZoneId,
+    /// A vehicle holding a conflicting booking in that zone.
+    pub holder: VehicleId,
+    /// Every placement in this zone of an interval at least as long as
+    /// the rejected one, starting at or before this time, still
+    /// conflicts with some booking; the first feasible start is strictly
+    /// later. `INFINITY` when an open-ended booking blocks forever.
+    pub blocked_until: f64,
+}
+
+/// One zone's bookings, sorted by (start, end, vehicle), with the prefix
+/// maximum of interval ends for early exit in backward scans (ends are
+/// not sorted — long and open-ended intervals can precede short ones).
+#[derive(Debug, Clone, Default)]
+struct ZoneLane {
+    entries: Vec<(TimeInterval, VehicleId)>,
+    max_end: Vec<f64>,
+}
+
+fn lane_order(a: &(TimeInterval, VehicleId), b: &(TimeInterval, VehicleId)) -> Ordering {
+    a.0.start
+        .partial_cmp(&b.0.start)
+        .unwrap_or(Ordering::Equal)
+        .then(a.0.end.partial_cmp(&b.0.end).unwrap_or(Ordering::Equal))
+        .then(a.1.cmp(&b.1))
+}
+
+impl ZoneLane {
+    fn insert(&mut self, iv: TimeInterval, vehicle: VehicleId) {
+        let entry = (iv, vehicle);
+        let pos = self
+            .entries
+            .partition_point(|e| lane_order(e, &entry) == Ordering::Less);
+        self.entries.insert(pos, entry);
+        self.rebuild_max_from(pos);
+    }
+
+    /// Recomputes the prefix maximum from index `from` to the end.
+    fn rebuild_max_from(&mut self, from: usize) {
+        self.max_end.truncate(from);
+        let mut run = if from == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.max_end[from - 1]
+        };
+        for (iv, _) in &self.entries[from..] {
+            run = run.max(iv.end);
+            self.max_end.push(run);
+        }
+    }
+
+    fn remove_vehicle(&mut self, vehicle: VehicleId) {
+        let first = self.entries.iter().position(|(_, v)| *v == vehicle);
+        if let Some(first) = first {
+            self.entries.retain(|(_, v)| *v != vehicle);
+            self.rebuild_max_from(first);
+        }
+    }
+
+    /// A booking conflicting with `iv` under `gap`, if any.
+    ///
+    /// Same predicate as [`TimeInterval::overlaps_with_gap`]: candidates
+    /// are the sorted prefix with `start <= iv.end + gap`; scanning it
+    /// backwards, once the prefix maximum of ends falls `gap` short of
+    /// `iv.start` no earlier booking can overlap either.
+    fn first_overlap(
+        &self,
+        iv: &TimeInterval,
+        gap: f64,
+        ignore: Option<VehicleId>,
+    ) -> Option<(TimeInterval, VehicleId)> {
+        let hi = self
+            .entries
+            .partition_point(|(b, _)| b.start <= iv.end + gap);
+        for i in (0..hi).rev() {
+            if self.max_end[i] + gap < iv.start {
+                break;
+            }
+            let (b, v) = self.entries[i];
+            if Some(v) == ignore {
+                continue;
+            }
+            if b.end + gap >= iv.start {
+                return Some((b, v));
+            }
+        }
+        None
+    }
+
+    /// Walks the booking chain from `from`: returns a time `U >= from`
+    /// such that **every** placement `[s, s + duration]` with
+    /// `s ∈ [from, U]` conflicts with some booking (under `gap`). The
+    /// first feasible start is therefore strictly greater than `U`.
+    /// Returns `from` itself when nothing conflicts there.
+    ///
+    /// Soundness: entries are visited in ascending start order; whenever
+    /// a booking `B` conflicts at the current bound (`B.end + gap >=
+    /// until` and, by the not-yet-broken loop condition, `B.start <=
+    /// until + duration + gap`), every `s ∈ (until, B.end + gap]` also
+    /// satisfies both inequalities against `B`, extending the covered
+    /// range. Once a booking starts beyond `until + duration + gap`, so
+    /// does every later one, and none can touch a placement starting at
+    /// or before `until`.
+    fn blocked_until(&self, from: f64, duration: f64, gap: f64, ignore: Option<VehicleId>) -> f64 {
+        let mut until = from;
+        for (b, v) in &self.entries {
+            if b.start > until + duration + gap {
+                break;
+            }
+            if Some(*v) == ignore {
+                continue;
+            }
+            if b.end + gap >= until {
+                until = until.max(b.end + gap);
+                if until.is_infinite() {
+                    return f64::INFINITY;
+                }
+            }
+        }
+        until
     }
 }
 
@@ -82,7 +231,10 @@ pub fn park_fallback(
 /// gap between any two reservations of the same cell.
 #[derive(Debug, Clone, Default)]
 pub struct ReservationTable {
-    zones: HashMap<ZoneId, Vec<(TimeInterval, VehicleId)>>,
+    zones: HashMap<ZoneId, ZoneLane>,
+    /// Which zones each vehicle holds bookings in (with multiplicity),
+    /// so `release` touches only those lanes.
+    holdings: HashMap<VehicleId, Vec<ZoneId>>,
 }
 
 impl ReservationTable {
@@ -101,14 +253,33 @@ impl ReservationTable {
         ignore: Option<VehicleId>,
     ) -> Option<(ZoneId, VehicleId)> {
         for (zone, iv) in occupancy {
-            if let Some(existing) = self.zones.get(zone) {
-                for (booked, holder) in existing {
-                    if Some(*holder) == ignore {
-                        continue;
-                    }
-                    if iv.overlaps_with_gap(booked, gap) {
-                        return Some((*zone, *holder));
-                    }
+            if let Some(lane) = self.zones.get(zone) {
+                if let Some((_, holder)) = lane.first_overlap(iv, gap, ignore) {
+                    return Some((*zone, holder));
+                }
+            }
+        }
+        None
+    }
+
+    /// Like [`ReservationTable::first_conflict`], but also reports how
+    /// long the conflicting zone stays provably blocked for an interval
+    /// of this shape — the jump bound the slot-seeking planners binary
+    /// search against.
+    pub fn first_blocking(
+        &self,
+        occupancy: &Occupancy,
+        gap: f64,
+        ignore: Option<VehicleId>,
+    ) -> Option<Blocking> {
+        for (zone, iv) in occupancy {
+            if let Some(lane) = self.zones.get(zone) {
+                if let Some((_, holder)) = lane.first_overlap(iv, gap, ignore) {
+                    return Some(Blocking {
+                        zone: *zone,
+                        holder,
+                        blocked_until: lane.blocked_until(iv.start, iv.duration(), gap, ignore),
+                    });
                 }
             }
         }
@@ -123,35 +294,85 @@ impl ReservationTable {
     /// Books `occupancy` for `vehicle` (no conflict check — call
     /// [`ReservationTable::is_free`] first).
     pub fn reserve(&mut self, vehicle: VehicleId, occupancy: &Occupancy) {
+        if occupancy.is_empty() {
+            return;
+        }
+        let held = self.holdings.entry(vehicle).or_default();
         for (zone, iv) in occupancy {
-            self.zones.entry(*zone).or_default().push((*iv, vehicle));
+            self.zones.entry(*zone).or_default().insert(*iv, vehicle);
+            held.push(*zone);
         }
     }
 
     /// Removes every reservation held by `vehicle`.
     pub fn release(&mut self, vehicle: VehicleId) {
-        for entries in self.zones.values_mut() {
-            entries.retain(|(_, v)| *v != vehicle);
+        let Some(mut zones) = self.holdings.remove(&vehicle) else {
+            return;
+        };
+        zones.sort_unstable();
+        zones.dedup();
+        for zone in zones {
+            if let Some(lane) = self.zones.get_mut(&zone) {
+                lane.remove_vehicle(vehicle);
+                if lane.entries.is_empty() {
+                    self.zones.remove(&zone);
+                }
+            }
         }
-        self.zones.retain(|_, v| !v.is_empty());
     }
 
     /// Drops reservations that ended before `t` (garbage collection).
+    /// Only the sorted prefix with `start < t` is scanned: a booking
+    /// starting at or after `t` ends at or after `t` too.
     pub fn release_before(&mut self, t: f64) {
-        for entries in self.zones.values_mut() {
-            entries.retain(|(iv, _)| iv.end >= t);
+        let mut dead: Vec<(VehicleId, ZoneId)> = Vec::new();
+        for (zone, lane) in self.zones.iter_mut() {
+            let cut = lane.entries.partition_point(|(iv, _)| iv.start < t);
+            if cut == 0 {
+                continue;
+            }
+            let mut idx = 0usize;
+            let mut first_removed = usize::MAX;
+            lane.entries.retain(|(iv, v)| {
+                let keep = idx >= cut || iv.end >= t;
+                if !keep {
+                    dead.push((*v, *zone));
+                    if first_removed == usize::MAX {
+                        first_removed = idx;
+                    }
+                }
+                idx += 1;
+                keep
+            });
+            if first_removed != usize::MAX {
+                lane.rebuild_max_from(first_removed);
+            }
         }
-        self.zones.retain(|_, v| !v.is_empty());
+        self.zones.retain(|_, lane| !lane.entries.is_empty());
+        for (vehicle, zone) in dead {
+            if let Some(held) = self.holdings.get_mut(&vehicle) {
+                if let Some(pos) = held.iter().position(|z| *z == zone) {
+                    held.swap_remove(pos);
+                }
+                if held.is_empty() {
+                    self.holdings.remove(&vehicle);
+                }
+            }
+        }
     }
 
-    /// Bookings of one zone cell (diagnostics and tests).
+    /// Bookings of one zone cell in (start, end, vehicle) order
+    /// (diagnostics and tests).
     pub fn entries_at(&self, zone: ZoneId) -> Vec<(TimeInterval, VehicleId)> {
-        self.zones.get(&zone).cloned().unwrap_or_default()
+        self.zones
+            .get(&zone)
+            .map(|lane| lane.entries.clone())
+            .unwrap_or_default()
     }
 
     /// Total number of booked intervals.
     pub fn len(&self) -> usize {
-        self.zones.values().map(Vec::len).sum()
+        self.zones.values().map(|lane| lane.entries.len()).sum()
     }
 
     /// `true` when no reservations exist.
@@ -242,6 +463,70 @@ mod tests {
     }
 
     #[test]
+    fn entries_stay_sorted_and_release_uses_holdings() {
+        let mut t = ReservationTable::new();
+        t.reserve(VehicleId::new(3), &occ(&[(zid(0, 0), 10.0, 12.0)]));
+        t.reserve(VehicleId::new(1), &occ(&[(zid(0, 0), 0.0, 20.0)]));
+        t.reserve(
+            VehicleId::new(2),
+            &occ(&[(zid(0, 0), 5.0, 6.0), (zid(1, 0), 5.0, 6.0)]),
+        );
+        let entries = t.entries_at(zid(0, 0));
+        let starts: Vec<f64> = entries.iter().map(|(iv, _)| iv.start).collect();
+        assert_eq!(starts, vec![0.0, 5.0, 10.0]);
+        // Long interval inserted first still found when probing late
+        // (prefix-max-of-ends keeps the backward scan alive past the
+        // short booking).
+        assert!(!t.is_free(&occ(&[(zid(0, 0), 18.0, 19.0)]), 0.0, None));
+        t.release(VehicleId::new(2));
+        assert_eq!(t.len(), 2);
+        assert!(t.entries_at(zid(1, 0)).is_empty());
+        t.release(VehicleId::new(2)); // idempotent
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn blocked_until_walks_booking_chains() {
+        let mut t = ReservationTable::new();
+        // Chain: [0,5], [5.5,10], [10.5,15] with gap 1 the whole range
+        // [0, 16] is blocked for any placement.
+        t.reserve(VehicleId::new(1), &occ(&[(zid(0, 0), 0.0, 5.0)]));
+        t.reserve(VehicleId::new(2), &occ(&[(zid(0, 0), 5.5, 10.0)]));
+        t.reserve(VehicleId::new(3), &occ(&[(zid(0, 0), 10.5, 15.0)]));
+        let b = t
+            .first_blocking(&occ(&[(zid(0, 0), 1.0, 3.0)]), 1.0, None)
+            .expect("conflicts");
+        assert_eq!(b.zone, zid(0, 0));
+        assert_eq!(b.blocked_until, 16.0);
+        // Just past the bound the zone really is free.
+        assert!(t.is_free(&occ(&[(zid(0, 0), 16.1, 18.0)]), 1.0, None));
+        // An open-ended booking blocks forever — but only placements too
+        // long for the [16, 19] hole chain into it.
+        t.reserve(VehicleId::new(4), &occ(&[(zid(0, 0), 20.0, f64::INFINITY)]));
+        let b = t
+            .first_blocking(&occ(&[(zid(0, 0), 1.0, 3.0)]), 1.0, None)
+            .expect("conflicts");
+        assert_eq!(b.blocked_until, 16.0, "a 2 s placement still fits the hole");
+        let b = t
+            .first_blocking(&occ(&[(zid(0, 0), 1.0, 11.0)]), 1.0, None)
+            .expect("conflicts");
+        assert!(b.blocked_until.is_infinite());
+    }
+
+    #[test]
+    fn blocked_until_ignores_own_bookings() {
+        let mut t = ReservationTable::new();
+        let me = VehicleId::new(7);
+        t.reserve(VehicleId::new(1), &occ(&[(zid(0, 0), 0.0, 5.0)]));
+        t.reserve(me, &occ(&[(zid(0, 0), 6.0, 100.0)]));
+        let b = t
+            .first_blocking(&occ(&[(zid(0, 0), 1.0, 3.0)]), 1.0, Some(me))
+            .expect("still conflicts with V1");
+        assert_eq!(b.holder, VehicleId::new(1));
+        assert_eq!(b.blocked_until, 6.0);
+    }
+
+    #[test]
     fn occupancy_of_cruising_profile_covers_all_zones() {
         let topo = build(IntersectionKind::FourWayCross, &GeometryConfig::default());
         let m = topo.movement(MovementId::new(0));
@@ -275,5 +560,18 @@ mod tests {
         let occ = occupancy_of(m, &profile);
         assert!(occ.len() < m.zones().len());
         assert!(occ.iter().all(|(_, iv)| iv.start >= 0.0));
+    }
+
+    #[test]
+    fn occupancy_into_reuses_buffer() {
+        let topo = build(IntersectionKind::FourWayCross, &GeometryConfig::default());
+        let m = topo.movement(MovementId::new(0));
+        let mut buf = Occupancy::new();
+        let p1 = MotionProfile::cruise(0.0, 10.0, m.path().length());
+        occupancy_into(m, &p1, &mut buf);
+        assert_eq!(buf, occupancy_of(m, &p1));
+        let p2 = MotionProfile::brake_to_stop(0.0, 0.0, 10.0, 3.0);
+        occupancy_into(m, &p2, &mut buf);
+        assert_eq!(buf, occupancy_of(m, &p2));
     }
 }

@@ -2,9 +2,10 @@
 //! trait shared with the baselines.
 
 use crate::plan::{PlanRequest, TravelPlan, VehicleStatus};
-use crate::reservation::{occupancy_of, ReservationTable};
+use crate::reservation::{occupancy_of, Occupancy, ReservationTable};
+use crate::seek::{EntrySeeker, SeekScratch};
 use nwade_geometry::MotionProfile;
-use nwade_intersection::Topology;
+use nwade_intersection::{Movement, Topology};
 use nwade_traffic::KinematicLimits;
 use std::sync::Arc;
 
@@ -21,6 +22,15 @@ pub struct SchedulerConfig {
     /// Maximum extra delay the search will consider before giving up and
     /// holding the vehicle at the stop line, seconds.
     pub max_delay: f64,
+    /// Run the retained linear probe loop instead of the slot-seeking
+    /// search. Plans are identical either way (pinned by differential
+    /// tests); the flag exists for those tests and for window-latency
+    /// baselines.
+    pub probe: bool,
+    /// Worker threads for the read-only pre-pass that computes each
+    /// request's earliest-arrival profile and occupancy before the
+    /// sequential booking pass. `1` skips the pre-pass.
+    pub threads: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -30,8 +40,30 @@ impl Default for SchedulerConfig {
             zone_gap: 1.2,
             search_step: 0.5,
             max_delay: 240.0,
+            probe: false,
+            threads: 1,
         }
     }
+}
+
+/// Planning distance and earliest kinematically possible arrival for a
+/// request: plan to the box entry while approaching; a vehicle already
+/// past it (recovery replan mid-crossing) is planned to the path end so
+/// it actually drives out instead of freezing in place.
+pub(crate) fn approach(
+    movement: &Movement,
+    req: &PlanRequest,
+    lim: &KinematicLimits,
+    now: f64,
+) -> (f64, f64) {
+    let d_box = movement.box_entry() - req.position_s;
+    let d_plan = if d_box > 1.0 {
+        d_box
+    } else {
+        (movement.path().length() - req.position_s).max(0.0)
+    };
+    let earliest = now + MotionProfile::earliest_arrival(req.speed, lim.v_max, lim.a_max, d_plan);
+    (d_plan, earliest)
 }
 
 /// An intersection scheduler: turns plan requests into travel plans.
@@ -68,17 +100,20 @@ pub trait Scheduler {
 /// scheduling over conflict-zone cells.
 ///
 /// For each request the scheduler computes the earliest kinematically
-/// possible arrival at the intersection box, then advances the target
-/// entry time in [`SchedulerConfig::search_step`] increments until the
-/// whole zone occupancy of the resulting profile is bookable. The
-/// profile shape comes from [`MotionProfile::arrive_at`]: adjust speed
-/// once, then hold — gentle on passengers and easy for watchers to
-/// verify.
+/// possible arrival at the intersection box, then finds the first target
+/// entry time on the [`SchedulerConfig::search_step`] grid whose whole
+/// zone occupancy is bookable — by slot-seeking jumps over the table's
+/// sorted interval lanes (see [`EntrySeeker::seek`]), or by the retained
+/// linear probe loop when [`SchedulerConfig::probe`] is set; both select
+/// the same grid point. The profile shape comes from
+/// [`MotionProfile::arrive_at`]: adjust speed once, then hold — gentle
+/// on passengers and easy for watchers to verify.
 #[derive(Debug, Clone)]
 pub struct ReservationScheduler {
     topology: Arc<Topology>,
     config: SchedulerConfig,
     table: ReservationTable,
+    scratch: SeekScratch,
 }
 
 impl ReservationScheduler {
@@ -88,6 +123,7 @@ impl ReservationScheduler {
             topology,
             config,
             table: ReservationTable::new(),
+            scratch: SeekScratch::new(),
         }
     }
 
@@ -102,48 +138,40 @@ impl ReservationScheduler {
     }
 
     /// Builds the plan for one request against the current table.
-    fn plan_one(&mut self, req: &PlanRequest, now: f64) -> TravelPlan {
+    ///
+    /// `seed` optionally carries the request's earliest-arrival profile
+    /// and occupancy, precomputed by the parallel pre-pass.
+    fn plan_one(
+        &mut self,
+        req: &PlanRequest,
+        now: f64,
+        seed: Option<(MotionProfile, Occupancy)>,
+    ) -> TravelPlan {
         let movement = self.topology.movement(req.movement);
         let path = movement.path();
         let lim = self.config.limits;
-        // Plan to the box entry while approaching; a vehicle already past
-        // it (recovery replan mid-crossing) is planned to the path end so
-        // it actually drives out instead of freezing in place.
-        let d_box = movement.box_entry() - req.position_s;
-        let d_plan = if d_box > 1.0 {
-            d_box
-        } else {
-            (path.length() - req.position_s).max(0.0)
-        };
-        let earliest =
-            now + MotionProfile::earliest_arrival(req.speed, lim.v_max, lim.a_max, d_plan);
+        let (d_plan, earliest) = approach(movement, req, &lim, now);
 
-        let mut target = earliest;
-        let deadline = earliest + self.config.max_delay;
-        let chosen = loop {
-            let horizon = target - now;
-            let mut profile = MotionProfile::arrive_at(
-                now, req.speed, lim.v_max, lim.a_max, lim.d_max, d_plan, horizon,
-            );
-            // arrive_at positions start at 0; shift to the request's
-            // arclength so occupancy uses path coordinates.
-            profile = MotionProfile::new(
-                profile.start_time(),
-                req.position_s,
-                profile.start_speed(),
-                profile.segments().to_vec(),
-            );
-            let occupancy = occupancy_of(movement, &profile);
-            if self
-                .table
-                .is_free(&occupancy, self.config.zone_gap, Some(req.id))
-            {
-                break Some((profile, occupancy));
-            }
-            target += self.config.search_step;
-            if target > deadline {
-                break None;
-            }
+        let seeker = EntrySeeker {
+            movement,
+            table: &self.table,
+            gap: self.config.zone_gap,
+            ignore: req.id,
+            now,
+            v0: req.speed,
+            v_max: lim.v_max,
+            a_max: lim.a_max,
+            d_max: lim.d_max,
+            d_plan,
+            position_s: req.position_s,
+            start: earliest,
+            step: self.config.search_step,
+            deadline: earliest + self.config.max_delay,
+        };
+        let chosen = if self.config.probe {
+            seeker.linear(&mut self.scratch)
+        } else {
+            seeker.seek(seed, &mut self.scratch)
         };
 
         let (profile, occupancy) = chosen.unwrap_or_else(|| {
@@ -209,11 +237,55 @@ pub(crate) fn batch_order<'a>(
     order
 }
 
+impl ReservationScheduler {
+    /// Read-only pre-pass: each request's earliest-arrival profile and
+    /// occupancy, computed over parallel chunks before the sequential
+    /// booking pass. Deterministic — the seed depends only on the
+    /// request's own kinematics (not on the table), and chunk
+    /// concatenation preserves request order, so results are
+    /// bit-identical to computing them inline.
+    fn first_probes(
+        &self,
+        ordered: &[&PlanRequest],
+        now: f64,
+    ) -> Vec<Option<(MotionProfile, Occupancy)>> {
+        if self.config.probe || self.config.threads <= 1 {
+            return ordered.iter().map(|_| None).collect();
+        }
+        let lim = self.config.limits;
+        let topology = &self.topology;
+        nwade_exec::fan_out(ordered, self.config.threads, |chunk| {
+            chunk
+                .iter()
+                .map(|req| {
+                    let movement = topology.movement(req.movement);
+                    let (d_plan, earliest) = approach(movement, req, &lim, now);
+                    let profile = MotionProfile::arrive_at(
+                        now,
+                        req.speed,
+                        lim.v_max,
+                        lim.a_max,
+                        lim.d_max,
+                        d_plan,
+                        earliest - now,
+                    )
+                    .with_start_position(req.position_s);
+                    let occupancy = occupancy_of(movement, &profile);
+                    Some((profile, occupancy))
+                })
+                .collect()
+        })
+    }
+}
+
 impl Scheduler for ReservationScheduler {
     fn schedule(&mut self, requests: &[PlanRequest], now: f64) -> Vec<TravelPlan> {
-        batch_order(requests, &self.topology)
+        let ordered = batch_order(requests, &self.topology);
+        let seeds = self.first_probes(&ordered, now);
+        ordered
             .into_iter()
-            .map(|r| self.plan_one(r, now))
+            .zip(seeds)
+            .map(|(r, seed)| self.plan_one(r, now, seed))
             .collect()
     }
 

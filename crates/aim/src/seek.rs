@@ -1,0 +1,341 @@
+//! Slot-seeking entry-time search shared by the planners.
+//!
+//! Every scheduler used to walk the probe grid `{earliest + k·step}`
+//! linearly: build the [`MotionProfile::arrive_at`] profile for the
+//! target, compute its occupancy, test the table, step by
+//! `search_step`, up to `max_delay / search_step` (≈ 480) probes per
+//! request. [`EntrySeeker::seek`] answers the same question — the first
+//! *grid point* whose occupancy books cleanly — by jumping: when a probe
+//! conflicts, [`crate::ReservationTable::first_blocking`] reports how
+//! long the conflicting zone stays provably blocked for an interval of
+//! that shape, and a binary search over the remaining grid finds the
+//! first target whose zone-entry time clears that bound (≈ log₂ 480 ≈ 9
+//! profile builds per blocking episode).
+//!
+//! ## Why the result is bit-identical to the linear loop
+//!
+//! `arrive_at` ramps from the current speed to a hold speed `v` found by
+//! bisection; a later target means a lower `v`, hence a pointwise slower
+//! profile, hence, for every zone: a non-decreasing entry time, a
+//! non-decreasing exit time, a non-decreasing crossing duration, and —
+//! once the hold speed falls below the resolvable minimum — monotone
+//! *absence* (the profile parks short of the zone). A placement
+//! conflicts with a booking `B` iff `start ≤ B.end + gap` (and the
+//! symmetric condition, which slower profiles keep satisfied), so
+//! "clears the blocked range" is a monotone predicate of the grid index
+//! and binary search skips exactly the grid points that still conflict.
+//! The linear loop would have rejected every one of them, so both
+//! searches land on the same grid point — and the grid itself is built
+//! by the same accumulated `target += step` floats the linear loop
+//! produces. The linear loop is retained behind the
+//! `SchedulerConfig::probe` flag and pinned equal by differential tests.
+
+use crate::reservation::{occupancy_into, Occupancy, ReservationTable};
+use nwade_geometry::MotionProfile;
+use nwade_intersection::{Movement, ZoneId};
+use nwade_traffic::VehicleId;
+
+/// Reusable buffers for one scheduler: probing many candidate entry
+/// times reuses these allocations instead of building fresh vectors per
+/// probe.
+#[derive(Debug, Clone, Default)]
+pub struct SeekScratch {
+    /// Occupancy at the current committed grid point.
+    occupancy: Occupancy,
+    /// Occupancy buffer for binary-search evaluations.
+    probe: Occupancy,
+    /// The probe grid (accumulated, see [`EntrySeeker::seek`]).
+    targets: Vec<f64>,
+}
+
+impl SeekScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        SeekScratch::default()
+    }
+}
+
+/// One entry-time search over the probe grid
+/// `{start, start + step, …} ∩ [start, deadline]`.
+#[derive(Debug)]
+pub struct EntrySeeker<'a> {
+    /// The movement being planned.
+    pub movement: &'a Movement,
+    /// The reservation table to book against.
+    pub table: &'a ReservationTable,
+    /// Temporal gap between same-cell reservations, seconds.
+    pub gap: f64,
+    /// The requesting vehicle (its own bookings are ignored).
+    pub ignore: VehicleId,
+    /// Absolute time the plan starts.
+    pub now: f64,
+    /// Current speed (clamped to `v_max` by `arrive_at`).
+    pub v0: f64,
+    /// Speed limit for the profile.
+    pub v_max: f64,
+    /// Acceleration limit.
+    pub a_max: f64,
+    /// Deceleration limit.
+    pub d_max: f64,
+    /// Distance the profile must cover.
+    pub d_plan: f64,
+    /// Arclength position the profile starts at.
+    pub position_s: f64,
+    /// First grid point (the earliest feasible arrival, possibly pushed
+    /// back by scheduler-specific locks).
+    pub start: f64,
+    /// Grid spacing (`search_step`).
+    pub step: f64,
+    /// Last admissible target; grid points beyond it are not probed.
+    pub deadline: f64,
+}
+
+impl EntrySeeker<'_> {
+    /// The arrival profile targeting `target`, rebased to the request's
+    /// arclength.
+    pub fn profile_at(&self, target: f64) -> MotionProfile {
+        MotionProfile::arrive_at(
+            self.now,
+            self.v0,
+            self.v_max,
+            self.a_max,
+            self.d_max,
+            self.d_plan,
+            target - self.now,
+        )
+        .with_start_position(self.position_s)
+    }
+
+    /// The retained linear probe loop — the pre-slot-seek search, kept
+    /// behind [`crate::SchedulerConfig::probe`] for differential tests.
+    pub fn linear(&self, scratch: &mut SeekScratch) -> Option<(MotionProfile, Occupancy)> {
+        let mut target = self.start;
+        loop {
+            let profile = self.profile_at(target);
+            occupancy_into(self.movement, &profile, &mut scratch.occupancy);
+            if self
+                .table
+                .is_free(&scratch.occupancy, self.gap, Some(self.ignore))
+            {
+                return Some((profile, scratch.occupancy.clone()));
+            }
+            target += self.step;
+            if target > self.deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Slot-seeking search: same result as [`EntrySeeker::linear`], in
+    /// O(blocking episodes × log grid) probes instead of O(grid).
+    ///
+    /// `seed` may carry the profile and occupancy of the *first* grid
+    /// point, precomputed by the parallel pre-pass; it must be exactly
+    /// what `profile_at(start)` produces.
+    pub fn seek(
+        &self,
+        seed: Option<(MotionProfile, Occupancy)>,
+        scratch: &mut SeekScratch,
+    ) -> Option<(MotionProfile, Occupancy)> {
+        // Build the grid by the same accumulation the linear loop runs
+        // (`target += step`), so grid point k is bit-for-bit the float
+        // the linear search would probe.
+        scratch.targets.clear();
+        let mut t = self.start;
+        loop {
+            scratch.targets.push(t);
+            t += self.step;
+            if t > self.deadline {
+                break;
+            }
+        }
+        let kmax = scratch.targets.len() - 1;
+
+        let mut k = 0usize;
+        let mut profile = match seed {
+            Some((p, occ)) => {
+                scratch.occupancy = occ;
+                p
+            }
+            None => {
+                let p = self.profile_at(scratch.targets[0]);
+                occupancy_into(self.movement, &p, &mut scratch.occupancy);
+                p
+            }
+        };
+        loop {
+            let Some(blocking) =
+                self.table
+                    .first_blocking(&scratch.occupancy, self.gap, Some(self.ignore))
+            else {
+                return Some((profile, scratch.occupancy.clone()));
+            };
+            if k == kmax {
+                return None; // the linear loop would step past the deadline
+            }
+            // Clear-predicate: the zone's entry time moves past the
+            // blocked range — or, when an open-ended booking blocks
+            // forever, the profile parks short of the zone entirely
+            // (entry = ∞). Monotone in k (see module docs).
+            let until = blocking.blocked_until;
+            let clears = |entry: f64| {
+                if until.is_infinite() {
+                    entry.is_infinite()
+                } else {
+                    entry > until
+                }
+            };
+            if !clears(self.zone_entry(scratch.targets[kmax], blocking.zone, &mut scratch.probe)) {
+                // Even the last grid point still conflicts with this
+                // chain — so does everything between (monotonicity).
+                return None;
+            }
+            let (mut lo, mut hi) = (k, kmax);
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if clears(self.zone_entry(scratch.targets[mid], blocking.zone, &mut scratch.probe))
+                {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            k = hi;
+            profile = self.profile_at(scratch.targets[k]);
+            occupancy_into(self.movement, &profile, &mut scratch.occupancy);
+        }
+    }
+
+    /// Entry time of `zone` for the profile targeting `target`, or `∞`
+    /// when that profile never reaches the zone (slower profiles park
+    /// short of it).
+    fn zone_entry(&self, target: f64, zone: ZoneId, buf: &mut Occupancy) -> f64 {
+        let p = self.profile_at(target);
+        occupancy_into(self.movement, &p, buf);
+        buf.iter()
+            .find(|(z, _)| *z == zone)
+            .map_or(f64::INFINITY, |(_, iv)| iv.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanRequest;
+    use crate::reservation::occupancy_of;
+    use nwade_geometry::TimeInterval;
+    use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology};
+    use nwade_traffic::{KinematicLimits, VehicleDescriptor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(build(
+            IntersectionKind::FourWayCross,
+            &GeometryConfig::default(),
+        ))
+    }
+
+    fn request(id: u64, movement: usize, speed: f64) -> PlanRequest {
+        PlanRequest {
+            id: VehicleId::new(id),
+            descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(id)),
+            movement: MovementId::new(movement as u16),
+            position_s: 0.0,
+            speed,
+        }
+    }
+
+    fn seeker<'a>(
+        topo: &'a Topology,
+        table: &'a ReservationTable,
+        req: &PlanRequest,
+        now: f64,
+    ) -> EntrySeeker<'a> {
+        let lim = KinematicLimits::default();
+        let movement = topo.movement(req.movement);
+        let d_plan = movement.box_entry() - req.position_s;
+        let earliest =
+            now + MotionProfile::earliest_arrival(req.speed, lim.v_max, lim.a_max, d_plan);
+        EntrySeeker {
+            movement,
+            table,
+            gap: 1.2,
+            ignore: req.id,
+            now,
+            v0: req.speed,
+            v_max: lim.v_max,
+            a_max: lim.a_max,
+            d_max: lim.d_max,
+            d_plan,
+            position_s: req.position_s,
+            start: earliest,
+            step: 0.5,
+            deadline: earliest + 240.0,
+        }
+    }
+
+    /// Seek and the retained linear loop agree — empty table, contended
+    /// table, and a table blocked forever by an open-ended booking.
+    #[test]
+    fn seek_matches_linear() {
+        let topo = topo();
+        let mut table = ReservationTable::new();
+        let mut scratch = SeekScratch::new();
+        let req = request(1, 0, 15.0);
+
+        // Empty table: both take the earliest grid point.
+        let s = seeker(&topo, &table, &req, 0.0);
+        let a = s.linear(&mut scratch);
+        let b = s.seek(None, &mut scratch);
+        assert_eq!(a, b);
+
+        // Book a same-lane leader and a crossing stream (staggered 4 s
+        // apart — vehicles cannot spawn on top of each other), then
+        // re-plan against the populated table.
+        let (_, lead_occ) = a.expect("books on an empty table");
+        table.reserve(VehicleId::new(0), &lead_occ);
+        for i in 0..6 {
+            let other = request(100 + i, 5, 13.0);
+            let so = seeker(&topo, &table, &other, 4.0 * i as f64);
+            let got = so.seek(None, &mut scratch);
+            assert_eq!(got, so.linear(&mut scratch), "request {i}");
+            let got = got.expect("schedules");
+            table.reserve(other.id, &got.1);
+        }
+        let follow = request(2, 0, 15.0);
+        let sf = seeker(&topo, &table, &follow, 4.0);
+        assert_eq!(sf.seek(None, &mut scratch), sf.linear(&mut scratch));
+
+        // A zone blocked forever: both paths must give up identically.
+        let (z, _) = lead_occ.first().expect("lead occupies at least one zone");
+        let mut forever = ReservationTable::new();
+        forever.reserve(
+            VehicleId::new(9),
+            &vec![(*z, TimeInterval::new(0.0, f64::INFINITY))],
+        );
+        let s = seeker(&topo, &forever, &req, 0.0);
+        assert_eq!(s.seek(None, &mut scratch), s.linear(&mut scratch));
+    }
+
+    /// The precomputed seed changes nothing.
+    #[test]
+    fn seed_is_transparent() {
+        let topo = topo();
+        let mut table = ReservationTable::new();
+        let mut scratch = SeekScratch::new();
+        let first = request(1, 0, 15.0);
+        let s = seeker(&topo, &table, &first, 0.0);
+        let (_, occ) = s.seek(None, &mut scratch).expect("books");
+        table.reserve(first.id, &occ);
+
+        let req = request(2, 0, 15.0);
+        let s = seeker(&topo, &table, &req, 1.0);
+        let seed_profile = s.profile_at(s.start);
+        let seed_occ = occupancy_of(s.movement, &seed_profile);
+        let with_seed = s.seek(Some((seed_profile, seed_occ)), &mut scratch);
+        let without = s.seek(None, &mut scratch);
+        assert_eq!(with_seed, without);
+    }
+}

@@ -6,7 +6,7 @@
 //! zone reservations still enforce spacing.
 
 use crate::plan::{PlanRequest, TravelPlan, VehicleStatus};
-use crate::reservation::{occupancy_of, ReservationTable};
+use crate::reservation::{occupancy_into, occupancy_of, Occupancy, ReservationTable};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use nwade_geometry::MotionProfile;
 use nwade_intersection::Topology;
@@ -34,6 +34,10 @@ impl Default for SignalTiming {
 }
 
 /// The fixed-cycle traffic-light scheduler.
+///
+/// The entry-time search stays a linear probe here: green-window
+/// rollovers make the target sequence non-uniform, so the slot-seeking
+/// grid jumps the other schedulers use do not apply.
 #[derive(Debug, Clone)]
 pub struct TrafficLightScheduler {
     topology: Arc<Topology>,
@@ -41,6 +45,7 @@ pub struct TrafficLightScheduler {
     timing: SignalTiming,
     table: ReservationTable,
     phases: usize,
+    scratch: Occupancy,
 }
 
 impl TrafficLightScheduler {
@@ -54,6 +59,7 @@ impl TrafficLightScheduler {
             timing,
             table: ReservationTable::new(),
             phases,
+            scratch: Occupancy::new(),
         }
     }
 
@@ -124,13 +130,8 @@ impl TrafficLightScheduler {
                 lim.d_max,
                 d_plan,
                 target - now,
-            );
-            let profile = MotionProfile::new(
-                profile.start_time(),
-                req.position_s,
-                profile.start_speed(),
-                profile.segments().to_vec(),
-            );
+            )
+            .with_start_position(req.position_s);
             // The fallback "fastest" profile may still arrive before the
             // window opens; verify the actual entry time.
             let entry = profile
@@ -140,12 +141,12 @@ impl TrafficLightScheduler {
                 target += self.config.search_step;
                 continue;
             }
-            let occupancy = occupancy_of(movement, &profile);
+            occupancy_into(movement, &profile, &mut self.scratch);
             if self
                 .table
-                .is_free(&occupancy, self.config.zone_gap, Some(req.id))
+                .is_free(&self.scratch, self.config.zone_gap, Some(req.id))
             {
-                break Some((profile, occupancy));
+                break Some((profile, self.scratch.clone()));
             }
             target += self.config.search_step;
         };

@@ -1,12 +1,16 @@
 //! Property tests over the scheduler's public API: every plan it emits
 //! must be physically lawful and mutually safe, for arbitrary request
-//! streams.
+//! streams — plus differential properties pinning the slot-seeking
+//! search to the retained linear probe loop, and the sorted reservation
+//! table to a brute-force reference.
 
+use nwade_aim::evacuation::EvacuationConfig;
 use nwade_aim::{
-    find_conflicts, occupancy_of, FcfsScheduler, PlanRequest, ReservationScheduler, Scheduler,
-    SchedulerConfig, TrafficLightScheduler,
+    find_conflicts, occupancy_of, EvacuationPlanner, FcfsScheduler, PlanRequest,
+    ReservationScheduler, ReservationTable, Scheduler, SchedulerConfig, TrafficLightScheduler,
 };
-use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology};
+use nwade_geometry::{TimeInterval, Vec2};
+use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology, ZoneId};
 use nwade_traffic::{VehicleDescriptor, VehicleId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -56,6 +60,256 @@ fn check_scheduler(mut s: impl Scheduler, stream: Vec<(usize, f64, f64)>) {
         for w in occ.windows(2) {
             assert!(w[0].1.start <= w[1].1.start + 1e-9);
         }
+    }
+}
+
+/// Brute-force reference for [`ReservationTable`]: a flat list of
+/// bookings, every query a full linear scan.
+#[derive(Default)]
+struct RefTable {
+    entries: Vec<(ZoneId, TimeInterval, VehicleId)>,
+}
+
+impl RefTable {
+    fn reserve(&mut self, vehicle: VehicleId, occ: &[(ZoneId, TimeInterval)]) {
+        for (zone, iv) in occ {
+            self.entries.push((*zone, *iv, vehicle));
+        }
+    }
+
+    fn release(&mut self, vehicle: VehicleId) {
+        self.entries.retain(|(_, _, v)| *v != vehicle);
+    }
+
+    fn release_before(&mut self, t: f64) {
+        self.entries.retain(|(_, iv, _)| iv.end >= t);
+    }
+
+    fn conflicts_in_zone(
+        &self,
+        zone: ZoneId,
+        iv: &TimeInterval,
+        gap: f64,
+        ignore: Option<VehicleId>,
+    ) -> bool {
+        self.entries
+            .iter()
+            .any(|(z, b, v)| *z == zone && Some(*v) != ignore && iv.overlaps_with_gap(b, gap))
+    }
+
+    fn first_conflict_zone(
+        &self,
+        occ: &[(ZoneId, TimeInterval)],
+        gap: f64,
+        ignore: Option<VehicleId>,
+    ) -> Option<ZoneId> {
+        occ.iter()
+            .find(|(z, iv)| self.conflicts_in_zone(*z, iv, gap, ignore))
+            .map(|(z, _)| *z)
+    }
+}
+
+fn zid(i: usize) -> ZoneId {
+    ZoneId {
+        col: i as i32,
+        row: 0,
+    }
+}
+
+/// An op stream over both tables: bookings (durations past 18 s become
+/// open-ended), releases, garbage collection.
+type TableOps = (
+    Vec<(u64, usize, f64, f64)>, // reserve: vehicle, zone, start, duration
+    Vec<u64>,                    // release: vehicle
+    Option<f64>,                 // release_before: cutoff
+);
+
+fn apply_ops(ops: &TableOps) -> (ReservationTable, RefTable) {
+    let mut table = ReservationTable::new();
+    let mut reference = RefTable::default();
+    for (vehicle, zone, start, dur) in &ops.0 {
+        let end = if *dur > 18.0 {
+            f64::INFINITY
+        } else {
+            start + dur
+        };
+        let occ = vec![(zid(*zone), TimeInterval::new(*start, end))];
+        table.reserve(VehicleId::new(*vehicle), &occ);
+        reference.reserve(VehicleId::new(*vehicle), &occ);
+    }
+    for vehicle in &ops.1 {
+        table.release(VehicleId::new(*vehicle));
+        reference.release(VehicleId::new(*vehicle));
+    }
+    if let Some(t) = ops.2 {
+        table.release_before(t);
+        reference.release_before(t);
+    }
+    (table, reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sorted interval table answers every conflict query exactly
+    /// like the brute-force scan, and `first_blocking`'s bound is sound:
+    /// every placement starting inside `[start, blocked_until]` really
+    /// does conflict.
+    #[test]
+    fn sorted_table_matches_linear_reference(
+        ops in (
+            proptest::collection::vec((0u64..8, 0usize..6, 0.0..50.0f64, 0.1..25.0f64), 0..40),
+            proptest::collection::vec(0u64..8, 0..4),
+            (any::<bool>(), 0.0..60.0f64).prop_map(|(some, t)| some.then_some(t)),
+        ),
+        queries in proptest::collection::vec(
+            (proptest::collection::vec((0usize..6, 0.0..60.0f64, 0.1..15.0f64), 1..4),
+             0.0..3.0f64,
+             (any::<bool>(), 0u64..8).prop_map(|(some, v)| some.then_some(v))),
+            1..8),
+    ) {
+        let (table, reference) = apply_ops(&ops);
+        for (occ_spec, gap, ignore) in &queries {
+            let occ: Vec<(ZoneId, TimeInterval)> = occ_spec
+                .iter()
+                .map(|(z, s, d)| (zid(*z), TimeInterval::new(*s, s + d)))
+                .collect();
+            let ignore = ignore.map(VehicleId::new);
+            // First conflicting entry in occupancy order (the occupancy
+            // may legally list the same zone more than once).
+            let hit = occ
+                .iter()
+                .position(|(z, iv)| reference.conflicts_in_zone(*z, iv, *gap, ignore));
+            let expect = reference.first_conflict_zone(&occ, *gap, ignore);
+            prop_assert_eq!(
+                table.first_conflict(&occ, *gap, ignore).map(|(z, _)| z),
+                expect
+            );
+            prop_assert_eq!(table.is_free(&occ, *gap, ignore), expect.is_none());
+            if let Some(blocking) = table.first_blocking(&occ, *gap, ignore) {
+                prop_assert_eq!(Some(blocking.zone), expect);
+                let iv = occ[hit.expect("reference saw the conflict too")].1;
+                let until = blocking.blocked_until;
+                prop_assert!(until >= iv.start);
+                let probes = if until.is_infinite() {
+                    vec![iv.start, iv.start + 7.0, iv.start + 1000.0]
+                } else {
+                    (0..=4).map(|k| iv.start + (until - iv.start) * k as f64 / 4.0).collect()
+                };
+                for s in probes {
+                    let placed = TimeInterval::new(s, s + iv.duration());
+                    prop_assert!(
+                        reference.conflicts_in_zone(blocking.zone, &placed, *gap, ignore),
+                        "blocked_until {} claims start {} conflicts, reference disagrees",
+                        until, s
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Runs a request stream through a scheduler, one request per batch,
+/// returning the canonical encodings of every emitted plan.
+fn plans_encoded<S: Scheduler>(mut s: S, stream: &[(usize, f64, f64)]) -> Vec<Vec<u8>> {
+    let mut clock = 0.0;
+    let mut out = Vec::new();
+    for (i, (movement, speed, gap)) in stream.iter().enumerate() {
+        clock += gap;
+        out.extend(
+            s.schedule(&[request(i as u64, movement % 16, *speed)], clock)
+                .iter()
+                .map(nwade_aim::TravelPlan::encode),
+        );
+    }
+    out
+}
+
+fn probe_config() -> SchedulerConfig {
+    SchedulerConfig {
+        probe: true,
+        ..SchedulerConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The slot-seeking search and the retained linear probe loop emit
+    /// bit-identical plans for arbitrary request streams — reservation
+    /// scheduler and FCFS baseline alike.
+    #[test]
+    fn probe_and_seek_schedule_identically(
+        stream in proptest::collection::vec(
+            (0usize..16, 5.0..22.0f64, 1.5..8.0f64), 1..15)
+    ) {
+        let topo = topo();
+        prop_assert_eq!(
+            plans_encoded(
+                ReservationScheduler::new(topo.clone(), SchedulerConfig::default()),
+                &stream,
+            ),
+            plans_encoded(ReservationScheduler::new(topo.clone(), probe_config()), &stream)
+        );
+        prop_assert_eq!(
+            plans_encoded(FcfsScheduler::new(topo.clone(), SchedulerConfig::default()), &stream),
+            plans_encoded(FcfsScheduler::new(topo, probe_config()), &stream)
+        );
+    }
+
+    /// The parallel first-probe pre-pass never changes the plans, and
+    /// neither does the worker count.
+    #[test]
+    fn prepass_threads_do_not_change_plans(
+        stream in proptest::collection::vec(
+            (0usize..16, 5.0..22.0f64), 2..20)
+    ) {
+        let topo = topo();
+        let batch: Vec<PlanRequest> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, (movement, speed))| request(i as u64, movement % 16, *speed))
+            .collect();
+        let run = |threads: usize| {
+            let cfg = SchedulerConfig { threads, ..SchedulerConfig::default() };
+            let mut s = ReservationScheduler::new(topo.clone(), cfg);
+            s.schedule(&batch, 0.0)
+                .iter()
+                .map(nwade_aim::TravelPlan::encode)
+                .collect::<Vec<_>>()
+        };
+        let serial = run(1);
+        prop_assert_eq!(run(2), serial.clone());
+        prop_assert_eq!(run(8), serial);
+    }
+
+    /// Evacuation replanning is probe/seek identical too.
+    #[test]
+    fn evacuation_probe_and_seek_identical(
+        vehicles in proptest::collection::vec(
+            (0usize..16, 0.0..80.0f64, 3.0..18.0f64), 1..8),
+        threat_x in -40.0..40.0f64,
+        threat_y in -40.0..40.0f64,
+    ) {
+        let topo = topo();
+        let reqs: Vec<PlanRequest> = vehicles
+            .iter()
+            .enumerate()
+            .map(|(i, (movement, s, v))| {
+                let mut r = request(i as u64, movement % 16, *v);
+                r.position_s = *s;
+                r
+            })
+            .collect();
+        let threats = [Vec2::new(threat_x, threat_y)];
+        let run = |cfg: SchedulerConfig| {
+            EvacuationPlanner::new(topo.clone(), cfg, EvacuationConfig::default())
+                .plan(&reqs, &threats, 5.0)
+                .iter()
+                .map(nwade_aim::TravelPlan::encode)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(SchedulerConfig::default()), run(probe_config()));
     }
 }
 

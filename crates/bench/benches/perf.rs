@@ -4,8 +4,8 @@
 //! the quick interactive view.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nwade_bench::perf::{fleet_config, VARIANTS};
-use nwade_sim::Simulation;
+use nwade_bench::perf::{fleet_config, VARIANTS, WINDOW_REQUEST_CAP};
+use nwade_sim::{EngineChoice, Simulation};
 
 fn bench_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf_tick");
@@ -35,5 +35,28 @@ fn bench_sense(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tick, bench_sense);
+fn bench_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_window");
+    group.sample_size(20);
+    // Slot-seeking vs the retained linear probe loop, same fleet — the
+    // schedulers produce identical plans either way, so this measures
+    // pure search cost.
+    for (label, probe) in [("seek", false), ("probe", true)] {
+        for density in [100usize, 400] {
+            let mut config = fleet_config(EngineChoice::Serial, true);
+            config.probe_scheduler = probe;
+            let mut sim = Simulation::new(config);
+            sim.prespawn_fleet(density);
+            group.bench_function(BenchmarkId::new(label, density), |b| {
+                b.iter(|| {
+                    sim.enqueue_plan_requests(WINDOW_REQUEST_CAP);
+                    sim.force_process_window();
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tick, bench_sense, bench_window);
 criterion_main!(benches);

@@ -196,6 +196,16 @@ impl MotionProfile {
         self
     }
 
+    /// Rebases the profile to start at `position`, keeping time, speed
+    /// and segments (builder style). The planners build profiles with
+    /// [`MotionProfile::arrive_at`] — which starts at position 0 — and
+    /// rebase them onto the vehicle's current arclength; this avoids
+    /// cloning the segment vector for that.
+    pub fn with_start_position(mut self, position: f64) -> Self {
+        self.start_position = position;
+        self
+    }
+
     /// The earliest time a vehicle with these limits can reach `distance`.
     ///
     /// The vehicle starts at speed `v0`, accelerates at `a_max` up to
@@ -446,6 +456,14 @@ mod tests {
     fn time_at_position_before_start_returns_start() {
         let p = MotionProfile::new(3.0, 50.0, 10.0, vec![]);
         assert_eq!(p.time_at_position(10.0), Some(3.0));
+    }
+
+    #[test]
+    fn with_start_position_equals_rebuilt_profile() {
+        let p = MotionProfile::arrive_at(2.0, 12.0, 22.0, 2.0, 3.0, 150.0, 14.0);
+        let rebuilt =
+            MotionProfile::new(p.start_time(), 37.5, p.start_speed(), p.segments().to_vec());
+        assert_eq!(p.clone().with_start_position(37.5), rebuilt);
     }
 
     #[test]

@@ -43,8 +43,14 @@ pub enum EngineChoice {
     /// Run every phase inline on the calling thread.
     Serial,
     /// Fan per-vehicle phases out over a thread pool sized to the host.
-    #[default]
     Parallel,
+    /// Pick per tick: serial below a vehicle-count threshold derived
+    /// from the host's parallelism, threaded above it. On a 1-thread
+    /// host this is always serial — `BENCH_perf.json` showed the
+    /// parallel engine's scope-spawn overhead losing to the serial loop
+    /// at every density there.
+    #[default]
+    Auto,
 }
 
 /// The attack to inject, per Table I.
@@ -121,6 +127,10 @@ pub struct SimConfig {
     /// all-pairs sweeps. Observation sets are identical either way; the
     /// flag exists for differential testing and perf baselines.
     pub spatial_index: bool,
+    /// Run the AIM schedulers' retained linear probe loop instead of the
+    /// slot-seeking search. Plans are bit-identical either way; the flag
+    /// exists for differential testing and window-latency baselines.
+    pub probe_scheduler: bool,
 }
 
 impl Default for SimConfig {
@@ -145,6 +155,7 @@ impl Default for SimConfig {
             initial_speed: 15.0,
             engine: EngineChoice::default(),
             spatial_index: true,
+            probe_scheduler: false,
         }
     }
 }

@@ -9,103 +9,51 @@
 //! the serial loop. All side effects (medium sends, RNG draws, metric
 //! updates, exits) stay serial in the reduction step.
 //!
-//! The helpers here encode that contract: the closure passed to
-//! [`fan_out`] / [`fan_out_mut`] / [`fan_out_indices`] must be
-//! element-wise, i.e. `f(a ++ b) == f(a) ++ f(b)`. Under that contract
-//! the thread count is unobservable.
+//! The chunked fan-out primitives live in `nwade-exec` (shared with the
+//! AIM scheduler's pre-pass) and are re-exported here so existing
+//! `nwade_sim::engine` callers keep working.
 
 use crate::config::EngineChoice;
 use nwade_geometry::{GridIndex, Vec2};
 
-/// Below this many items a phase runs inline: spawning threads costs
-/// more than the work itself.
-const PARALLEL_CUTOFF: usize = 64;
+pub use nwade_exec::{fan_out, fan_out_indices, fan_out_mut, host_threads, PARALLEL_CUTOFF};
 
-/// Worker-thread count for an engine choice: 1 for serial, the host's
-/// available parallelism otherwise.
+/// Worker-thread count for an engine choice, ignoring workload size: 1
+/// for serial, the host's available parallelism otherwise. `Auto` gets
+/// the host count here — use [`resolve_threads_sized`] where a workload
+/// size is known.
 pub fn resolve_threads(choice: EngineChoice) -> usize {
     match choice {
         EngineChoice::Serial => 1,
-        EngineChoice::Parallel => rayon::current_num_threads().max(1),
+        EngineChoice::Parallel | EngineChoice::Auto => host_threads(),
     }
 }
 
-/// Splits `0..n` into at most `threads` contiguous ranges.
-fn ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
-    let chunk = n.div_ceil(threads).max(1);
-    (0..n.div_ceil(chunk))
-        .map(|t| (t * chunk)..((t + 1) * chunk).min(n))
-        .collect()
+/// Vehicle count below which `Auto` stays serial: at least one
+/// [`PARALLEL_CUTOFF`]-sized chunk per worker, so each spawned thread
+/// amortizes its spawn cost over a full chunk of per-vehicle work.
+pub fn auto_parallel_threshold(host_threads: usize) -> usize {
+    PARALLEL_CUTOFF * host_threads.max(1)
 }
 
-/// Runs an element-wise map over index ranges of `0..n`, concatenating
-/// per-range results in range order. With `threads <= 1` (or few items)
-/// this is exactly `f(0..n)`.
-pub fn fan_out_indices<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
-{
-    if threads <= 1 || n < PARALLEL_CUTOFF {
-        return f(0..n);
-    }
-    let ranges = ranges(n, threads);
-    let mut parts: Vec<Vec<R>> = Vec::new();
-    parts.resize_with(ranges.len(), Vec::new);
-    rayon::scope(|s| {
-        for (slot, range) in parts.iter_mut().zip(ranges) {
-            let f = &f;
-            s.spawn(move || *slot = f(range));
+/// Worker-thread count for an engine choice given the number of items a
+/// tick fans out over. `Auto` resolves to 1 on single-threaded hosts and
+/// below [`auto_parallel_threshold`], to the host's parallelism above
+/// it. Thread count never changes results (see the module docs), so the
+/// switch point is a pure performance knob.
+pub fn resolve_threads_sized(choice: EngineChoice, items: usize) -> usize {
+    match choice {
+        EngineChoice::Serial => 1,
+        EngineChoice::Parallel => host_threads(),
+        EngineChoice::Auto => {
+            let host = host_threads();
+            if host <= 1 || items < auto_parallel_threshold(host) {
+                1
+            } else {
+                host
+            }
         }
-    });
-    parts.into_iter().flatten().collect()
-}
-
-/// Runs an element-wise map over chunks of a shared slice.
-pub fn fan_out<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> Vec<R> + Sync,
-{
-    if threads <= 1 || items.len() < PARALLEL_CUTOFF {
-        return f(items);
     }
-    let chunk = items.len().div_ceil(threads).max(1);
-    let pieces: Vec<&[T]> = items.chunks(chunk).collect();
-    let mut parts: Vec<Vec<R>> = Vec::new();
-    parts.resize_with(pieces.len(), Vec::new);
-    rayon::scope(|s| {
-        for (slot, piece) in parts.iter_mut().zip(pieces) {
-            let f = &f;
-            s.spawn(move || *slot = f(piece));
-        }
-    });
-    parts.into_iter().flatten().collect()
-}
-
-/// Runs an element-wise map over disjoint mutable chunks of a slice —
-/// the shape of phases that advance vehicle state or drive the guards.
-pub fn fan_out_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(&mut [T]) -> Vec<R> + Sync,
-{
-    if threads <= 1 || items.len() < PARALLEL_CUTOFF {
-        return f(items);
-    }
-    let chunk = items.len().div_ceil(threads).max(1);
-    let pieces: Vec<&mut [T]> = items.chunks_mut(chunk).collect();
-    let mut parts: Vec<Vec<R>> = Vec::new();
-    parts.resize_with(pieces.len(), Vec::new);
-    rayon::scope(|s| {
-        for (slot, piece) in parts.iter_mut().zip(pieces) {
-            let f = &f;
-            s.spawn(move || *slot = f(piece));
-        }
-    });
-    parts.into_iter().flatten().collect()
 }
 
 /// Indices into `snapshot` a vehicle at `me` observes: everything within
@@ -145,47 +93,28 @@ mod tests {
     fn resolve_threads_modes() {
         assert_eq!(resolve_threads(EngineChoice::Serial), 1);
         assert!(resolve_threads(EngineChoice::Parallel) >= 1);
+        assert!(resolve_threads(EngineChoice::Auto) >= 1);
     }
 
     #[test]
-    fn fan_out_indices_matches_serial_map() {
-        for n in [0usize, 1, 5, PARALLEL_CUTOFF, 1000, 1001] {
-            for threads in [1usize, 2, 3, 8] {
-                let out = fan_out_indices(n, threads, |range| {
-                    range.map(|i| i * 3 + 1).collect::<Vec<_>>()
-                });
-                let expected: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
-                assert_eq!(out, expected, "n={n} threads={threads}");
-            }
+    fn auto_respects_size_threshold() {
+        let host = host_threads();
+        assert_eq!(resolve_threads_sized(EngineChoice::Serial, 1_000_000), 1);
+        assert_eq!(resolve_threads_sized(EngineChoice::Parallel, 0), host);
+        // Below the threshold Auto is always serial.
+        assert_eq!(resolve_threads_sized(EngineChoice::Auto, 0), 1);
+        assert_eq!(
+            resolve_threads_sized(EngineChoice::Auto, auto_parallel_threshold(host) - 1),
+            1
+        );
+        // At/above it Auto matches the host — unless the host has a
+        // single thread, where parallelism can never win.
+        let at = resolve_threads_sized(EngineChoice::Auto, auto_parallel_threshold(host));
+        if host <= 1 {
+            assert_eq!(at, 1);
+        } else {
+            assert_eq!(at, host);
         }
-    }
-
-    #[test]
-    fn fan_out_preserves_order_and_filtering() {
-        let items: Vec<u64> = (0..500).collect();
-        for threads in [1usize, 4] {
-            let out = fan_out(&items, threads, |chunk| {
-                chunk.iter().filter(|x| **x % 7 == 0).copied().collect()
-            });
-            let expected: Vec<u64> = items.iter().filter(|x| **x % 7 == 0).copied().collect();
-            assert_eq!(out, expected);
-        }
-    }
-
-    #[test]
-    fn fan_out_mut_applies_every_element_once() {
-        let mut items: Vec<u64> = vec![1; 999];
-        let echoed = fan_out_mut(&mut items, 5, |chunk| {
-            chunk
-                .iter_mut()
-                .map(|x| {
-                    *x += 1;
-                    *x
-                })
-                .collect()
-        });
-        assert!(items.iter().all(|x| *x == 2));
-        assert_eq!(echoed, items);
     }
 
     #[test]

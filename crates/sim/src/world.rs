@@ -161,6 +161,11 @@ impl Simulation {
         };
         let sched_cfg = SchedulerConfig {
             limits: config.limits,
+            probe: config.probe_scheduler,
+            // The scheduler's read-only pre-pass fans out over request
+            // chunks; the fan-out primitives fall back to inline below
+            // their size cutoff, so small windows stay serial either way.
+            threads: resolve_threads(config.engine),
             ..SchedulerConfig::default()
         };
         let scheduler: Box<dyn Scheduler + Send> = match config.scheduler {
@@ -296,16 +301,20 @@ impl Simulation {
     /// Runs one sensing pass immediately, ignoring the sense-interval
     /// cadence — isolates Algorithm 2 for latency measurements.
     pub fn force_sense_pass(&mut self) {
+        self.retune_threads();
         let now = self.now;
         self.sense_pass(now);
     }
 
     /// Queues plan requests as if up to `max` active vehicles had just
-    /// asked the manager; returns how many were queued. Pairs with
+    /// asked the manager; returns `(offered, queued)` — how many active
+    /// vehicles wanted a plan and how many were actually enqueued — so
+    /// callers can report when the cap truncated the batch. Pairs with
     /// [`Simulation::force_process_window`] to measure window-processing
     /// latency at a controlled request count.
-    pub fn enqueue_plan_requests(&mut self, max: usize) -> usize {
+    pub fn enqueue_plan_requests(&mut self, max: usize) -> (usize, usize) {
         let now = self.now;
+        let offered = self.active_vehicle_count();
         let requests: Vec<(f64, PlanRequest)> = self
             .vehicles
             .values()
@@ -326,7 +335,7 @@ impl Simulation {
             .collect();
         let queued = requests.len();
         self.pending_requests.extend(requests);
-        queued
+        (offered, queued)
     }
 
     /// Runs one manager processing window immediately (scheduling,
@@ -456,6 +465,7 @@ impl Simulation {
         self.im_was_down = im_down;
 
         self.spawn_due(now);
+        self.retune_threads();
         self.rerequest_plans(now);
         self.rebroadcast_announcements(now);
         self.deploy_attack(now);
@@ -481,6 +491,15 @@ impl Simulation {
         }
         self.check_threat_cleared();
         self.check_vehicle_invariants(now);
+    }
+
+    /// Re-resolves the worker-thread count from the current fleet size.
+    /// Only [`EngineChoice::Auto`] actually varies: it drops to the
+    /// serial path while the fleet is too small for chunked fan-out to
+    /// amortize thread-spawn cost (thread count never changes results).
+    fn retune_threads(&mut self) {
+        self.threads =
+            crate::engine::resolve_threads_sized(self.config.engine, self.active_vehicle_count());
     }
 
     /// `true` while the manager is inside its configured outage window.

@@ -1,19 +1,16 @@
-//! Differential test for the tick engines: the parallel engine and the
-//! spatial sensing index are pure execution strategies — every variant
-//! must produce the identical `SimReport` for the same configuration.
-//!
-//! Four variants run per scenario:
-//! * **baseline** — serial engine, all-pairs scans (the seed behaviour),
-//! * **serial** — serial engine over the grid index,
-//! * **parallel** — threaded engine over the grid index,
-//! * **auto** — per-tick serial/parallel choice by fleet size.
+//! Differential test for the slot-seeking scheduler: the seek search is
+//! a pure strategy over the same probe grid the retained linear loop
+//! walks, so a simulation run with `probe_scheduler` on and off must
+//! produce the identical `SimReport` — plans, accidents, evacuations,
+//! network traffic, everything. Three scenarios mirror the tick-engine
+//! differential suite: plain traffic, an unfolding attack, and the
+//! chaos outage harness.
 
 use nwade_repro::nwade::attack::{AttackSetting, ViolationKind};
-use nwade_repro::sim::{AttackPlan, EngineChoice, ImOutage, SimConfig, SimReport, Simulation};
+use nwade_repro::sim::{AttackPlan, ImOutage, SimConfig, SimReport, Simulation};
 
-fn run_variant(mut config: SimConfig, engine: EngineChoice, spatial_index: bool) -> SimReport {
-    config.engine = engine;
-    config.spatial_index = spatial_index;
+fn run_variant(mut config: SimConfig, probe: bool) -> SimReport {
+    config.probe_scheduler = probe;
     Simulation::new(config).run()
 }
 
@@ -65,21 +62,13 @@ fn assert_reports_identical(label: &str, a: &SimReport, b: &SimReport) {
 }
 
 fn check_scenario(label: &str, config: SimConfig) {
-    let baseline = run_variant(config.clone(), EngineChoice::Serial, false);
-    let serial = run_variant(config.clone(), EngineChoice::Serial, true);
-    let parallel = run_variant(config.clone(), EngineChoice::Parallel, true);
-    let auto = run_variant(config, EngineChoice::Auto, true);
-    assert_reports_identical(&format!("{label} serial-vs-baseline"), &baseline, &serial);
-    assert_reports_identical(
-        &format!("{label} parallel-vs-baseline"),
-        &baseline,
-        &parallel,
-    );
-    assert_reports_identical(&format!("{label} auto-vs-baseline"), &baseline, &auto);
+    let probe = run_variant(config.clone(), true);
+    let seek = run_variant(config, false);
+    assert_reports_identical(label, &probe, &seek);
 }
 
 #[test]
-fn plain_traffic_identical_across_engines() {
+fn plain_traffic_identical_across_searches() {
     let mut config = SimConfig::default();
     config.duration = 90.0;
     config.density = 70.0;
@@ -88,7 +77,7 @@ fn plain_traffic_identical_across_engines() {
 }
 
 #[test]
-fn attack_scenario_identical_across_engines() {
+fn attack_scenario_identical_across_searches() {
     let mut config = SimConfig::default();
     config.duration = 120.0;
     config.density = 60.0;
@@ -101,11 +90,11 @@ fn attack_scenario_identical_across_engines() {
     check_scenario("attack", config);
 }
 
-/// The chaos scenario from the outage-recovery harness: an attack unfolds
-/// while the manager goes dark, reporters time out and self-evacuate,
-/// then the restart re-admits the fleet.
+/// The chaos scenario: an attack unfolds while the manager goes dark,
+/// reporters time out and self-evacuate, then the restart re-admits the
+/// fleet — the evacuation planner and FCFS fallback both search too.
 #[test]
-fn chaos_outage_scenario_identical_across_engines() {
+fn chaos_outage_scenario_identical_across_searches() {
     let mut config = SimConfig::default();
     config.duration = 130.0;
     config.density = 60.0;
