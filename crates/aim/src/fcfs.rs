@@ -138,6 +138,28 @@ impl Scheduler for FcfsScheduler {
     fn topology(&self) -> &Topology {
         &self.topology
     }
+
+    fn export_state(&self) -> crate::scheduler::SchedulerState {
+        // The box-free horizon is durable state too: restoring only the
+        // table would let a recovered IM re-admit a vehicle into the
+        // box before the previous crossing finishes.
+        crate::scheduler::SchedulerState {
+            table: self.table.encode(),
+            aux: self.box_free_at.to_be_bytes().to_vec(),
+        }
+    }
+
+    fn import_state(&mut self, state: &crate::scheduler::SchedulerState) -> bool {
+        let Some(table) = ReservationTable::decode(&state.table) else {
+            return false;
+        };
+        let Ok(aux): Result<[u8; 8], _> = state.aux.as_slice().try_into() else {
+            return false;
+        };
+        self.table = table;
+        self.box_free_at = f64::from_be_bytes(aux);
+        true
+    }
 }
 
 #[cfg(test)]

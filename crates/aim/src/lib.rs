@@ -36,6 +36,6 @@ pub use evacuation::EvacuationPlanner;
 pub use fcfs::FcfsScheduler;
 pub use plan::{PlanRequest, TravelPlan, VehicleStatus};
 pub use reservation::{occupancy_into, occupancy_of, park_fallback, Blocking, ReservationTable};
-pub use scheduler::{ReservationScheduler, Scheduler, SchedulerConfig};
+pub use scheduler::{ReservationScheduler, Scheduler, SchedulerConfig, SchedulerState};
 pub use seek::{EntrySeeker, SeekScratch};
 pub use traffic_light::TrafficLightScheduler;

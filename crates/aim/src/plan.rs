@@ -1,7 +1,7 @@
 //! Travel plans: `⟨id, char, status, inst⟩` (Eq. 1 of the paper).
 
-use bytes::{BufMut, BytesMut};
-use nwade_geometry::{MotionProfile, Vec2};
+use bytes::{Buf, BufMut, BytesMut};
+use nwade_geometry::{MotionProfile, ProfileSegment, Vec2};
 use nwade_intersection::{MovementId, Topology};
 use nwade_traffic::{VehicleDescriptor, VehicleId};
 use serde::{Deserialize, Serialize};
@@ -32,6 +32,53 @@ pub struct PlanRequest {
     pub position_s: f64,
     /// Current speed in m/s.
     pub speed: f64,
+}
+
+impl PlanRequest {
+    /// Canonical byte encoding (mirrors [`TravelPlan::encode`]'s field
+    /// layout) used to persist in-flight window requests in the WAL.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u64(self.id.raw());
+        let desc = self.descriptor.encode();
+        buf.put_u16(desc.len() as u16);
+        buf.put_slice(&desc);
+        buf.put_u16(self.movement.index() as u16);
+        buf.put_f64(self.position_s);
+        buf.put_f64(self.speed);
+        buf.to_vec()
+    }
+
+    /// Decodes one request from the front of `cursor`, advancing it
+    /// past the consumed bytes. Returns `None` (cursor position then
+    /// unspecified) on truncated or malformed input; never panics.
+    pub fn decode_from(cursor: &mut &[u8]) -> Option<Self> {
+        let id = VehicleId::new(cursor.try_get_u64().ok()?);
+        let desc_len = cursor.try_get_u16().ok()? as usize;
+        if cursor.remaining() < desc_len {
+            return None;
+        }
+        let descriptor = VehicleDescriptor::decode(&cursor[..desc_len])?;
+        *cursor = &cursor[desc_len..];
+        let movement = MovementId::new(cursor.try_get_u16().ok()?);
+        let position_s = cursor.try_get_f64().ok()?;
+        let speed = cursor.try_get_f64().ok()?;
+        Some(PlanRequest {
+            id,
+            descriptor,
+            movement,
+            position_s,
+            speed,
+        })
+    }
+
+    /// Decodes an encoding produced by [`PlanRequest::encode`],
+    /// rejecting trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut cursor = bytes;
+        let req = PlanRequest::decode_from(&mut cursor)?;
+        cursor.is_empty().then_some(req)
+    }
 }
 
 /// The travel plan `T_i^j` of Eq. 1: identity, static characteristics,
@@ -128,6 +175,60 @@ impl TravelPlan {
         }
         buf.to_vec()
     }
+
+    /// Decodes one plan from the front of `cursor`, advancing it past
+    /// the consumed bytes — the WAL and block codecs embed plans
+    /// back-to-back. Returns `None` (cursor position then unspecified)
+    /// on truncated input or on field values the constructors would
+    /// reject (negative start speed, negative/non-finite segment
+    /// durations); never panics, the bytes may be a torn WAL tail.
+    pub fn decode_from(cursor: &mut &[u8]) -> Option<Self> {
+        let id = VehicleId::new(cursor.try_get_u64().ok()?);
+        let desc_len = cursor.try_get_u16().ok()? as usize;
+        if cursor.remaining() < desc_len {
+            return None;
+        }
+        let descriptor = VehicleDescriptor::decode(&cursor[..desc_len])?;
+        *cursor = &cursor[desc_len..];
+        let status = VehicleStatus {
+            position: Vec2::new(cursor.try_get_f64().ok()?, cursor.try_get_f64().ok()?),
+            speed: cursor.try_get_f64().ok()?,
+            heading: Vec2::new(cursor.try_get_f64().ok()?, cursor.try_get_f64().ok()?),
+        };
+        let movement = MovementId::new(cursor.try_get_u16().ok()?);
+        let start_time = cursor.try_get_f64().ok()?;
+        let start_position = cursor.try_get_f64().ok()?;
+        let start_speed = cursor.try_get_f64().ok()?;
+        if !(start_speed >= 0.0) {
+            return None;
+        }
+        let n_segments = cursor.try_get_u16().ok()? as usize;
+        let mut segments = Vec::with_capacity(n_segments.min(256));
+        for _ in 0..n_segments {
+            let duration = cursor.try_get_f64().ok()?;
+            let accel = cursor.try_get_f64().ok()?;
+            if !(duration.is_finite() && duration >= 0.0) {
+                return None;
+            }
+            segments.push(ProfileSegment::new(duration, accel));
+        }
+        Some(TravelPlan {
+            id,
+            descriptor,
+            status,
+            movement,
+            profile: MotionProfile::new(start_time, start_position, start_speed, segments),
+        })
+    }
+
+    /// Decodes an encoding produced by [`TravelPlan::encode`],
+    /// rejecting trailing bytes: `decode(encode(p)) == Some(p)` for any
+    /// plan, and any strict prefix of an encoding decodes to `None`.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut cursor = bytes;
+        let plan = TravelPlan::decode_from(&mut cursor)?;
+        cursor.is_empty().then_some(plan)
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +307,51 @@ mod tests {
             MotionProfile::stopped(0.0, 50.0),
         );
         assert_eq!(p.exit_time(&topo), None);
+    }
+
+    #[test]
+    fn plan_decode_round_trips_and_rejects_prefixes() {
+        let p = plan();
+        let bytes = p.encode();
+        assert_eq!(TravelPlan::decode(&bytes), Some(p.clone()));
+        for cut in 0..bytes.len() {
+            assert_eq!(TravelPlan::decode(&bytes[..cut]), None, "prefix {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(TravelPlan::decode(&trailing), None);
+    }
+
+    #[test]
+    fn plan_decode_rejects_invalid_field_values() {
+        let p = plan();
+        let bytes = p.encode();
+        // Overwrite start_speed (third f64 of the profile block) with -1.
+        let speed_off = bytes.len() - 2 /* seg count */ - 16 /* one segment */ - 8;
+        let mut bad = bytes.clone();
+        bad[speed_off..speed_off + 8].copy_from_slice(&(-1.0f64).to_be_bytes());
+        assert_eq!(TravelPlan::decode(&bad), None);
+        // Overwrite the segment duration with NaN.
+        let dur_off = bytes.len() - 16;
+        let mut bad = bytes;
+        bad[dur_off..dur_off + 8].copy_from_slice(&f64::NAN.to_be_bytes());
+        assert_eq!(TravelPlan::decode(&bad), None);
+    }
+
+    #[test]
+    fn request_decode_round_trips() {
+        let req = PlanRequest {
+            id: VehicleId::new(11),
+            descriptor: descriptor(),
+            movement: MovementId::new(3),
+            position_s: 42.5,
+            speed: 13.0,
+        };
+        let bytes = req.encode();
+        assert_eq!(PlanRequest::decode(&bytes), Some(req));
+        for cut in 0..bytes.len() {
+            assert_eq!(PlanRequest::decode(&bytes[..cut]), None, "prefix {cut}");
+        }
     }
 
     #[test]

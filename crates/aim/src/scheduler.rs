@@ -66,6 +66,52 @@ pub(crate) fn approach(
     (d_plan, earliest)
 }
 
+/// A scheduler's durable state, as captured by
+/// [`Scheduler::export_state`]: the canonical reservation-table bytes
+/// plus a scheduler-specific auxiliary blob (e.g. the FCFS box-free
+/// horizon). Restoring it with [`Scheduler::import_state`] on a freshly
+/// built scheduler of the same kind yields one that behaves identically
+/// to the original under every subsequent call.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchedulerState {
+    /// [`ReservationTable::encode`] bytes.
+    pub table: Vec<u8>,
+    /// Scheduler-kind-specific extra state (empty for stateless kinds).
+    pub aux: Vec<u8>,
+}
+
+impl SchedulerState {
+    /// Flat encoding: `[u32 table len][table][u32 aux len][aux]`.
+    pub fn encode(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut buf = Vec::with_capacity(8 + self.table.len() + self.aux.len());
+        buf.put_u32(self.table.len() as u32);
+        buf.put_slice(&self.table);
+        buf.put_u32(self.aux.len() as u32);
+        buf.put_slice(&self.aux);
+        buf
+    }
+
+    /// Decodes [`SchedulerState::encode`] bytes; `None` on truncation
+    /// or trailing garbage, never a panic.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        use bytes::Buf;
+        let mut cursor = bytes;
+        let table_len = cursor.try_get_u32().ok()? as usize;
+        if cursor.remaining() < table_len {
+            return None;
+        }
+        let table = cursor[..table_len].to_vec();
+        cursor = &cursor[table_len..];
+        let aux_len = cursor.try_get_u32().ok()? as usize;
+        if cursor.remaining() != aux_len {
+            return None;
+        }
+        let aux = cursor.to_vec();
+        Some(SchedulerState { table, aux })
+    }
+}
+
 /// An intersection scheduler: turns plan requests into travel plans.
 ///
 /// Implementations must be deterministic — the same request sequence must
@@ -94,6 +140,14 @@ pub trait Scheduler {
 
     /// The topology this scheduler serves.
     fn topology(&self) -> &Topology;
+
+    /// Captures the scheduler's durable state for an IM snapshot.
+    fn export_state(&self) -> SchedulerState;
+
+    /// Restores a [`Scheduler::export_state`] snapshot. Returns `false`
+    /// (leaving the scheduler untouched) when the bytes are malformed —
+    /// recovery then falls back to a cold restart.
+    fn import_state(&mut self, state: &SchedulerState) -> bool;
 }
 
 /// The DASH stand-in: greedy earliest-feasible-entry reservation
@@ -309,6 +363,23 @@ impl Scheduler for ReservationScheduler {
 
     fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    fn export_state(&self) -> SchedulerState {
+        SchedulerState {
+            table: self.table.encode(),
+            aux: Vec::new(),
+        }
+    }
+
+    fn import_state(&mut self, state: &SchedulerState) -> bool {
+        match ReservationTable::decode(&state.table) {
+            Some(table) => {
+                self.table = table;
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -208,6 +208,25 @@ impl Scheduler for TrafficLightScheduler {
     fn topology(&self) -> &Topology {
         &self.topology
     }
+
+    fn export_state(&self) -> crate::scheduler::SchedulerState {
+        // Signal phases are a pure function of time; only the table is
+        // durable.
+        crate::scheduler::SchedulerState {
+            table: self.table.encode(),
+            aux: Vec::new(),
+        }
+    }
+
+    fn import_state(&mut self, state: &crate::scheduler::SchedulerState) -> bool {
+        match ReservationTable::decode(&state.table) {
+            Some(table) => {
+                self.table = table;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,11 +7,11 @@
 //! ```
 
 use nwade_bench::{
-    analytic, chaos, duration, fig4, fig5, fig6, fig7, fig8, perf, rounds, sensing, table1, table2,
-    violations,
+    analytic, chaos, duration, fig4, fig5, fig6, fig7, fig8, perf, recovery, rounds, sensing,
+    table1, table2, violations,
 };
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "table1",
     "table2",
     "fig4",
@@ -24,6 +24,7 @@ const EXPERIMENTS: [&str; 13] = [
     "sensing",
     "violations",
     "chaos",
+    "recovery",
     "perf",
 ];
 
@@ -43,6 +44,7 @@ fn run(name: &str) -> Result<(), String> {
         "sensing" => sensing::report(r, d),
         "violations" => violations::report(r, d),
         "chaos" => chaos::report(r, d),
+        "recovery" => recovery::report(r, d),
         "perf" => perf::report(),
         // Not in EXPERIMENTS (and so not in `all`): the guard compares
         // against the baseline, so running it right after `perf`

@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod perf;
+pub mod recovery;
 pub mod sensing;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,245 @@
+//! Recovery sweep: warm (WAL + snapshot) vs cold restart at every
+//! labelled crash point. Not a paper figure — this is the repo's own
+//! durability harness. Each cell kills the manager mid-window while a
+//! V1 attack has incident reporters waiting on it, then measures what
+//! the fleet experiences: recovery latency (crash → next block
+//! broadcast), timeout self-evacuations, readmissions, and tick-time
+//! safety-invariant violations (which must stay zero on both paths).
+//! The warm rows must show zero evacuations where the cold rows
+//! evacuate the fleet — that contrast is the point of the store.
+
+use crate::experiments::{base_config, with_attack};
+use crate::table::render;
+use nwade::attack::AttackSetting;
+use nwade::CrashPoint;
+use nwade_sim::{run_rounds, CrashPlan, SimConfig};
+
+/// Every labelled crash point is swept.
+pub const CRASH_POINTS: [CrashPoint; 3] = [
+    CrashPoint::AfterStage,
+    CrashPoint::BeforeCommit,
+    CrashPoint::AfterCommit,
+];
+
+/// Downtime a cold restart imposes before the manager answers again.
+pub const COLD_DOWNTIME: f64 = 20.0;
+
+/// One (crash point, recovery mode) cell, averaged over rounds.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Crash point label.
+    pub point: CrashPoint,
+    /// `"warm"` (store enabled) or `"cold"` (store disabled).
+    pub mode: &'static str,
+    /// Rounds in which the injected crash actually fired.
+    pub crashes: usize,
+    /// Warm recoveries summed over rounds.
+    pub warm_recoveries: usize,
+    /// Cold recoveries summed over rounds.
+    pub cold_recoveries: usize,
+    /// Mean crash → next-block-broadcast latency, seconds, over rounds
+    /// that observed one.
+    pub recovery_latency_s: Option<f64>,
+    /// Mean `ImTimeout` self-evacuations per round.
+    pub timeout_evacuations: f64,
+    /// Mean outage readmissions per round.
+    pub readmissions: f64,
+    /// Total safety-invariant violations across rounds (must be 0).
+    pub invariant_violations: usize,
+    /// Mean throughput, vehicles/minute.
+    pub throughput: f64,
+}
+
+fn crash_config(duration: f64, point: CrashPoint, store: bool) -> SimConfig {
+    let mut config = with_attack(base_config(duration), AttackSetting::V1);
+    // Crash on the window the attack starts, so the incident reports
+    // fall into the dark window on the cold path.
+    let at = config.attack.as_ref().map_or(30.0, |a| a.start);
+    config.im_crash = Some(CrashPlan {
+        at,
+        point,
+        cold_downtime: COLD_DOWNTIME,
+    });
+    config.store.enabled = store;
+    config
+}
+
+fn measure(rounds: u64, duration: f64, point: CrashPoint, store: bool) -> Point {
+    let summary = run_rounds(&crash_config(duration, point, store), rounds);
+    let n = summary.rounds.len().max(1) as f64;
+    let latencies: Vec<f64> = summary
+        .rounds
+        .iter()
+        .filter_map(|r| r.metrics.im_recovery_latency)
+        .collect();
+    Point {
+        point,
+        mode: if store { "warm" } else { "cold" },
+        crashes: summary.rounds.iter().map(|r| r.metrics.im_crashes).sum(),
+        warm_recoveries: summary
+            .rounds
+            .iter()
+            .map(|r| r.metrics.warm_recoveries)
+            .sum(),
+        cold_recoveries: summary
+            .rounds
+            .iter()
+            .map(|r| r.metrics.cold_recoveries)
+            .sum(),
+        recovery_latency_s: if latencies.is_empty() {
+            None
+        } else {
+            Some(latencies.iter().sum::<f64>() / latencies.len() as f64)
+        },
+        timeout_evacuations: summary
+            .rounds
+            .iter()
+            .map(|r| r.metrics.im_timeout_evacuations as f64)
+            .sum::<f64>()
+            / n,
+        readmissions: summary
+            .rounds
+            .iter()
+            .map(|r| r.metrics.readmitted_after_outage as f64)
+            .sum::<f64>()
+            / n,
+        invariant_violations: summary
+            .rounds
+            .iter()
+            .map(|r| r.metrics.invariants.total())
+            .sum(),
+        throughput: summary.mean_throughput(),
+    }
+}
+
+/// Runs the full crash-point × mode sweep.
+pub fn sweep(rounds: u64, duration: f64) -> Vec<Point> {
+    let mut points = Vec::new();
+    for &point in &CRASH_POINTS {
+        for &store in &[true, false] {
+            points.push(measure(rounds, duration, point, store));
+        }
+    }
+    points
+}
+
+/// Serialises the sweep: a header object, then one result per line.
+pub fn to_json(rounds: u64, duration: f64, points: &[Point]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":\"nwade-recovery-v1\",\"rounds\":{rounds},\"duration\":{duration},\
+         \"cold_downtime\":{COLD_DOWNTIME}}}\n"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{{\"crash_point\":\"{}\",\"mode\":\"{}\",\"crashes\":{},\"warm_recoveries\":{},\
+             \"cold_recoveries\":{},\"recovery_latency_s\":{},\"timeout_evacuations\":{:.2},\
+             \"readmissions\":{:.2},\"invariant_violations\":{},\"throughput\":{:.2}}}\n",
+            p.point,
+            p.mode,
+            p.crashes,
+            p.warm_recoveries,
+            p.cold_recoveries,
+            p.recovery_latency_s
+                .map_or("null".into(), |l| format!("{l:.3}")),
+            p.timeout_evacuations,
+            p.readmissions,
+            p.invariant_violations,
+            p.throughput,
+        ));
+    }
+    out
+}
+
+/// Path of the committed sweep results at the repository root.
+pub fn results_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_recovery.json")
+}
+
+/// Runs the sweep, rewrites `BENCH_recovery.json`, and renders the
+/// table.
+pub fn report(rounds: u64, duration: f64) -> String {
+    let points = sweep(rounds, duration);
+    let json = to_json(rounds, duration, &points);
+    let path = results_path();
+    let status = match std::fs::write(&path, &json) {
+        Ok(()) => format!("results written to {}", path.display()),
+        Err(e) => format!("WARNING: could not write {}: {e}", path.display()),
+    };
+    let body: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.point.to_string(),
+                p.mode.to_string(),
+                p.crashes.to_string(),
+                format!("{}/{}", p.warm_recoveries, p.cold_recoveries),
+                p.recovery_latency_s
+                    .map_or("n/a".into(), |l| format!("{l:.2} s")),
+                format!("{:.1}", p.timeout_evacuations),
+                format!("{:.1}", p.readmissions),
+                p.invariant_violations.to_string(),
+                format!("{:.1}/min", p.throughput),
+            ]
+        })
+        .collect();
+    format!(
+        "Recovery sweep: warm (WAL) vs cold restart per crash point ({rounds} rounds/cell)\n{}\n{status}",
+        render(
+            &[
+                "Crash point",
+                "Mode",
+                "Crashes",
+                "Warm/cold rec",
+                "Recovery latency",
+                "Timeout evac",
+                "Readmitted",
+                "Invariant viol.",
+                "Throughput",
+            ],
+            &body
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_configs_are_valid() {
+        for &point in &CRASH_POINTS {
+            for &store in &[true, false] {
+                crash_config(150.0, point, store)
+                    .validate()
+                    .expect("valid recovery config");
+            }
+        }
+    }
+
+    #[test]
+    fn json_has_header_and_rows() {
+        let point = Point {
+            point: CrashPoint::BeforeCommit,
+            mode: "warm",
+            crashes: 3,
+            warm_recoveries: 3,
+            cold_recoveries: 0,
+            recovery_latency_s: Some(0.0),
+            timeout_evacuations: 0.0,
+            readmissions: 0.0,
+            invariant_violations: 0,
+            throughput: 30.0,
+        };
+        let json = to_json(3, 150.0, std::slice::from_ref(&point));
+        let mut lines = json.lines();
+        assert!(lines
+            .next()
+            .expect("header")
+            .contains("\"schema\":\"nwade-recovery-v1\""));
+        let row = lines.next().expect("row");
+        assert!(row.contains("\"crash_point\":\"before-commit\""));
+        assert!(row.contains("\"mode\":\"warm\""));
+        assert!(row.contains("\"recovery_latency_s\":0.000"));
+    }
+}

@@ -1,6 +1,6 @@
 //! The block structure `B_i = ⟨s_i, h_{i−1}, τ_i, R_i⟩`.
 
-use bytes::{BufMut, BytesMut};
+use bytes::{Buf, BufMut, BytesMut};
 use nwade_aim::TravelPlan;
 use nwade_crypto::merkle::leaf_hash;
 use nwade_crypto::{sha256, Digest, MerkleTree};
@@ -129,6 +129,68 @@ impl Block {
     pub fn merkle_tree(&self) -> MerkleTree {
         MerkleTree::from_leaf_hashes(self.plans.iter().map(|p| leaf_hash(&p.encode())).collect())
     }
+
+    /// Canonical byte encoding of the whole block (header + carried
+    /// plans), used by the WAL and shareable with future networking:
+    /// `[u64 index][u16 sig len][sig][32B prev][f64 τ][32B root]
+    /// [u16 plan count][plan…]` with each plan in its
+    /// [`TravelPlan::encode`] layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(128 + self.plans.len() * 160);
+        buf.put_u64(self.index);
+        buf.put_u16(self.signature.len() as u16);
+        buf.put_slice(&self.signature);
+        buf.put_slice(self.prev_hash.as_bytes());
+        buf.put_f64(self.timestamp);
+        buf.put_slice(self.merkle_root.as_bytes());
+        buf.put_u16(self.plans.len() as u16);
+        for plan in &self.plans {
+            buf.put_slice(&plan.encode());
+        }
+        buf.to_vec()
+    }
+
+    /// Decodes one block from the front of `cursor`, advancing it past
+    /// the consumed bytes. Returns `None` on truncated or malformed
+    /// input; never panics. The decoded block's fields are carried
+    /// verbatim — like [`Block::from_parts`], nothing is trusted until
+    /// verification checks the signature, root and chain link.
+    pub fn decode_from(cursor: &mut &[u8]) -> Option<Self> {
+        let index = cursor.try_get_u64().ok()?;
+        let sig_len = cursor.try_get_u16().ok()? as usize;
+        if cursor.remaining() < sig_len {
+            return None;
+        }
+        let signature = cursor[..sig_len].to_vec();
+        *cursor = &cursor[sig_len..];
+        let mut prev = [0u8; 32];
+        cursor.try_copy_to_slice(&mut prev).ok()?;
+        let timestamp = cursor.try_get_f64().ok()?;
+        let mut root = [0u8; 32];
+        cursor.try_copy_to_slice(&mut root).ok()?;
+        let n_plans = cursor.try_get_u16().ok()? as usize;
+        let mut plans = Vec::with_capacity(n_plans.min(256));
+        for _ in 0..n_plans {
+            plans.push(TravelPlan::decode_from(cursor)?);
+        }
+        Some(Block {
+            index,
+            signature,
+            prev_hash: Digest(prev),
+            timestamp,
+            merkle_root: Digest(root),
+            plans,
+        })
+    }
+
+    /// Decodes an encoding produced by [`Block::encode`], rejecting
+    /// trailing bytes: `decode(encode(b)) == Some(b)` for any block,
+    /// and any strict prefix decodes to `None`.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut cursor = bytes;
+        let block = Block::decode_from(&mut cursor)?;
+        cursor.is_empty().then_some(block)
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +290,27 @@ pub(crate) mod tests {
     #[should_panic(expected = "at least one leaf")]
     fn empty_root_panics() {
         let _ = Block::root_of(&[]);
+    }
+
+    #[test]
+    fn block_decode_round_trips_and_rejects_prefixes() {
+        let b = block();
+        let bytes = b.encode();
+        assert_eq!(Block::decode(&bytes), Some(b));
+        for cut in 0..bytes.len() {
+            assert_eq!(Block::decode(&bytes[..cut]), None, "prefix {cut}");
+        }
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(Block::decode(&trailing), None);
+    }
+
+    #[test]
+    fn decoded_block_preserves_hash_and_root() {
+        let b = block();
+        let d = Block::decode(&b.encode()).expect("decodes");
+        assert_eq!(d.hash(), b.hash());
+        assert_eq!(d.computed_root(), b.merkle_root());
+        assert_eq!(d.own_signing_digest(), b.own_signing_digest());
     }
 }

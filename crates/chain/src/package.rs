@@ -56,6 +56,18 @@ impl BlockPackager {
         self.prev_hash
     }
 
+    /// Restores the chain tip from durable state (warm recovery): the
+    /// next packaged block carries `prev_hash` and `next_index` exactly
+    /// as the pre-crash packager would have produced. Any half-staged
+    /// window is discarded — staged plans that never reached a WAL
+    /// commit are re-scheduled by replay, not resumed.
+    pub fn restore_tip(&mut self, prev_hash: Digest, next_index: u64) {
+        self.prev_hash = prev_hash;
+        self.next_index = next_index;
+        self.staged.clear();
+        self.staged_tree = None;
+    }
+
     /// Packages one processing window's plans into a signed block and
     /// advances the chain state.
     ///
@@ -231,5 +243,25 @@ mod tests {
     fn empty_staged_window_panics() {
         let mut p = packager();
         let _ = p.package_staged(0.0);
+    }
+
+    #[test]
+    fn restored_tip_continues_the_chain() {
+        let mut live = packager();
+        let b0 = live.package(crate::block::tests::plans(2), 1.0);
+        let b1 = live.package(crate::block::tests::plans(3), 2.0);
+
+        // A fresh packager restored to the tip signs the same next block.
+        let mut recovered = packager();
+        recovered.stage(crate::block::tests::plans(1).remove(0)); // stale staging
+        recovered.restore_tip(live.prev_hash(), live.next_index());
+        assert_eq!(recovered.staged_len(), 0, "stale staging discarded");
+        let plans = crate::block::tests::plans(2);
+        let expect = live.package(plans.clone(), 3.0);
+        let got = recovered.package(plans, 3.0);
+        assert_eq!(got.hash(), expect.hash());
+        assert!(verify_link(&b1, &got).is_ok());
+        assert_eq!(got.prev_hash(), b1.hash());
+        let _ = b0;
     }
 }

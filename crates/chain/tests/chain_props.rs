@@ -163,4 +163,62 @@ proptest! {
             }
         }
     }
+
+    /// The canonical block codec round-trips every honestly packaged
+    /// block bit-for-bit — including hash, signature and Merkle root —
+    /// and rejects every strict prefix of the encoding (a torn WAL tail
+    /// can cut a record anywhere).
+    #[test]
+    fn block_codec_round_trips_and_rejects_truncation(
+        seed in 1u64..64,
+        n_blocks in 1usize..4,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (scheme, blocks) = Factory::chain(seed, n_blocks);
+        for block in &blocks {
+            let bytes = block.encode();
+            let decoded = Block::decode(&bytes);
+            prop_assert_eq!(decoded.as_ref(), Some(block));
+            let decoded = decoded.unwrap();
+            prop_assert_eq!(decoded.hash(), block.hash());
+            prop_assert!(verify_block(&decoded, scheme.as_ref()).is_ok());
+
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            if cut < bytes.len() {
+                prop_assert_eq!(Block::decode(&bytes[..cut]), None);
+            }
+            let mut trailing = bytes.clone();
+            trailing.push(0);
+            prop_assert_eq!(Block::decode(&trailing), None);
+        }
+    }
+
+    /// Plan encodings embedded back-to-back (the block and WAL layout)
+    /// decode in order via the cursor API, and the plan codec rejects
+    /// every strict prefix.
+    #[test]
+    fn plan_codec_round_trips_through_cursor(
+        seed in 1u64..64,
+        n_plans in 1usize..6,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (_, blocks) = Factory::chain(seed, 1);
+        let plans: Vec<_> = blocks[0].plans().iter().cloned().cycle().take(n_plans).collect();
+        let mut stream = Vec::new();
+        for p in &plans {
+            stream.extend_from_slice(&p.encode());
+        }
+        let mut cursor: &[u8] = &stream;
+        for expect in &plans {
+            let got = nwade_aim::TravelPlan::decode_from(&mut cursor);
+            prop_assert_eq!(got.as_ref(), Some(expect));
+        }
+        prop_assert!(cursor.is_empty());
+
+        let one = plans[0].encode();
+        let cut = ((one.len() as f64) * cut_frac) as usize;
+        if cut < one.len() {
+            prop_assert_eq!(nwade_aim::TravelPlan::decode(&one[..cut]), None);
+        }
+    }
 }

@@ -41,6 +41,7 @@ pub mod fsm;
 pub mod guard;
 pub mod manager;
 pub mod messages;
+pub mod persist;
 pub mod prob;
 pub mod retry;
 pub mod verify;
@@ -50,4 +51,7 @@ pub use config::NwadeConfig;
 pub use guard::{EvacuationCause, GuardAction, VehicleGuard};
 pub use manager::{ManagerAction, NwadeManager};
 pub use messages::{GlobalClaim, GlobalReport, IncidentReport, NwadeMessage, Observation};
+pub use persist::{
+    CrashPoint, DurableState, ImPersistence, RecoveryOutcome, WalRecord, WarmRecovery,
+};
 pub use retry::{Retrier, RetryDecision, RetryPolicy};

@@ -466,6 +466,64 @@ impl NwadeManager {
         self.published.remove(&vehicle);
     }
 
+    /// Index the next published block will carry (the durable chain
+    /// height).
+    pub fn chain_next_index(&self) -> u64 {
+        self.packager.next_index()
+    }
+
+    /// Hash the next published block will point at (the durable chain
+    /// tip `h_{i-1}`).
+    pub fn chain_tip(&self) -> nwade_crypto::Digest {
+        self.packager.prev_hash()
+    }
+
+    /// Captures the durable state a [`crate::persist`] snapshot records:
+    /// chain tip, scheduler reservations, published-plan ledger,
+    /// confirmed-threat and false-reporter records, recent blocks.
+    /// Conversational state (FSM phase, in-flight verifications) is
+    /// deliberately excluded — it does not survive a restart either way.
+    pub fn durable_state(&self) -> crate::persist::DurableState {
+        let mut published: Vec<TravelPlan> = self.published.values().cloned().collect();
+        published.sort_by_key(|p| p.id().raw());
+        let mut false_reporters: Vec<(VehicleId, u32)> =
+            self.false_reporters.iter().map(|(v, n)| (*v, *n)).collect();
+        false_reporters.sort_by_key(|(v, _)| v.raw());
+        crate::persist::DurableState {
+            prev_hash: self.packager.prev_hash(),
+            next_index: self.packager.next_index(),
+            next_request_id: self.next_request_id,
+            scheduler: self.scheduler.export_state(),
+            published,
+            confirmed: self.confirmed.clone(),
+            false_reporters,
+            recent_blocks: self.recent_blocks.iter().cloned().collect(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`NwadeManager::durable_state`] into
+    /// this (freshly constructed) manager. Returns `false` — leaving the
+    /// scheduler untouched — when the snapshot's scheduler state is
+    /// malformed; the caller then falls back to a cold restart.
+    pub fn restore_durable(&mut self, state: &crate::persist::DurableState) -> bool {
+        if !self.scheduler.import_state(&state.scheduler) {
+            return false;
+        }
+        self.packager.restore_tip(state.prev_hash, state.next_index);
+        self.next_request_id = state.next_request_id;
+        self.published = state
+            .published
+            .iter()
+            .map(|p| (p.id(), p.clone()))
+            .collect();
+        self.confirmed = state.confirmed.clone();
+        self.false_reporters = state.false_reporters.iter().copied().collect();
+        self.recent_blocks = state.recent_blocks.iter().cloned().collect();
+        self.pending.clear();
+        self.state = ImState::Standby;
+        true
+    }
+
     /// The threat cleared (malicious vehicle left / stopped): begin
     /// recovery.
     pub fn on_threat_cleared(&mut self) {

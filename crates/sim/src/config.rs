@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use nwade::attack::{AttackSetting, ViolationKind};
-use nwade::NwadeConfig;
+use nwade::{CrashPoint, NwadeConfig};
 use nwade_intersection::{GeometryConfig, IntersectionKind};
 use nwade_traffic::{KinematicLimits, TurnMix};
 use nwade_vanet::MediumConfig;
@@ -82,6 +82,41 @@ impl ImOutage {
     }
 }
 
+/// Durability configuration for the intersection manager's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Log the manager's durable state to a write-ahead log and recover
+    /// warm after crashes and outages. Ignored when the crate's `store`
+    /// feature is compiled out.
+    pub enabled: bool,
+    /// Append a full state snapshot every N processing windows.
+    pub snapshot_every: u32,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            enabled: true,
+            snapshot_every: 8,
+        }
+    }
+}
+
+/// Kill the intersection manager at a labelled point inside a processing
+/// window and let it recover from the durable store (chaos harness).
+/// Requires the `store` feature; fires at most once per run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    /// The first non-empty processing window at or after this time
+    /// crashes.
+    pub at: f64,
+    /// Where inside the window the crash hits.
+    pub point: CrashPoint,
+    /// Downtime imposed when recovery lands on the cold path (warm
+    /// recovery resumes the same tick, with no darkness at all).
+    pub cold_downtime: f64,
+}
+
 /// Full simulation configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -108,6 +143,10 @@ pub struct SimConfig {
     pub attack: Option<AttackPlan>,
     /// Optional manager outage/restart window.
     pub im_outage: Option<ImOutage>,
+    /// Durable-store settings for the manager's WAL + snapshots.
+    pub store: StoreConfig,
+    /// Optional crash-point injection (kills the manager mid-window).
+    pub im_crash: Option<CrashPlan>,
     /// Total simulated time, seconds.
     pub duration: f64,
     /// Physics timestep, seconds.
@@ -147,6 +186,8 @@ impl Default for SimConfig {
             nwade_enabled: true,
             attack: None,
             im_outage: None,
+            store: StoreConfig::default(),
+            im_crash: None,
             duration: 300.0,
             dt: 0.1,
             sense_interval: 0.5,
@@ -196,6 +237,17 @@ impl SimConfig {
             }
             if !(outage.duration > 0.0 && outage.duration.is_finite()) {
                 return Err("IM outage duration must be positive and finite".into());
+            }
+        }
+        if self.store.snapshot_every == 0 {
+            return Err("store snapshot cadence must be at least one window".into());
+        }
+        if let Some(crash) = &self.im_crash {
+            if !(crash.at > 0.0 && crash.at < self.duration) {
+                return Err("IM crash time must fall inside the run".into());
+            }
+            if !(crash.cold_downtime > 0.0 && crash.cold_downtime.is_finite()) {
+                return Err("IM crash cold downtime must be positive and finite".into());
             }
         }
         Ok(())
@@ -248,6 +300,26 @@ mod tests {
         c.im_outage = Some(ImOutage {
             start: 100.0,
             duration: 0.0,
+        });
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.store.snapshot_every = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.im_crash = Some(CrashPlan {
+            at: 1e9,
+            point: CrashPoint::AfterCommit,
+            cold_downtime: 10.0,
+        });
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.im_crash = Some(CrashPlan {
+            at: 50.0,
+            point: CrashPoint::BeforeCommit,
+            cold_downtime: 0.0,
         });
         assert!(c.validate().is_err());
     }

@@ -32,7 +32,10 @@ pub mod scenario;
 pub mod vehicle;
 pub mod world;
 
-pub use config::{AttackPlan, EngineChoice, ImOutage, SchedulerChoice, SignatureChoice, SimConfig};
+pub use config::{
+    AttackPlan, CrashPlan, EngineChoice, ImOutage, SchedulerChoice, SignatureChoice, SimConfig,
+    StoreConfig,
+};
 pub use invariant::{InvariantChecker, InvariantKind, InvariantReport, InvariantViolation};
 pub use metrics::SimMetrics;
 pub use report::SimReport;

@@ -59,6 +59,22 @@ pub struct SimMetrics {
     /// Messages addressed to the manager that fell into its outage
     /// window.
     pub imu_outage_drops: usize,
+    /// Intersection-manager crash injections fired (chaos harness).
+    pub im_crashes: usize,
+    /// Manager restarts recovered warm from the durable store:
+    /// reservations and chain tip intact, nobody evacuated.
+    pub warm_recoveries: usize,
+    /// Manager restarts that fell back to the cold path: conversational
+    /// state lost, darkness until the manager rebuilt from the chain.
+    pub cold_recoveries: usize,
+    /// Torn-tail bytes the durable store truncated during recoveries.
+    pub wal_truncated_bytes: u64,
+    /// Time the chaos crash injection fired.
+    pub im_crash_time: Option<f64>,
+    /// Simulated seconds from the crash injection to the manager's next
+    /// block broadcast: 0 for a same-tick warm recovery, roughly the
+    /// cold downtime plus a processing window on the cold path.
+    pub im_recovery_latency: Option<f64>,
     /// Deliveries whose payload arrived corrupted and was dropped at the
     /// framing layer (anything but a block, whose corruption must reach
     /// Algorithm 1's verifier).

@@ -32,7 +32,7 @@
 //! 11. **Threat-cleared check** — once a confirmed violator stops or
 //!     exits, recovery replans every vehicle parked by the evacuation.
 
-use crate::config::{SchedulerChoice, SignatureChoice, SimConfig};
+use crate::config::{ImOutage, SchedulerChoice, SignatureChoice, SimConfig};
 use crate::engine::{fan_out, fan_out_indices, fan_out_mut, observed_neighbors, resolve_threads};
 use crate::imu::{ImuAction, ImuAgent};
 use crate::invariant::{InvariantChecker, VehicleSnapshot};
@@ -43,6 +43,8 @@ use nwade::attack::AttackSetting;
 use nwade::messages::{
     class, GlobalClaim, GlobalReport, IncidentReport, NwadeMessage, Observation,
 };
+#[cfg(feature = "store")]
+use nwade::{CrashPoint, ImPersistence, ManagerAction, RecoveryOutcome};
 use nwade::{EvacuationCause, GuardAction, NwadeConfig, NwadeManager, RetryDecision, VehicleGuard};
 use nwade_aim::TravelPlan;
 use nwade_aim::{
@@ -53,6 +55,8 @@ use nwade_chain::tamper;
 use nwade_crypto::{CachingVerifier, MockScheme, RsaKeyPair, RsaScheme, SignatureScheme};
 use nwade_geometry::{GridIndex, MotionProfile, Vec2};
 use nwade_intersection::{build, LegId, MovementId, Topology};
+#[cfg(feature = "store")]
+use nwade_store::MemBackend;
 use nwade_traffic::{DemandGenerator, SpawnEvent, VehicleDescriptor, VehicleId};
 use nwade_vanet::{Medium, NodeId, Recipient};
 use rand::rngs::StdRng;
@@ -130,6 +134,20 @@ pub struct Simulation {
     /// Whether the manager was inside its outage window last tick (for
     /// restart edge detection).
     im_was_down: bool,
+    /// Darkness imposed by a cold crash recovery (the manager is down
+    /// while it rebuilds from the persisted chain).
+    forced_outage: Option<ImOutage>,
+    /// Whether the configured crash-point injection already fired.
+    #[cfg(feature = "store")]
+    crash_fired: bool,
+    /// The durable device the manager logs to, shared with the chaos
+    /// harness so crashes and corruption can be injected mid-run.
+    #[cfg(feature = "store")]
+    store_handle: MemBackend,
+    /// Active persistence session; `None` when durability is disabled
+    /// by config or the store failed.
+    #[cfg(feature = "store")]
+    persistence: Option<ImPersistence>,
     /// Worker threads for the per-vehicle phases (1 = serial engine).
     threads: usize,
     /// Reusable per-tick buffers and spatial indices.
@@ -159,27 +177,24 @@ impl Simulation {
                 RsaKeyPair::generate(bits, &mut rng),
             ))),
         };
-        let sched_cfg = SchedulerConfig {
-            limits: config.limits,
-            probe: config.probe_scheduler,
-            // The scheduler's read-only pre-pass fans out over request
-            // chunks; the fan-out primitives fall back to inline below
-            // their size cutoff, so small windows stay serial either way.
-            threads: resolve_threads(config.engine),
-            ..SchedulerConfig::default()
+        #[allow(unused_mut)] // mutated only by the store-feature attach below
+        let mut manager = Self::build_manager(&config, &topo, &scheme);
+        #[cfg(feature = "store")]
+        let store_handle = MemBackend::new();
+        // A fresh store attaches as a trivially warm no-op; the handle is
+        // kept so crash recovery can re-open the same device later.
+        #[cfg(feature = "store")]
+        let persistence = if config.store.enabled && config.nwade_enabled {
+            ImPersistence::attach(
+                Box::new(store_handle.clone()),
+                config.store.snapshot_every,
+                &mut manager,
+            )
+            .ok()
+            .map(|(p, _)| p)
+        } else {
+            None
         };
-        let scheduler: Box<dyn Scheduler + Send> = match config.scheduler {
-            SchedulerChoice::Reservation => {
-                Box::new(ReservationScheduler::new(topo.clone(), sched_cfg))
-            }
-            SchedulerChoice::Fcfs => Box::new(FcfsScheduler::new(topo.clone(), sched_cfg)),
-            SchedulerChoice::TrafficLight => Box::new(TrafficLightScheduler::new(
-                topo.clone(),
-                sched_cfg,
-                Default::default(),
-            )),
-        };
-        let manager = NwadeManager::new(topo.clone(), scheduler, scheme.clone(), config.nwade);
         let im_malicious = config.attack.is_some_and(|a| a.setting.im_malicious());
         let imu = ImuAgent::new(manager, topo.clone(), scheme.clone(), im_malicious);
 
@@ -217,6 +232,13 @@ impl Simulation {
             last_announce: std::collections::HashMap::new(),
             invariants: InvariantChecker::new(),
             im_was_down: false,
+            forced_outage: None,
+            #[cfg(feature = "store")]
+            crash_fired: false,
+            #[cfg(feature = "store")]
+            store_handle,
+            #[cfg(feature = "store")]
+            persistence,
             threads: resolve_threads(config.engine),
             scratch: TickScratch {
                 positions: Vec::new(),
@@ -502,20 +524,193 @@ impl Simulation {
             crate::engine::resolve_threads_sized(self.config.engine, self.active_vehicle_count());
     }
 
-    /// `true` while the manager is inside its configured outage window.
-    fn im_down(&self, now: f64) -> bool {
-        self.config.im_outage.is_some_and(|o| o.covers(now))
+    /// Builds the manager + scheduler stack from the config (used at
+    /// construction and again when crash recovery restarts the process).
+    fn build_manager(
+        config: &SimConfig,
+        topo: &Arc<Topology>,
+        scheme: &Arc<dyn SignatureScheme>,
+    ) -> NwadeManager {
+        let sched_cfg = SchedulerConfig {
+            limits: config.limits,
+            probe: config.probe_scheduler,
+            // The scheduler's read-only pre-pass fans out over request
+            // chunks; the fan-out primitives fall back to inline below
+            // their size cutoff, so small windows stay serial either way.
+            threads: resolve_threads(config.engine),
+            ..SchedulerConfig::default()
+        };
+        let scheduler: Box<dyn Scheduler + Send> = match config.scheduler {
+            SchedulerChoice::Reservation => {
+                Box::new(ReservationScheduler::new(topo.clone(), sched_cfg))
+            }
+            SchedulerChoice::Fcfs => Box::new(FcfsScheduler::new(topo.clone(), sched_cfg)),
+            SchedulerChoice::TrafficLight => Box::new(TrafficLightScheduler::new(
+                topo.clone(),
+                sched_cfg,
+                Default::default(),
+            )),
+        };
+        NwadeManager::new(topo.clone(), scheduler, scheme.clone(), config.nwade)
     }
 
-    /// The manager comes back from an outage: transient conversational
-    /// state (in-flight report verifications) is gone, the chain and the
-    /// published-plan ledger survive. Vehicles that self-evacuated on the
-    /// IM timeout re-admit themselves when the next fresh block they can
-    /// verify against their cached chain arrives — no special resync
-    /// message exists, exactly as in the paper's model where the chain is
-    /// the only shared state.
-    fn im_restart(&mut self, _now: f64) {
+    /// `true` while the manager is inside a configured or crash-imposed
+    /// outage window.
+    fn im_down(&self, now: f64) -> bool {
+        self.config.im_outage.is_some_and(|o| o.covers(now))
+            || self.forced_outage.is_some_and(|o| o.covers(now))
+    }
+
+    /// The manager comes back from an outage. With the durable store
+    /// active, a fresh manager is rebuilt from snapshot + WAL replay
+    /// (warm: reservations and chain tip intact); otherwise — or when
+    /// the store is unusable — the existing cold path runs: transient
+    /// conversational state (in-flight report verifications) is gone,
+    /// the chain and the published-plan ledger survive. Vehicles that
+    /// self-evacuated on the IM timeout re-admit themselves when the
+    /// next fresh block they can verify against their cached chain
+    /// arrives — no special resync message exists, exactly as in the
+    /// paper's model where the chain is the only shared state.
+    fn im_restart(&mut self, now: f64) {
+        if self.forced_outage.take().is_some() {
+            // End of a cold-crash downtime: the warm/cold decision was
+            // made (and counted) at crash time; the manager just wakes.
+            self.imu.manager.restart();
+            return;
+        }
+        #[cfg(feature = "store")]
+        if self.persistence.is_some() && self.try_warm_swap(now) {
+            self.metrics.warm_recoveries += 1;
+            return;
+        }
+        let _ = now;
         self.imu.manager.restart();
+        self.metrics.cold_recoveries += 1;
+    }
+
+    /// Rebuilds the manager from the durable store. On success the
+    /// recovered manager replaces the live one and committed-but-
+    /// unbroadcast blocks go out; on failure (`Cold` or a device error)
+    /// the live manager is left untouched and persistence stays off.
+    #[cfg(feature = "store")]
+    fn try_warm_swap(&mut self, now: f64) -> bool {
+        self.persistence = None;
+        let mut fresh = Self::build_manager(&self.config, &self.topo, &self.scheme);
+        let attached = ImPersistence::attach(
+            Box::new(self.store_handle.clone()),
+            self.config.store.snapshot_every,
+            &mut fresh,
+        );
+        match attached {
+            Ok((persist, RecoveryOutcome::Warm(warm))) => {
+                self.imu.manager = fresh;
+                self.persistence = Some(persist);
+                self.metrics.wal_truncated_bytes += warm.truncated_bytes;
+                let rebroadcast: Vec<ImuAction> = warm
+                    .actions
+                    .into_iter()
+                    .filter_map(|a| match a {
+                        ManagerAction::BroadcastBlock(b) => Some(ImuAction::Broadcast(b)),
+                        _ => None,
+                    })
+                    .collect();
+                self.handle_imu_actions(rebroadcast, now);
+                true
+            }
+            Ok((_, RecoveryOutcome::Cold { reason })) => {
+                if std::env::var("NWADE_DEBUG").is_ok() {
+                    eprintln!("[nwade-debug] t={now:.2} warm recovery refused: {reason}");
+                }
+                false
+            }
+            Err(e) => {
+                if std::env::var("NWADE_DEBUG").is_ok() {
+                    eprintln!("[nwade-debug] t={now:.2} store unreadable: {e}");
+                }
+                false
+            }
+        }
+    }
+
+    /// Turns durability off after a device error (the log can no longer
+    /// be trusted to match the manager).
+    #[cfg(feature = "store")]
+    fn disable_store(&mut self, context: &str) {
+        eprintln!("[nwade-sim] durable store failed ({context}); disabling durability");
+        self.persistence = None;
+    }
+
+    /// The configured crash, when it is due to fire this window.
+    #[cfg(feature = "store")]
+    fn due_crash(&self, now: f64) -> Option<crate::config::CrashPlan> {
+        let plan = self.config.im_crash?;
+        (!self.crash_fired && now >= plan.at).then_some(plan)
+    }
+
+    /// Kills the manager process at the given crash point, mid-window.
+    /// `staged` is the block the dying window produced (discarded —
+    /// never broadcast by the crashing process). Recovery then either
+    /// comes back warm the same tick, or goes dark for the cold
+    /// downtime.
+    #[cfg(feature = "store")]
+    fn crash_im(
+        &mut self,
+        plan: crate::config::CrashPlan,
+        staged: Option<nwade_chain::Block>,
+        now: f64,
+    ) {
+        self.crash_fired = true;
+        self.metrics.im_crashes += 1;
+        self.metrics.im_crash_time = Some(now);
+        let had_store = self.persistence.is_some();
+        match plan.point {
+            CrashPoint::AfterStage => {
+                // Nothing about the staged block reached the device.
+                self.store_handle.crash(0);
+            }
+            CrashPoint::BeforeCommit => {
+                // The commit record dies half-written: a torn tail the
+                // recovery scan must truncate.
+                if let (Some(p), Some(b)) = (self.persistence.as_mut(), staged.as_ref()) {
+                    let _ = p.commit_block(b, false);
+                }
+                self.store_handle.crash(10);
+            }
+            CrashPoint::AfterCommit => {
+                // Committed and durable, but the broadcast never went
+                // out: recovery must re-send exactly this block.
+                if let (Some(p), Some(b)) = (self.persistence.as_mut(), staged.as_ref()) {
+                    let _ = p.commit_block(b, true);
+                }
+                self.store_handle.crash(0);
+            }
+        }
+        self.persistence = None; // the process died with its handle
+        if had_store && self.try_warm_swap(now) {
+            self.metrics.warm_recoveries += 1;
+            return;
+        }
+        // Cold: the in-memory state of the crashed process is gone and
+        // the store cannot reconstruct it. The manager stays dark while
+        // it restores from the persisted chain (the same fiction as
+        // `ImOutage`), and the outage-end edge restarts it.
+        self.metrics.cold_recoveries += 1;
+        self.forced_outage = Some(ImOutage {
+            start: now,
+            duration: plan.cold_downtime,
+        });
+        self.im_was_down = true;
+    }
+
+    /// The manager's durable chain height (index of the next block) —
+    /// recovery differential tests compare this across runs.
+    pub fn chain_next_index(&self) -> u64 {
+        self.imu.manager.chain_next_index()
+    }
+
+    /// The manager's chain tip hash `h_{i-1}`.
+    pub fn chain_tip(&self) -> nwade_crypto::Digest {
+        self.imu.manager.chain_tip()
     }
 
     /// Ground-truth and protocol-consistency invariants, every tick.
@@ -1120,6 +1315,17 @@ impl Simulation {
         };
         self.medium.remove_node(NodeId::Vehicle(id));
         self.imu.manager.release_vehicle(VehicleId::new(id));
+        // Buffered release record; durable at the next window barrier.
+        #[cfg(feature = "store")]
+        {
+            let failed = self
+                .persistence
+                .as_mut()
+                .is_some_and(|p| p.release(VehicleId::new(id)).is_err());
+            if failed {
+                self.disable_store("release record");
+            }
+        }
         self.metrics.exited += 1;
         if benign {
             self.metrics.exited_benign += 1;
@@ -1436,6 +1642,24 @@ impl Simulation {
                     self.metrics.blocks_broadcast += 1;
                     self.metrics.block_sizes.push(block.plans().len());
                     self.metrics.plans_scheduled += block.plans().len();
+                    if self.metrics.im_recovery_latency.is_none() {
+                        if let Some(t) = self.metrics.im_crash_time {
+                            self.metrics.im_recovery_latency = Some(now - t);
+                        }
+                    }
+                    // The broadcast marker suppresses re-sending this
+                    // block on recovery; it is buffered (not synced) —
+                    // losing it only costs a harmless duplicate send.
+                    #[cfg(feature = "store")]
+                    {
+                        let failed = self
+                            .persistence
+                            .as_mut()
+                            .is_some_and(|p| p.broadcasted(block.index()).is_err());
+                        if failed {
+                            self.disable_store("broadcast marker");
+                        }
+                    }
                     self.medium.send(
                         NodeId::Imu,
                         Recipient::Broadcast,
@@ -1566,6 +1790,19 @@ impl Simulation {
                 threats.push(obs.position);
             }
         }
+        // Evacuation planning is durable like a window: the inputs are
+        // logged (and synced) before the plan runs, the commit before
+        // the broadcast.
+        #[cfg(feature = "store")]
+        {
+            let failed = self
+                .persistence
+                .as_mut()
+                .is_some_and(|p| p.evac_start(now, &states, &threats).is_err());
+            if failed {
+                self.disable_store("evacuation start");
+            }
+        }
         if let Some(block) = self.imu.evacuation_block(&states, &threats, now) {
             if std::env::var("NWADE_DEBUG").is_ok() {
                 eprintln!(
@@ -1573,6 +1810,15 @@ impl Simulation {
                     block.index(),
                     block.plans().len()
                 );
+            }
+            #[cfg(feature = "store")]
+            {
+                let failed = self.persistence.as_mut().is_some_and(|p| {
+                    p.commit_block(&block, true).is_err() || p.broadcasted(block.index()).is_err()
+                });
+                if failed {
+                    self.disable_store("evacuation commit");
+                }
             }
             self.metrics.blocks_broadcast += 1;
             self.metrics.block_sizes.push(block.plans().len());
@@ -1901,6 +2147,18 @@ impl Simulation {
             return;
         }
         if self.config.nwade_enabled {
+            // The window's requests become durable before scheduling: a
+            // crash from here on replays them deterministically.
+            #[cfg(feature = "store")]
+            {
+                let failed = self
+                    .persistence
+                    .as_mut()
+                    .is_some_and(|p| p.window_start(now, &requests).is_err());
+                if failed {
+                    self.disable_store("window start");
+                }
+            }
             // Track the corrupted block's index for metric attribution.
             let will_corrupt =
                 self.imu.malicious && self.imu.corrupt_next_block && !self.imu.corruption_emitted;
@@ -1910,7 +2168,46 @@ impl Simulation {
                     self.corrupted_index = Some(b.index());
                 }
             }
+            #[cfg(feature = "store")]
+            if let Some(plan) = self.due_crash(now) {
+                // The process dies mid-window: the staged actions are
+                // discarded, nothing is broadcast by the dying manager.
+                let staged = actions.into_iter().find_map(|a| match a {
+                    ImuAction::Broadcast(b) => Some(b),
+                    _ => None,
+                });
+                self.crash_im(plan, staged, now);
+                return;
+            }
+            // WAL rule: the commit record is durable before publication.
+            #[cfg(feature = "store")]
+            {
+                let mut failed = false;
+                for action in &actions {
+                    if let ImuAction::Broadcast(block) = action {
+                        failed |= self
+                            .persistence
+                            .as_mut()
+                            .is_some_and(|p| p.commit_block(block, true).is_err());
+                    }
+                }
+                if failed {
+                    self.disable_store("block commit");
+                }
+            }
             self.handle_imu_actions(actions, now);
+            #[cfg(feature = "store")]
+            {
+                let failed = matches!(
+                    self.persistence
+                        .as_mut()
+                        .map(|p| p.window_end(&self.imu.manager)),
+                    Some(Err(_))
+                );
+                if failed {
+                    self.disable_store("snapshot");
+                }
+            }
         } else {
             // Baseline without NWADE: plans are unicast, no blockchain.
             let actions = self.imu.on_window(&requests, now);

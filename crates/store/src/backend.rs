@@ -1,0 +1,308 @@
+//! Storage backends for the write-ahead log.
+//!
+//! A backend is a flat, append-only byte device with an explicit
+//! durability barrier (`sync`). Two implementations ship:
+//!
+//! - [`MemBackend`] — an in-memory device that models the volatile page
+//!   cache explicitly: bytes appended after the last `sync` are *not*
+//!   durable, and [`MemBackend::crash`] discards them (optionally
+//!   leaving a torn prefix behind, the way a real disk loses the tail
+//!   of an in-flight sector write). This is what the chaos harness and
+//!   the crash-simulator proptests drive.
+//! - [`FileBackend`] — a real file using `File::sync_data` as the
+//!   barrier, for running the simulator against an actual disk.
+
+use std::fmt;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Errors a backend can surface.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure (file backend only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A flat append-only byte device with an explicit durability barrier.
+pub trait Backend: Send {
+    /// Reads the entire device contents from offset zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the device cannot be read.
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError>;
+
+    /// Appends bytes at the end of the device. Appended bytes are only
+    /// durable once a subsequent [`Backend::sync`] returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the device cannot be written.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Durability barrier: everything appended so far survives a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the device cannot be flushed.
+    fn sync(&mut self) -> Result<(), StoreError>;
+
+    /// Discards everything past `len` bytes (used by recovery to drop a
+    /// torn tail). The truncation itself is synced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the device cannot be truncated.
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError>;
+
+    /// Current device length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the device cannot be inspected.
+    fn len(&mut self) -> Result<u64, StoreError>;
+
+    /// `true` when the device holds no bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the device cannot be inspected.
+    fn is_empty(&mut self) -> Result<bool, StoreError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    bytes: Vec<u8>,
+    /// Prefix length that has passed a durability barrier.
+    synced: usize,
+}
+
+/// In-memory backend with an explicit durable/volatile boundary and
+/// crash simulation. Cloning yields another handle onto the *same*
+/// device, so a test (or the simulator) can keep a handle while the WAL
+/// owns another — exactly how a file on disk outlives the process that
+/// wrote it.
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemBackend {
+    /// A fresh, empty device.
+    pub fn new() -> Self {
+        MemBackend::default()
+    }
+
+    /// A device pre-seeded with an on-disk image, all of it durable —
+    /// as if a previous process wrote and synced exactly these bytes.
+    pub fn from_bytes(image: &[u8]) -> Self {
+        let backend = MemBackend::default();
+        {
+            let mut s = backend.state.lock().expect("mem backend poisoned");
+            s.bytes = image.to_vec();
+            s.synced = s.bytes.len();
+        }
+        backend
+    }
+
+    /// Simulates a process/machine crash: all bytes past the last sync
+    /// are lost, except for `torn` of them which survive as a partial
+    /// (torn) tail — the classic half-written record. `torn` is clamped
+    /// to the unsynced span.
+    pub fn crash(&self, torn: usize) {
+        let mut s = self.state.lock().expect("mem backend poisoned");
+        let keep = s.synced + torn.min(s.bytes.len().saturating_sub(s.synced));
+        s.bytes.truncate(keep);
+        // What survived is what the disk now holds.
+        s.synced = s.bytes.len();
+    }
+
+    /// Flips one bit at `offset` (for corruption tests). No-op when the
+    /// offset is past the end.
+    pub fn flip_bit(&self, offset: usize, bit: u8) {
+        let mut s = self.state.lock().expect("mem backend poisoned");
+        if let Some(b) = s.bytes.get_mut(offset) {
+            *b ^= 1 << (bit % 8);
+        }
+    }
+
+    /// Bytes currently past the durability barrier (i.e. at risk).
+    pub fn unsynced(&self) -> usize {
+        let s = self.state.lock().expect("mem backend poisoned");
+        s.bytes.len() - s.synced
+    }
+
+    /// Snapshot of the full device contents (synced + volatile).
+    pub fn contents(&self) -> Vec<u8> {
+        self.state
+            .lock()
+            .expect("mem backend poisoned")
+            .bytes
+            .clone()
+    }
+}
+
+impl Backend for MemBackend {
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError> {
+        Ok(self.contents())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut s = self.state.lock().expect("mem backend poisoned");
+        s.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        let mut s = self.state.lock().expect("mem backend poisoned");
+        s.synced = s.bytes.len();
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError> {
+        let mut s = self.state.lock().expect("mem backend poisoned");
+        let len = len.min(s.bytes.len() as u64) as usize;
+        s.bytes.truncate(len);
+        // Truncation is a repair step; make it durable immediately.
+        s.synced = len;
+        Ok(())
+    }
+
+    fn len(&mut self) -> Result<u64, StoreError> {
+        let s = self.state.lock().expect("mem backend poisoned");
+        Ok(s.bytes.len() as u64)
+    }
+}
+
+/// File-backed device using `sync_data` as the durability barrier.
+#[derive(Debug)]
+pub struct FileBackend {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl FileBackend {
+    /// Opens (or creates) the log file at `path` for append + read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the file cannot be opened.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FileBackend {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The path this backend writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Backend for FileBackend {
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut out = Vec::new();
+        self.file.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError> {
+        self.file.set_len(len)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn len(&mut self) -> Result<u64, StoreError> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_crash_drops_unsynced_tail() {
+        let handle = MemBackend::new();
+        let mut b = handle.clone();
+        b.append(b"durable").unwrap();
+        b.sync().unwrap();
+        b.append(b"volatile").unwrap();
+        assert_eq!(handle.unsynced(), 8);
+
+        handle.crash(3);
+        assert_eq!(handle.contents(), b"durablevol");
+        handle.crash(0);
+        assert_eq!(handle.contents(), b"durablevol");
+    }
+
+    #[test]
+    fn mem_truncate_is_durable() {
+        let handle = MemBackend::new();
+        let mut b = handle.clone();
+        b.append(b"0123456789").unwrap();
+        b.sync().unwrap();
+        b.truncate(4).unwrap();
+        handle.crash(0);
+        assert_eq!(handle.contents(), b"0123");
+    }
+
+    #[test]
+    fn file_backend_round_trip() {
+        let path =
+            std::env::temp_dir().join(format!("nwade-store-test-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut b = FileBackend::open(&path).unwrap();
+            b.append(b"hello ").unwrap();
+            b.append(b"disk").unwrap();
+            b.sync().unwrap();
+        }
+        {
+            let mut b = FileBackend::open(&path).unwrap();
+            assert_eq!(b.read_all().unwrap(), b"hello disk");
+            b.truncate(5).unwrap();
+            assert_eq!(b.read_all().unwrap(), b"hello");
+            assert_eq!(b.len().unwrap(), 5);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

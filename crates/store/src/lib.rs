@@ -1,0 +1,28 @@
+//! Durable storage for the intersection manager.
+//!
+//! The paper's recovery story (§IV-B5) assumes the IM can resume
+//! issuing valid blocks after a disruption. This crate supplies the
+//! storage half of that promise: an append-only, checksummed
+//! write-ahead log ([`Wal`]) over pluggable byte devices
+//! ([`Backend`]), with fsync batching (one barrier per processing
+//! window) and torn-tail repair on open. Periodic snapshots are
+//! ordinary records appended *in* the log, so recovery is always
+//! "latest intact snapshot + suffix replay" with a single scan.
+//!
+//! The crate is deliberately policy-free: record payloads are opaque
+//! bytes. What goes in them (chain tip, reservation lanes, in-flight
+//! window requests) is decided by `nwade::persist` in the core crate.
+//!
+//! Fault injection is a first-class citizen: [`MemBackend`] models the
+//! volatile page cache explicitly and can [`MemBackend::crash`] with a
+//! torn tail or [`MemBackend::flip_bit`] anywhere, which the chaos
+//! harness and the crash-simulator proptests use to prove that
+//! recovery always lands on a prefix of committed state.
+
+#![forbid(unsafe_code)]
+
+mod backend;
+mod wal;
+
+pub use backend::{Backend, FileBackend, MemBackend, StoreError};
+pub use wal::{Recovery, Wal, FRAME_HEADER, MAX_RECORD_LEN};

@@ -1,0 +1,245 @@
+//! The write-ahead log: checksummed length-prefixed records.
+//!
+//! On-device layout is a flat sequence of frames:
+//!
+//! ```text
+//! [u32 payload len (BE)] [32-byte SHA-256(payload)] [payload bytes]
+//! ```
+//!
+//! Appends are buffered by the backend's page cache; [`Wal::commit`]
+//! is the durability barrier (one `fsync` per processing window, not
+//! per record). [`Wal::open`] scans the device and keeps the longest
+//! prefix of intact frames: a frame whose length field overruns the
+//! device, or whose checksum does not match its payload, marks the
+//! start of a torn/corrupt tail, which is truncated away — recovery
+//! always lands on a prefix of committed records and never panics on
+//! hostile bytes.
+
+use crate::backend::{Backend, StoreError};
+use bytes::{Buf, BufMut};
+use nwade_crypto::sha256;
+
+/// Frame header size: length prefix + record checksum.
+pub const FRAME_HEADER: usize = 4 + 32;
+
+/// Upper bound on a single record's payload. A corrupted length field
+/// must not make recovery allocate gigabytes; anything above this is
+/// treated as tail corruption.
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// What [`Wal::open`] found on the device.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Device length after dropping the torn/corrupt tail (if any).
+    pub valid_len: u64,
+    /// Bytes discarded from the tail (0 on a clean log).
+    pub truncated: u64,
+}
+
+impl Recovery {
+    /// `true` when the log needed no repair.
+    pub fn clean(&self) -> bool {
+        self.truncated == 0
+    }
+}
+
+/// An open write-ahead log over some [`Backend`].
+pub struct Wal {
+    backend: Box<dyn Backend>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal").finish_non_exhaustive()
+    }
+}
+
+impl Wal {
+    /// Opens the log: scans every frame, verifies checksums, truncates
+    /// the first torn or corrupt frame and everything after it, and
+    /// returns the surviving records alongside the writable log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] only for device-level failures; corrupt
+    /// *content* is handled by truncation, never an error.
+    pub fn open(mut backend: Box<dyn Backend>) -> Result<(Self, Recovery), StoreError> {
+        let bytes = backend.read_all()?;
+        let mut records = Vec::new();
+        let mut offset = 0usize;
+        loop {
+            let mut cursor: &[u8] = &bytes[offset..];
+            let Ok(len) = cursor.try_get_u32() else {
+                break;
+            };
+            if len == 0 || len > MAX_RECORD_LEN {
+                break;
+            }
+            let mut digest = [0u8; 32];
+            if cursor.try_copy_to_slice(&mut digest).is_err() {
+                break;
+            }
+            let len = len as usize;
+            if cursor.remaining() < len {
+                break;
+            }
+            let payload = &cursor[..len];
+            if sha256(payload).0 != digest {
+                break;
+            }
+            records.push(payload.to_vec());
+            offset += FRAME_HEADER + len;
+        }
+        let valid_len = offset as u64;
+        let truncated = bytes.len() as u64 - valid_len;
+        if truncated > 0 {
+            backend.truncate(valid_len)?;
+        }
+        Ok((
+            Wal { backend },
+            Recovery {
+                records,
+                valid_len,
+                truncated,
+            },
+        ))
+    }
+
+    /// Appends one record (not yet durable — see [`Wal::commit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the device rejects the write.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        assert!(
+            !payload.is_empty() && payload.len() <= MAX_RECORD_LEN as usize,
+            "record payload must be in 1..={MAX_RECORD_LEN} bytes"
+        );
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.put_u32(payload.len() as u32);
+        frame.put_slice(&sha256(payload).0);
+        frame.put_slice(payload);
+        self.backend.append(&frame)
+    }
+
+    /// Durability barrier: every record appended so far survives a
+    /// crash once this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the device cannot be flushed.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        self.backend.sync()
+    }
+
+    /// Appends one record and commits immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the append or flush fails.
+    pub fn append_committed(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        self.append(payload)?;
+        self.commit()
+    }
+
+    /// Current device length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the device cannot be inspected.
+    pub fn len_bytes(&mut self) -> Result<u64, StoreError> {
+        self.backend.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn reopen(handle: &MemBackend) -> Recovery {
+        let (_wal, rec) = Wal::open(Box::new(handle.clone())).expect("open");
+        rec
+    }
+
+    #[test]
+    fn round_trip_and_clean_reopen() {
+        let handle = MemBackend::new();
+        let (mut wal, rec) = Wal::open(Box::new(handle.clone())).unwrap();
+        assert!(rec.records.is_empty() && rec.clean());
+
+        wal.append(b"alpha").unwrap();
+        wal.append(b"beta").unwrap();
+        wal.commit().unwrap();
+
+        let rec = reopen(&handle);
+        assert!(rec.clean());
+        assert_eq!(rec.records, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_committed_prefix() {
+        let handle = MemBackend::new();
+        let (mut wal, _) = Wal::open(Box::new(handle.clone())).unwrap();
+        wal.append(b"committed").unwrap();
+        wal.commit().unwrap();
+        wal.append(b"in flight at crash time").unwrap();
+        drop(wal);
+
+        // Crash mid-write: 7 bytes of the un-synced frame hit the disk.
+        handle.crash(7);
+        let rec = reopen(&handle);
+        assert_eq!(rec.records, vec![b"committed".to_vec()]);
+        assert!(!rec.clean());
+        assert_eq!(rec.truncated, 7);
+
+        // After repair the log is clean again and writable.
+        let (mut wal, rec) = Wal::open(Box::new(handle.clone())).unwrap();
+        assert!(rec.clean());
+        wal.append_committed(b"next").unwrap();
+        let rec = reopen(&handle);
+        assert_eq!(rec.records, vec![b"committed".to_vec(), b"next".to_vec()]);
+    }
+
+    #[test]
+    fn bit_flip_drops_suffix_not_prefix() {
+        let handle = MemBackend::new();
+        let (mut wal, _) = Wal::open(Box::new(handle.clone())).unwrap();
+        for payload in [b"one".as_slice(), b"two", b"three"] {
+            wal.append(payload).unwrap();
+        }
+        wal.commit().unwrap();
+        drop(wal);
+
+        // Corrupt the second record's payload.
+        let second_frame = FRAME_HEADER + 3;
+        handle.flip_bit(second_frame + FRAME_HEADER + 1, 2);
+        let rec = reopen(&handle);
+        assert_eq!(rec.records, vec![b"one".to_vec()]);
+        assert!(!rec.clean());
+    }
+
+    #[test]
+    fn absurd_length_field_is_tail_corruption() {
+        let handle = MemBackend::new();
+        let (mut wal, _) = Wal::open(Box::new(handle.clone())).unwrap();
+        wal.append_committed(b"good").unwrap();
+        drop(wal);
+
+        // Forge a frame with a huge length: must not allocate or panic.
+        {
+            let mut b = handle.clone();
+            use crate::backend::Backend;
+            let mut frame = Vec::new();
+            frame.put_u32(u32::MAX);
+            frame.extend_from_slice(&[0u8; 40]);
+            b.append(&frame).unwrap();
+            b.sync().unwrap();
+        }
+        let rec = reopen(&handle);
+        assert_eq!(rec.records, vec![b"good".to_vec()]);
+        assert!(!rec.clean());
+    }
+}

@@ -62,6 +62,28 @@ impl VehicleDescriptor {
     pub fn encode(&self) -> Vec<u8> {
         format!("{}|{}|{}", self.brand, self.model, self.color).into_bytes()
     }
+
+    /// Decodes the canonical `brand|model|color` encoding.
+    ///
+    /// Round-trips [`VehicleDescriptor::encode`] exactly for any
+    /// descriptor whose fields are `|`-free (all generated descriptors
+    /// are). Returns `None` on non-UTF-8 input or a wrong field count,
+    /// never panics — the bytes may come from a torn WAL tail.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let s = std::str::from_utf8(bytes).ok()?;
+        let mut parts = s.split('|');
+        let brand = parts.next()?.to_string();
+        let model = parts.next()?.to_string();
+        let color = parts.next()?.to_string();
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(VehicleDescriptor {
+            brand,
+            model,
+            color,
+        })
+    }
 }
 
 impl fmt::Display for VehicleDescriptor {
@@ -117,6 +139,18 @@ mod tests {
             color: "C".into(),
         };
         assert_ne!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn decode_round_trips_and_rejects_garbage() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let d = VehicleDescriptor::random(&mut rng);
+            assert_eq!(VehicleDescriptor::decode(&d.encode()), Some(d));
+        }
+        assert_eq!(VehicleDescriptor::decode(b"only|one-sep"), None);
+        assert_eq!(VehicleDescriptor::decode(b"a|b|c|d"), None);
+        assert_eq!(VehicleDescriptor::decode(&[0xFF, 0xFE, b'|', b'|']), None);
     }
 
     #[test]

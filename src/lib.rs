@@ -13,5 +13,6 @@ pub use nwade_crypto as crypto;
 pub use nwade_geometry as geometry;
 pub use nwade_intersection as intersection;
 pub use nwade_sim as sim;
+pub use nwade_store as store;
 pub use nwade_traffic as traffic;
 pub use nwade_vanet as vanet;

@@ -23,9 +23,14 @@ fn attacked(seed: u64) -> SimConfig {
 /// restart the manager rebuilds from its chain, the next block broadcast
 /// re-admits the fleet, and no vehicle is left publicly flagged as
 /// evacuating.
+///
+/// The durable store is disabled here on purpose: this pins the *cold*
+/// recovery path (evacuate, then readmit) that warm recovery is measured
+/// against.
 #[test]
 fn im_outage_evacuation_and_recovery() {
     let mut config = attacked(41);
+    config.store.enabled = false;
     config.im_outage = Some(ImOutage {
         start: 50.0,
         duration: 20.0,
@@ -67,6 +72,72 @@ fn im_outage_evacuation_and_recovery() {
     assert!(
         report.metrics.invariants.is_clean(),
         "safety invariants held across outage and restart: {}",
+        report.metrics.invariants
+    );
+    assert_eq!(
+        report.metrics.cold_recoveries, 1,
+        "with the store disabled the restart takes the cold path"
+    );
+    assert_eq!(
+        report.metrics.warm_recoveries, 0,
+        "no warm recovery without a durable store"
+    );
+}
+
+/// Warm-recovery acceptance: the manager process is killed mid-window
+/// (before the staged block's commit record hits the durability
+/// barrier), leaving a torn tail in the log. Recovery must truncate the
+/// tail, replay the window, rebroadcast the re-created block in the
+/// same tick — so nobody ever notices the manager died: no timeout
+/// self-evacuations, no readmissions, traffic keeps flowing.
+#[cfg(feature = "store")]
+#[test]
+fn im_crash_recovers_warm_without_evacuation() {
+    use nwade_repro::nwade::CrashPoint;
+    use nwade_repro::sim::CrashPlan;
+
+    let mut config = SimConfig::default();
+    config.duration = 150.0;
+    config.seed = 44;
+    config.im_crash = Some(CrashPlan {
+        at: 60.0,
+        point: CrashPoint::BeforeCommit,
+        cold_downtime: 20.0,
+    });
+
+    let report = Simulation::new(config).run();
+
+    eprintln!(
+        "crashes={} warm={} cold={} truncated={} timeout_evac={} readmitted={} exited={} invariants={}",
+        report.metrics.im_crashes,
+        report.metrics.warm_recoveries,
+        report.metrics.cold_recoveries,
+        report.metrics.wal_truncated_bytes,
+        report.metrics.im_timeout_evacuations,
+        report.metrics.readmitted_after_outage,
+        report.metrics.exited,
+        report.metrics.invariants.total(),
+    );
+
+    assert_eq!(report.metrics.im_crashes, 1, "the crash injection fired");
+    assert_eq!(
+        report.metrics.warm_recoveries, 1,
+        "the store brought the manager back warm"
+    );
+    assert_eq!(report.metrics.cold_recoveries, 0, "no cold fallback");
+    assert_eq!(
+        report.metrics.im_timeout_evacuations, 0,
+        "warm recovery is invisible to the fleet: no timeout evacuations"
+    );
+    assert_eq!(
+        report.metrics.readmitted_after_outage, 0,
+        "nobody evacuated, so nobody needed readmission"
+    );
+    assert!(report.metrics.exited > 10, "traffic kept flowing");
+    assert_eq!(report.metrics.accidents, 0, "no collisions");
+    assert!(
+        report.metrics.invariants.is_clean(),
+        "safety invariants held across the crash: {}",
         report.metrics.invariants
     );
 }

@@ -1,7 +1,9 @@
 //! Offline vendored stand-in for the `bytes` crate.
 //!
-//! Implements the encoding-side subset the workspace uses — `BytesMut`
-//! plus the big-endian `BufMut` putters — backed by a plain `Vec<u8>`.
+//! Implements the subset the workspace uses — `BytesMut` plus the
+//! big-endian `BufMut` putters for encoding, and the non-panicking
+//! `Buf::try_get_*` getters (over `&[u8]` cursors) for decoding —
+//! backed by a plain `Vec<u8>`.
 
 #![forbid(unsafe_code)]
 
@@ -121,9 +123,138 @@ impl BufMut for Vec<u8> {
     }
 }
 
+/// Error returned by the `Buf::try_get_*` getters when the source has
+/// fewer bytes than the read requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TryGetError {
+    /// Bytes the read needed.
+    pub requested: usize,
+    /// Bytes the source still had.
+    pub available: usize,
+}
+
+impl std::fmt::Display for TryGetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tried to read {} bytes but only {} remain",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for TryGetError {}
+
+/// Big-endian consuming reader; the mirror of [`BufMut`].
+///
+/// Every getter is total: short input yields [`TryGetError`], never a
+/// panic, so decoders built on it are safe on hostile/truncated bytes.
+/// Reads advance the cursor only on success.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads `dst.len()` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryGetError`] when fewer than `dst.len()` bytes remain.
+    fn try_copy_to_slice(&mut self, dst: &mut [u8]) -> Result<(), TryGetError>;
+
+    /// `true` when nothing is left to read.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryGetError`] on empty input.
+    fn try_get_u8(&mut self) -> Result<u8, TryGetError> {
+        let mut b = [0u8; 1];
+        self.try_copy_to_slice(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryGetError`] on short input.
+    fn try_get_u16(&mut self) -> Result<u16, TryGetError> {
+        let mut b = [0u8; 2];
+        self.try_copy_to_slice(&mut b)?;
+        Ok(u16::from_be_bytes(b))
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryGetError`] on short input.
+    fn try_get_u32(&mut self) -> Result<u32, TryGetError> {
+        let mut b = [0u8; 4];
+        self.try_copy_to_slice(&mut b)?;
+        Ok(u32::from_be_bytes(b))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryGetError`] on short input.
+    fn try_get_u64(&mut self) -> Result<u64, TryGetError> {
+        let mut b = [0u8; 8];
+        self.try_copy_to_slice(&mut b)?;
+        Ok(u64::from_be_bytes(b))
+    }
+
+    /// Reads a big-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryGetError`] on short input.
+    fn try_get_i64(&mut self) -> Result<i64, TryGetError> {
+        let mut b = [0u8; 8];
+        self.try_copy_to_slice(&mut b)?;
+        Ok(i64::from_be_bytes(b))
+    }
+
+    /// Reads a big-endian IEEE-754 `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryGetError`] on short input.
+    fn try_get_f64(&mut self) -> Result<f64, TryGetError> {
+        let mut b = [0u8; 8];
+        self.try_copy_to_slice(&mut b)?;
+        Ok(f64::from_be_bytes(b))
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn try_copy_to_slice(&mut self, dst: &mut [u8]) -> Result<(), TryGetError> {
+        if self.len() < dst.len() {
+            return Err(TryGetError {
+                requested: dst.len(),
+                available: self.len(),
+            });
+        }
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{BufMut, BytesMut};
+    use super::{Buf, BufMut, BytesMut, TryGetError};
 
     #[test]
     fn big_endian_layout() {
@@ -138,5 +269,47 @@ mod tests {
         assert_eq!(b[18], 0xFF);
         assert_eq!(b.len(), 19);
         assert_eq!(b.to_vec().len(), 19);
+    }
+
+    #[test]
+    fn getters_mirror_putters() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16(0x0102);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(u64::MAX - 1);
+        b.put_i64(-42);
+        b.put_f64(-1.5);
+        b.put_slice(b"xyz");
+
+        let mut cur: &[u8] = &b;
+        assert_eq!(cur.try_get_u8(), Ok(7));
+        assert_eq!(cur.try_get_u16(), Ok(0x0102));
+        assert_eq!(cur.try_get_u32(), Ok(0xDEAD_BEEF));
+        assert_eq!(cur.try_get_u64(), Ok(u64::MAX - 1));
+        assert_eq!(cur.try_get_i64(), Ok(-42));
+        assert_eq!(cur.try_get_f64(), Ok(-1.5));
+        let mut tail = [0u8; 3];
+        cur.try_copy_to_slice(&mut tail).unwrap();
+        assert_eq!(&tail, b"xyz");
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn short_reads_fail_without_consuming() {
+        let bytes = [1u8, 2, 3];
+        let mut cur: &[u8] = &bytes;
+        assert_eq!(
+            cur.try_get_u32(),
+            Err(TryGetError {
+                requested: 4,
+                available: 3,
+            })
+        );
+        // The failed read left the cursor untouched.
+        assert_eq!(cur.remaining(), 3);
+        assert_eq!(cur.try_get_u16(), Ok(0x0102));
+        assert_eq!(cur.try_get_u8(), Ok(3));
+        assert!(cur.try_get_u8().is_err());
     }
 }
