@@ -160,6 +160,10 @@ impl Scheduler for FcfsScheduler {
         self.box_free_at = f64::from_be_bytes(aux);
         true
     }
+
+    fn clone_box(&self) -> Box<dyn crate::scheduler::Scheduler + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -148,6 +148,17 @@ pub trait Scheduler {
     /// (leaving the scheduler untouched) when the bytes are malformed —
     /// recovery then falls back to a cold restart.
     fn import_state(&mut self, state: &SchedulerState) -> bool;
+
+    /// Deep copy behind the trait object. Forensic world snapshots clone
+    /// the whole intersection manager, scheduler included; the copy must
+    /// behave identically to the original under every subsequent call.
+    fn clone_box(&self) -> Box<dyn Scheduler + Send>;
+}
+
+impl Clone for Box<dyn Scheduler + Send> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// The DASH stand-in: greedy earliest-feasible-entry reservation
@@ -380,6 +391,10 @@ impl Scheduler for ReservationScheduler {
             }
             None => false,
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn Scheduler + Send> {
+        Box::new(self.clone())
     }
 }
 

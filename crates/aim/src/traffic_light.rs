@@ -227,6 +227,10 @@ impl Scheduler for TrafficLightScheduler {
             None => false,
         }
     }
+
+    fn clone_box(&self) -> Box<dyn crate::scheduler::Scheduler + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -7,11 +7,11 @@
 //! ```
 
 use nwade_bench::{
-    analytic, chaos, duration, fig4, fig5, fig6, fig7, fig8, perf, recovery, rounds, sensing,
-    table1, table2, violations,
+    analytic, chaos, detect, duration, fig4, fig5, fig6, fig7, fig8, perf, recovery, rounds,
+    sensing, table1, table2, violations,
 };
 
-const EXPERIMENTS: [&str; 14] = [
+const EXPERIMENTS: [&str; 15] = [
     "table1",
     "table2",
     "fig4",
@@ -26,6 +26,7 @@ const EXPERIMENTS: [&str; 14] = [
     "chaos",
     "recovery",
     "perf",
+    "detect",
 ];
 
 fn run(name: &str) -> Result<(), String> {
@@ -46,10 +47,13 @@ fn run(name: &str) -> Result<(), String> {
         "chaos" => chaos::report(r, d),
         "recovery" => recovery::report(r, d),
         "perf" => perf::report(),
-        // Not in EXPERIMENTS (and so not in `all`): the guard compares
-        // against the baseline, so running it right after `perf`
-        // regenerated that baseline would be vacuous.
+        "detect" => detect::report(),
+        // Not in EXPERIMENTS (and so not in `all`): the guards compare
+        // against committed baselines, so running them right after the
+        // generating experiment rewrote those baselines would be
+        // vacuous.
         "perf-guard" => perf::guard()?,
+        "detect-guard" => detect::guard()?,
         other => return Err(format!("unknown experiment '{other}'")),
     };
     println!("{out}");
@@ -60,7 +64,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: expgen <experiment>...\n  experiments: {} | all | perf-guard\n  env: NWADE_ROUNDS (default 10), NWADE_DURATION (default 150)",
+            "usage: expgen <experiment>...\n  experiments: {} | all | perf-guard | detect-guard\n  env: NWADE_ROUNDS (default 10), NWADE_DURATION (default 150)",
             EXPERIMENTS.join(" | ")
         );
         std::process::exit(if args.is_empty() { 2 } else { 0 });

@@ -325,6 +325,7 @@ pub fn guard() -> Result<String, String> {
     };
     let mut rows = Vec::new();
     let mut failures = Vec::new();
+    let mut fresh_ticks: Vec<(usize, &'static str, f64)> = Vec::new();
     for line in committed.lines().filter(|l| l.contains("\"density\"")) {
         let density = json_num(line, "density")
             .ok_or_else(|| format!("baseline line missing density: {line}"))?
@@ -365,6 +366,7 @@ pub fn guard() -> Result<String, String> {
                 ));
             }
         }
+        fresh_ticks.push((density, label, fresh.tick_ms));
         rows.push(vec![
             density.to_string(),
             label.to_string(),
@@ -378,6 +380,43 @@ pub fn guard() -> Result<String, String> {
     }
     if rows.is_empty() {
         return Err(format!("no result lines found in {}", path.display()));
+    }
+    // Small-fleet cutoff assertion: below the measured crossover floor
+    // `Auto` resolves to the serial path, so its per-tick time must
+    // track serial's — a large gap means the cutoff regressed and Auto
+    // is spawning threads for fleets where they measurably lose.
+    let tick_of = |density: usize, variant: &str| {
+        fresh_ticks
+            .iter()
+            .find(|(d, v, _)| *d == density && *v == variant)
+            .map(|(_, _, t)| *t)
+    };
+    for &(density, _, _) in fresh_ticks
+        .iter()
+        .filter(|(d, v, _)| *d < nwade_sim::engine::AUTO_SERIAL_FLOOR && *v == "auto")
+    {
+        let (Some(serial), Some(auto)) = (tick_of(density, "serial"), tick_of(density, "auto"))
+        else {
+            continue;
+        };
+        let mut ratio = if serial > 0.0 { auto / serial } else { 1.0 };
+        if ratio > 2.0 {
+            // Same spike-tolerance policy as the per-cell gates: one
+            // re-measurement before declaring a regression.
+            let retry = measure(density, "auto", EngineChoice::Auto, true);
+            ratio = if serial > 0.0 {
+                auto.min(retry.tick_ms) / serial
+            } else {
+                1.0
+            };
+        }
+        if ratio > 2.0 {
+            failures.push(format!(
+                "auto@{density}: {auto:.4} ms vs serial {serial:.4} ms ({ratio:.2}x) — \
+                 auto must stay on the serial path below {} vehicles",
+                nwade_sim::engine::AUTO_SERIAL_FLOOR
+            ));
+        }
     }
     let table = crate::table::render(
         &[

@@ -21,7 +21,7 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    analytic, chaos, fig4, fig5, fig6, fig7, fig8, perf, recovery, sensing, table1, table2,
+    analytic, chaos, detect, fig4, fig5, fig6, fig7, fig8, perf, recovery, sensing, table1, table2,
     violations,
 };
 

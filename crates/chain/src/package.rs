@@ -15,6 +15,7 @@ use std::sync::Arc;
 /// ([`BlockPackager::stage`] / [`BlockPackager::package_staged`]), which
 /// keeps the Merkle tree incremental — O(log n) hashing per plan instead
 /// of an O(n) rebuild at window close.
+#[derive(Clone)]
 pub struct BlockPackager {
     signer: Arc<dyn SignatureScheme>,
     prev_hash: Digest,

@@ -87,6 +87,7 @@ struct PendingReport {
 }
 
 /// The per-vehicle protocol engine.
+#[derive(Clone)]
 pub struct VehicleGuard {
     id: VehicleId,
     topology: Arc<Topology>,

@@ -55,6 +55,7 @@ pub enum ManagerAction {
 }
 
 /// One in-flight report verification.
+#[derive(Clone)]
 struct PendingVerification {
     verification: ReportVerification,
     request_id: u64,
@@ -66,6 +67,12 @@ struct PendingVerification {
 }
 
 /// The manager-side engine.
+///
+/// `Clone` deep-copies everything — scheduler (via
+/// [`Scheduler::clone_box`]), packager, pending verifications — so a
+/// forensic world snapshot resumes from an independent manager whose
+/// behaviour is bit-identical to the original.
+#[derive(Clone)]
 pub struct NwadeManager {
     topology: Arc<Topology>,
     config: NwadeConfig,

@@ -546,6 +546,20 @@ impl ImPersistence {
         ))
     }
 
+    /// Forks this handle onto an independently forked device (see
+    /// `nwade_store::MemBackend::fork`): same snapshot cadence, same
+    /// windows-since-snapshot counter, no recovery scan and no
+    /// compaction. A forensic world snapshot pairs a cloned manager
+    /// with this so the resumed run appends the exact same records —
+    /// including the snapshot-cadence positions — as the original.
+    pub fn fork_onto(&self, backend: Box<dyn Backend>) -> ImPersistence {
+        ImPersistence {
+            wal: Wal::resume(backend),
+            snapshot_every: self.snapshot_every,
+            windows_since_snapshot: self.windows_since_snapshot,
+        }
+    }
+
     fn snapshot(&mut self, manager: &NwadeManager) -> Result<(), StoreError> {
         self.wal
             .append(&WalRecord::Snapshot(manager.durable_state()).encode())?;

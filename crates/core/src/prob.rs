@@ -50,6 +50,85 @@ pub fn majority_quorum(n: usize) -> usize {
     n / 2 + 1
 }
 
+/// Deterministic Monte Carlo realization of the Eq. 2 generative model,
+/// for validating [`detection_probability`] against a simulated process
+/// rather than against its own formula.
+///
+/// The model behind Eq. 2: while a violation is exposed, the manager
+/// gets `ω·k` independent watch opportunities; one opportunity is
+/// *fooled* when all `k` colluders land in its comparison draw, which
+/// happens with probability `p_v^k`; the attack is detected iff no
+/// opportunity is fooled. The simulation draws each colluder's
+/// compromise individually (`k` Bernoulli(`p_v`) draws per
+/// opportunity), so the per-opportunity fooling probability arises
+/// structurally instead of being fed in as a number — the measured rate
+/// converges to `(1 − p_v^k)^{ω·k}`, which Eq. 2 approximates by
+/// `exp(−ω·k·p_v^k)` (the Poisson limit of rare fooling events).
+///
+/// Randomness comes from a self-contained SplitMix64 stream seeded by
+/// `seed`, so a given parameter point always measures the same rate —
+/// callers get reproducible acceptance tests without a `rand`
+/// dependency here.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ p_v ≤ 1`, `ω ≥ 0`, and `trials > 0`.
+pub fn measured_detection_rate(k: u32, p_v: f64, omega: f64, trials: u32, seed: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_v), "p_v must be a probability");
+    assert!(omega >= 0.0, "omega must be non-negative");
+    assert!(trials > 0, "need at least one trial");
+    let opportunities = (omega * f64::from(k)).round() as u32;
+    let mut state = seed;
+    let mut next_unit = move || {
+        // SplitMix64: tiny, full-period, and plenty for Bernoulli draws.
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut detections = 0u64;
+    for _ in 0..trials {
+        let mut fooled = false;
+        for _ in 0..opportunities {
+            let all_compromised = (0..k).all(|_| next_unit() < p_v);
+            if all_compromised {
+                fooled = true;
+                // Keep draining the stream? No — per-trial draw counts
+                // may differ, but trials are sequential on one stream,
+                // so reproducibility is unaffected.
+                break;
+            }
+        }
+        if !fooled {
+            detections += 1;
+        }
+    }
+    detections as f64 / f64::from(trials)
+}
+
+/// Wilson score interval for a binomial proportion: the `z`-scaled
+/// confidence bounds on the true rate behind `successes`/`trials`
+/// observed Bernoulli outcomes. Unlike the normal approximation it
+/// stays inside `[0, 1]` and behaves at the extremes, which matters
+/// here because measured detection rates sit near 1.
+///
+/// # Panics
+///
+/// Panics when `trials` is zero or `successes > trials`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +205,77 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_pv_panics() {
         let _ = detection_probability(3, -0.1, 1.0);
+    }
+
+    /// Statistical acceptance of Eq. 2: the measured Monte Carlo
+    /// detection rate must agree with the analytic curve at several
+    /// (watchers, attackers) points. Agreement means the analytic value
+    /// falls inside the Wilson interval of the measurement, widened by
+    /// the documented Poissonization slack (Eq. 2 is the `exp` limit of
+    /// the exact `(1 − p_v^k)^{ω·k}` process the simulation realizes).
+    /// Seeds are fixed, so the measured rates — and this test — are
+    /// fully deterministic.
+    #[test]
+    fn eq2_matches_monte_carlo_within_wilson_interval() {
+        const TRIALS: u32 = 4000;
+        // (omega, k, p_v) spanning watcher counts 2..12 and one to four
+        // attackers; chosen where the Poisson limit is tight (p_v^k
+        // small) so model slack stays below the statistical noise.
+        let points = [
+            (2.0, 2, 0.1),
+            (4.0, 2, 0.2),
+            (6.0, 3, 0.3),
+            (8.0, 2, 0.1),
+            (10.0, 4, 0.3),
+            (12.0, 3, 0.2),
+            (12.0, 1, 0.02),
+        ];
+        for (i, &(omega, k, p_v)) in points.iter().enumerate() {
+            let analytic = detection_probability(k, p_v, omega);
+            let seed = 0x00D0_C0DE ^ (i as u64) << 8;
+            let measured = measured_detection_rate(k, p_v, omega, TRIALS, seed);
+            let successes = (measured * f64::from(TRIALS)).round() as u64;
+            let (lo, hi) = wilson_interval(successes, u64::from(TRIALS), 2.576);
+            // Absolute gap between the exact binomial process and the
+            // exponential approximation at this point.
+            let p_chain = p_v.powi(k as i32);
+            let exact = (1.0 - p_chain).powf((omega * f64::from(k)).round());
+            let slack = (exact - analytic).abs() + 1e-9;
+            assert!(
+                analytic >= lo - slack && analytic <= hi + slack,
+                "ω={omega} k={k} p_v={p_v}: analytic {analytic:.4} outside \
+                 Wilson [{lo:.4}, {hi:.4}] ± {slack:.4} (measured {measured:.4})"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_rate_is_deterministic_and_bounded() {
+        let a = measured_detection_rate(3, 0.3, 6.0, 500, 42);
+        let b = measured_detection_rate(3, 0.3, 6.0, 500, 42);
+        assert_eq!(a, b, "same seed, same rate");
+        assert!((0.0..=1.0).contains(&a));
+        // Zero colluders: nothing can be fooled, detection certain.
+        assert_eq!(measured_detection_rate(0, 0.5, 8.0, 100, 7), 1.0);
+        // Certain compromise with opportunities: detection impossible.
+        assert_eq!(measured_detection_rate(2, 1.0, 4.0, 100, 7), 0.0);
+    }
+
+    #[test]
+    fn wilson_interval_shapes() {
+        let (lo, hi) = wilson_interval(90, 100, 1.96);
+        assert!(lo < 0.9 && 0.9 < hi);
+        assert!(lo > 0.8 && hi < 0.96);
+        // Degenerate proportions stay inside [0, 1].
+        let (lo, hi) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0);
+        let (lo, hi) = wilson_interval(50, 50, 1.96);
+        assert!(lo < 1.0);
+        assert_eq!(hi, 1.0);
+        // Wider z, wider interval.
+        let narrow = wilson_interval(400, 500, 1.0);
+        let wide = wilson_interval(400, 500, 3.0);
+        assert!(wide.0 < narrow.0 && narrow.1 < wide.1);
     }
 }

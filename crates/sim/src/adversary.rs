@@ -1,0 +1,316 @@
+//! Adaptive adversaries beyond the static Table I attack plans.
+//!
+//! The Table I settings ([`crate::AttackPlan`]) stage a fixed violation
+//! and a fixed number of false reporters. The policies here instead
+//! *react* to the defence, stressing the Eq. 2 detection model from the
+//! attacker's side:
+//!
+//! * [`AdaptivePlan`] — a compromised vehicle that binary-searches the
+//!   watchers' position tolerance, pulsing lateral deviations and
+//!   shrinking the amplitude every time an incident report names it.
+//!   It converges to the largest deviation the neighbourhood watch
+//!   does *not* flag — the worst-case undetectable attacker.
+//! * [`CliquePlan`] — a fraction of the fleet colludes: clique members
+//!   suppress their own observations (they never report honestly) and
+//!   fabricate accusations against an innocent vehicle. Sweeping the
+//!   fraction maps the quorum cliff that Eq. 2's `p_v` term predicts.
+//! * [`SybilPlan`] — phantom reporter identities that exist only on the
+//!   radio: they hold no plan, drive nothing, and flood the manager
+//!   with fabricated incident reports. The false-reporter ledger is the
+//!   defence under test — each phantom gets at most
+//!   `false_report_threshold` verification rounds before it is ignored.
+//!
+//! Every policy is a plain-data plan validated by
+//! [`crate::SimConfig::validate`]; the world owns all runtime state so
+//! forensic snapshots ([`crate::WorldHistory`]) capture adversary
+//! progress like any other state.
+
+use nwade_traffic::VehicleId;
+
+/// First raw id used for Sybil phantom reporters. Far above any id the
+/// demand generator assigns, so phantoms never collide with real
+/// vehicles in the medium's position table or the manager's ledger.
+pub const SYBIL_ID_BASE: u64 = 900_000;
+
+/// A compromised vehicle that probes for the detection threshold.
+///
+/// The attacker keeps executing its published plan longitudinally (so
+/// the manager's schedule stays intact) while pulsing a lateral offset
+/// during the first half of every probe epoch. At the end of an epoch
+/// the amplitude bisects: reported ⇒ too bold, halve down; unreported
+/// ⇒ safe, push up. After `log2(max_amplitude / resolution)` epochs the
+/// amplitude brackets the effective tolerance of the watcher set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePlan {
+    /// Simulation time at which the probe campaign begins.
+    pub start: f64,
+    /// Length of one probe epoch, seconds. Must comfortably exceed the
+    /// sensing interval, otherwise a pulse can fall between passes and
+    /// read as "undetected" for the wrong reason.
+    pub probe_period: f64,
+    /// Upper bound of the bisection, meters of lateral offset.
+    pub max_amplitude: f64,
+}
+
+impl Default for AdaptivePlan {
+    fn default() -> Self {
+        AdaptivePlan {
+            start: 40.0,
+            probe_period: 4.0,
+            max_amplitude: 8.0,
+        }
+    }
+}
+
+/// A colluding watcher clique recruited from the live fleet.
+///
+/// At `start`, `fraction` of the currently active vehicles flip to
+/// false reporters: their sensing passes stop (observation
+/// suppression), their verification votes lie, and they fabricate
+/// incident reports against one innocent vehicle. This is the
+/// vehicle-side knob behind Eq. 2's `p_v` — the probability that a
+/// randomly drawn watcher is compromised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CliquePlan {
+    /// Simulation time at which the clique activates.
+    pub start: f64,
+    /// Fraction of the active fleet recruited, in (0, 1].
+    pub fraction: f64,
+}
+
+impl Default for CliquePlan {
+    fn default() -> Self {
+        CliquePlan {
+            start: 40.0,
+            fraction: 0.3,
+        }
+    }
+}
+
+/// Phantom reporter identities flooding the manager.
+///
+/// Each phantom unicasts a fabricated incident report against the same
+/// innocent target every `report_interval`. Phantoms never answer
+/// verification polls (they are not in any watcher group — they have
+/// no position in the fleet), so every report costs the manager a
+/// verification round until the false-reporter ledger blacklists that
+/// phantom id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SybilPlan {
+    /// Simulation time at which the phantoms appear.
+    pub start: f64,
+    /// Number of phantom identities.
+    pub count: usize,
+    /// Seconds between report volleys.
+    pub report_interval: f64,
+}
+
+impl Default for SybilPlan {
+    fn default() -> Self {
+        SybilPlan {
+            start: 40.0,
+            count: 4,
+            report_interval: 3.0,
+        }
+    }
+}
+
+/// One composable adversary policy, configured next to (and compatible
+/// with) the static [`crate::AttackPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackPolicy {
+    /// Threshold-probing lateral deviations.
+    Adaptive(AdaptivePlan),
+    /// Colluding watcher clique (suppression + fabrication).
+    Clique(CliquePlan),
+    /// Phantom reporter flood.
+    Sybil(SybilPlan),
+}
+
+impl AttackPolicy {
+    /// Simulation time at which the policy activates.
+    pub fn start(&self) -> f64 {
+        match self {
+            AttackPolicy::Adaptive(p) => p.start,
+            AttackPolicy::Clique(p) => p.start,
+            AttackPolicy::Sybil(p) => p.start,
+        }
+    }
+
+    /// Validates the policy against the run duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self, duration: f64) -> Result<(), String> {
+        let start = self.start();
+        if !(start > 0.0 && start < duration) {
+            return Err("adversary start must fall inside the run".into());
+        }
+        match self {
+            AttackPolicy::Adaptive(p) => {
+                if !(p.probe_period > 0.0 && p.probe_period.is_finite()) {
+                    return Err("adaptive probe period must be positive and finite".into());
+                }
+                if !(p.max_amplitude > 0.0 && p.max_amplitude.is_finite()) {
+                    return Err("adaptive max amplitude must be positive and finite".into());
+                }
+            }
+            AttackPolicy::Clique(p) => {
+                if !(p.fraction > 0.0 && p.fraction <= 1.0) {
+                    return Err("clique fraction must be in (0, 1]".into());
+                }
+            }
+            AttackPolicy::Sybil(p) => {
+                if p.count == 0 {
+                    return Err("sybil count must be at least one".into());
+                }
+                if !(p.report_interval > 0.0 && p.report_interval.is_finite()) {
+                    return Err("sybil report interval must be positive and finite".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runtime state of the adaptive attacker's bisection, owned by the
+/// world so snapshots carry it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveState {
+    /// The compromised vehicle currently probing.
+    pub id: VehicleId,
+    /// Largest amplitude known to go unreported.
+    pub lo: f64,
+    /// Smallest amplitude known to draw a report.
+    pub hi: f64,
+    /// Amplitude of the current epoch's pulse.
+    pub amp: f64,
+    /// When the current epoch started.
+    pub epoch_start: f64,
+    /// Whether an incident report named `id` during this epoch.
+    pub reported_this_epoch: bool,
+}
+
+impl AdaptiveState {
+    /// Starts a bisection for `id` at the plan's upper bound — the first
+    /// epoch probes at full amplitude to confirm the bracket.
+    pub fn new(id: VehicleId, plan: &AdaptivePlan, now: f64) -> Self {
+        AdaptiveState {
+            id,
+            lo: 0.0,
+            hi: plan.max_amplitude,
+            amp: plan.max_amplitude,
+            epoch_start: now,
+            reported_this_epoch: false,
+        }
+    }
+
+    /// Closes the current epoch: folds the report verdict into the
+    /// bracket and picks the next amplitude by bisection.
+    pub fn close_epoch(&mut self, now: f64) {
+        if self.reported_this_epoch {
+            self.hi = self.amp;
+        } else {
+            self.lo = self.amp;
+        }
+        self.amp = 0.5 * (self.lo + self.hi);
+        self.epoch_start = now;
+        self.reported_this_epoch = false;
+    }
+
+    /// Width of the remaining bracket around the detection threshold.
+    pub fn bracket_width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        for policy in [
+            AttackPolicy::Adaptive(AdaptivePlan::default()),
+            AttackPolicy::Clique(CliquePlan::default()),
+            AttackPolicy::Sybil(SybilPlan::default()),
+        ] {
+            policy.validate(300.0).expect("default policy valid");
+        }
+    }
+
+    #[test]
+    fn invalid_policies_rejected() {
+        let late = AttackPolicy::Adaptive(AdaptivePlan {
+            start: 1e9,
+            ..Default::default()
+        });
+        assert!(late.validate(300.0).is_err());
+
+        let flat = AttackPolicy::Adaptive(AdaptivePlan {
+            max_amplitude: 0.0,
+            ..Default::default()
+        });
+        assert!(flat.validate(300.0).is_err());
+
+        let zero_period = AttackPolicy::Adaptive(AdaptivePlan {
+            probe_period: 0.0,
+            ..Default::default()
+        });
+        assert!(zero_period.validate(300.0).is_err());
+
+        let empty = AttackPolicy::Clique(CliquePlan {
+            fraction: 0.0,
+            ..Default::default()
+        });
+        assert!(empty.validate(300.0).is_err());
+
+        let oversized = AttackPolicy::Clique(CliquePlan {
+            fraction: 1.5,
+            ..Default::default()
+        });
+        assert!(oversized.validate(300.0).is_err());
+
+        let none = AttackPolicy::Sybil(SybilPlan {
+            count: 0,
+            ..Default::default()
+        });
+        assert!(none.validate(300.0).is_err());
+
+        let never = AttackPolicy::Sybil(SybilPlan {
+            report_interval: f64::INFINITY,
+            ..Default::default()
+        });
+        assert!(never.validate(300.0).is_err());
+    }
+
+    #[test]
+    fn bisection_converges_onto_threshold() {
+        let plan = AdaptivePlan::default();
+        let mut st = AdaptiveState::new(VehicleId::new(7), &plan, 0.0);
+        // Ground-truth tolerance the "watchers" enforce in this model.
+        let tolerance = 5.0;
+        for epoch in 0..20 {
+            st.reported_this_epoch = st.amp > tolerance;
+            st.close_epoch(epoch as f64);
+        }
+        assert!(st.bracket_width() < 1e-3, "bracket {}", st.bracket_width());
+        assert!(
+            (st.lo - tolerance).abs() < 1e-3,
+            "converged to {} not {tolerance}",
+            st.lo
+        );
+        // The settled amplitude sits just under the tolerance.
+        assert!(st.amp <= tolerance + 1e-3);
+    }
+
+    #[test]
+    fn first_epoch_probes_at_full_amplitude() {
+        let plan = AdaptivePlan::default();
+        let st = AdaptiveState::new(VehicleId::new(1), &plan, 12.0);
+        assert_eq!(st.amp, plan.max_amplitude);
+        assert_eq!(st.epoch_start, 12.0);
+        assert!(!st.reported_this_epoch);
+    }
+}

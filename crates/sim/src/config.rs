@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::adversary::AttackPolicy;
 use nwade::attack::{AttackSetting, ViolationKind};
 use nwade::{CrashPoint, NwadeConfig};
 use nwade_intersection::{GeometryConfig, IntersectionKind};
@@ -141,6 +142,9 @@ pub struct SimConfig {
     pub nwade_enabled: bool,
     /// Optional attack injection.
     pub attack: Option<AttackPlan>,
+    /// Optional adaptive adversary (threshold probing, colluding clique,
+    /// or Sybil flood); composes with `attack`.
+    pub adversary: Option<AttackPolicy>,
     /// Optional manager outage/restart window.
     pub im_outage: Option<ImOutage>,
     /// Durable-store settings for the manager's WAL + snapshots.
@@ -185,6 +189,7 @@ impl Default for SimConfig {
             scheduler: SchedulerChoice::Reservation,
             nwade_enabled: true,
             attack: None,
+            adversary: None,
             im_outage: None,
             store: StoreConfig::default(),
             im_crash: None,
@@ -230,6 +235,9 @@ impl SimConfig {
             if !(attack.start > 0.0 && attack.start < self.duration) {
                 return Err("attack start must fall inside the run".into());
             }
+        }
+        if let Some(policy) = &self.adversary {
+            policy.validate(self.duration)?;
         }
         if let Some(outage) = &self.im_outage {
             if !(outage.start > 0.0 && outage.start < self.duration) {
@@ -287,6 +295,13 @@ mod tests {
             violation: ViolationKind::SuddenStop,
             start: 1e9,
         });
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.adversary = Some(AttackPolicy::Clique(crate::adversary::CliquePlan {
+            start: 40.0,
+            fraction: 2.0,
+        }));
         assert!(c.validate().is_err());
 
         let mut c = SimConfig::default();

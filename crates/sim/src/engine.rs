@@ -29,11 +29,22 @@ pub fn resolve_threads(choice: EngineChoice) -> usize {
     }
 }
 
-/// Vehicle count below which `Auto` stays serial: at least one
+/// Fleet size below which `Auto` stays serial regardless of the host's
+/// parallelism. Measured, not derived: the committed `BENCH_perf.json`
+/// sweep has the serial loop winning every density up to 500 placed
+/// vehicles and the threaded engine first paying for itself at 1000,
+/// so the floor sits between those two measured points. The old
+/// per-worker chunk bound (`PARALLEL_CUTOFF × workers`) flipped to
+/// threads far too early on narrow hosts.
+pub const AUTO_SERIAL_FLOOR: usize = 768;
+
+/// Vehicle count below which `Auto` stays serial: the measured
+/// [`AUTO_SERIAL_FLOOR`], or — on hosts wide enough that the floor
+/// would leave workers with partial chunks — at least one
 /// [`PARALLEL_CUTOFF`]-sized chunk per worker, so each spawned thread
 /// amortizes its spawn cost over a full chunk of per-vehicle work.
 pub fn auto_parallel_threshold(host_threads: usize) -> usize {
-    PARALLEL_CUTOFF * host_threads.max(1)
+    AUTO_SERIAL_FLOOR.max(PARALLEL_CUTOFF * host_threads.max(1))
 }
 
 /// Worker-thread count for an engine choice given the number of items a
@@ -107,6 +118,17 @@ mod tests {
             resolve_threads_sized(EngineChoice::Auto, auto_parallel_threshold(host) - 1),
             1
         );
+        // The measured crossover floor binds on every host: fleets the
+        // committed perf baseline clocked as serial-faster (≤ 500
+        // vehicles) never fan out, however many cores are available.
+        for measured_serial_faster in [50, 200, 500] {
+            assert_eq!(
+                resolve_threads_sized(EngineChoice::Auto, measured_serial_faster),
+                1,
+                "auto must stay serial at {measured_serial_faster} vehicles"
+            );
+        }
+        assert!(auto_parallel_threshold(host) >= AUTO_SERIAL_FLOOR);
         // At/above it Auto matches the host — unless the host has a
         // single thread, where parallelism can never win.
         let at = resolve_threads_sized(EngineChoice::Auto, auto_parallel_threshold(host));

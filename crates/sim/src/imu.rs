@@ -13,6 +13,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 /// The manager-side agent.
+#[derive(Clone)]
 pub struct ImuAgent {
     /// The honest protocol engine.
     pub manager: NwadeManager,

@@ -130,7 +130,7 @@ pub struct VehicleSnapshot {
 }
 
 /// Accumulates invariant violations over a run.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct InvariantChecker {
     report: InvariantReport,
     last_delivery: HashMap<NodeId, f64>,

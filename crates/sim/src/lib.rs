@@ -22,8 +22,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod config;
 pub mod engine;
+pub mod history;
 pub mod imu;
 pub mod invariant;
 pub mod metrics;
@@ -32,9 +34,16 @@ pub mod scenario;
 pub mod vehicle;
 pub mod world;
 
+pub use adversary::{
+    AdaptivePlan, AdaptiveState, AttackPolicy, CliquePlan, SybilPlan, SYBIL_ID_BASE,
+};
 pub use config::{
     AttackPlan, CrashPlan, EngineChoice, ImOutage, SchedulerChoice, SignatureChoice, SimConfig,
     StoreConfig,
+};
+pub use history::{
+    Incident, IncidentKind, ReplayError, ReplayReport, WorldHistory, DEFAULT_CAPACITY,
+    DEFAULT_SNAPSHOT_EVERY,
 };
 pub use invariant::{InvariantChecker, InvariantKind, InvariantReport, InvariantViolation};
 pub use metrics::SimMetrics;

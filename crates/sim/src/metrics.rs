@@ -75,6 +75,22 @@ pub struct SimMetrics {
     /// block broadcast: 0 for a same-tick warm recovery, roughly the
     /// cold downtime plus a processing window on the cold path.
     pub im_recovery_latency: Option<f64>,
+    /// Probe epochs the adaptive adversary completed (each one bisects
+    /// its amplitude bracket).
+    pub adaptive_epochs: usize,
+    /// The adaptive adversary's latest probe amplitude, meters — after
+    /// enough epochs this sits just under the watchers' effective
+    /// tolerance.
+    pub adaptive_amplitude: Option<f64>,
+    /// Incident reports naming the adaptive adversary.
+    pub adaptive_reports: usize,
+    /// Vehicles recruited into the colluding watcher clique.
+    pub clique_size: usize,
+    /// Fabricated incident reports sent by Sybil phantom identities.
+    pub sybil_reports: usize,
+    /// Evacuation alerts the manager wrongly issued against the Sybil
+    /// flood's innocent target (each one is a ledger failure).
+    pub sybil_false_alerts: usize,
     /// Deliveries whose payload arrived corrupted and was dropped at the
     /// framing layer (anything but a block, whose corruption must reach
     /// Algorithm 1's verifier).

@@ -43,6 +43,7 @@ const EVAC_SPEED_FACTOR: f64 = 0.4;
 const OVERSPEED: f64 = 1.4;
 
 /// One vehicle in the world: kinematic state + protocol engine.
+#[derive(Clone)]
 pub struct VehicleAgent {
     /// Vehicle id.
     pub id: VehicleId,

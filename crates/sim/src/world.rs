@@ -32,6 +32,7 @@
 //! 11. **Threat-cleared check** — once a confirmed violator stops or
 //!     exits, recovery replans every vehicle parked by the evacuation.
 
+use crate::adversary::{AdaptiveState, AttackPolicy, SYBIL_ID_BASE};
 use crate::config::{ImOutage, SchedulerChoice, SignatureChoice, SimConfig};
 use crate::engine::{fan_out, fan_out_indices, fan_out_mut, observed_neighbors, resolve_threads};
 use crate::imu::{ImuAction, ImuAgent};
@@ -39,7 +40,7 @@ use crate::invariant::{InvariantChecker, VehicleSnapshot};
 use crate::metrics::SimMetrics;
 use crate::report::SimReport;
 use crate::vehicle::{DriveMode, Role, VehicleAgent, MAX_LATERAL};
-use nwade::attack::AttackSetting;
+use nwade::attack::{AttackSetting, ViolationKind};
 use nwade::messages::{
     class, GlobalClaim, GlobalReport, IncidentReport, NwadeMessage, Observation,
 };
@@ -72,6 +73,33 @@ const COLLISION_DISTANCE: f64 = 2.0;
 /// use the per-tick conservative interaction radius regardless of the
 /// cell, so candidate sets (and results) are unaffected.
 const BRAKE_GRID_CELL: f64 = 60.0;
+
+/// FNV-1a accumulator behind [`Simulation::state_hash`]. Not
+/// cryptographic — it only needs to make divergent world states
+/// collide with negligible probability while staying cheap enough to
+/// run every tick of a replay comparison.
+pub(crate) struct StateHasher(u64);
+
+impl StateHasher {
+    pub(crate) fn new() -> Self {
+        StateHasher(0xcbf29ce484222325)
+    }
+
+    pub(crate) fn u64(&mut self, value: u64) {
+        for byte in value.to_be_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    pub(crate) fn f64(&mut self, value: f64) {
+        self.u64(value.to_bits());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Persistent per-tick buffers. The hot phases (positions, sensing
 /// snapshot, invariant snapshots, grid rebuilds) reuse these instead of
@@ -117,6 +145,14 @@ pub struct Simulation {
     accused: Option<VehicleId>,
     colluders: HashSet<VehicleId>,
     false_report_schedule: Vec<(f64, VehicleId)>,
+    // Adversary (AttackPolicy) bookkeeping.
+    adversary_deployed: bool,
+    /// Bisection state of the adaptive threshold-probing attacker.
+    adaptive: Option<AdaptiveState>,
+    /// Next time the Sybil phantoms fire a report volley.
+    sybil_next_fire: f64,
+    /// The innocent vehicle the Sybil phantoms accuse.
+    sybil_target: Option<VehicleId>,
     corrupted_index: Option<u64>,
     collided: HashSet<(u64, u64)>,
     threat_cleared: bool,
@@ -150,8 +186,95 @@ pub struct Simulation {
     persistence: Option<ImPersistence>,
     /// Worker threads for the per-vehicle phases (1 = serial engine).
     threads: usize,
+    /// Ticks advanced since construction (the forensic clock: snapshot
+    /// and rewind points are addressed by tick, not by float time).
+    ticks: u64,
     /// Reusable per-tick buffers and spatial indices.
     scratch: TickScratch,
+}
+
+impl Clone for Simulation {
+    /// Deep copy of the whole world — the forensic snapshot primitive.
+    ///
+    /// Everything that influences future behaviour is duplicated:
+    /// vehicles (guards included), the manager stack, in-flight
+    /// messages, the RNG stream, attack bookkeeping, and (with the
+    /// `store` feature) the durable device itself, forked with its
+    /// volatile/durable boundary intact so crash injections tear
+    /// identically in the copy. The per-tick scratch buffers are
+    /// rebuilt empty — every phase overwrites them before reading, so
+    /// they carry no cross-tick state.
+    fn clone(&self) -> Self {
+        #[cfg(feature = "store")]
+        let store_handle = self.store_handle.fork();
+        #[cfg(feature = "store")]
+        let persistence = self
+            .persistence
+            .as_ref()
+            .map(|p| p.fork_onto(Box::new(store_handle.clone())));
+        Simulation {
+            config: self.config.clone(),
+            topo: self.topo.clone(),
+            rng: self.rng.clone(),
+            medium: self.medium.clone(),
+            imu: self.imu.clone(),
+            vehicles: self.vehicles.clone(),
+            spawn_queue: self.spawn_queue.clone(),
+            pending_requests: self.pending_requests.clone(),
+            now: self.now,
+            metrics: self.metrics.clone(),
+            scheme: self.scheme.clone(),
+            last_window: self.last_window,
+            last_sense: self.last_sense,
+            attack_deployed: self.attack_deployed,
+            violator: self.violator,
+            accused: self.accused,
+            colluders: self.colluders.clone(),
+            false_report_schedule: self.false_report_schedule.clone(),
+            adversary_deployed: self.adversary_deployed,
+            adaptive: self.adaptive,
+            sybil_next_fire: self.sybil_next_fire,
+            sybil_target: self.sybil_target,
+            corrupted_index: self.corrupted_index,
+            collided: self.collided.clone(),
+            threat_cleared: self.threat_cleared,
+            last_block_index: self.last_block_index,
+            bogus_claim_index: self.bogus_claim_index,
+            announced_evacuating: self.announced_evacuating.clone(),
+            last_announce: self.last_announce.clone(),
+            invariants: self.invariants.clone(),
+            im_was_down: self.im_was_down,
+            forced_outage: self.forced_outage,
+            #[cfg(feature = "store")]
+            crash_fired: self.crash_fired,
+            #[cfg(feature = "store")]
+            store_handle,
+            #[cfg(feature = "store")]
+            persistence,
+            threads: self.threads,
+            ticks: self.ticks,
+            scratch: TickScratch {
+                positions: Vec::new(),
+                sense: Vec::new(),
+                snapshots: Vec::new(),
+                points: Vec::new(),
+                pair_grid: GridIndex::with_cell(2.0 * COLLISION_DISTANCE),
+                brake_grid: GridIndex::with_cell(BRAKE_GRID_CELL),
+                sense_grid: GridIndex::with_cell(self.config.nwade.sensing_radius),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("tick", &self.ticks)
+            .field("now", &self.now)
+            .field("vehicles", &self.vehicles.len())
+            .field("state_hash", &self.state_hash())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Simulation {
@@ -223,6 +346,10 @@ impl Simulation {
             accused: None,
             colluders: HashSet::new(),
             false_report_schedule: Vec::new(),
+            adversary_deployed: false,
+            adaptive: None,
+            sybil_next_fire: 0.0,
+            sybil_target: None,
             corrupted_index: None,
             collided: HashSet::new(),
             threat_cleared: false,
@@ -240,6 +367,7 @@ impl Simulation {
             #[cfg(feature = "store")]
             persistence,
             threads: resolve_threads(config.engine),
+            ticks: 0,
             scratch: TickScratch {
                 positions: Vec::new(),
                 sense: Vec::new(),
@@ -311,6 +439,77 @@ impl Simulation {
     /// Number of vehicles currently inside the modeled area.
     pub fn active_vehicle_count(&self) -> usize {
         self.vehicles.values().filter(|v| v.is_active()).count()
+    }
+
+    /// Ticks advanced since construction — the forensic clock.
+    pub fn ticks_elapsed(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Digest of the full world state at the current tick.
+    ///
+    /// Covers everything that shapes the rest of the run: the clock,
+    /// the RNG stream position (probed by drawing from a clone, which
+    /// leaves the live stream untouched), every vehicle's kinematic and
+    /// protocol-visible state, the chain tip, the in-flight message
+    /// queue, and the headline metric counters. Two worlds with equal
+    /// hashes at every tick of a range evolved identically over it;
+    /// the replay layer compares these tick by tick to pin the
+    /// bit-identical-resimulation guarantee.
+    pub fn state_hash(&self) -> u64 {
+        use rand::Rng;
+        let mut h = StateHasher::new();
+        h.u64(self.ticks);
+        h.f64(self.now);
+        h.f64(self.last_window);
+        h.f64(self.last_sense);
+        h.u64(self.rng.clone().gen::<u64>());
+        h.u64(self.vehicles.len() as u64);
+        for v in self.vehicles.values() {
+            h.u64(v.id.raw());
+            h.f64(v.s);
+            h.f64(v.speed);
+            h.f64(v.lateral);
+            h.u64(match v.mode {
+                DriveMode::Cruise => 0,
+                DriveMode::FollowPlan => 1,
+                DriveMode::Violate(t) => 2 ^ t.to_bits().rotate_left(2),
+                DriveMode::SelfEvacuate => 3,
+            });
+            h.u64(u64::from(v.is_active()));
+            h.u64(v.plan.as_ref().map_or(u64::MAX, |p| p.id().raw()));
+        }
+        h.u64(self.imu.manager.chain_next_index());
+        let tip = self.imu.manager.chain_tip();
+        let mut tip8 = [0u8; 8];
+        tip8.copy_from_slice(&tip.as_bytes()[..8]);
+        h.u64(u64::from_be_bytes(tip8));
+        h.u64(self.medium.flight_digest());
+        h.u64(self.spawn_queue.len() as u64);
+        h.u64(self.pending_requests.len() as u64);
+        h.u64(self.metrics.spawned as u64);
+        h.u64(self.metrics.exited as u64);
+        h.u64(self.metrics.blocks_broadcast as u64);
+        h.u64(self.metrics.plans_scheduled as u64);
+        h.u64(self.metrics.benign_self_evacuations as u64);
+        h.u64(self.metrics.accidents as u64);
+        h.u64(self.invariants.report().total() as u64);
+        h.u64(self.announced_evacuating.len() as u64);
+        h.u64(self.colluders.len() as u64);
+        h.u64(u64::from(self.attack_deployed));
+        h.u64(u64::from(self.threat_cleared));
+        h.u64(u64::from(self.adversary_deployed));
+        if let Some(st) = &self.adaptive {
+            h.u64(st.id.raw());
+            h.f64(st.lo);
+            h.f64(st.hi);
+            h.f64(st.amp);
+            h.f64(st.epoch_start);
+            h.u64(u64::from(st.reported_this_epoch));
+        }
+        h.f64(self.sybil_next_fire);
+        h.u64(self.sybil_target.map_or(u64::MAX, |v| v.raw()));
+        h.finish()
     }
 
     /// Advances the world by exactly one tick. Benchmarks drive the
@@ -477,6 +676,7 @@ impl Simulation {
     }
 
     fn tick(&mut self) {
+        self.ticks += 1;
         self.now += self.config.dt;
         let now = self.now;
 
@@ -491,6 +691,8 @@ impl Simulation {
         self.rerequest_plans(now);
         self.rebroadcast_announcements(now);
         self.deploy_attack(now);
+        self.deploy_adversary(now);
+        self.drive_adversary(now);
         self.fire_false_reports(now);
         self.step_physics(now);
         self.divergence_check(now);
@@ -1073,6 +1275,245 @@ impl Simulation {
         }
     }
 
+    // ----- adaptive adversaries (AttackPolicy) -----------------------
+
+    /// Picks a planned, still-approaching vehicle the adaptive policy
+    /// can compromise — the same candidate criterion as
+    /// [`Simulation::deploy_attack`].
+    fn adaptive_candidate(&mut self) -> Option<VehicleId> {
+        use rand::Rng;
+        let candidates: Vec<u64> = self
+            .vehicles
+            .values()
+            .filter(|v| {
+                v.is_active()
+                    && v.mode == DriveMode::FollowPlan
+                    && v.role == Role::Benign
+                    && v.speed > 5.0
+                    && v.plan
+                        .as_ref()
+                        .is_some_and(|p| p.exit_time(&self.topo).is_some())
+                    && v.s < self.topo.movement(v.movement).box_entry() - 40.0
+            })
+            .map(|v| v.id.raw())
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = candidates[self.rng.gen_range(0..candidates.len())];
+        Some(VehicleId::new(pick))
+    }
+
+    /// Activates the configured [`AttackPolicy`] once its start time
+    /// passes (retrying each tick until the fleet offers the roles it
+    /// needs, like `deploy_attack`).
+    fn deploy_adversary(&mut self, now: f64) {
+        use rand::Rng;
+        let Some(policy) = self.config.adversary else {
+            return;
+        };
+        if self.adversary_deployed || now < policy.start() {
+            return;
+        }
+        match policy {
+            AttackPolicy::Adaptive(plan) => {
+                let Some(id) = self.adaptive_candidate() else {
+                    return; // retry next tick
+                };
+                // Role-malicious so the divergence check does not force
+                // the probe pulses into a self-evacuation; the mode stays
+                // FollowPlan — longitudinally the attacker executes its
+                // published plan and only the lateral offset is forged.
+                self.vehicles
+                    .get_mut(&id.raw())
+                    .expect("candidate exists")
+                    .role = Role::Violator(ViolationKind::LaneDeviation);
+                self.violator = Some(id);
+                self.adaptive = Some(AdaptiveState::new(id, &plan, now));
+                self.adversary_deployed = true;
+                self.metrics.attack_start.get_or_insert(now);
+            }
+            AttackPolicy::Clique(plan) => {
+                // Recruit `fraction` of the active fleet as colluders —
+                // they stop sensing (sense_pass is benign-only), lie in
+                // verification votes, and fabricate reports against one
+                // innocent through the existing false-report machinery.
+                let mut pool: Vec<u64> = self
+                    .vehicles
+                    .values()
+                    .filter(|v| v.is_active() && v.role == Role::Benign)
+                    .map(|v| v.id.raw())
+                    .collect();
+                let recruits = ((pool.len() as f64) * plan.fraction).round() as usize;
+                if recruits == 0 {
+                    return; // retry until the fleet is large enough
+                }
+                for i in 0..recruits {
+                    let j = self.rng.gen_range(i..pool.len());
+                    pool.swap(i, j);
+                    let id = VehicleId::new(pool[i]);
+                    self.colluders.insert(id);
+                    self.vehicles
+                        .get_mut(&pool[i])
+                        .expect("pool member exists")
+                        .role = Role::FalseReporter;
+                    self.false_report_schedule
+                        .push((now + 0.5 + 0.2 * i as f64, id));
+                }
+                self.metrics.clique_size = recruits;
+                if self.accused.is_none() {
+                    let innocents = &pool[recruits..];
+                    if !innocents.is_empty() {
+                        let pick = innocents[self.rng.gen_range(0..innocents.len())];
+                        self.accused = Some(VehicleId::new(pick));
+                    }
+                }
+                self.adversary_deployed = true;
+                self.metrics.attack_start.get_or_insert(now);
+            }
+            AttackPolicy::Sybil(plan) => {
+                let Some(target) = self.pick_sybil_target() else {
+                    return; // retry next tick
+                };
+                self.sybil_target = Some(target);
+                // Phantoms exist only on the radio: register a position
+                // near the intersection so the medium delivers their
+                // unicasts, but never spawn a vehicle agent.
+                for i in 0..plan.count {
+                    self.medium.set_position(
+                        NodeId::Vehicle(SYBIL_ID_BASE + i as u64),
+                        Vec2::new(5.0 * (i as f64 + 1.0), 0.0),
+                    );
+                }
+                self.sybil_next_fire = now;
+                self.adversary_deployed = true;
+                self.metrics.attack_start.get_or_insert(now);
+            }
+        }
+    }
+
+    /// An active benign vehicle for the Sybil phantoms to accuse.
+    fn pick_sybil_target(&mut self) -> Option<VehicleId> {
+        use rand::Rng;
+        let innocents: Vec<u64> = self
+            .vehicles
+            .values()
+            .filter(|v| v.is_active() && v.role == Role::Benign)
+            .map(|v| v.id.raw())
+            .collect();
+        if innocents.is_empty() {
+            return None;
+        }
+        let pick = innocents[self.rng.gen_range(0..innocents.len())];
+        Some(VehicleId::new(pick))
+    }
+
+    /// Per-tick adversary behaviour: the adaptive attacker's pulse /
+    /// bisection schedule and the Sybil report volleys. (The clique
+    /// needs no driving — recruitment rewired the existing colluder
+    /// machinery.)
+    fn drive_adversary(&mut self, now: f64) {
+        let Some(policy) = self.config.adversary else {
+            return;
+        };
+        if !self.adversary_deployed {
+            return;
+        }
+        match policy {
+            AttackPolicy::Adaptive(plan) => self.drive_adaptive(&plan, now),
+            AttackPolicy::Sybil(plan) => self.fire_sybil_volley(&plan, now),
+            AttackPolicy::Clique(_) => {}
+        }
+    }
+
+    fn drive_adaptive(&mut self, plan: &crate::adversary::AdaptivePlan, now: f64) {
+        let Some(mut st) = self.adaptive else {
+            return;
+        };
+        // The probing vehicle eventually exits; move the campaign to a
+        // fresh recruit, keeping the bisection bracket — the attacker
+        // model is a persistent adversary who learns across vehicles.
+        let gone = self
+            .vehicles
+            .get(&st.id.raw())
+            .is_none_or(|v| !v.is_active() || v.mode == DriveMode::SelfEvacuate);
+        if gone {
+            let Some(next) = self.adaptive_candidate() else {
+                self.adaptive = Some(st);
+                return; // retry next tick
+            };
+            self.vehicles
+                .get_mut(&next.raw())
+                .expect("candidate exists")
+                .role = Role::Violator(ViolationKind::LaneDeviation);
+            self.violator = Some(next);
+            st.id = next;
+            st.epoch_start = now;
+            st.reported_this_epoch = false;
+        }
+        if now - st.epoch_start >= plan.probe_period {
+            st.close_epoch(now);
+            self.metrics.adaptive_epochs += 1;
+        }
+        self.metrics.adaptive_amplitude = Some(st.amp);
+        // Pulse during the first half of the epoch, recover to the lane
+        // center for the second half — a report that arrives during the
+        // quiet half still counts against the pulsed amplitude.
+        let pulse = now - st.epoch_start < 0.5 * plan.probe_period;
+        let lateral = if pulse { st.amp } else { 0.0 };
+        if let Some(v) = self.vehicles.get_mut(&st.id.raw()) {
+            if v.is_active() && v.mode == DriveMode::FollowPlan {
+                v.lateral = lateral;
+            }
+        }
+        self.adaptive = Some(st);
+    }
+
+    fn fire_sybil_volley(&mut self, plan: &crate::adversary::SybilPlan, now: f64) {
+        if now < self.sybil_next_fire {
+            return;
+        }
+        self.sybil_next_fire = now + plan.report_interval;
+        // Re-target when the accused innocent leaves the world.
+        let target_gone = self
+            .sybil_target
+            .and_then(|t| self.vehicles.get(&t.raw()))
+            .is_none_or(|v| !v.is_active());
+        if target_gone {
+            self.sybil_target = self.pick_sybil_target();
+        }
+        let Some(target) = self.sybil_target else {
+            return;
+        };
+        let Some(victim) = self.vehicles.get(&target.raw()) else {
+            return;
+        };
+        let victim_pos = victim.position(&self.topo);
+        for i in 0..plan.count {
+            let reporter = VehicleId::new(SYBIL_ID_BASE + i as u64);
+            let fabricated = Observation {
+                target,
+                position: victim_pos + Vec2::new(40.0, 0.0),
+                speed: 0.0,
+                time: now,
+            };
+            self.medium.send(
+                NodeId::Vehicle(reporter.raw()),
+                Recipient::Unicast(NodeId::Imu),
+                class::INCIDENT_REPORT,
+                NwadeMessage::IncidentReport(IncidentReport {
+                    reporter,
+                    suspect: target,
+                    evidence: fabricated,
+                    block_index: 0,
+                }),
+                now,
+                &mut self.rng,
+            );
+            self.metrics.sybil_reports += 1;
+        }
+    }
+
     // ----- physics & ground truth ------------------------------------
 
     fn step_physics(&mut self, now: f64) {
@@ -1539,6 +1980,16 @@ impl Simulation {
                 self.pending_requests.push((now, req));
             }
             NwadeMessage::IncidentReport(report) => {
+                // Detection feedback for the adaptive adversary: any
+                // report naming it marks the current probe amplitude as
+                // too bold. (The attacker eavesdrops on the reporting
+                // channel — the strongest-adversary assumption.)
+                if let Some(st) = &mut self.adaptive {
+                    if report.suspect == st.id {
+                        st.reported_this_epoch = true;
+                        self.metrics.adaptive_reports += 1;
+                    }
+                }
                 if std::env::var("NWADE_DEBUG").is_ok() {
                     eprintln!(
                         "[nwade-debug] t={now:.2} incident report {} -> {} (announced={})",
@@ -1726,6 +2177,11 @@ impl Simulation {
                     // alarm.
                     if Some(suspect) == self.accused && !self.imu.malicious {
                         SimMetrics::note_first(&mut self.metrics.false_accusation_confirmed, now);
+                    }
+                    // An alert against the Sybil flood's target means the
+                    // phantom reports overwhelmed the ledger.
+                    if Some(suspect) == self.sybil_target && !self.imu.malicious {
+                        self.metrics.sybil_false_alerts += 1;
                     }
                     let descriptor = self
                         .vehicles

@@ -1,0 +1,167 @@
+//! Acceptance tests for the adaptive adversary policies: each policy
+//! must land exactly where the NWADE defence model (Eq. 2 and the
+//! false-reporter ledger, §IV-B2) says it should.
+
+use nwade::prob;
+use nwade_sim::{
+    AdaptivePlan, AttackPolicy, CliquePlan, SimConfig, SimReport, Simulation, SybilPlan,
+};
+
+fn run(policy: AttackPolicy, duration: f64, seed: u64) -> SimReport {
+    let mut config = SimConfig::default();
+    config.duration = duration;
+    config.density = 60.0;
+    config.seed = seed;
+    config.adversary = Some(policy);
+    config.validate().expect("scenario valid");
+    Simulation::new(config).run()
+}
+
+/// An attacker probing strictly below the watchers' position tolerance
+/// is invisible to the naive deviation check: Algorithm 2 only reports
+/// deviations beyond `position_tolerance` (5 m by default), so a 3 m
+/// pulse never generates a report, never reaches verification, and the
+/// run ends with no confirmed violation.
+#[test]
+fn under_threshold_adaptive_attacker_stays_undetected() {
+    let report = run(
+        AttackPolicy::Adaptive(AdaptivePlan {
+            start: 30.0,
+            probe_period: 4.0,
+            max_amplitude: 3.0,
+        }),
+        110.0,
+        9001,
+    );
+    let m = &report.metrics;
+    assert!(m.adaptive_epochs > 5, "probe campaign ran: {m:?}");
+    assert_eq!(
+        m.adaptive_reports, 0,
+        "sub-tolerance pulses must never be reported"
+    );
+    assert!(
+        m.violation_confirmed.is_none(),
+        "nothing to confirm below the tolerance"
+    );
+    let amp = m.adaptive_amplitude.expect("amplitude tracked");
+    assert!(
+        amp > 0.0 && amp <= 3.0,
+        "bisection stays inside its bound, got {amp}"
+    );
+}
+
+/// Above the tolerance the same attacker is certain to be flagged:
+/// with zero compromised watchers Eq. 2 gives `P_d = e^0 = 1`, so the
+/// first over-threshold epoch that a watcher observes produces a
+/// report, and the bisection walks the amplitude back down below the
+/// starting bound.
+#[test]
+fn above_threshold_adaptive_attacker_is_reported_as_eq2_predicts() {
+    // Honest fleet: every watcher reports what it sees, p_v = 0.
+    assert_eq!(prob::detection_probability(1, 0.0, 12.0), 1.0);
+
+    let report = run(
+        AttackPolicy::Adaptive(AdaptivePlan {
+            start: 30.0,
+            probe_period: 4.0,
+            max_amplitude: 12.0,
+        }),
+        120.0,
+        4242,
+    );
+    let m = &report.metrics;
+    assert!(m.adaptive_epochs > 5, "probe campaign ran: {m:?}");
+    assert!(
+        m.adaptive_reports > 0,
+        "over-threshold pulses must be reported (Eq. 2 with p_v = 0)"
+    );
+    let amp = m.adaptive_amplitude.expect("amplitude tracked");
+    assert!(
+        amp < 12.0,
+        "reports must have pushed the bracket down from the bound, got {amp}"
+    );
+}
+
+/// The collusion-fraction cliff: verification polls a 5-watcher group
+/// and acts on its majority, so a clique below the majority line is
+/// outvoted by honest watchers (the innocent is dismissed), while a
+/// clique holding the majority captures both disjoint rounds and gets
+/// the innocent convicted. Eq. 2's `p_v` term predicts the same
+/// collapse for detecting real violators as the fraction grows.
+#[test]
+fn clique_below_and_above_the_majority_fraction_behave_per_model() {
+    let small = run(
+        AttackPolicy::Clique(CliquePlan {
+            start: 40.0,
+            fraction: 0.15,
+        }),
+        100.0,
+        7,
+    );
+    let large = run(
+        AttackPolicy::Clique(CliquePlan {
+            start: 40.0,
+            fraction: 0.6,
+        }),
+        100.0,
+        7,
+    );
+    assert!(small.metrics.clique_size > 0, "clique recruited");
+    assert!(
+        large.metrics.clique_size > small.metrics.clique_size,
+        "fraction controls clique size: {} vs {}",
+        large.metrics.clique_size,
+        small.metrics.clique_size
+    );
+    // 15% colluders: honest watchers hold the majority in the polled
+    // groups, the accusation dies in verification.
+    assert!(
+        small.metrics.false_accusation_confirmed.is_none(),
+        "small clique must be outvoted"
+    );
+    assert!(
+        small.metrics.false_accusation_dismissed.is_some(),
+        "small clique's accusation must be processed and dismissed"
+    );
+    // 60% colluders: the clique owns the majority of both disjoint
+    // rounds — the watch itself is subverted and the innocent is
+    // convicted, exactly the regime where Eq. 2 says detection fails.
+    assert!(
+        large.metrics.false_accusation_confirmed.is_some(),
+        "majority clique must capture the verification quorum"
+    );
+    let p_small = prob::detection_probability(5, 0.15, 12.0);
+    let p_large = prob::detection_probability(5, 0.6, 12.0);
+    assert!(
+        p_large < p_small,
+        "Eq. 2 must degrade with the collusion fraction: {p_large} vs {p_small}"
+    );
+}
+
+/// Phantom Sybil reporters burn through their verification rounds and
+/// hit the false-reporter ledger (§IV-B2 iii: three false alarms and
+/// the reporter is ignored). The flood keeps transmitting but never
+/// produces an evacuation alert against its innocent target.
+#[test]
+fn sybil_flood_is_squelched_by_the_false_reporter_ledger() {
+    let plan = SybilPlan {
+        start: 30.0,
+        count: 4,
+        report_interval: 2.0,
+    };
+    let report = run(AttackPolicy::Sybil(plan), 100.0, 1337);
+    let m = &report.metrics;
+    assert!(
+        m.sybil_reports >= plan.count * 3,
+        "phantoms keep firing past the ledger threshold: {}",
+        m.sybil_reports
+    );
+    assert_eq!(
+        m.sybil_false_alerts, 0,
+        "the ledger plus honest verification must squelch the flood"
+    );
+    assert!(
+        m.violation_confirmed.is_none(),
+        "no real violation exists in this scenario"
+    );
+}

@@ -159,6 +159,22 @@ impl MemBackend {
             .bytes
             .clone()
     }
+
+    /// Deep copy of the device: an independent backend holding the same
+    /// bytes *and* the same durability boundary. Unlike
+    /// [`MemBackend::from_bytes`], bytes past the last sync stay
+    /// volatile in the copy, so a crash injected into the fork tears
+    /// exactly where it would have torn on the original — the forensic
+    /// replay layer depends on this to reproduce crash scenarios.
+    pub fn fork(&self) -> Self {
+        let s = self.state.lock().expect("mem backend poisoned");
+        MemBackend {
+            state: Arc::new(Mutex::new(MemState {
+                bytes: s.bytes.clone(),
+                synced: s.synced,
+            })),
+        }
+    }
 }
 
 impl Backend for MemBackend {

@@ -107,6 +107,19 @@ impl Wal {
         ))
     }
 
+    /// Wraps an already-consistent device without the recovery scan.
+    ///
+    /// [`Wal::open`] repairs torn tails and hands back the surviving
+    /// records — the right door for every normal caller. Forensic world
+    /// snapshots instead fork a device mid-run (see
+    /// [`crate::MemBackend::fork`]) whose contents are consistent *by
+    /// construction*, including a possibly-unsynced tail that a scan
+    /// would prematurely truncate; `resume` adopts such a device as-is
+    /// so replayed crash injections tear exactly like the original.
+    pub fn resume(backend: Box<dyn Backend>) -> Self {
+        Wal { backend }
+    }
+
     /// Appends one record (not yet durable — see [`Wal::commit`]).
     ///
     /// # Errors

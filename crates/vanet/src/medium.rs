@@ -91,7 +91,7 @@ impl<M> Ord for InFlight<M> {
 /// Node positions must be kept current via [`Medium::set_position`];
 /// range checks happen at send time (the paper's latency is far below
 /// any position change that would matter).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Medium<M> {
     config: MediumConfig,
     positions: HashMap<NodeId, Vec2>,
@@ -310,6 +310,33 @@ impl<M: Clone> Medium<M> {
     /// Number of messages still in flight.
     pub fn in_flight(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Order-independent digest of the in-flight queue: folds every
+    /// pending message's delivery time and send sequence (plus the
+    /// sequence counter itself) with commutative mixing, so two media
+    /// holding the same set of scheduled deliveries digest equal no
+    /// matter how their heaps are internally arranged. Payloads are
+    /// deliberately excluded — `(seq, deliver_at)` uniquely identifies
+    /// a send in a deterministic run. Used by forensic replay to check
+    /// a resimulated world against the original, tick by tick.
+    pub fn flight_digest(&self) -> u64 {
+        let mut acc = self.seq ^ (self.positions.len() as u64).rotate_left(17);
+        for entry in self.queue.iter() {
+            let mut h = 0xcbf29ce484222325u64;
+            for byte in entry
+                .deliver_at
+                .to_bits()
+                .to_be_bytes()
+                .iter()
+                .chain(entry.seq.to_be_bytes().iter())
+            {
+                h ^= u64::from(*byte);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            acc = acc.wrapping_add(h);
+        }
+        acc
     }
 }
 
