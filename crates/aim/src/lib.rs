@@ -15,12 +15,16 @@
 //! * [`FcfsScheduler`], [`TrafficLightScheduler`] — baselines,
 //! * [`find_conflicts`] — the conflict check vehicles run on received
 //!   blocks (Algorithm 1, step ii),
+//! * [`AdmissionQueue`] — fairness-aware per-window admission with a
+//!   starvation-bounding aged class (applied by the host before
+//!   scheduling),
 //! * [`EvacuationPlanner`] — regenerates plans around confirmed threats,
 //! * [`corrupt`] — malicious-IM plan corruptions used by attack
 //!   injection.
 
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod conflict;
 pub mod corrupt;
 pub mod evacuation;
@@ -31,6 +35,9 @@ pub mod scheduler;
 pub mod seek;
 pub mod traffic_light;
 
+pub use admission::{
+    AdmissionOrder, AdmissionOutcome, AdmissionPolicy, AdmissionQueue, QueuedRequest,
+};
 pub use conflict::find_conflicts;
 pub use evacuation::EvacuationPlanner;
 pub use fcfs::FcfsScheduler;

@@ -31,6 +31,11 @@ pub struct SchedulerConfig {
     /// request's earliest-arrival profile and occupancy before the
     /// sequential booking pass. `1` skips the pre-pass.
     pub threads: usize,
+    /// Per-window admission policy the host applies *before* calling
+    /// [`Scheduler::schedule`]. Schedulers normalize their batch through
+    /// `batch_order`, so this decides window membership, not plan
+    /// contents. The default admits everything in arrival order.
+    pub admission: crate::admission::AdmissionPolicy,
 }
 
 impl Default for SchedulerConfig {
@@ -42,6 +47,7 @@ impl Default for SchedulerConfig {
             max_delay: 240.0,
             probe: false,
             threads: 1,
+            admission: crate::admission::AdmissionPolicy::default(),
         }
     }
 }

@@ -1,0 +1,139 @@
+//! Property tests for fairness-aware admission: the starvation bound
+//! (every offered request is admitted within `K + ⌈(L+1)/C⌉` windows,
+//! where `L` is the backlog ahead of it at arrival), determinism, and
+//! exact conservation of the offered/admitted/deferred accounting.
+
+use nwade_aim::{AdmissionOrder, AdmissionPolicy, AdmissionQueue, PlanRequest, QueuedRequest};
+use nwade_intersection::MovementId;
+use nwade_traffic::{VehicleDescriptor, VehicleId};
+use proptest::prelude::*;
+
+fn req(id: u64, position_s: f64) -> PlanRequest {
+    PlanRequest {
+        id: VehicleId::new(id),
+        descriptor: VehicleDescriptor {
+            brand: "prop".into(),
+            model: "test".into(),
+            color: "gray".into(),
+        },
+        movement: MovementId::new(0),
+        position_s,
+        speed: 10.0,
+    }
+}
+
+/// One window's worth of load: burst size and per-request urgency keys.
+fn arb_windows() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, 0..7), 1..30)
+}
+
+fn arb_policy() -> impl Strategy<Value = AdmissionPolicy> {
+    (
+        1usize..4,
+        1u32..5,
+        prop_oneof![
+            Just(AdmissionOrder::Arrival),
+            Just(AdmissionOrder::Deadline),
+        ],
+    )
+        .prop_map(|(cap, k, order)| AdmissionPolicy {
+            max_batch: Some(cap),
+            order,
+            max_defer_windows: k,
+        })
+}
+
+/// Runs the full load through the queue, then drains the tail with empty
+/// windows. Returns `(admission_window, arrival_window, backlog_at_push)`
+/// per request id.
+fn run(windows: &[Vec<f64>], policy: &AdmissionPolicy) -> Vec<(u64, usize, usize, usize)> {
+    let mut q = AdmissionQueue::new();
+    let mut meta: Vec<(usize, usize)> = Vec::new(); // id-indexed (arrival window, backlog)
+    let mut admitted_at: Vec<Option<usize>> = Vec::new();
+    let deadline = |e: &QueuedRequest| e.request.position_s;
+    let mut w = 0usize;
+    let mut next_id = 0u64;
+    let total: usize = windows.iter().map(Vec::len).sum();
+    loop {
+        if let Some(burst) = windows.get(w) {
+            for key in burst {
+                meta.push((w, q.len()));
+                admitted_at.push(None);
+                q.push(w as f64, req(next_id, *key));
+                next_id += 1;
+            }
+        }
+        let out = q.admit(policy, deadline);
+        let window_total = out.admitted.len() + out.deferred;
+        assert_eq!(out.offered, window_total, "conservation");
+        for e in &out.admitted {
+            let id = e.request.id.raw() as usize;
+            assert!(admitted_at[id].is_none(), "admitted twice");
+            admitted_at[id] = Some(w);
+        }
+        w += 1;
+        if w >= windows.len() && q.is_empty() {
+            break;
+        }
+        assert!(w < windows.len() + total + 2, "drain never terminates");
+    }
+    (0..next_id)
+        .map(|id| {
+            let i = id as usize;
+            let (arr, backlog) = meta[i];
+            let adm = admitted_at[i].expect("every request eventually admitted");
+            (id, adm, arr, backlog)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under sustained overload, every request is admitted within
+    /// `K + ⌈(L+1)/C⌉` windows of its arrival: after at most K deferrals
+    /// it joins the aged FIFO class, where only the `L` entries already
+    /// ahead of it (a set that never grows) can precede it.
+    #[test]
+    fn starvation_is_bounded(windows in arb_windows(), policy in arb_policy()) {
+        let cap = policy.max_batch.unwrap();
+        let k = policy.max_defer_windows as usize;
+        for (id, adm, arr, backlog) in run(&windows, &policy) {
+            let bound = k + (backlog + 1).div_ceil(cap);
+            prop_assert!(
+                adm - arr <= bound,
+                "request {} waited {} windows, bound {} (backlog {}, cap {}, K {})",
+                id, adm - arr, bound, backlog, cap, k
+            );
+        }
+    }
+
+    /// The same load replayed through a fresh queue yields the identical
+    /// admission schedule — no dependence on anything but push order.
+    #[test]
+    fn admission_is_deterministic(windows in arb_windows(), policy in arb_policy()) {
+        prop_assert_eq!(run(&windows, &policy), run(&windows, &policy));
+    }
+
+    /// An unbounded policy is a pure pass-through: every window admits
+    /// exactly its pending set in push order with zero deferrals.
+    #[test]
+    fn unbounded_policy_is_identity(windows in arb_windows()) {
+        let policy = AdmissionPolicy::default();
+        let mut q = AdmissionQueue::new();
+        let mut next_id = 0u64;
+        for (w, burst) in windows.iter().enumerate() {
+            let mut expect = Vec::new();
+            for key in burst {
+                q.push(w as f64, req(next_id, *key));
+                expect.push(next_id);
+                next_id += 1;
+            }
+            let out = q.admit(&policy, |e| e.request.position_s);
+            let got: Vec<u64> = out.admitted.iter().map(|e| e.request.id.raw()).collect();
+            prop_assert_eq!(got, expect);
+            prop_assert_eq!(out.deferred, 0);
+            prop_assert!(q.is_empty());
+        }
+    }
+}

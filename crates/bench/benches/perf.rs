@@ -4,8 +4,8 @@
 //! the quick interactive view.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nwade_bench::perf::{fleet_config, VARIANTS, WINDOW_REQUEST_CAP};
-use nwade_sim::{EngineChoice, Simulation};
+use nwade_bench::perf::{fleet_config, VARIANTS};
+use nwade_sim::{EngineChoice, SignatureChoice, Simulation};
 
 fn bench_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf_tick");
@@ -49,7 +49,7 @@ fn bench_window(c: &mut Criterion) {
             sim.prespawn_fleet(density);
             group.bench_function(BenchmarkId::new(label, density), |b| {
                 b.iter(|| {
-                    sim.enqueue_plan_requests(WINDOW_REQUEST_CAP);
+                    sim.enqueue_plan_requests(usize::MAX);
                     sim.force_process_window();
                 })
             });
@@ -58,5 +58,31 @@ fn bench_window(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tick, bench_sense, bench_window);
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_pipeline");
+    group.sample_size(10);
+    // Sequential vs pipelined window engine with real RSA signing, where
+    // the overlap between window N's sign/package and window N+1's
+    // prepare pass actually buys wall-clock time.
+    for (label, pipelined) in [("seq", false), ("pipe", true)] {
+        for density in [100usize, 400] {
+            let mut config = fleet_config(EngineChoice::Serial, true);
+            config.signature = SignatureChoice::Rsa { bits: 1024 };
+            let mut sim = Simulation::new(config);
+            sim.prespawn_fleet(density);
+            group.bench_function(BenchmarkId::new(label, density), |b| {
+                b.iter(|| sim.bench_window_throughput(4, pipelined))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tick,
+    bench_sense,
+    bench_window,
+    bench_pipeline
+);
 criterion_main!(benches);

@@ -10,15 +10,21 @@
 //! * **parallel** — threaded engine over the grid index,
 //! * **auto** — threaded above the fleet-size threshold, serial below.
 //!
-//! `report()` sweeps density × variant over a prespawned fleet, writes
-//! the machine-readable baseline to `BENCH_perf.json` at the repo root
-//! (one result object per line, hand-rolled — the workspace has no JSON
-//! dependency), and renders a human table. `guard()` re-measures every
-//! point recorded in the committed baseline and fails on a >2×
-//! per-tick or per-window slowdown, for use as a CI regression gate.
+//! `report()` sweeps density × variant over a prespawned fleet, then
+//! runs the **saturation study**: window throughput from 50 to 10 000
+//! vehicles under three admission modes — the historical 256-capped
+//! batch, the unbounded sequential engine, and the unbounded pipelined
+//! engine (scheduling overlapped with signing). Both sweeps land in
+//! `BENCH_perf.json` at the repo root (one result object per line,
+//! hand-rolled — the workspace has no JSON dependency) and render as
+//! human tables. `guard()` re-measures every point recorded in the
+//! committed baseline and fails on a >2× per-tick, per-window, or
+//! p99-window-latency slowdown — and on any window that admitted fewer
+//! requests than were offered without the shed counters saying so.
 
 use std::time::Instant;
 
+use nwade_aim::AdmissionPolicy;
 use nwade_sim::{EngineChoice, SignatureChoice, SimConfig, Simulation};
 
 /// Fleet sizes swept by the baseline (vehicles prespawned on approach).
@@ -40,10 +46,24 @@ const WINDOW_ITERS: usize = 3;
 /// discards co-tenant / frequency-scaling spikes on shared CI hosts.
 const REPEAT_BLOCKS: usize = 3;
 
-/// Plan requests enqueued per window-latency measurement. The batch is
-/// capped so the measured latency covers a bounded workload; the cap is
-/// recorded in the JSON header rather than truncating silently.
-pub const WINDOW_REQUEST_CAP: usize = 256;
+/// The bench-only request truncation this module used to hard-code.
+/// It survives only as the saturation study's "capped" mode — expressed
+/// as a real [`AdmissionPolicy`] so deferrals are counted, not silent —
+/// to quantify what the cap cost.
+pub const LEGACY_WINDOW_CAP: usize = 256;
+
+/// Fleet sizes swept by the saturation study.
+pub const SATURATION_DENSITIES: [usize; 6] = [50, 200, 1000, 2000, 5000, 10_000];
+
+/// Measured windows per saturation cell (after one warmup window).
+pub const SATURATION_WINDOWS: usize = 6;
+
+/// Admission/engine modes measured per saturation density.
+pub const SATURATION_MODES: [&str; 3] = ["capped256", "seq", "pipe"];
+
+/// Saturation cells the guard re-measures; denser cells are reported in
+/// the baseline but cost too much wall clock to re-run every CI pass.
+pub const SATURATION_GUARD_MAX_DENSITY: usize = 2000;
 
 /// One measured (density, variant) cell.
 #[derive(Debug, Clone)]
@@ -64,9 +84,37 @@ pub struct PerfPoint {
     pub window_ms: f64,
     /// Active vehicles that wanted a plan when the window was filled.
     pub window_requests_offered: usize,
-    /// Requests actually enqueued (≤ [`WINDOW_REQUEST_CAP`]); smaller
-    /// than `window_requests_offered` exactly when the cap bound.
+    /// Requests actually admitted; smaller than
+    /// `window_requests_offered` exactly when an admission cap bound
+    /// (never, under the default unbounded policy).
     pub window_requests_scheduled: usize,
+}
+
+/// One measured (density, mode) cell of the saturation study.
+#[derive(Debug, Clone)]
+pub struct SaturationPoint {
+    /// Requested fleet size.
+    pub density: usize,
+    /// Mode label from [`SATURATION_MODES`].
+    pub mode: &'static str,
+    /// Vehicles actually placed by `prespawn_fleet`.
+    pub placed: usize,
+    /// Requests waiting at the last measured window (admitted +
+    /// deferred) — under the capped mode the deferral backlog shows up
+    /// here.
+    pub offered: usize,
+    /// Requests admitted into the last measured window.
+    pub admitted: usize,
+    /// Total requests deferred across the measured windows.
+    pub deferred: usize,
+    /// Plans sealed into blocks across the measured windows.
+    pub sealed_plans: usize,
+    /// Plans sealed per window — the throughput the cap was strangling.
+    pub plans_per_window: f64,
+    /// Median window latency, milliseconds.
+    pub p50_ms: f64,
+    /// p99 (max over ≤ 100 windows) window latency, milliseconds.
+    pub p99_ms: f64,
 }
 
 /// Simulation config for the prespawned perf fleet.
@@ -123,12 +171,14 @@ pub fn measure(
     }
 
     // Minimum over iterations, like the other metrics — window latency
-    // gates CI, so spike-robustness matters more than averaging.
+    // gates CI, so spike-robustness matters more than averaging. The
+    // whole offered batch is enqueued; the configured admission policy
+    // (unbounded by default) decides what the window takes.
     let mut window_s = f64::INFINITY;
     let mut window_requests_offered = 0;
     let mut window_requests_scheduled = 0;
     for _ in 0..WINDOW_ITERS {
-        let (offered, scheduled) = sim.enqueue_plan_requests(WINDOW_REQUEST_CAP);
+        let (offered, scheduled) = sim.enqueue_plan_requests(usize::MAX);
         window_requests_offered = offered;
         window_requests_scheduled = scheduled;
         let start = Instant::now();
@@ -164,19 +214,73 @@ pub fn sweep() -> Vec<PerfPoint> {
     points
 }
 
+/// Simulation config for one saturation cell: the perf fleet with the
+/// approaches stretched so `density` vehicles fit single-file (8 m
+/// spacing spread over the approach lanes).
+pub fn saturation_config(density: usize, mode: &str) -> SimConfig {
+    let mut config = fleet_config(EngineChoice::Auto, true);
+    let needed = 8.0 * density as f64 / 12.0 + 120.0;
+    config.geometry.approach_len = config.geometry.approach_len.max(needed);
+    if mode == "capped256" {
+        config.admission = AdmissionPolicy::bounded(LEGACY_WINDOW_CAP);
+    }
+    config
+}
+
+/// Measures one (density, mode) saturation cell on a fresh simulation.
+pub fn measure_saturation(density: usize, mode: &'static str) -> SaturationPoint {
+    let config = saturation_config(density, mode);
+    config.validate().expect("saturation config valid");
+    let pipelined = mode == "pipe";
+    let mut sim = Simulation::new(config);
+    let placed = sim.prespawn_fleet(density);
+    let _ = sim.bench_window_throughput(1, pipelined); // warmup
+    let (windows, sealed_plans) = sim.bench_window_throughput(SATURATION_WINDOWS, pipelined);
+    let mut latencies: Vec<f64> = windows.iter().map(|w| w.latency_s * 1e3).collect();
+    latencies.sort_by(f64::total_cmp);
+    let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
+    let last = windows.last().expect("at least one window");
+    SaturationPoint {
+        density,
+        mode,
+        placed,
+        offered: last.offered,
+        admitted: last.admitted,
+        deferred: windows.iter().map(|w| w.deferred).sum(),
+        sealed_plans,
+        plans_per_window: sealed_plans as f64 / windows.len() as f64,
+        p50_ms: pct(0.5),
+        p99_ms: pct(0.99),
+    }
+}
+
+/// Runs the density × mode saturation sweep.
+pub fn saturation_sweep() -> Vec<SaturationPoint> {
+    let mut points = Vec::new();
+    for &density in &SATURATION_DENSITIES {
+        for &mode in &SATURATION_MODES {
+            points.push(measure_saturation(density, mode));
+        }
+    }
+    points
+}
+
 /// Hardware threads on the measuring host (recorded in the baseline so
 /// single-core CI numbers are not read as parallel speedups).
 pub fn host_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Serialises the sweep: a header object, then one result per line.
-pub fn to_json(points: &[PerfPoint]) -> String {
+/// Serialises both sweeps: a header object, then one result per line —
+/// variant cells carry a `"variant"` key, saturation cells a `"mode"`
+/// key.
+pub fn to_json(points: &[PerfPoint], saturation: &[SaturationPoint]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{{\"schema\":\"nwade-perf-v1\",\"host_threads\":{},\"warmup_ticks\":{WARMUP_TICKS},\
          \"measured_ticks\":{MEASURED_TICKS},\"repeat_blocks\":{REPEAT_BLOCKS},\"sense_iters\":{SENSE_ITERS},\
-         \"window_iters\":{WINDOW_ITERS},\"window_request_cap\":{WINDOW_REQUEST_CAP}}}\n",
+         \"window_iters\":{WINDOW_ITERS},\"legacy_window_cap\":{LEGACY_WINDOW_CAP},\
+         \"saturation_windows\":{SATURATION_WINDOWS}}}\n",
         host_threads()
     ));
     for p in points {
@@ -193,6 +297,23 @@ pub fn to_json(points: &[PerfPoint]) -> String {
             p.window_ms,
             p.window_requests_offered,
             p.window_requests_scheduled,
+        ));
+    }
+    for s in saturation {
+        out.push_str(&format!(
+            "{{\"density\":{},\"mode\":\"{}\",\"placed\":{},\"offered\":{},\"admitted\":{},\
+             \"deferred\":{},\"sealed_plans\":{},\"plans_per_window\":{:.1},\
+             \"p50_ms\":{:.4},\"p99_ms\":{:.4}}}\n",
+            s.density,
+            s.mode,
+            s.placed,
+            s.offered,
+            s.admitted,
+            s.deferred,
+            s.sealed_plans,
+            s.plans_per_window,
+            s.p50_ms,
+            s.p99_ms,
         ));
     }
     out
@@ -248,15 +369,15 @@ fn render(points: &[PerfPoint]) -> String {
     )
 }
 
-/// Lines naming every cell whose window batch was truncated by
-/// [`WINDOW_REQUEST_CAP`] — caps must never bind silently.
+/// Lines naming every cell where admission took fewer requests than
+/// were offered — caps must never bind silently.
 fn cap_notes(points: &[PerfPoint]) -> Vec<String> {
     points
         .iter()
         .filter(|p| p.window_requests_offered > p.window_requests_scheduled)
         .map(|p| {
             format!(
-                "note: window cap {WINDOW_REQUEST_CAP} bound at {}@{}: \
+                "note: admission bound at {}@{}: \
                  {} vehicles offered, {} scheduled",
                 p.variant, p.density, p.window_requests_offered, p.window_requests_scheduled
             )
@@ -264,10 +385,43 @@ fn cap_notes(points: &[PerfPoint]) -> Vec<String> {
         .collect()
 }
 
-/// Runs the sweep, rewrites `BENCH_perf.json`, and renders the table.
+fn render_saturation(points: &[SaturationPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|s| {
+            vec![
+                s.density.to_string(),
+                s.mode.to_string(),
+                s.placed.to_string(),
+                format!("{}/{}", s.admitted, s.offered),
+                s.deferred.to_string(),
+                format!("{:.1}", s.plans_per_window),
+                format!("{:.4}", s.p50_ms),
+                format!("{:.4}", s.p99_ms),
+            ]
+        })
+        .collect();
+    crate::table::render(
+        &[
+            "density",
+            "mode",
+            "placed",
+            "adm/off",
+            "deferred",
+            "plans/win",
+            "p50 ms",
+            "p99 ms",
+        ],
+        &rows,
+    )
+}
+
+/// Runs both sweeps, rewrites `BENCH_perf.json`, and renders the
+/// tables.
 pub fn report() -> String {
     let points = sweep();
-    let json = to_json(&points);
+    let saturation = saturation_sweep();
+    let json = to_json(&points, &saturation);
     let path = baseline_path();
     let status = match std::fs::write(&path, &json) {
         Ok(()) => format!("baseline written to {}", path.display()),
@@ -276,9 +430,12 @@ pub fn report() -> String {
     let mut notes = cap_notes(&points);
     notes.push(status);
     format!(
-        "Perf baseline ({} hardware threads)\n{}\n{}",
+        "Perf baseline ({} hardware threads)\n{}\n\
+         Window saturation (modes: capped256 = legacy {LEGACY_WINDOW_CAP}-request cap, \
+         seq = unbounded sequential, pipe = unbounded pipelined)\n{}\n{}",
         host_threads(),
         render(&points),
+        render_saturation(&saturation),
         notes.join("\n")
     )
 }
@@ -302,7 +459,11 @@ fn json_str(line: &str, key: &str) -> Option<String> {
 /// Regression gate: re-measures every point in the committed baseline
 /// and fails if any cell's per-tick **or** per-window time regressed by
 /// more than 2×. Window gating is skipped for baseline lines that
-/// predate the `window_ms` field.
+/// predate the `window_ms` field. Saturation cells up to
+/// [`SATURATION_GUARD_MAX_DENSITY`] are re-measured too: their p99
+/// window latency is gated at 2×, and any window that admitted fewer
+/// requests than were offered **must** show a non-zero shed/deferral
+/// counter — a silently binding cap fails the guard.
 ///
 /// # Errors
 ///
@@ -326,7 +487,7 @@ pub fn guard() -> Result<String, String> {
     let mut rows = Vec::new();
     let mut failures = Vec::new();
     let mut fresh_ticks: Vec<(usize, &'static str, f64)> = Vec::new();
-    for line in committed.lines().filter(|l| l.contains("\"density\"")) {
+    for line in committed.lines().filter(|l| l.contains("\"variant\"")) {
         let density = json_num(line, "density")
             .ok_or_else(|| format!("baseline line missing density: {line}"))?
             as usize;
@@ -418,6 +579,62 @@ pub fn guard() -> Result<String, String> {
             ));
         }
     }
+    // Saturation cells: shed counters must account for every admission
+    // gap, and p99 window latency gates at the same 2× threshold.
+    let mut sat_rows = Vec::new();
+    for line in committed.lines().filter(|l| l.contains("\"mode\"")) {
+        let density = json_num(line, "density")
+            .ok_or_else(|| format!("saturation line missing density: {line}"))?
+            as usize;
+        let mode = json_str(line, "mode")
+            .ok_or_else(|| format!("saturation line missing mode: {line}"))?;
+        let committed_p99 = json_num(line, "p99_ms")
+            .ok_or_else(|| format!("saturation line missing p99_ms: {line}"))?;
+        let &mode = SATURATION_MODES
+            .iter()
+            .find(|m| **m == mode)
+            .ok_or_else(|| format!("baseline names unknown saturation mode '{mode}'"))?;
+        if density > SATURATION_GUARD_MAX_DENSITY {
+            sat_rows.push(vec![
+                density.to_string(),
+                mode.to_string(),
+                "-".into(),
+                format!("{committed_p99:.4}"),
+                "-".into(),
+                "skipped".into(),
+            ]);
+            continue;
+        }
+        let mut fresh = measure_saturation(density, mode);
+        if fresh.admitted < fresh.offered && fresh.deferred == 0 {
+            failures.push(format!(
+                "{mode}@{density}: admitted {} of {} offered requests with no \
+                 shed/deferral counter increment — a cap is binding silently",
+                fresh.admitted, fresh.offered
+            ));
+        }
+        let mut p99_ratio = ratio_of(fresh.p99_ms, committed_p99);
+        if p99_ratio > 2.0 {
+            // Same spike-tolerance policy as the per-cell gates above.
+            let retry = measure_saturation(density, mode);
+            fresh.p99_ms = fresh.p99_ms.min(retry.p99_ms);
+            p99_ratio = ratio_of(fresh.p99_ms, committed_p99);
+        }
+        if p99_ratio > 2.0 {
+            failures.push(format!(
+                "{mode}@{density}: p99 window {committed_p99:.4} ms -> {:.4} ms ({p99_ratio:.2}x)",
+                fresh.p99_ms
+            ));
+        }
+        sat_rows.push(vec![
+            density.to_string(),
+            mode.to_string(),
+            format!("{}/{}", fresh.admitted, fresh.offered),
+            format!("{committed_p99:.4}"),
+            format!("{:.4}", fresh.p99_ms),
+            format!("{p99_ratio:.2}x"),
+        ]);
+    }
     let table = crate::table::render(
         &[
             "density",
@@ -431,13 +648,31 @@ pub fn guard() -> Result<String, String> {
         ],
         &rows,
     );
+    let sat_table = if sat_rows.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "\n{}",
+            crate::table::render(
+                &[
+                    "density",
+                    "mode",
+                    "adm/off",
+                    "p99 base ms",
+                    "p99 ms",
+                    "p99 ratio",
+                ],
+                &sat_rows,
+            )
+        )
+    };
     if failures.is_empty() {
         Ok(format!(
-            "Perf guard: all cells within 2x of baseline\n{table}"
+            "Perf guard: all cells within 2x of baseline\n{table}{sat_table}"
         ))
     } else {
         Err(format!(
-            "perf regression (>2x slowdown vs committed baseline):\n  {}\n{table}",
+            "perf regression (>2x slowdown vs committed baseline):\n  {}\n{table}{sat_table}",
             failures.join("\n  ")
         ))
     }
@@ -467,10 +702,22 @@ mod tests {
             window_requests_offered: 60,
             window_requests_scheduled: 50,
         };
-        let json = to_json(std::slice::from_ref(&point));
+        let sat = SaturationPoint {
+            density: 1000,
+            mode: "capped256",
+            placed: 1000,
+            offered: 1000,
+            admitted: 256,
+            deferred: 744,
+            sealed_plans: 1536,
+            plans_per_window: 256.0,
+            p50_ms: 3.5,
+            p99_ms: 4.25,
+        };
+        let json = to_json(std::slice::from_ref(&point), std::slice::from_ref(&sat));
         let line = json
             .lines()
-            .find(|l| l.contains("\"density\""))
+            .find(|l| l.contains("\"variant\""))
             .expect("result line");
         assert_eq!(json_num(line, "density"), Some(50.0));
         assert_eq!(json_str(line, "variant").as_deref(), Some("serial"));
@@ -478,6 +725,19 @@ mod tests {
         assert_eq!(json_num(line, "window_ms"), Some(0.75));
         assert_eq!(json_num(line, "window_requests_offered"), Some(60.0));
         assert_eq!(json_num(line, "window_requests_scheduled"), Some(50.0));
+        let sat_line = json
+            .lines()
+            .find(|l| l.contains("\"mode\""))
+            .expect("saturation line");
+        assert_eq!(json_num(sat_line, "density"), Some(1000.0));
+        assert_eq!(json_str(sat_line, "mode").as_deref(), Some("capped256"));
+        assert_eq!(json_num(sat_line, "admitted"), Some(256.0));
+        assert_eq!(json_num(sat_line, "deferred"), Some(744.0));
+        assert_eq!(json_num(sat_line, "p99_ms"), Some(4.25));
+        assert!(
+            !sat_line.contains("\"variant\""),
+            "saturation lines must not parse as variant cells"
+        );
         // Truncated batches are called out, never silent.
         let notes = cap_notes(&[point]);
         assert_eq!(notes.len(), 1);
@@ -486,11 +746,12 @@ mod tests {
 
     #[test]
     fn header_records_host_and_caps() {
-        let json = to_json(&[]);
+        let json = to_json(&[], &[]);
         let header = json.lines().next().expect("header");
         assert!(header.contains("\"schema\":\"nwade-perf-v1\""));
         assert!(header.contains("\"host_threads\":"));
-        assert!(header.contains(&format!("\"window_request_cap\":{WINDOW_REQUEST_CAP}")));
+        assert!(header.contains(&format!("\"legacy_window_cap\":{LEGACY_WINDOW_CAP}")));
+        assert!(header.contains(&format!("\"saturation_windows\":{SATURATION_WINDOWS}")));
     }
 
     #[test]
@@ -500,8 +761,51 @@ mod tests {
         assert_eq!(point.placed, 8);
         assert!(point.tick_ms > 0.0);
         assert!(point.sense_ms >= 0.0);
-        assert!(point.window_requests_scheduled <= WINDOW_REQUEST_CAP);
         assert!(point.window_requests_scheduled > 0);
-        assert!(point.window_requests_offered >= point.window_requests_scheduled);
+        // Unbounded admission: the whole offered batch is scheduled.
+        assert_eq!(
+            point.window_requests_offered,
+            point.window_requests_scheduled
+        );
+    }
+
+    #[test]
+    fn saturation_config_scales_and_caps() {
+        let capped = saturation_config(10_000, "capped256");
+        assert_eq!(capped.admission.max_batch, Some(LEGACY_WINDOW_CAP));
+        assert!(
+            capped.geometry.approach_len > 6000.0,
+            "approaches must stretch to fit 10k vehicles single-file"
+        );
+        let seq = saturation_config(50, "seq");
+        assert_eq!(seq.admission.max_batch, None);
+        capped.validate().expect("capped config valid");
+        seq.validate().expect("seq config valid");
+    }
+
+    /// A tiny saturation cell under each mode: the capped mode must
+    /// defer (and say so), and both unbounded modes must seal every
+    /// offered plan.
+    #[test]
+    fn saturation_measures_small_fleet() {
+        let mut config = saturation_config(12, "seq");
+        config.admission = AdmissionPolicy::bounded(5);
+        config.validate().expect("valid");
+        let mut sim = Simulation::new(config);
+        let placed = sim.prespawn_fleet(12);
+        assert_eq!(placed, 12);
+        let (windows, _sealed) = sim.bench_window_throughput(2, false);
+        assert!(windows.iter().all(|w| w.admitted <= 5));
+        assert!(
+            windows.iter().any(|w| w.deferred > 0),
+            "a binding cap must surface in the deferral counter"
+        );
+
+        let point = measure_saturation(12, "pipe");
+        assert_eq!(point.placed, 12);
+        assert_eq!(point.deferred, 0);
+        assert_eq!(point.offered, point.admitted);
+        assert!(point.sealed_plans > 0);
+        assert!(point.p99_ms >= point.p50_ms);
     }
 }

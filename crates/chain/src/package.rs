@@ -79,6 +79,21 @@ impl BlockPackager {
     pub fn package(&mut self, plans: Vec<TravelPlan>, timestamp: f64) -> Block {
         assert!(!plans.is_empty(), "cannot package an empty window");
         let root = Block::root_of(&plans);
+        self.package_rooted(plans, root, timestamp)
+    }
+
+    /// Like [`BlockPackager::package`] but with the Merkle root already
+    /// computed by the caller (the pipelined window engine computes roots
+    /// off the signing path). `root` **must** equal
+    /// `Block::root_of(&plans)` or the block will fail verification.
+    pub fn package_rooted(
+        &mut self,
+        plans: Vec<TravelPlan>,
+        root: Digest,
+        timestamp: f64,
+    ) -> Block {
+        assert!(!plans.is_empty(), "cannot package an empty window");
+        debug_assert_eq!(root, Block::root_of(&plans), "root must match plans");
         let digest = Block::signing_digest(self.next_index, &self.prev_hash, timestamp, &root);
         let signature = self.signer.sign(&digest);
         let block = Block::from_parts(
@@ -92,6 +107,12 @@ impl BlockPackager {
         self.prev_hash = block.hash();
         self.next_index += 1;
         block
+    }
+
+    /// The signing scheme, shared with the pipelined window engine's
+    /// sealing worker.
+    pub fn signer(&self) -> &Arc<dyn SignatureScheme> {
+        &self.signer
     }
 
     /// Stages one plan for the block under construction, extending the
@@ -184,6 +205,19 @@ mod tests {
         for i in 0..4 {
             let b = p.package(crate::block::tests::plans(2 + i), i as f64);
             verify_block(&b, scheme.as_ref()).expect("honest block verifies");
+        }
+    }
+
+    #[test]
+    fn package_rooted_matches_package() {
+        let mut a = packager();
+        let mut b = packager();
+        for (i, n) in [3u64, 1, 4].iter().enumerate() {
+            let plans = crate::block::tests::plans(*n);
+            let expect = a.package(plans.clone(), i as f64);
+            let root = Block::root_of(&plans);
+            let got = b.package_rooted(plans, root, i as f64);
+            assert_eq!(got.hash(), expect.hash(), "block {i} diverged");
         }
     }
 

@@ -30,6 +30,19 @@ pub struct NwadeConfig {
     pub verification_group_size: usize,
     /// Chain cache capacity τ/δ: crossing time over window length.
     pub chain_cache_capacity: usize,
+    /// Most blocks the manager returns for one vehicle block request
+    /// (bounds the response to a catch-up query; the vehicle re-asks
+    /// from its new tip for more).
+    pub block_backfill_limit: usize,
+    /// How many recent blocks the manager retains for serving block
+    /// requests. Should cover `block_backfill_limit` plus the deepest
+    /// realistic catch-up gap (a vehicle crossing takes τ/δ windows).
+    pub recent_block_retention: usize,
+    /// Age beyond which scheduler reservations are garbage-collected,
+    /// seconds before the current window. Must exceed the longest plan
+    /// horizon (`SchedulerConfig::max_delay` plus crossing time) or live
+    /// reservations would be dropped mid-plan.
+    pub reservation_gc_horizon: f64,
 }
 
 impl Default for NwadeConfig {
@@ -44,6 +57,9 @@ impl Default for NwadeConfig {
             conflict_gap: 0.5,
             verification_group_size: 5,
             chain_cache_capacity: 60,
+            block_backfill_limit: 16,
+            recent_block_retention: 64,
+            reservation_gc_horizon: 120.0,
         }
     }
 }
@@ -75,6 +91,15 @@ impl NwadeConfig {
         }
         if self.chain_cache_capacity == 0 {
             return Err("chain cache capacity must be at least 1".into());
+        }
+        if self.block_backfill_limit == 0 {
+            return Err("block backfill limit must be at least 1".into());
+        }
+        if self.recent_block_retention < self.block_backfill_limit {
+            return Err("recent block retention must cover the backfill limit".into());
+        }
+        if !(self.reservation_gc_horizon > 0.0) {
+            return Err("reservation GC horizon must be positive".into());
         }
         Ok(())
     }
@@ -112,6 +137,15 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = base;
         c.chain_cache_capacity = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.block_backfill_limit = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.recent_block_retention = c.block_backfill_limit - 1;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.reservation_gc_horizon = 0.0;
         assert!(c.validate().is_err());
     }
 }

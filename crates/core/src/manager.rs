@@ -12,7 +12,7 @@ use crate::verify::report::{ReportDecision, ReportVerification};
 use nwade_aim::evacuation::{EvacuationConfig, EvacuationPlanner};
 use nwade_aim::{find_conflicts, PlanRequest, Scheduler, TravelPlan};
 use nwade_chain::{Block, BlockPackager};
-use nwade_crypto::SignatureScheme;
+use nwade_crypto::{Digest, SignatureScheme};
 use nwade_geometry::Vec2;
 use nwade_intersection::Topology;
 use nwade_traffic::{VehicleDescriptor, VehicleId};
@@ -52,6 +52,40 @@ pub enum ManagerAction {
         /// Its last reported position.
         location: Vec2,
     },
+}
+
+/// A processing window whose scheduling, conflict filtering, and Merkle
+/// root are done but whose block is not yet signed. Produced by
+/// [`NwadeManager::prepare_window`]; consumed by
+/// [`NwadeManager::seal_window`] (in-place) or a
+/// [`crate::WindowPipeline`] worker (off-thread, chain-serial).
+#[derive(Debug, Clone)]
+pub struct PreparedWindow {
+    plans: Vec<TravelPlan>,
+    root: Digest,
+    timestamp: f64,
+}
+
+impl PreparedWindow {
+    /// The conflict-free plans the block will carry.
+    pub fn plans(&self) -> &[TravelPlan] {
+        &self.plans
+    }
+
+    /// Merkle root over the plans (`R_i` of Eq. 1).
+    pub fn root(&self) -> Digest {
+        self.root
+    }
+
+    /// Window close time — the block timestamp `τ`.
+    pub fn timestamp(&self) -> f64 {
+        self.timestamp
+    }
+
+    /// Decomposes into `(plans, root, timestamp)` for sealing.
+    pub fn into_parts(self) -> (Vec<TravelPlan>, Digest, f64) {
+        (self.plans, self.root, self.timestamp)
+    }
 }
 
 /// One in-flight report verification.
@@ -138,18 +172,19 @@ impl NwadeManager {
 
     fn remember_block(&mut self, block: &Block) {
         self.recent_blocks.push_back(block.clone());
-        while self.recent_blocks.len() > 64 {
+        while self.recent_blocks.len() > self.config.recent_block_retention {
             self.recent_blocks.pop_front();
         }
     }
 
-    /// Recent blocks starting at `from_index` (bounded), for answering a
-    /// vehicle's block request.
+    /// Recent blocks starting at `from_index`, for answering a vehicle's
+    /// block request — at most
+    /// [`NwadeConfig::block_backfill_limit`] of them.
     pub fn blocks_from(&self, from_index: u64) -> Vec<Block> {
         self.recent_blocks
             .iter()
             .filter(|b| b.index() >= from_index)
-            .take(16)
+            .take(self.config.block_backfill_limit)
             .cloned()
             .collect()
     }
@@ -235,7 +270,25 @@ impl NwadeManager {
 
     /// Processes one window of plan requests: schedule, package,
     /// broadcast. Returns `None` when no requests arrived.
+    ///
+    /// Equivalent to [`NwadeManager::prepare_window`] followed by
+    /// [`NwadeManager::seal_window`]; the split entry points exist so the
+    /// pipelined window engine can overlap the scheduling/Merkle work of
+    /// window N+1 with the (chain-serial) signing of window N.
     pub fn on_window(&mut self, requests: &[PlanRequest], now: f64) -> Option<ManagerAction> {
+        let prepared = self.prepare_window(requests, now)?;
+        Some(self.seal_window(prepared))
+    }
+
+    /// The tip-independent front half of a processing window: schedule
+    /// the batch, drop unpublishable plans, record the survivors as
+    /// published, and compute their Merkle root. Returns `None` when the
+    /// window produces no block (no requests, or every plan deferred).
+    ///
+    /// Nothing here touches the chain tip, so the result may be sealed
+    /// later — by [`NwadeManager::seal_window`] on this manager, or by a
+    /// [`crate::WindowPipeline`] worker that owns the tip.
+    pub fn prepare_window(&mut self, requests: &[PlanRequest], now: f64) -> Option<PreparedWindow> {
         if requests.is_empty() {
             return None;
         }
@@ -250,12 +303,48 @@ impl NwadeManager {
             return None;
         }
         self.record_published(&plans);
-        let block = self.packager.package(plans, now);
+        Some(PreparedWindow {
+            root: Block::root_of(&plans),
+            plans,
+            timestamp: now,
+        })
+    }
+
+    /// The chain-serial back half of a processing window: sign the
+    /// prepared plans against this manager's tip and advance it.
+    pub fn seal_window(&mut self, prepared: PreparedWindow) -> ManagerAction {
+        let PreparedWindow {
+            plans,
+            root,
+            timestamp,
+        } = prepared;
+        let block = self.packager.package_rooted(plans, root, timestamp);
+        self.absorb_block(block)
+    }
+
+    /// Adopts a block sealed off-manager (by a [`crate::WindowPipeline`]
+    /// worker) from a [`PreparedWindow`] this manager produced: the
+    /// packager tip moves past it, it joins the recent-block store, and
+    /// the FSM and reservation GC advance exactly as if
+    /// [`NwadeManager::seal_window`] had signed it here.
+    pub fn absorb_sealed(&mut self, block: Block) -> ManagerAction {
+        self.packager.restore_tip(block.hash(), block.index() + 1);
+        self.absorb_block(block)
+    }
+
+    fn absorb_block(&mut self, block: Block) -> ManagerAction {
         self.remember_block(&block);
         self.step_fsm(ImEvent::BlockPackaged);
         self.step_fsm(ImEvent::BlockDisseminated);
-        self.scheduler.collect_garbage(now - 120.0);
-        Some(ManagerAction::BroadcastBlock(block))
+        self.scheduler
+            .collect_garbage(block.timestamp() - self.config.reservation_gc_horizon);
+        ManagerAction::BroadcastBlock(block)
+    }
+
+    /// The signing scheme, shared with a [`crate::WindowPipeline`]'s
+    /// sealing worker.
+    pub fn signer(&self) -> Arc<dyn SignatureScheme> {
+        self.packager.signer().clone()
     }
 
     /// Handles an incident report: starts round-1 verification with a

@@ -1,0 +1,278 @@
+//! [`WindowPipeline`]: the pipelined window engine's sealing stage.
+//!
+//! A block's hash covers its signature, and block `N+1`'s signing digest
+//! covers block `N`'s hash — so signing is inherently chain-serial. But
+//! *nothing else* in a processing window depends on the tip: scheduling,
+//! conflict filtering, and the Merkle root of window `N+1` are functions
+//! of the requests alone. The pipeline exploits exactly that split:
+//!
+//! ```text
+//! main thread:   prepare(N)  prepare(N+1)  prepare(N+2)   ...
+//! seal worker:               seal(N)       seal(N+1)      ...
+//! ```
+//!
+//! The manager produces [`PreparedWindow`]s
+//! ([`NwadeManager::prepare_window`]); the worker thread owns the chain
+//! tip (`prev_hash`, `next_index`) and seals each prepared window in
+//! submission order. Sealed blocks flow back to the host, which feeds
+//! them through [`NwadeManager::absorb_sealed`] so the manager's own
+//! packager tip, recent-block store, FSM, and reservation GC advance
+//! exactly as if it had sealed in-place. Because the worker applies the
+//! same `signing_digest`/`sign`/`from_parts` sequence as
+//! [`BlockPackager::package`](nwade_chain::BlockPackager) against the
+//! same serial tip, the emitted chain is **bit-identical** to the
+//! sequential path — pinned by this module's tests and the sim's
+//! differential suite.
+
+use crate::manager::PreparedWindow;
+use nwade_chain::Block;
+use nwade_crypto::{Digest, SignatureScheme};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Off-thread, in-order sealer for prepared windows.
+///
+/// Dropping the pipeline joins the worker; any still-unsealed windows
+/// are sealed and discarded (hosts that care drain first).
+pub struct WindowPipeline {
+    jobs: Option<mpsc::Sender<PreparedWindow>>,
+    sealed: mpsc::Receiver<Block>,
+    worker: Option<JoinHandle<()>>,
+    in_flight: usize,
+}
+
+impl std::fmt::Debug for WindowPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowPipeline")
+            .field("in_flight", &self.in_flight)
+            .finish()
+    }
+}
+
+impl WindowPipeline {
+    /// Spawns the sealing worker with the chain tip it will sign
+    /// against — normally the owning manager's
+    /// [`chain_tip`](crate::NwadeManager::chain_tip) /
+    /// [`chain_next_index`](crate::NwadeManager::chain_next_index) at
+    /// pipeline creation.
+    pub fn new(signer: Arc<dyn SignatureScheme>, prev_hash: Digest, next_index: u64) -> Self {
+        let (job_tx, job_rx) = mpsc::channel::<PreparedWindow>();
+        let (sealed_tx, sealed_rx) = mpsc::channel::<Block>();
+        let worker = std::thread::Builder::new()
+            .name("nwade-window-seal".into())
+            .spawn(move || {
+                let mut prev_hash = prev_hash;
+                let mut next_index = next_index;
+                while let Ok(prepared) = job_rx.recv() {
+                    let (plans, root, timestamp) = prepared.into_parts();
+                    let digest = Block::signing_digest(next_index, &prev_hash, timestamp, &root);
+                    let signature = signer.sign(&digest);
+                    let block =
+                        Block::from_parts(next_index, signature, prev_hash, timestamp, root, plans);
+                    prev_hash = block.hash();
+                    next_index += 1;
+                    if sealed_tx.send(block).is_err() {
+                        break; // host gone; nothing left to seal for
+                    }
+                }
+            })
+            .expect("spawn window-seal worker");
+        WindowPipeline {
+            jobs: Some(job_tx),
+            sealed: sealed_rx,
+            worker: Some(worker),
+            in_flight: 0,
+        }
+    }
+
+    /// Builds a pipeline continuing a manager's current chain tip.
+    pub fn for_manager(manager: &crate::NwadeManager) -> Self {
+        WindowPipeline::new(
+            manager.signer(),
+            manager.chain_tip(),
+            manager.chain_next_index(),
+        )
+    }
+
+    /// Windows submitted but not yet collected.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Queues a prepared window for sealing. Submission order is sealing
+    /// order is chain order.
+    pub fn submit(&mut self, prepared: PreparedWindow) {
+        self.jobs
+            .as_ref()
+            .expect("pipeline not shut down")
+            .send(prepared)
+            .expect("seal worker alive");
+        self.in_flight += 1;
+    }
+
+    /// Collects every block sealed so far without blocking.
+    pub fn try_collect(&mut self) -> Vec<Block> {
+        let mut out = Vec::new();
+        while let Ok(block) = self.sealed.try_recv() {
+            self.in_flight -= 1;
+            out.push(block);
+        }
+        out
+    }
+
+    /// Blocks until every submitted window is sealed and returns them
+    /// in chain order.
+    pub fn drain(&mut self) -> Vec<Block> {
+        let mut out = Vec::new();
+        while self.in_flight > 0 {
+            let block = self.sealed.recv().expect("seal worker alive");
+            self.in_flight -= 1;
+            out.push(block);
+        }
+        out
+    }
+}
+
+impl Drop for WindowPipeline {
+    fn drop(&mut self) {
+        drop(self.jobs.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NwadeConfig;
+    use crate::manager::{ManagerAction, NwadeManager};
+    use nwade_aim::{PlanRequest, ReservationScheduler, SchedulerConfig};
+    use nwade_crypto::MockScheme;
+    use nwade_intersection::{build, GeometryConfig, IntersectionKind, MovementId, Topology};
+    use nwade_traffic::{VehicleDescriptor, VehicleId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn topology() -> Arc<Topology> {
+        Arc::new(build(
+            IntersectionKind::FourWayCross,
+            &GeometryConfig::default(),
+        ))
+    }
+
+    fn manager(topo: &Arc<Topology>) -> NwadeManager {
+        let scheduler = Box::new(ReservationScheduler::new(
+            topo.clone(),
+            SchedulerConfig::default(),
+        ));
+        NwadeManager::new(
+            topo.clone(),
+            scheduler,
+            Arc::new(MockScheme::from_seed(9)),
+            NwadeConfig::default(),
+        )
+    }
+
+    fn request(id: u64) -> PlanRequest {
+        PlanRequest {
+            id: VehicleId::new(id),
+            descriptor: VehicleDescriptor::random(&mut StdRng::seed_from_u64(id)),
+            movement: MovementId::new(((id * 3) % 16) as u16),
+            position_s: 0.0,
+            speed: 15.0,
+        }
+    }
+
+    /// Several windows through prepare→pipeline→absorb produce the exact
+    /// blocks (hashes, signatures, indices) the sequential `on_window`
+    /// path produces, and leave the manager at the same tip.
+    #[test]
+    fn pipelined_chain_is_bit_identical_to_sequential() {
+        let topo = topology();
+        let mut serial = manager(&topo);
+        let mut piped = manager(&topo);
+        let mut pipeline = WindowPipeline::for_manager(&piped);
+
+        let windows: Vec<Vec<PlanRequest>> = vec![
+            vec![request(0), request(1)],
+            vec![request(2)],
+            vec![request(3), request(4), request(5)],
+        ];
+        let mut expect = Vec::new();
+        let mut got = Vec::new();
+        for (w, reqs) in windows.iter().enumerate() {
+            let now = w as f64;
+            if let Some(ManagerAction::BroadcastBlock(b)) = serial.on_window(reqs, now) {
+                expect.push(b);
+            }
+            if let Some(prepared) = piped.prepare_window(reqs, now) {
+                pipeline.submit(prepared);
+            }
+            // Same-tick drain (the simulator's discipline): collect every
+            // sealed block before the next window opens.
+            for block in pipeline.drain() {
+                let ManagerAction::BroadcastBlock(b) = piped.absorb_sealed(block) else {
+                    panic!("absorb returns the broadcast");
+                };
+                got.push(b);
+            }
+        }
+        assert_eq!(expect.len(), got.len());
+        for (e, g) in expect.iter().zip(&got) {
+            assert_eq!(e.hash(), g.hash());
+            assert_eq!(e.signature(), g.signature());
+            assert_eq!(e.index(), g.index());
+        }
+        assert_eq!(serial.chain_tip(), piped.chain_tip());
+        assert_eq!(serial.chain_next_index(), piped.chain_next_index());
+    }
+
+    /// Cross-window overlap: submit several prepared windows before
+    /// collecting any; sealing order (and thus the chain) still follows
+    /// submission order.
+    #[test]
+    fn overlapped_submissions_seal_in_order() {
+        let topo = topology();
+        let mut m = manager(&topo);
+        let mut pipeline = WindowPipeline::for_manager(&m);
+        let mut prepared = Vec::new();
+        for w in 0..4u64 {
+            prepared.push(
+                m.prepare_window(&[request(10 + w * 2), request(11 + w * 2)], w as f64)
+                    .expect("window seals"),
+            );
+        }
+        for p in prepared {
+            pipeline.submit(p);
+        }
+        let blocks = pipeline.drain();
+        assert_eq!(blocks.len(), 4);
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.index(), i as u64);
+            if i > 0 {
+                assert_eq!(b.prev_hash(), blocks[i - 1].hash());
+            }
+        }
+        assert_eq!(pipeline.in_flight(), 0);
+    }
+
+    /// try_collect never blocks and eventually observes each block.
+    #[test]
+    fn try_collect_is_nonblocking() {
+        let topo = topology();
+        let mut m = manager(&topo);
+        let mut pipeline = WindowPipeline::for_manager(&m);
+        assert!(pipeline.try_collect().is_empty());
+        let prepared = m.prepare_window(&[request(0)], 0.0).expect("prepared");
+        pipeline.submit(prepared);
+        let mut got = pipeline.try_collect();
+        while got.is_empty() {
+            std::thread::yield_now();
+            got = pipeline.try_collect();
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(pipeline.in_flight(), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Batch vs per-signature RSA verification.
+//!
+//! The batch verifier shares one Montgomery context per key and checks
+//! the product test ∏ sᵢᵉ ≡ ∏ EM(mᵢ) (mod n) — one big comparison
+//! instead of `n` independent exponentiations' worth of bookkeeping.
+//! This bench pins the crossover: per-signature cost is flat, batch
+//! cost amortizes, and the split-on-failure path (one corrupted item)
+//! stays sublinear in re-verification work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwade_crypto::{sha256, Digest, RsaKeyPair, RsaScheme, SignatureScheme};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn signed_items(scheme: &RsaScheme, n: usize) -> Vec<(Digest, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            let digest = sha256(&(i as u64).to_be_bytes());
+            let sig = scheme.sign(&digest);
+            (digest, sig)
+        })
+        .collect()
+}
+
+fn as_refs(items: &[(Digest, Vec<u8>)]) -> Vec<(Digest, &[u8])> {
+    items.iter().map(|(d, s)| (*d, s.as_slice())).collect()
+}
+
+fn bench_batch_verify(c: &mut Criterion) {
+    let scheme = RsaScheme::new(RsaKeyPair::generate(1024, &mut StdRng::seed_from_u64(42)));
+    let mut group = c.benchmark_group("crypto_batch_verify");
+    group.sample_size(10);
+    for n in [4usize, 16, 64] {
+        let items = signed_items(&scheme, n);
+        let pairs = as_refs(&items);
+        group.bench_with_input(BenchmarkId::new("per_signature", n), &pairs, |b, pairs| {
+            b.iter(|| pairs.iter().all(|(digest, sig)| scheme.verify(digest, sig)))
+        });
+        group.bench_with_input(BenchmarkId::new("batch", n), &pairs, |b, pairs| {
+            b.iter(|| scheme.verify_batch(pairs).iter().all(|&ok| ok))
+        });
+        // Worst realistic case: one forged signature forces the
+        // split-on-failure culprit search.
+        let mut corrupted = items.clone();
+        corrupted[n / 2].1[0] ^= 0x01;
+        let pairs = as_refs(&corrupted);
+        group.bench_with_input(BenchmarkId::new("batch_one_bad", n), &pairs, |b, pairs| {
+            b.iter(|| scheme.verify_batch(pairs).iter().filter(|&&ok| !ok).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_verify);
+criterion_main!(benches);

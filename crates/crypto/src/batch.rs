@@ -1,0 +1,316 @@
+//! Amortized same-key RSA batch verification.
+//!
+//! A vehicle catching up on the chain — and the bench's saturation sweep —
+//! verifies many signatures under the *one* intersection-manager key. Per
+//! signature, plain verification pays a full `s^e mod n` exponentiation:
+//! with `e = 65537` that is ~19 Montgomery multiplications plus the
+//! into/out-of-form conversions. The batch product test instead checks
+//!
+//! ```text
+//! (∏ sᵢ)^e  ≡  ∏ emᵢ   (mod n)
+//! ```
+//!
+//! which holds whenever every sᵢ^e ≡ emᵢ does. Accumulating each side
+//! costs two Montgomery multiplications per item, so a k-item batch does
+//! ~2k + 19 multiplications instead of ~19k — all under the key's shared
+//! [`Montgomery`](crate::modular::Montgomery) context (built once per key,
+//! cached in the [`RsaPublicKey`]).
+//!
+//! **Failure handling.** When the aggregate test fails, the batch splits
+//! in half and each half re-tests recursively; a singleton is verified
+//! individually. A bad signature therefore never poisons its batch: the
+//! culprit search pins exactly the failing items, and every verdict
+//! equals what per-item [`RsaPublicKey::verify_digest`] would return
+//! (pinned by the `batch_props` proptests). Items failing the structural
+//! screen (wrong length, `s ≥ n`) are rejected before the math, exactly
+//! as per-item verification rejects them.
+//!
+//! **Threat-model caveat.** The unblinded product test is a *fault*
+//! check, not a proof against an adaptive signer: an adversary holding
+//! two valid signatures can multiply one by `t` and the other by `t⁻¹`
+//! so the product still matches while both items are individually
+//! invalid. NWADE's verifier checks signatures produced by a single
+//! manager key over digests the verifier recomputes itself, so the
+//! relevant failure mode is corruption (transmission faults, tampered
+//! bytes), which the product test catches except with probability
+//! ~2⁻ⁿ. Deployments that must resist crafted cancellation pairs should
+//! add verifier-secret blinding exponents (Bellare–Garay–Rabin small
+//! exponents test) — at which point the amortization narrows to ~2× and
+//! per-item verification is usually simpler.
+
+use crate::modular::MontElem;
+use crate::rsa::{encode_em, RsaPublicKey, RsaSignature};
+use crate::sha256::Digest;
+use crate::BigUint;
+use std::collections::HashMap;
+
+/// One structurally valid batch entry, carried in Montgomery form.
+struct Item {
+    /// Position in the caller's slice.
+    index: usize,
+    /// Signature residue `s`, in Montgomery form.
+    s: MontElem,
+    /// Expected EMSA-PKCS1-v1_5 encoding `em`, in Montgomery form.
+    em: MontElem,
+}
+
+/// Verifies `(digest, signature)` pairs under `key`, returning one
+/// verdict per item in input order. Verdicts are exactly those of
+/// per-item [`RsaPublicKey::verify_digest`]; the accept set does not
+/// depend on batch order (each item's verdict is a property of the item
+/// alone).
+pub fn verify_batch(key: &RsaPublicKey, items: &[(Digest, &[u8])]) -> Vec<bool> {
+    let mut verdicts = vec![false; items.len()];
+    // Hand-built even-modulus test keys: no Montgomery context, nothing
+    // to amortize — defer to per-item verification.
+    let Some(ctx) = key.montgomery() else {
+        for (i, (digest, sig)) in items.iter().enumerate() {
+            verdicts[i] = key.verify_digest(digest, &RsaSignature::from_bytes(sig.to_vec()));
+        }
+        return verdicts;
+    };
+    let k = key.modulus_len();
+    let mut candidates = Vec::with_capacity(items.len());
+    for (i, (digest, sig)) in items.iter().enumerate() {
+        // Structural screen, mirroring verify_digest's pre-modexp checks.
+        if sig.len() != k {
+            continue;
+        }
+        let s = BigUint::from_bytes_be(sig);
+        if &s >= key.modulus() {
+            continue;
+        }
+        let em = BigUint::from_bytes_be(&encode_em(digest, k));
+        candidates.push(Item {
+            index: i,
+            s: ctx.enter(&s),
+            em: ctx.enter(&em),
+        });
+    }
+    check_group(key, &candidates, &mut verdicts);
+    verdicts
+}
+
+/// Product-tests one group, splitting on failure until the culprits are
+/// isolated. Comparison happens in Montgomery form: equal residues have
+/// equal canonical limb vectors.
+fn check_group(key: &RsaPublicKey, group: &[Item], verdicts: &mut [bool]) {
+    let ctx = key.montgomery().expect("caller checked the context exists");
+    match group {
+        [] => {}
+        [item] => {
+            verdicts[item.index] = ctx.pow(&item.s, key.exponent()) == item.em;
+        }
+        _ => {
+            let mut s_prod = ctx.one();
+            let mut em_prod = ctx.one();
+            for item in group {
+                s_prod = ctx.mul(&s_prod, &item.s);
+                em_prod = ctx.mul(&em_prod, &item.em);
+            }
+            if ctx.pow(&s_prod, key.exponent()) == em_prod {
+                for item in group {
+                    verdicts[item.index] = true;
+                }
+            } else {
+                let mid = group.len() / 2;
+                check_group(key, &group[..mid], verdicts);
+                check_group(key, &group[mid..], verdicts);
+            }
+        }
+    }
+}
+
+/// A stateful batch verifier with an accepted-pair memo.
+///
+/// Re-deliveries (rebroadcasts, retries, history back-fill) hit the memo
+/// and skip the math entirely. **Rejections are never cached**: a pair
+/// that failed is re-verified on every submission, so a transiently
+/// garbled delivery of an honest signature can still be accepted when the
+/// clean copy arrives, and no attacker-chosen junk occupies memo space.
+/// The memo is bounded and cleared wholesale when full, like the other
+/// verification caches in this workspace.
+pub struct BatchVerifier {
+    key: RsaPublicKey,
+    capacity: usize,
+    accepted: HashMap<Digest, Vec<u8>>,
+    hits: u64,
+    verified: u64,
+}
+
+impl BatchVerifier {
+    /// Wraps a public key with the default memo bound.
+    pub fn new(key: RsaPublicKey) -> Self {
+        BatchVerifier::with_capacity(key, 1024)
+    }
+
+    /// Wraps a public key, remembering at most `capacity` accepted pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(key: RsaPublicKey, capacity: usize) -> Self {
+        assert!(capacity > 0, "memo capacity must be positive");
+        BatchVerifier {
+            key,
+            capacity,
+            accepted: HashMap::new(),
+            hits: 0,
+            verified: 0,
+        }
+    }
+
+    /// The key verified against.
+    pub fn key(&self) -> &RsaPublicKey {
+        &self.key
+    }
+
+    /// `(memo_hits, freshly_verified)` so far. Every item not served by
+    /// the memo counts as freshly verified — including re-submissions of
+    /// previously rejected pairs, which is how tests pin the
+    /// "rejections are never cached" contract.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.verified)
+    }
+
+    /// Verifies a batch, serving memoized accepts without any math and
+    /// batch-verifying the rest.
+    pub fn verify_batch(&mut self, items: &[(Digest, &[u8])]) -> Vec<bool> {
+        let mut verdicts = vec![false; items.len()];
+        let mut miss_slots = Vec::new();
+        let mut misses: Vec<(Digest, &[u8])> = Vec::new();
+        for (i, (digest, sig)) in items.iter().enumerate() {
+            if self.accepted.get(digest).is_some_and(|s| s == sig) {
+                verdicts[i] = true;
+                self.hits += 1;
+            } else {
+                miss_slots.push(i);
+                misses.push((*digest, sig));
+            }
+        }
+        let fresh = verify_batch(&self.key, &misses);
+        self.verified += fresh.len() as u64;
+        for ((slot, ok), (digest, sig)) in miss_slots.iter().zip(&fresh).zip(&misses) {
+            verdicts[*slot] = *ok;
+            if *ok {
+                if self.accepted.len() >= self.capacity {
+                    self.accepted.clear();
+                }
+                self.accepted.insert(*digest, sig.to_vec());
+            }
+        }
+        verdicts
+    }
+}
+
+impl std::fmt::Debug for BatchVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchVerifier")
+            .field("key", &self.key)
+            .field("accepted", &self.accepted.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::RsaKeyPair;
+    use crate::sha256::sha256;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    fn test_key() -> &'static RsaKeyPair {
+        static KEY: OnceLock<RsaKeyPair> = OnceLock::new();
+        KEY.get_or_init(|| RsaKeyPair::generate(512, &mut StdRng::seed_from_u64(21)))
+    }
+
+    fn signed(n: usize) -> (Vec<Digest>, Vec<Vec<u8>>) {
+        let key = test_key();
+        let digests: Vec<Digest> = (0..n).map(|i| sha256(&(i as u64).to_be_bytes())).collect();
+        let sigs = digests
+            .iter()
+            .map(|d| key.sign_digest(d).as_bytes().to_vec())
+            .collect();
+        (digests, sigs)
+    }
+
+    fn pairs<'a>(digests: &[Digest], sigs: &'a [Vec<u8>]) -> Vec<(Digest, &'a [u8])> {
+        digests
+            .iter()
+            .zip(sigs)
+            .map(|(d, s)| (*d, s.as_slice()))
+            .collect()
+    }
+
+    #[test]
+    fn all_valid_batch_accepts_everything() {
+        let (digests, sigs) = signed(8);
+        let verdicts = verify_batch(test_key().public_key(), &pairs(&digests, &sigs));
+        assert_eq!(verdicts, vec![true; 8]);
+    }
+
+    #[test]
+    fn single_corrupt_item_is_isolated() {
+        let (digests, mut sigs) = signed(8);
+        sigs[3][10] ^= 0x40;
+        let verdicts = verify_batch(test_key().public_key(), &pairs(&digests, &sigs));
+        let expected: Vec<bool> = (0..8).map(|i| i != 3).collect();
+        assert_eq!(verdicts, expected);
+    }
+
+    #[test]
+    fn structural_rejects_match_per_item() {
+        let key = test_key();
+        let (digests, sigs) = signed(3);
+        let short = sigs[1][1..].to_vec();
+        let oversized = vec![0xffu8; key.public_key().modulus_len()]; // ≥ n
+        let items: Vec<(Digest, &[u8])> = vec![
+            (digests[0], sigs[0].as_slice()),
+            (digests[1], short.as_slice()),
+            (digests[2], oversized.as_slice()),
+        ];
+        assert_eq!(
+            verify_batch(key.public_key(), &items),
+            vec![true, false, false]
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(verify_batch(test_key().public_key(), &[]).is_empty());
+    }
+
+    #[test]
+    fn memo_serves_accepts_but_not_rejects() {
+        let (digests, mut sigs) = signed(4);
+        sigs[2][0] ^= 0x01;
+        let mut v = BatchVerifier::new(test_key().public_key().clone());
+        let first = v.verify_batch(&pairs(&digests, &sigs));
+        assert_eq!(first, vec![true, true, false, true]);
+        assert_eq!(v.stats(), (0, 4));
+        // Resubmit: the three accepts hit the memo, the reject is
+        // re-verified from scratch.
+        let second = v.verify_batch(&pairs(&digests, &sigs));
+        assert_eq!(second, first);
+        assert_eq!(v.stats(), (3, 5), "reject was never cached");
+    }
+
+    #[test]
+    fn memo_is_bounded() {
+        let (digests, sigs) = signed(6);
+        let mut v = BatchVerifier::with_capacity(test_key().public_key().clone(), 4);
+        v.verify_batch(&pairs(&digests, &sigs));
+        // The memo was cleared wholesale at capacity; re-verifying is a
+        // fresh pass for the evicted pairs but still all-accept.
+        let again = v.verify_batch(&pairs(&digests, &sigs));
+        assert_eq!(again, vec![true; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = BatchVerifier::with_capacity(test_key().public_key().clone(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests pinning batch verification to per-signature
+//! verification: identical accept sets on random valid/invalid mixes,
+//! exact culprit identification, order independence, and the
+//! rejections-are-never-cached memo contract.
+
+use nwade_crypto::{sha256, BatchVerifier, Digest, RsaKeyPair, RsaSignature, SignatureScheme};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// One shared 512-bit key: big enough for multi-limb arithmetic, small
+/// enough for a debug-build property sweep.
+fn key() -> &'static RsaKeyPair {
+    static KEY: OnceLock<RsaKeyPair> = OnceLock::new();
+    KEY.get_or_init(|| RsaKeyPair::generate(512, &mut StdRng::seed_from_u64(0xBA7C4)))
+}
+
+/// How one batch item is mangled (or not).
+#[derive(Debug, Clone)]
+enum Mangle {
+    /// Honest signature over the item's digest.
+    Valid,
+    /// One bit of the signature flipped.
+    FlipBit { byte: usize, bit: u8 },
+    /// Signature over a different digest.
+    WrongDigest,
+    /// First byte dropped (structural length reject).
+    Truncated,
+    /// All-0xff bytes of modulus width (s ≥ n structural reject).
+    Oversized,
+}
+
+fn arb_mangle() -> impl Strategy<Value = Mangle> {
+    // The vendored proptest's `prop_oneof!` is uniform; repeating the
+    // Valid arm weights batches toward mostly-honest mixes.
+    prop_oneof![
+        Just(Mangle::Valid),
+        Just(Mangle::Valid),
+        Just(Mangle::Valid),
+        Just(Mangle::Valid),
+        (any::<usize>(), 0u8..8).prop_map(|(byte, bit)| Mangle::FlipBit { byte, bit }),
+        (any::<usize>(), 0u8..8).prop_map(|(byte, bit)| Mangle::FlipBit { byte, bit }),
+        Just(Mangle::WrongDigest),
+        Just(Mangle::Truncated),
+        Just(Mangle::Oversized),
+    ]
+}
+
+/// Builds the batch: per item a digest derived from its index plus a
+/// signature mangled per the recipe.
+fn build(mangles: &[Mangle]) -> (Vec<Digest>, Vec<Vec<u8>>) {
+    let k = key();
+    let mut digests = Vec::with_capacity(mangles.len());
+    let mut sigs = Vec::with_capacity(mangles.len());
+    for (i, m) in mangles.iter().enumerate() {
+        let digest = sha256(&(i as u64).to_be_bytes());
+        let honest = k.sign_digest(&digest).as_bytes().to_vec();
+        let sig = match m {
+            Mangle::Valid => honest,
+            Mangle::FlipBit { byte, bit } => {
+                let mut bad = honest;
+                let at = byte % bad.len();
+                bad[at] ^= 1 << bit;
+                bad
+            }
+            Mangle::WrongDigest => k
+                .sign_digest(&sha256(&(i as u64 ^ 0xDEAD).to_be_bytes()))
+                .as_bytes()
+                .to_vec(),
+            Mangle::Truncated => honest[1..].to_vec(),
+            Mangle::Oversized => vec![0xffu8; k.public_key().modulus_len()],
+        };
+        digests.push(digest);
+        sigs.push(sig);
+    }
+    (digests, sigs)
+}
+
+fn pairs<'a>(digests: &[Digest], sigs: &'a [Vec<u8>]) -> Vec<(Digest, &'a [u8])> {
+    digests
+        .iter()
+        .zip(sigs)
+        .map(|(d, s)| (*d, s.as_slice()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch verdicts equal per-signature `RsaPublicKey::verify_digest`
+    /// on every random valid/invalid mix: each corrupt signature is
+    /// identified exactly, no valid one is dragged down with it.
+    #[test]
+    fn batch_equals_per_item(mangles in proptest::collection::vec(arb_mangle(), 0..14)) {
+        let (digests, sigs) = build(&mangles);
+        let items = pairs(&digests, &sigs);
+        let batch = key().public_key().verify_digest_batch(&items);
+        let individual: Vec<bool> = items
+            .iter()
+            .map(|(d, s)| {
+                key().public_key().verify_digest(d, &RsaSignature::from_bytes(s.to_vec()))
+            })
+            .collect();
+        prop_assert_eq!(batch, individual);
+    }
+
+    /// Reordering the batch never changes any item's verdict.
+    #[test]
+    fn batch_order_never_changes_accept_set(
+        mangles in proptest::collection::vec(arb_mangle(), 2..12),
+        rot in any::<usize>(),
+    ) {
+        let (digests, sigs) = build(&mangles);
+        let items = pairs(&digests, &sigs);
+        let forward = key().public_key().verify_digest_batch(&items);
+        let mut rotated = items.clone();
+        rotated.rotate_left(rot % items.len());
+        let mut verdicts = key().public_key().verify_digest_batch(&rotated);
+        verdicts.rotate_right(rot % items.len());
+        prop_assert_eq!(forward, verdicts);
+    }
+
+    /// The stateful memo serves accepts, re-verifies rejects every time,
+    /// and never flips a verdict across resubmissions.
+    #[test]
+    fn memo_never_caches_rejections(
+        mangles in proptest::collection::vec(arb_mangle(), 1..10),
+    ) {
+        let (digests, sigs) = build(&mangles);
+        let items = pairs(&digests, &sigs);
+        let mut v = BatchVerifier::new(key().public_key().clone());
+        let first = v.verify_batch(&items);
+        let (hits0, fresh0) = v.stats();
+        prop_assert_eq!(hits0, 0);
+        prop_assert_eq!(fresh0, items.len() as u64);
+        let second = v.verify_batch(&items);
+        prop_assert_eq!(&second, &first);
+        let accepted = first.iter().filter(|ok| **ok).count() as u64;
+        let rejected = items.len() as u64 - accepted;
+        let (hits1, fresh1) = v.stats();
+        prop_assert_eq!(hits1, accepted, "every accept memoized");
+        prop_assert_eq!(
+            fresh1,
+            items.len() as u64 + rejected,
+            "every rejection re-verified from scratch"
+        );
+    }
+
+    /// The `SignatureScheme::verify_batch` trait path (the RSA override)
+    /// agrees with trait-level per-item `verify`.
+    #[test]
+    fn trait_batch_matches_trait_verify(
+        mangles in proptest::collection::vec(arb_mangle(), 0..10),
+    ) {
+        let scheme = nwade_crypto::RsaScheme::new(key().clone());
+        let (digests, sigs) = build(&mangles);
+        let items = pairs(&digests, &sigs);
+        let batch = scheme.verify_batch(&items);
+        let individual: Vec<bool> =
+            items.iter().map(|(d, s)| scheme.verify(d, s)).collect();
+        prop_assert_eq!(batch, individual);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::adversary::AttackPolicy;
 use nwade::attack::{AttackSetting, ViolationKind};
 use nwade::{CrashPoint, NwadeConfig};
+use nwade_aim::AdmissionPolicy;
 use nwade_intersection::{GeometryConfig, IntersectionKind};
 use nwade_traffic::{KinematicLimits, TurnMix};
 use nwade_vanet::MediumConfig;
@@ -174,6 +175,17 @@ pub struct SimConfig {
     /// slot-seeking search. Plans are bit-identical either way; the flag
     /// exists for differential testing and window-latency baselines.
     pub probe_scheduler: bool,
+    /// Run processing windows through the pipelined engine: scheduling
+    /// and Merkle work on the tick thread, chain-serial signing on a
+    /// worker. Results are bit-identical to the sequential path (pinned
+    /// by the `integration_window_pipeline_diff` suite); the flag exists
+    /// for differential testing and window-latency baselines.
+    pub pipelined_windows: bool,
+    /// Per-window admission policy applied to the pending-request queue
+    /// before scheduling. The default (unbounded) admits everything in
+    /// arrival order — the historical behaviour, bit-for-bit; a bounded
+    /// policy caps the batch and defers the overflow fairly.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for SimConfig {
@@ -202,6 +214,8 @@ impl Default for SimConfig {
             engine: EngineChoice::default(),
             spatial_index: true,
             probe_scheduler: false,
+            pipelined_windows: false,
+            admission: AdmissionPolicy::default(),
         }
     }
 }
@@ -216,6 +230,7 @@ impl SimConfig {
         self.geometry.validate()?;
         self.nwade.validate()?;
         self.medium.validate()?;
+        self.admission.validate()?;
         if !(self.density > 0.0) {
             return Err("density must be positive".into());
         }
@@ -336,6 +351,10 @@ mod tests {
             point: CrashPoint::BeforeCommit,
             cold_downtime: 0.0,
         });
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.admission = AdmissionPolicy::bounded(0);
         assert!(c.validate().is_err());
     }
 

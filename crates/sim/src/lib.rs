@@ -49,4 +49,4 @@ pub use invariant::{InvariantChecker, InvariantKind, InvariantReport, InvariantV
 pub use metrics::SimMetrics;
 pub use report::SimReport;
 pub use scenario::{run_rounds, RoundsSummary};
-pub use world::Simulation;
+pub use world::{Simulation, WindowBenchPoint};

@@ -101,6 +101,21 @@ pub struct SimMetrics {
     pub blocks_broadcast: usize,
     /// Plans scheduled in total.
     pub plans_scheduled: usize,
+    /// Plan requests waiting when a processing window opened, summed
+    /// over windows (each deferral re-offers, so one vehicle can count
+    /// several times under a binding admission cap).
+    pub admission_offered: usize,
+    /// Requests admitted into a scheduling window, summed over windows.
+    pub admission_admitted: usize,
+    /// Requests the admission cap pushed back to a later window, summed
+    /// over windows.
+    pub admission_deferred: usize,
+    /// Requests dropped outright by a bench enqueue cap (never queued).
+    pub requests_shed: usize,
+    /// Windows in which the admission cap deferred at least one request.
+    pub shed_windows: usize,
+    /// `offered - admitted` gap of the most recent processing window.
+    pub last_window_shed_gap: usize,
     /// Plan count of every broadcast block (drives the Fig. 6 harness).
     pub block_sizes: Vec<usize>,
     /// Network statistics snapshot.

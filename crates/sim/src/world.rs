@@ -45,15 +45,18 @@ use nwade::messages::{
     class, GlobalClaim, GlobalReport, IncidentReport, NwadeMessage, Observation,
 };
 #[cfg(feature = "store")]
-use nwade::{CrashPoint, ImPersistence, ManagerAction, RecoveryOutcome};
-use nwade::{EvacuationCause, GuardAction, NwadeConfig, NwadeManager, RetryDecision, VehicleGuard};
+use nwade::{CrashPoint, ImPersistence, RecoveryOutcome};
+use nwade::{
+    EvacuationCause, GuardAction, ManagerAction, NwadeConfig, NwadeManager, RetryDecision,
+    VehicleGuard, WindowPipeline,
+};
 use nwade_aim::TravelPlan;
 use nwade_aim::{
-    FcfsScheduler, PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig,
+    AdmissionQueue, FcfsScheduler, PlanRequest, ReservationScheduler, Scheduler, SchedulerConfig,
     TrafficLightScheduler,
 };
 use nwade_chain::tamper;
-use nwade_crypto::{CachingVerifier, MockScheme, RsaKeyPair, RsaScheme, SignatureScheme};
+use nwade_crypto::{CachingVerifier, Digest, MockScheme, RsaKeyPair, RsaScheme, SignatureScheme};
 use nwade_geometry::{GridIndex, MotionProfile, Vec2};
 use nwade_intersection::{build, LegId, MovementId, Topology};
 #[cfg(feature = "store")]
@@ -131,9 +134,17 @@ pub struct Simulation {
     imu: ImuAgent,
     vehicles: BTreeMap<u64, VehicleAgent>,
     spawn_queue: VecDeque<SpawnEvent>,
-    /// Plan requests received and waiting for the next window:
-    /// (receive time, request).
-    pending_requests: Vec<(f64, PlanRequest)>,
+    /// Plan requests received and waiting for a window, with arrival
+    /// times and deferral bookkeeping; `config.admission` decides which
+    /// ones each window actually takes.
+    pending_requests: AdmissionQueue,
+    /// Sealing worker for the pipelined window engine; lazily created on
+    /// the first pipelined window, rebuilt whenever the manager's chain
+    /// tip moves without it (restart, recovery, evacuation block).
+    window_pipeline: Option<WindowPipeline>,
+    /// The manager tip `(prev_hash, next_index)` the pipeline worker is
+    /// known to agree with — set right after every drained window.
+    pipeline_tip: Option<(Digest, u64)>,
     now: f64,
     metrics: SimMetrics,
     scheme: Arc<dyn SignatureScheme>,
@@ -221,6 +232,11 @@ impl Clone for Simulation {
             vehicles: self.vehicles.clone(),
             spawn_queue: self.spawn_queue.clone(),
             pending_requests: self.pending_requests.clone(),
+            // The sealing worker is not cloned — it is drained within
+            // every window, so it never carries cross-tick state; the
+            // copy lazily respawns its own at the next pipelined window.
+            window_pipeline: None,
+            pipeline_tip: None,
             now: self.now,
             metrics: self.metrics.clone(),
             scheme: self.scheme.clone(),
@@ -335,7 +351,9 @@ impl Simulation {
             imu,
             vehicles: BTreeMap::new(),
             spawn_queue: spawns.into(),
-            pending_requests: Vec::new(),
+            pending_requests: AdmissionQueue::new(),
+            window_pipeline: None,
+            pipeline_tip: None,
             now: 0.0,
             metrics: SimMetrics::default(),
             scheme,
@@ -487,6 +505,7 @@ impl Simulation {
         h.u64(self.medium.flight_digest());
         h.u64(self.spawn_queue.len() as u64);
         h.u64(self.pending_requests.len() as u64);
+        h.u64(self.pending_requests.total_deferrals());
         h.u64(self.metrics.spawned as u64);
         h.u64(self.metrics.exited as u64);
         h.u64(self.metrics.blocks_broadcast as u64);
@@ -529,21 +548,26 @@ impl Simulation {
 
     /// Queues plan requests as if up to `max` active vehicles had just
     /// asked the manager; returns `(offered, queued)` — how many active
-    /// vehicles wanted a plan and how many were actually enqueued — so
-    /// callers can report when the cap truncated the batch. Pairs with
-    /// [`Simulation::force_process_window`] to measure window-processing
-    /// latency at a controlled request count.
+    /// vehicles wanted a plan and how many were actually enqueued. When
+    /// the cap binds, the batch is cut by *deadline* (soonest predicted
+    /// box arrival first, vehicle ID breaking ties) rather than by map
+    /// iteration order, so the selection is deterministic and never
+    /// starves the vehicles closest to the stop line. The shed gap is
+    /// exported through [`SimMetrics`] (`requests_shed`,
+    /// `last_window_shed_gap`) so a binding cap is never silent. Pairs
+    /// with [`Simulation::force_process_window`] to measure
+    /// window-processing latency at a controlled request count.
     pub fn enqueue_plan_requests(&mut self, max: usize) -> (usize, usize) {
         let now = self.now;
-        let offered = self.active_vehicle_count();
-        let requests: Vec<(f64, PlanRequest)> = self
+        let mut candidates: Vec<(f64, PlanRequest)> = self
             .vehicles
             .values()
             .filter(|v| v.is_active())
-            .take(max)
             .map(|v| {
+                let movement = self.topo.movement(v.movement);
+                let deadline = (movement.box_entry() - v.s) / v.speed.max(0.1);
                 (
-                    now,
+                    deadline,
                     PlanRequest {
                         id: v.id,
                         descriptor: v.descriptor.clone(),
@@ -554,8 +578,21 @@ impl Simulation {
                 )
             })
             .collect();
-        let queued = requests.len();
-        self.pending_requests.extend(requests);
+        let offered = candidates.len();
+        if offered > max {
+            candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.raw().cmp(&b.1.id.raw())));
+            candidates.truncate(max);
+        }
+        let queued = candidates.len();
+        for (_, req) in candidates {
+            self.pending_requests.push(now, req);
+        }
+        let shed = offered - queued;
+        self.metrics.requests_shed += shed;
+        self.metrics.last_window_shed_gap = shed;
+        if shed > 0 {
+            self.metrics.shed_windows += 1;
+        }
         (offered, queued)
     }
 
@@ -564,6 +601,71 @@ impl Simulation {
     pub fn force_process_window(&mut self) {
         let now = self.now;
         self.process_window(now);
+    }
+
+    /// Drives `rounds` back-to-back processing windows over the current
+    /// fleet and measures each one, re-offering every active vehicle per
+    /// round. In `pipelined` mode window `N+1`'s scheduling overlaps
+    /// window `N`'s signing on the sealing worker (sealed blocks are
+    /// collected opportunistically, the tail drained at the end);
+    /// sequential mode runs each window start-to-finish on the calling
+    /// thread. Both modes apply `config.admission` and drive the real
+    /// manager, but bypass the VANET and persistence layers — the
+    /// measured work is admission + scheduling + packaging + signing.
+    /// Returns the per-window points and the total plans sealed into
+    /// blocks.
+    pub fn bench_window_throughput(
+        &mut self,
+        rounds: usize,
+        pipelined: bool,
+    ) -> (Vec<WindowBenchPoint>, usize) {
+        let window = self.nwade_cfg().processing_window;
+        let mut points = Vec::with_capacity(rounds);
+        let mut sealed = 0usize;
+        let mut pipeline = pipelined.then(|| WindowPipeline::for_manager(&self.imu.manager));
+        for _ in 0..rounds {
+            self.now += window;
+            let now = self.now;
+            self.enqueue_plan_requests(usize::MAX);
+            let start = std::time::Instant::now();
+            let requests = self.admit_pending(now);
+            let deferred = self.metrics.last_window_shed_gap;
+            match pipeline.as_mut() {
+                Some(pipeline) => {
+                    if let Some(prepared) = self.imu.manager.prepare_window(&requests, now) {
+                        pipeline.submit(prepared);
+                    }
+                    for block in pipeline.try_collect() {
+                        if let ManagerAction::BroadcastBlock(b) =
+                            self.imu.manager.absorb_sealed(block)
+                        {
+                            sealed += b.plans().len();
+                        }
+                    }
+                }
+                None => {
+                    if let Some(ManagerAction::BroadcastBlock(b)) =
+                        self.imu.manager.on_window(&requests, now)
+                    {
+                        sealed += b.plans().len();
+                    }
+                }
+            }
+            points.push(WindowBenchPoint {
+                offered: requests.len() + deferred,
+                admitted: requests.len(),
+                deferred,
+                latency_s: start.elapsed().as_secs_f64(),
+            });
+        }
+        if let Some(mut pipeline) = pipeline {
+            for block in pipeline.drain() {
+                if let ManagerAction::BroadcastBlock(b) = self.imu.manager.absorb_sealed(block) {
+                    sealed += b.plans().len();
+                }
+            }
+        }
+        (points, sealed)
     }
 
     /// Pre-places up to `n` slow-cruising vehicles single-file on the
@@ -1977,7 +2079,7 @@ impl Simulation {
     fn imu_receive(&mut self, _from: NodeId, message: NwadeMessage, now: f64) {
         match message {
             NwadeMessage::PlanRequest(req) => {
-                self.pending_requests.push((now, req));
+                self.pending_requests.push(now, req);
             }
             NwadeMessage::IncidentReport(report) => {
                 // Detection feedback for the adaptive adversary: any
@@ -2584,21 +2686,74 @@ impl Simulation {
 
     // ----- manager window ----------------------------------------------
 
-    fn process_window(&mut self, now: f64) {
-        let pending = std::mem::take(&mut self.pending_requests);
-        let requests: Vec<PlanRequest> = pending
+    /// Applies the configured admission policy to the pending queue:
+    /// drops stale entries (requester exited or evacuated), admits up to
+    /// the policy's cap — deadline = predicted seconds to the box entry
+    /// — and predicts each admitted request's position forward to `now`.
+    /// With the default unbounded policy this is exactly the historical
+    /// take-everything-in-arrival-order path. Deferral counts land in
+    /// [`SimMetrics`] so a binding cap is never silent.
+    fn admit_pending(&mut self, now: f64) -> Vec<PlanRequest> {
+        let vehicles = &self.vehicles;
+        self.pending_requests.retain(|e| {
+            vehicles
+                .get(&e.request.id.raw())
+                .is_some_and(VehicleAgent::is_active)
+        });
+        if self.pending_requests.is_empty() {
+            return Vec::new();
+        }
+        let topo = &self.topo;
+        let outcome = self.pending_requests.admit(&self.config.admission, |e| {
+            let movement = topo.movement(e.request.movement);
+            (movement.box_entry() - e.request.position_s) / e.request.speed.max(0.1)
+        });
+        self.metrics.admission_offered += outcome.offered;
+        self.metrics.admission_admitted += outcome.admitted.len();
+        self.metrics.admission_deferred += outcome.deferred;
+        self.metrics.last_window_shed_gap = outcome.deferred;
+        if outcome.deferred > 0 {
+            self.metrics.shed_windows += 1;
+        }
+        outcome
+            .admitted
             .into_iter()
-            .filter(|(_, req)| {
-                self.vehicles
-                    .get(&req.id.raw())
-                    .is_some_and(VehicleAgent::is_active)
-            })
-            .map(|(recv, mut req)| {
+            .map(|e| {
                 // Predict how far the requester has cruised since sending.
-                req.position_s += req.speed * (now - recv);
+                let mut req = e.request;
+                req.position_s += req.speed * (now - e.arrival);
                 req
             })
-            .collect();
+            .collect()
+    }
+
+    /// Runs the window through the pipelined engine: prepare on the tick
+    /// thread, sign on the sealing worker, absorb back — drained within
+    /// the same call, so the actions are bit-identical to
+    /// [`ImuAgent::on_window`] (pinned by the differential suite). The
+    /// worker signs against a private tip copy, so the pipeline is
+    /// rebuilt whenever the manager's tip moved without it (restart,
+    /// warm recovery, evacuation block).
+    fn pipelined_window_actions(&mut self, requests: &[PlanRequest], now: f64) -> Vec<ImuAction> {
+        let tip = (
+            self.imu.manager.chain_tip(),
+            self.imu.manager.chain_next_index(),
+        );
+        if self.window_pipeline.is_none() || self.pipeline_tip != Some(tip) {
+            self.window_pipeline = Some(WindowPipeline::for_manager(&self.imu.manager));
+        }
+        let mut pipeline = self.window_pipeline.take().expect("pipeline just ensured");
+        let actions = self.imu.on_window_pipelined(requests, now, &mut pipeline);
+        self.pipeline_tip = Some((
+            self.imu.manager.chain_tip(),
+            self.imu.manager.chain_next_index(),
+        ));
+        self.window_pipeline = Some(pipeline);
+        actions
+    }
+
+    fn process_window(&mut self, now: f64) {
+        let requests = self.admit_pending(now);
         if requests.is_empty() {
             return;
         }
@@ -2618,7 +2773,11 @@ impl Simulation {
             // Track the corrupted block's index for metric attribution.
             let will_corrupt =
                 self.imu.malicious && self.imu.corrupt_next_block && !self.imu.corruption_emitted;
-            let actions = self.imu.on_window(&requests, now);
+            let actions = if self.config.pipelined_windows {
+                self.pipelined_window_actions(&requests, now)
+            } else {
+                self.imu.on_window(&requests, now)
+            };
             if will_corrupt && self.imu.corruption_emitted {
                 if let Some(ImuAction::Broadcast(b)) = actions.first() {
                     self.corrupted_index = Some(b.index());
@@ -2716,19 +2875,35 @@ impl Simulation {
                         .as_ref()
                         .is_some_and(|p| p.exit_time(&self.topo).is_none());
                 if needs_replan {
-                    requests.push((
-                        now,
-                        PlanRequest {
-                            id: v.id,
-                            descriptor: v.descriptor.clone(),
-                            movement: v.movement,
-                            position_s: v.s,
-                            speed: v.speed,
-                        },
-                    ));
+                    requests.push(PlanRequest {
+                        id: v.id,
+                        descriptor: v.descriptor.clone(),
+                        movement: v.movement,
+                        position_s: v.s,
+                        speed: v.speed,
+                    });
                 }
             }
-            self.pending_requests.extend(requests);
+            for req in requests {
+                self.pending_requests.push(now, req);
+            }
         }
     }
+}
+
+/// One measured processing window from
+/// [`Simulation::bench_window_throughput`].
+#[derive(Debug, Clone)]
+pub struct WindowBenchPoint {
+    /// Requests waiting when the window opened (admitted + deferred).
+    pub offered: usize,
+    /// Requests the admission policy let into the batch.
+    pub admitted: usize,
+    /// Requests the admission cap deferred to a later window.
+    pub deferred: usize,
+    /// Wall-clock seconds the tick thread spent on the window —
+    /// admission + scheduling + conflict filter + Merkle root, plus
+    /// signing in sequential mode (in pipelined mode the signing
+    /// overlaps the next window on the sealing worker).
+    pub latency_s: f64,
 }
