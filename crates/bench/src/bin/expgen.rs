@@ -7,11 +7,11 @@
 //! ```
 
 use nwade_bench::{
-    analytic, chaos, detect, duration, fig4, fig5, fig6, fig7, fig8, perf, recovery, rounds,
+    analytic, chaos, city, detect, duration, fig4, fig5, fig6, fig7, fig8, perf, recovery, rounds,
     sensing, table1, table2, violations,
 };
 
-const EXPERIMENTS: [&str; 15] = [
+const EXPERIMENTS: [&str; 16] = [
     "table1",
     "table2",
     "fig4",
@@ -27,6 +27,7 @@ const EXPERIMENTS: [&str; 15] = [
     "recovery",
     "perf",
     "detect",
+    "city",
 ];
 
 fn run(name: &str) -> Result<(), String> {
@@ -48,12 +49,14 @@ fn run(name: &str) -> Result<(), String> {
         "recovery" => recovery::report(r, d),
         "perf" => perf::report(),
         "detect" => detect::report(),
+        "city" => city::report(),
         // Not in EXPERIMENTS (and so not in `all`): the guards compare
         // against committed baselines, so running them right after the
         // generating experiment rewrote those baselines would be
         // vacuous.
         "perf-guard" => perf::guard()?,
         "detect-guard" => detect::guard()?,
+        "city-guard" => city::guard()?,
         other => return Err(format!("unknown experiment '{other}'")),
     };
     println!("{out}");
@@ -64,7 +67,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: expgen <experiment>...\n  experiments: {} | all | perf-guard | detect-guard\n  env: NWADE_ROUNDS (default 10), NWADE_DURATION (default 150)",
+            "usage: expgen <experiment>...\n  experiments: {} | all | perf-guard | detect-guard | city-guard\n  env: NWADE_ROUNDS (default 10), NWADE_DURATION (default 150)",
             EXPERIMENTS.join(" | ")
         );
         std::process::exit(if args.is_empty() { 2 } else { 0 });

@@ -2,6 +2,7 @@
 
 pub mod analytic;
 pub mod chaos;
+pub mod city;
 pub mod detect;
 pub mod fig4;
 pub mod fig5;

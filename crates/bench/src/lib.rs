@@ -21,8 +21,8 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    analytic, chaos, detect, fig4, fig5, fig6, fig7, fig8, perf, recovery, sensing, table1, table2,
-    violations,
+    analytic, chaos, city, detect, fig4, fig5, fig6, fig7, fig8, perf, recovery, sensing, table1,
+    table2, violations,
 };
 
 /// Rounds per configuration (paper: 10). Override with `NWADE_ROUNDS`.

@@ -6,11 +6,25 @@ use nwade_crypto::merkle::leaf_hash;
 use nwade_crypto::{sha256, Digest, MerkleTree};
 use nwade_traffic::VehicleId;
 
+/// A neighbour intersection's chain tip, embedded into a block for
+/// cross-shard anchoring: once block `B_i` of shard A carries shard B's
+/// tip, rewriting B's history up to that tip also requires forging A's
+/// chain (and transitively the whole city's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShardAnchor {
+    /// The neighbour shard's identifier.
+    pub shard: u32,
+    /// That shard's chain-tip hash at observation time.
+    pub tip: Digest,
+}
+
 /// One block of the travel-plan blockchain.
 ///
 /// The block carries the plans themselves alongside the Merkle root so
 /// that receivers can recompute `R_i` and serve individual plans (with
-/// inclusion proofs) to neighbours.
+/// inclusion proofs) to neighbours. Multi-intersection deployments add
+/// an `anchors` section — neighbour chain tips covered by the signature
+/// and the block hash; single-intersection blocks carry none.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     index: u64,
@@ -19,11 +33,13 @@ pub struct Block {
     timestamp: f64,
     merkle_root: Digest,
     plans: Vec<TravelPlan>,
+    anchors: Vec<ShardAnchor>,
 }
 
 impl Block {
-    /// Assembles a block from parts (used by the packager and by tamper
-    /// helpers; verification treats every field as untrusted).
+    /// Assembles an anchor-free block from parts (used by the packager
+    /// and by tamper helpers; verification treats every field as
+    /// untrusted).
     pub fn from_parts(
         index: u64,
         signature: Vec<u8>,
@@ -32,6 +48,28 @@ impl Block {
         merkle_root: Digest,
         plans: Vec<TravelPlan>,
     ) -> Self {
+        Block::from_parts_anchored(
+            index,
+            signature,
+            prev_hash,
+            timestamp,
+            merkle_root,
+            plans,
+            Vec::new(),
+        )
+    }
+
+    /// Assembles a block carrying cross-shard anchors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_anchored(
+        index: u64,
+        signature: Vec<u8>,
+        prev_hash: Digest,
+        timestamp: f64,
+        merkle_root: Digest,
+        plans: Vec<TravelPlan>,
+        anchors: Vec<ShardAnchor>,
+    ) -> Self {
         Block {
             index,
             signature,
@@ -39,6 +77,7 @@ impl Block {
             timestamp,
             merkle_root,
             plans,
+            anchors,
         }
     }
 
@@ -78,35 +117,67 @@ impl Block {
         self.plans.iter().find(|p| p.id() == vehicle)
     }
 
-    /// The digest the manager signs: `SHA-256(index ‖ h_{i−1} ‖ τ_i ‖ R_i)`.
+    /// Neighbour chain tips anchored into this block (empty for
+    /// single-intersection chains).
+    pub fn anchors(&self) -> &[ShardAnchor] {
+        &self.anchors
+    }
+
+    /// Appends the anchor section in its canonical layout:
+    /// `[u16 count][(u32 shard)(32B tip)]…`.
+    fn put_anchors(buf: &mut BytesMut, anchors: &[ShardAnchor]) {
+        buf.put_u16(anchors.len() as u16);
+        for a in anchors {
+            buf.put_u32(a.shard);
+            buf.put_slice(a.tip.as_bytes());
+        }
+    }
+
+    /// The digest the manager signs for an anchor-free block:
+    /// `SHA-256(index ‖ h_{i−1} ‖ τ_i ‖ R_i ‖ anchors)`.
     pub fn signing_digest(index: u64, prev_hash: &Digest, timestamp: f64, root: &Digest) -> Digest {
-        let mut buf = BytesMut::with_capacity(80);
+        Block::signing_digest_anchored(index, prev_hash, timestamp, root, &[])
+    }
+
+    /// The digest the manager signs, covering the anchored neighbour
+    /// tips alongside the header fields.
+    pub fn signing_digest_anchored(
+        index: u64,
+        prev_hash: &Digest,
+        timestamp: f64,
+        root: &Digest,
+        anchors: &[ShardAnchor],
+    ) -> Digest {
+        let mut buf = BytesMut::with_capacity(82 + anchors.len() * 36);
         buf.put_u64(index);
         buf.put_slice(prev_hash.as_bytes());
         buf.put_f64(timestamp);
         buf.put_slice(root.as_bytes());
+        Block::put_anchors(&mut buf, anchors);
         sha256(&buf)
     }
 
     /// This block's signing digest (over its own header fields).
     pub fn own_signing_digest(&self) -> Digest {
-        Block::signing_digest(
+        Block::signing_digest_anchored(
             self.index,
             &self.prev_hash,
             self.timestamp,
             &self.merkle_root,
+            &self.anchors,
         )
     }
 
     /// The block hash `hash(B_i)` that the next block's `h_i` must match:
-    /// `SHA-256(s_i ‖ index ‖ h_{i−1} ‖ τ_i ‖ R_i)`.
+    /// `SHA-256(s_i ‖ index ‖ h_{i−1} ‖ τ_i ‖ R_i ‖ anchors)`.
     pub fn hash(&self) -> Digest {
-        let mut buf = BytesMut::with_capacity(self.signature.len() + 80);
+        let mut buf = BytesMut::with_capacity(self.signature.len() + 82 + self.anchors.len() * 36);
         buf.put_slice(&self.signature);
         buf.put_u64(self.index);
         buf.put_slice(self.prev_hash.as_bytes());
         buf.put_f64(self.timestamp);
         buf.put_slice(self.merkle_root.as_bytes());
+        Block::put_anchors(&mut buf, &self.anchors);
         sha256(&buf)
     }
 
@@ -131,10 +202,11 @@ impl Block {
     }
 
     /// Canonical byte encoding of the whole block (header + carried
-    /// plans), used by the WAL and shareable with future networking:
+    /// plans + anchors), used by the WAL and shareable with future
+    /// networking:
     /// `[u64 index][u16 sig len][sig][32B prev][f64 τ][32B root]
-    /// [u16 plan count][plan…]` with each plan in its
-    /// [`TravelPlan::encode`] layout.
+    /// [u16 plan count][plan…][u16 anchor count][(u32 shard)(32B tip)…]`
+    /// with each plan in its [`TravelPlan::encode`] layout.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(128 + self.plans.len() * 160);
         buf.put_u64(self.index);
@@ -147,6 +219,7 @@ impl Block {
         for plan in &self.plans {
             buf.put_slice(&plan.encode());
         }
+        Block::put_anchors(&mut buf, &self.anchors);
         buf.to_vec()
     }
 
@@ -173,6 +246,17 @@ impl Block {
         for _ in 0..n_plans {
             plans.push(TravelPlan::decode_from(cursor)?);
         }
+        let n_anchors = cursor.try_get_u16().ok()? as usize;
+        let mut anchors = Vec::with_capacity(n_anchors.min(256));
+        for _ in 0..n_anchors {
+            let shard = cursor.try_get_u32().ok()?;
+            let mut tip = [0u8; 32];
+            cursor.try_copy_to_slice(&mut tip).ok()?;
+            anchors.push(ShardAnchor {
+                shard,
+                tip: Digest(tip),
+            });
+        }
         Some(Block {
             index,
             signature,
@@ -180,6 +264,7 @@ impl Block {
             timestamp,
             merkle_root: Digest(root),
             plans,
+            anchors,
         })
     }
 
@@ -312,5 +397,88 @@ pub(crate) mod tests {
         assert_eq!(d.hash(), b.hash());
         assert_eq!(d.computed_root(), b.merkle_root());
         assert_eq!(d.own_signing_digest(), b.own_signing_digest());
+    }
+
+    fn anchors() -> Vec<ShardAnchor> {
+        vec![
+            ShardAnchor {
+                shard: 1,
+                tip: sha256(b"east"),
+            },
+            ShardAnchor {
+                shard: 7,
+                tip: sha256(b"west"),
+            },
+        ]
+    }
+
+    fn anchored_block() -> Block {
+        let ps = plans(3);
+        let root = Block::root_of(&ps);
+        Block::from_parts_anchored(5, vec![4, 5, 6], Digest::ZERO, 20.0, root, ps, anchors())
+    }
+
+    #[test]
+    fn anchors_cover_hash_and_signing_digest() {
+        let b = anchored_block();
+        let bare = Block::from_parts(
+            b.index(),
+            b.signature().to_vec(),
+            b.prev_hash(),
+            b.timestamp(),
+            b.merkle_root(),
+            b.plans().to_vec(),
+        );
+        assert_eq!(b.anchors().len(), 2);
+        assert!(bare.anchors().is_empty());
+        assert_ne!(b.hash(), bare.hash());
+        assert_ne!(b.own_signing_digest(), bare.own_signing_digest());
+
+        // Tampering with any anchor field changes both digests.
+        let mut swapped = anchors();
+        swapped[0].shard = 2;
+        let tampered = Block::from_parts_anchored(
+            b.index(),
+            b.signature().to_vec(),
+            b.prev_hash(),
+            b.timestamp(),
+            b.merkle_root(),
+            b.plans().to_vec(),
+            swapped,
+        );
+        assert_ne!(tampered.hash(), b.hash());
+        assert_ne!(tampered.own_signing_digest(), b.own_signing_digest());
+    }
+
+    #[test]
+    fn anchored_block_round_trips_and_rejects_prefixes() {
+        let b = anchored_block();
+        let bytes = b.encode();
+        assert_eq!(Block::decode(&bytes), Some(b.clone()));
+        for cut in 0..bytes.len() {
+            assert_eq!(Block::decode(&bytes[..cut]), None, "prefix {cut}");
+        }
+        let d = Block::decode(&bytes).expect("decodes");
+        assert_eq!(d.anchors(), b.anchors());
+        assert_eq!(d.hash(), b.hash());
+        assert_eq!(d.own_signing_digest(), b.own_signing_digest());
+    }
+
+    #[test]
+    fn empty_anchor_digest_matches_plain_helpers() {
+        // The 4-arg helpers and the anchored ones with an empty slice
+        // are the same function — the packager and the pipelined sealer
+        // must agree on this.
+        let b = block();
+        assert_eq!(
+            Block::signing_digest(b.index(), &b.prev_hash(), b.timestamp(), &b.merkle_root()),
+            Block::signing_digest_anchored(
+                b.index(),
+                &b.prev_hash(),
+                b.timestamp(),
+                &b.merkle_root(),
+                &[]
+            )
+        );
     }
 }

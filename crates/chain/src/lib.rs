@@ -28,7 +28,7 @@ pub mod package;
 pub mod tamper;
 pub mod verify;
 
-pub use block::Block;
+pub use block::{Block, ShardAnchor};
 pub use cache::ChainCache;
 pub use package::BlockPackager;
 pub use verify::{verify_block, verify_link, BlockError};

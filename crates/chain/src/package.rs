@@ -1,6 +1,6 @@
 //! Manager-side block packaging.
 
-use crate::block::Block;
+use crate::block::{Block, ShardAnchor};
 use nwade_aim::TravelPlan;
 use nwade_crypto::merkle::leaf_hash;
 use nwade_crypto::{Digest, MerkleTree, SignatureScheme};
@@ -92,17 +92,36 @@ impl BlockPackager {
         root: Digest,
         timestamp: f64,
     ) -> Block {
+        self.package_rooted_anchored(plans, root, timestamp, Vec::new())
+    }
+
+    /// Like [`BlockPackager::package_rooted`] but embedding cross-shard
+    /// anchors — neighbour chain tips the signature and hash will cover.
+    pub fn package_rooted_anchored(
+        &mut self,
+        plans: Vec<TravelPlan>,
+        root: Digest,
+        timestamp: f64,
+        anchors: Vec<ShardAnchor>,
+    ) -> Block {
         assert!(!plans.is_empty(), "cannot package an empty window");
         debug_assert_eq!(root, Block::root_of(&plans), "root must match plans");
-        let digest = Block::signing_digest(self.next_index, &self.prev_hash, timestamp, &root);
+        let digest = Block::signing_digest_anchored(
+            self.next_index,
+            &self.prev_hash,
+            timestamp,
+            &root,
+            &anchors,
+        );
         let signature = self.signer.sign(&digest);
-        let block = Block::from_parts(
+        let block = Block::from_parts_anchored(
             self.next_index,
             signature,
             self.prev_hash,
             timestamp,
             root,
             plans,
+            anchors,
         );
         self.prev_hash = block.hash();
         self.next_index += 1;
@@ -219,6 +238,34 @@ mod tests {
             let got = b.package_rooted(plans, root, i as f64);
             assert_eq!(got.hash(), expect.hash(), "block {i} diverged");
         }
+    }
+
+    #[test]
+    fn anchored_blocks_verify_and_chain() {
+        let scheme = Arc::new(MockScheme::from_seed(6));
+        let mut p = BlockPackager::new(scheme.clone());
+        let anchors = vec![ShardAnchor {
+            shard: 3,
+            tip: nwade_crypto::sha256(b"neighbour-tip"),
+        }];
+        let plans = crate::block::tests::plans(2);
+        let root = Block::root_of(&plans);
+        let b0 = p.package_rooted_anchored(plans, root, 1.0, anchors.clone());
+        assert_eq!(b0.anchors(), anchors.as_slice());
+        verify_block(&b0, scheme.as_ref()).expect("anchored block verifies");
+        let b1 = p.package(crate::block::tests::plans(1), 2.0);
+        assert!(b1.anchors().is_empty());
+        assert!(verify_link(&b0, &b1).is_ok());
+        // Stripping the anchors after signing breaks verification.
+        let stripped = Block::from_parts(
+            b0.index(),
+            b0.signature().to_vec(),
+            b0.prev_hash(),
+            b0.timestamp(),
+            b0.merkle_root(),
+            b0.plans().to_vec(),
+        );
+        assert!(verify_block(&stripped, scheme.as_ref()).is_err());
     }
 
     #[test]

@@ -18,38 +18,41 @@ pub fn forge_signature(block: &Block) -> Block {
         let mid = sig.len() / 2;
         sig[mid] ^= 0xFF;
     }
-    Block::from_parts(
+    Block::from_parts_anchored(
         block.index(),
         sig,
         block.prev_hash(),
         block.timestamp(),
         block.merkle_root(),
         block.plans().to_vec(),
+        block.anchors().to_vec(),
     )
 }
 
 /// Replaces the carried plans with another block's plans while keeping
 /// the original header — caught by the Merkle-root check.
 pub fn swap_plans(block: &Block, other: &Block) -> Block {
-    Block::from_parts(
+    Block::from_parts_anchored(
         block.index(),
         block.signature().to_vec(),
         block.prev_hash(),
         block.timestamp(),
         block.merkle_root(),
         other.plans().to_vec(),
+        block.anchors().to_vec(),
     )
 }
 
 /// Re-points the previous-hash link — caught by the linkage check.
 pub fn relink(block: &Block, new_prev: Digest) -> Block {
-    Block::from_parts(
+    Block::from_parts_anchored(
         block.index(),
         block.signature().to_vec(),
         new_prev,
         block.timestamp(),
         block.merkle_root(),
         block.plans().to_vec(),
+        block.anchors().to_vec(),
     )
 }
 
@@ -64,14 +67,21 @@ pub fn resign_with_plans(
     signer: &dyn SignatureScheme,
 ) -> Block {
     let root = Block::root_of(&plans);
-    let digest = Block::signing_digest(block.index(), &block.prev_hash(), block.timestamp(), &root);
-    Block::from_parts(
+    let digest = Block::signing_digest_anchored(
+        block.index(),
+        &block.prev_hash(),
+        block.timestamp(),
+        &root,
+        block.anchors(),
+    );
+    Block::from_parts_anchored(
         block.index(),
         signer.sign(&digest),
         block.prev_hash(),
         block.timestamp(),
         root,
         plans,
+        block.anchors().to_vec(),
     )
 }
 
@@ -119,6 +129,33 @@ mod tests {
         // ...but observably different from the original at the same index.
         assert_eq!(equivocated.index(), b0.index());
         assert_ne!(equivocated.hash(), b0.hash());
+    }
+
+    #[test]
+    fn tampering_preserves_anchors() {
+        let (scheme, b0, b1) = setup();
+        let anchors = vec![crate::block::ShardAnchor {
+            shard: 9,
+            tip: nwade_crypto::sha256(b"tip"),
+        }];
+        let anchored = Block::from_parts_anchored(
+            b0.index(),
+            b0.signature().to_vec(),
+            b0.prev_hash(),
+            b0.timestamp(),
+            b0.merkle_root(),
+            b0.plans().to_vec(),
+            anchors.clone(),
+        );
+        assert_eq!(forge_signature(&anchored).anchors(), anchors.as_slice());
+        assert_eq!(swap_plans(&anchored, &b1).anchors(), anchors.as_slice());
+        assert_eq!(
+            relink(&anchored, Digest::ZERO).anchors(),
+            anchors.as_slice()
+        );
+        let resigned = resign_with_plans(&anchored, b1.plans().to_vec(), scheme.as_ref());
+        assert_eq!(resigned.anchors(), anchors.as_slice());
+        verify_block(&resigned, scheme.as_ref()).expect("resigned anchors covered by signature");
     }
 
     #[test]

@@ -11,12 +11,12 @@ use crate::messages::IncidentReport;
 use crate::verify::report::{ReportDecision, ReportVerification};
 use nwade_aim::evacuation::{EvacuationConfig, EvacuationPlanner};
 use nwade_aim::{find_conflicts, PlanRequest, Scheduler, TravelPlan};
-use nwade_chain::{Block, BlockPackager};
+use nwade_chain::{Block, BlockPackager, ShardAnchor};
 use nwade_crypto::{Digest, SignatureScheme};
 use nwade_geometry::Vec2;
 use nwade_intersection::Topology;
 use nwade_traffic::{VehicleDescriptor, VehicleId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// What the manager wants its host to do.
@@ -64,6 +64,7 @@ pub struct PreparedWindow {
     plans: Vec<TravelPlan>,
     root: Digest,
     timestamp: f64,
+    anchors: Vec<ShardAnchor>,
 }
 
 impl PreparedWindow {
@@ -82,9 +83,15 @@ impl PreparedWindow {
         self.timestamp
     }
 
-    /// Decomposes into `(plans, root, timestamp)` for sealing.
-    pub fn into_parts(self) -> (Vec<TravelPlan>, Digest, f64) {
-        (self.plans, self.root, self.timestamp)
+    /// Neighbour chain tips the block will anchor (empty outside a
+    /// multi-intersection deployment).
+    pub fn anchors(&self) -> &[ShardAnchor] {
+        &self.anchors
+    }
+
+    /// Decomposes into `(plans, root, timestamp, anchors)` for sealing.
+    pub fn into_parts(self) -> (Vec<TravelPlan>, Digest, f64, Vec<ShardAnchor>) {
+        (self.plans, self.root, self.timestamp, self.anchors)
     }
 }
 
@@ -125,6 +132,11 @@ pub struct NwadeManager {
     /// "a vehicle can request the blocks from neighboring vehicles or
     /// from the intersection manager").
     recent_blocks: std::collections::VecDeque<Block>,
+    /// Latest observed chain tip per neighbour shard, drained into the
+    /// next block's anchor section (shard-ID order keeps it
+    /// deterministic). Conversational: not persisted, dropped on
+    /// restart — neighbours re-announce their tips continuously.
+    pending_anchors: BTreeMap<u32, Digest>,
 }
 
 impl std::fmt::Debug for NwadeManager {
@@ -167,7 +179,26 @@ impl NwadeManager {
             next_request_id: 0,
             published: HashMap::new(),
             recent_blocks: std::collections::VecDeque::new(),
+            pending_anchors: BTreeMap::new(),
         }
+    }
+
+    /// Records a neighbour shard's current chain tip for anchoring into
+    /// the next published block (latest observation per shard wins).
+    pub fn note_neighbor_tip(&mut self, shard: u32, tip: Digest) {
+        self.pending_anchors.insert(shard, tip);
+    }
+
+    /// Seeds a handed-off reporter's false-alarm history (§IV-B2 iii)
+    /// so a squelched false reporter stays squelched when it crosses
+    /// into this intersection. Histories only ratchet upward — a
+    /// neighbour's record never erases locally observed strikes.
+    pub fn note_reporter_history(&mut self, reporter: VehicleId, count: u32) {
+        if count == 0 {
+            return;
+        }
+        let entry = self.false_reporters.entry(reporter).or_insert(0);
+        *entry = (*entry).max(count);
     }
 
     fn remember_block(&mut self, block: &Block) {
@@ -198,6 +229,7 @@ impl NwadeManager {
     /// durable record and survive.
     pub fn restart(&mut self) {
         self.pending.clear();
+        self.pending_anchors.clear();
         self.state = ImState::Standby;
     }
 
@@ -303,10 +335,17 @@ impl NwadeManager {
             return None;
         }
         self.record_published(&plans);
+        // Drain the neighbour tips only when a block will actually carry
+        // them; deferred windows leave them pending for the next one.
+        let anchors: Vec<ShardAnchor> = std::mem::take(&mut self.pending_anchors)
+            .into_iter()
+            .map(|(shard, tip)| ShardAnchor { shard, tip })
+            .collect();
         Some(PreparedWindow {
             root: Block::root_of(&plans),
             plans,
             timestamp: now,
+            anchors,
         })
     }
 
@@ -317,8 +356,11 @@ impl NwadeManager {
             plans,
             root,
             timestamp,
+            anchors,
         } = prepared;
-        let block = self.packager.package_rooted(plans, root, timestamp);
+        let block = self
+            .packager
+            .package_rooted_anchored(plans, root, timestamp, anchors);
         self.absorb_block(block)
     }
 
@@ -616,6 +658,7 @@ impl NwadeManager {
         self.false_reporters = state.false_reporters.iter().copied().collect();
         self.recent_blocks = state.recent_blocks.iter().cloned().collect();
         self.pending.clear();
+        self.pending_anchors.clear();
         self.state = ImState::Standby;
         true
     }
@@ -844,6 +887,71 @@ mod tests {
         };
         assert_eq!(b1.index(), b0.index() + 1);
         assert_eq!(b1.prev_hash(), b0.hash());
+    }
+
+    #[test]
+    fn neighbor_tips_anchor_into_next_block_only() {
+        let mut m = manager();
+        let tip_a = nwade_crypto::sha256(b"shard-2-tip");
+        let tip_b = nwade_crypto::sha256(b"shard-1-tip");
+        m.note_neighbor_tip(2, nwade_crypto::sha256(b"stale"));
+        m.note_neighbor_tip(2, tip_a); // latest observation wins
+        m.note_neighbor_tip(1, tip_b);
+        let ManagerAction::BroadcastBlock(b0) =
+            m.on_window(&[request(0), request(1)], 0.0).expect("block")
+        else {
+            panic!("expected block");
+        };
+        assert_eq!(
+            b0.anchors(),
+            &[
+                ShardAnchor {
+                    shard: 1,
+                    tip: tip_b
+                },
+                ShardAnchor {
+                    shard: 2,
+                    tip: tip_a
+                },
+            ],
+            "anchors drained in shard order"
+        );
+        // Drained: the next block carries none unless re-announced.
+        let ManagerAction::BroadcastBlock(b1) = m.on_window(&[request(2)], 1.0).expect("block")
+        else {
+            panic!("expected block");
+        };
+        assert!(b1.anchors().is_empty());
+    }
+
+    #[test]
+    fn empty_windows_keep_anchors_pending() {
+        let mut m = manager();
+        m.note_neighbor_tip(4, nwade_crypto::sha256(b"tip"));
+        assert!(m.on_window(&[], 0.0).is_none(), "no requests, no block");
+        let ManagerAction::BroadcastBlock(b) = m.on_window(&[request(0)], 1.0).expect("block")
+        else {
+            panic!("expected block");
+        };
+        assert_eq!(b.anchors().len(), 1, "anchor survived the empty window");
+    }
+
+    #[test]
+    fn reporter_history_seeds_and_ratchets() {
+        let mut m = manager();
+        let v = VehicleId::new(42);
+        m.note_reporter_history(v, 0);
+        assert_eq!(m.false_report_count(v), 0, "zero history is a no-op");
+        m.note_reporter_history(v, 2);
+        assert_eq!(m.false_report_count(v), 2);
+        m.note_reporter_history(v, 1);
+        assert_eq!(m.false_report_count(v), 2, "histories never shrink");
+        m.note_reporter_history(v, 3);
+        assert_eq!(m.false_report_count(v), 3);
+        // A seeded squelch suppresses the report like a local one.
+        assert!(m
+            .on_incident_report(&incident(42, 9), &ids(1..8), 5.0)
+            .is_empty());
     }
 
     #[test]

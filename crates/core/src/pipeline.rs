@@ -65,11 +65,14 @@ impl WindowPipeline {
                 let mut prev_hash = prev_hash;
                 let mut next_index = next_index;
                 while let Ok(prepared) = job_rx.recv() {
-                    let (plans, root, timestamp) = prepared.into_parts();
-                    let digest = Block::signing_digest(next_index, &prev_hash, timestamp, &root);
+                    let (plans, root, timestamp, anchors) = prepared.into_parts();
+                    let digest = Block::signing_digest_anchored(
+                        next_index, &prev_hash, timestamp, &root, &anchors,
+                    );
                     let signature = signer.sign(&digest);
-                    let block =
-                        Block::from_parts(next_index, signature, prev_hash, timestamp, root, plans);
+                    let block = Block::from_parts_anchored(
+                        next_index, signature, prev_hash, timestamp, root, plans, anchors,
+                    );
                     prev_hash = block.hash();
                     next_index += 1;
                     if sealed_tx.send(block).is_err() {
@@ -204,6 +207,13 @@ mod tests {
         let mut got = Vec::new();
         for (w, reqs) in windows.iter().enumerate() {
             let now = w as f64;
+            // Window 1 anchors a neighbour tip; both paths must embed it
+            // identically (and drain it identically).
+            if w == 1 {
+                let tip = nwade_crypto::sha256(b"neighbour");
+                serial.note_neighbor_tip(7, tip);
+                piped.note_neighbor_tip(7, tip);
+            }
             if let Some(ManagerAction::BroadcastBlock(b)) = serial.on_window(reqs, now) {
                 expect.push(b);
             }
@@ -224,7 +234,9 @@ mod tests {
             assert_eq!(e.hash(), g.hash());
             assert_eq!(e.signature(), g.signature());
             assert_eq!(e.index(), g.index());
+            assert_eq!(e.anchors(), g.anchors());
         }
+        assert_eq!(expect[1].anchors().len(), 1, "window 1 carries the anchor");
         assert_eq!(serial.chain_tip(), piped.chain_tip());
         assert_eq!(serial.chain_next_index(), piped.chain_next_index());
     }

@@ -84,7 +84,25 @@ where
     R: Send,
     F: Fn(&mut [T]) -> Vec<R> + Sync,
 {
-    if threads <= 1 || items.len() < PARALLEL_CUTOFF {
+    fan_out_mut_with_cutoff(items, threads, PARALLEL_CUTOFF, f)
+}
+
+/// [`fan_out_mut`] with an explicit inline cutoff. Per-vehicle phases
+/// keep [`PARALLEL_CUTOFF`] (thousands of cheap items), but coarse
+/// units of work — one city shard's whole tick — are worth a thread
+/// each even when there are only a handful of them.
+pub fn fan_out_mut_with_cutoff<T, R, F>(
+    items: &mut [T],
+    threads: usize,
+    cutoff: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut [T]) -> Vec<R> + Sync,
+{
+    if threads <= 1 || items.len() < cutoff {
         return f(items);
     }
     let chunk = items.len().div_ceil(threads).max(1);
@@ -148,5 +166,35 @@ mod tests {
     #[test]
     fn host_threads_is_positive() {
         assert!(host_threads() >= 1);
+    }
+
+    #[test]
+    fn cutoff_variant_matches_serial_at_any_cutoff() {
+        for n in [0usize, 1, 2, 7, 16] {
+            for threads in [1usize, 2, 8] {
+                for cutoff in [1usize, 2, PARALLEL_CUTOFF] {
+                    let mut items: Vec<u64> = (0..n as u64).collect();
+                    let mut expected = items.clone();
+                    let serial: Vec<u64> = expected
+                        .iter_mut()
+                        .map(|x| {
+                            *x = *x * 2 + 1;
+                            *x
+                        })
+                        .collect();
+                    let out = fan_out_mut_with_cutoff(&mut items, threads, cutoff, |chunk| {
+                        chunk
+                            .iter_mut()
+                            .map(|x| {
+                                *x = *x * 2 + 1;
+                                *x
+                            })
+                            .collect()
+                    });
+                    assert_eq!(items, expected, "n={n} threads={threads} cutoff={cutoff}");
+                    assert_eq!(out, serial);
+                }
+            }
+        }
     }
 }

@@ -130,6 +130,15 @@ impl Topology {
             .unwrap_or_default()
     }
 
+    /// Movements terminating at `leg` — the flows a connected road link
+    /// drains from this intersection toward a neighbour.
+    pub fn movements_to(&self, leg: LegId) -> Vec<&Movement> {
+        self.movements
+            .iter()
+            .filter(|m| m.to_leg() == leg)
+            .collect()
+    }
+
     /// Movements from `leg` with the given turn kind.
     pub fn movements_with_turn(&self, leg: LegId, turn: TurnKind) -> Vec<&Movement> {
         self.movements_from(leg)
@@ -325,6 +334,13 @@ mod tests {
     fn movements_from_and_turn_queries() {
         let t = simple_topology();
         assert_eq!(t.movements_from(LegId::new(0)).len(), 1);
+        assert_eq!(t.movements_to(LegId::new(1)).len(), 1);
+        assert_eq!(
+            t.movements_to(LegId::new(1))[0].id(),
+            MovementId::new(0),
+            "movement 0 ends at leg 1"
+        );
+        assert!(t.movements_to(LegId::new(9)).is_empty());
         assert_eq!(
             t.movements_with_turn(LegId::new(0), TurnKind::Straight)
                 .len(),

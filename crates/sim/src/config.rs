@@ -186,6 +186,12 @@ pub struct SimConfig {
     /// arrival order — the historical behaviour, bit-for-bit; a bounded
     /// policy caps the batch and defers the overflow fairly.
     pub admission: AdmissionPolicy,
+    /// Base offset added to every vehicle id this simulation generates
+    /// (arrivals and prespawned fleets alike). City grids give each
+    /// shard a disjoint id space so a handed-off vehicle keeps its
+    /// identity everywhere; 0 (the default) preserves single-intersection
+    /// behaviour bit-for-bit.
+    pub vehicle_id_base: u64,
 }
 
 impl Default for SimConfig {
@@ -216,6 +222,7 @@ impl Default for SimConfig {
             probe_scheduler: false,
             pipelined_windows: false,
             admission: AdmissionPolicy::default(),
+            vehicle_id_base: 0,
         }
     }
 }

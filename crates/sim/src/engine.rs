@@ -16,7 +16,9 @@
 use crate::config::EngineChoice;
 use nwade_geometry::{GridIndex, Vec2};
 
-pub use nwade_exec::{fan_out, fan_out_indices, fan_out_mut, host_threads, PARALLEL_CUTOFF};
+pub use nwade_exec::{
+    fan_out, fan_out_indices, fan_out_mut, fan_out_mut_with_cutoff, host_threads, PARALLEL_CUTOFF,
+};
 
 /// Worker-thread count for an engine choice, ignoring workload size: 1
 /// for serial, the host's available parallelism otherwise. `Auto` gets

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adversary;
+pub mod city;
 pub mod config;
 pub mod engine;
 pub mod history;
@@ -37,6 +38,7 @@ pub mod world;
 pub use adversary::{
     AdaptivePlan, AdaptiveState, AttackPolicy, CliquePlan, SybilPlan, SYBIL_ID_BASE,
 };
+pub use city::{CityConfig, CityGrid, CityReport, LinkSpec, ShardStats};
 pub use config::{
     AttackPlan, CrashPlan, EngineChoice, ImOutage, SchedulerChoice, SignatureChoice, SimConfig,
     StoreConfig,
@@ -49,4 +51,4 @@ pub use invariant::{InvariantChecker, InvariantKind, InvariantReport, InvariantV
 pub use metrics::SimMetrics;
 pub use report::SimReport;
 pub use scenario::{run_rounds, RoundsSummary};
-pub use world::{Simulation, WindowBenchPoint};
+pub use world::{Handoff, Simulation, WindowBenchPoint};

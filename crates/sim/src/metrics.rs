@@ -118,6 +118,20 @@ pub struct SimMetrics {
     pub last_window_shed_gap: usize,
     /// Plan count of every broadcast block (drives the Fig. 6 harness).
     pub block_sizes: Vec<usize>,
+    /// Vehicles handed off to a neighbouring intersection across a city
+    /// boundary (counted by the departing shard; not an exit).
+    pub handoffs_out: usize,
+    /// Vehicles received from a neighbouring intersection and re-admitted
+    /// through the normal request path (counted by the receiving shard;
+    /// not a spawn).
+    pub handoffs_in: usize,
+    /// Sum of boundary re-admission latencies, simulated seconds from a
+    /// handoff entering this shard's inbound queue to the vehicle's first
+    /// assigned plan here.
+    pub boundary_latency_total: f64,
+    /// Handed-off vehicles whose re-admission latency has been measured
+    /// (divisor for [`SimMetrics::boundary_readmission_latency`]).
+    pub boundary_latency_samples: usize,
     /// Network statistics snapshot.
     pub network: NetworkStats,
     /// Safety-invariant violations observed during the run.
@@ -133,6 +147,13 @@ impl SimMetrics {
             return 0.0;
         }
         self.exited as f64 * 60.0 / self.duration
+    }
+
+    /// Mean boundary re-admission latency in simulated seconds, `None`
+    /// until a handed-off vehicle has received its first plan here.
+    pub fn boundary_readmission_latency(&self) -> Option<f64> {
+        (self.boundary_latency_samples > 0)
+            .then(|| self.boundary_latency_total / self.boundary_latency_samples as f64)
     }
 
     /// Whether the staged plan violation was detected, per the paper's
@@ -211,6 +232,15 @@ mod tests {
         assert!(m.violation_detected(true));
         assert!((m.violation_detection_latency(false).expect("latency") - 0.4).abs() < 1e-9);
         assert!((m.violation_detection_latency(true).expect("latency") - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_latency_averages() {
+        let mut m = SimMetrics::default();
+        assert_eq!(m.boundary_readmission_latency(), None);
+        m.boundary_latency_total = 6.0;
+        m.boundary_latency_samples = 4;
+        assert!((m.boundary_readmission_latency().expect("mean") - 1.5).abs() < 1e-9);
     }
 
     #[test]

@@ -104,6 +104,31 @@ impl StateHasher {
     }
 }
 
+/// A vehicle crossing a city boundary: everything the receiving shard
+/// needs to re-admit it through the normal request/admission path. The
+/// record deliberately carries no plan — the plan was scoped to the
+/// departing intersection; the vehicle asks the next manager for a
+/// fresh one, exactly like a spawn.
+#[derive(Debug, Clone)]
+pub struct Handoff {
+    /// City-wide vehicle identity (disjoint per-shard id spaces keep it
+    /// unique everywhere).
+    pub id: VehicleId,
+    /// Speed at the boundary, m/s.
+    pub speed: f64,
+    /// Static characteristics.
+    pub descriptor: VehicleDescriptor,
+    /// Behavioural role — a violator or false reporter stays one next
+    /// door.
+    pub role: Role,
+    /// The departing manager's false-report tally for this vehicle:
+    /// ledger standing follows the vehicle across the boundary, so a
+    /// squelched reporter cannot launder its history by driving away.
+    pub false_reports: u32,
+    /// The boundary leg the vehicle left through.
+    pub exit_leg: LegId,
+}
+
 /// Persistent per-tick buffers. The hot phases (positions, sensing
 /// snapshot, invariant snapshots, grid rebuilds) reuse these instead of
 /// re-allocating every tick — at high density the churn dominated the
@@ -200,6 +225,18 @@ pub struct Simulation {
     /// Ticks advanced since construction (the forensic clock: snapshot
     /// and rewind points are addressed by tick, not by float time).
     ticks: u64,
+    /// Legs that border a neighbouring intersection in a city grid: a
+    /// vehicle whose movement terminates on one of these legs is handed
+    /// off instead of exiting. Empty (the default) outside a city.
+    boundary_exits: HashSet<LegId>,
+    /// Handoffs produced since the city layer last drained them.
+    outbound_handoffs: Vec<Handoff>,
+    /// Handoffs delivered by the city layer, each waiting with its entry
+    /// leg and enqueue time for a clear lane.
+    inbound_handoffs: VecDeque<(LegId, Handoff, f64)>,
+    /// Enqueue time of each handed-off vehicle still waiting for its
+    /// first plan here (boundary re-admission latency bookkeeping).
+    handoff_wait: BTreeMap<u64, f64>,
     /// Reusable per-tick buffers and spatial indices.
     scratch: TickScratch,
 }
@@ -269,6 +306,10 @@ impl Clone for Simulation {
             persistence,
             threads: self.threads,
             ticks: self.ticks,
+            boundary_exits: self.boundary_exits.clone(),
+            outbound_handoffs: self.outbound_handoffs.clone(),
+            inbound_handoffs: self.inbound_handoffs.clone(),
+            handoff_wait: self.handoff_wait.clone(),
             scratch: TickScratch {
                 positions: Vec::new(),
                 sense: Vec::new(),
@@ -339,7 +380,14 @@ impl Simulation {
 
         let mut demand =
             DemandGenerator::new(config.density, config.turn_mix, config.initial_speed);
-        let spawns = demand.generate(&topo, config.duration, &mut rng);
+        let mut spawns = demand.generate(&topo, config.duration, &mut rng);
+        // Shift every arrival into this shard's id space. A base of 0
+        // (the default) leaves single-intersection runs bit-identical.
+        if config.vehicle_id_base != 0 {
+            for ev in &mut spawns {
+                ev.id = VehicleId::new(config.vehicle_id_base + ev.id.raw());
+            }
+        }
 
         let mut medium = Medium::new(config.medium.clone());
         medium.set_position(NodeId::Imu, Vec2::ZERO);
@@ -386,6 +434,10 @@ impl Simulation {
             persistence,
             threads: resolve_threads(config.engine),
             ticks: 0,
+            boundary_exits: HashSet::new(),
+            outbound_handoffs: Vec::new(),
+            inbound_handoffs: VecDeque::new(),
+            handoff_wait: BTreeMap::new(),
             scratch: TickScratch {
                 positions: Vec::new(),
                 sense: Vec::new(),
@@ -528,6 +580,23 @@ impl Simulation {
         }
         h.f64(self.sybil_next_fire);
         h.u64(self.sybil_target.map_or(u64::MAX, |v| v.raw()));
+        h.u64(self.outbound_handoffs.len() as u64);
+        for hof in &self.outbound_handoffs {
+            h.u64(hof.id.raw());
+            h.f64(hof.speed);
+            h.u64(hof.exit_leg.index() as u64);
+            h.u64(u64::from(hof.false_reports));
+        }
+        h.u64(self.inbound_handoffs.len() as u64);
+        for (leg, hof, queued_at) in &self.inbound_handoffs {
+            h.u64(leg.index() as u64);
+            h.u64(hof.id.raw());
+            h.f64(*queued_at);
+        }
+        h.u64(self.handoff_wait.len() as u64);
+        h.u64(self.metrics.handoffs_out as u64);
+        h.u64(self.metrics.handoffs_in as u64);
+        h.u64(self.metrics.boundary_latency_samples as u64);
         h.finish()
     }
 
@@ -707,7 +776,7 @@ impl Simulation {
                 }
                 any_fit = true;
                 let movement = movements[row % movements.len()];
-                let id = VehicleId::new(1_000_000 + placed as u64);
+                let id = VehicleId::new(1_000_000 + self.config.vehicle_id_base + placed as u64);
                 let descriptor = VehicleDescriptor {
                     brand: "bench".into(),
                     model: "fleet".into(),
@@ -789,6 +858,7 @@ impl Simulation {
         self.im_was_down = im_down;
 
         self.spawn_due(now);
+        self.admit_inbound(now);
         self.retune_threads();
         self.rerequest_plans(now);
         self.rebroadcast_announcements(now);
@@ -1136,6 +1206,149 @@ impl Simulation {
             now,
             &mut self.rng,
         );
+    }
+
+    /// Re-admits queued handoffs whose entry lane is clear by the same
+    /// stopping-distance gate spawns use. The vehicle materialises at
+    /// the entry of a deterministically chosen movement (keyed by its
+    /// id), its role and ledger standing carry over, and it requests a
+    /// plan through the normal path — to the manager it is
+    /// indistinguishable from a spawn. Blocked handoffs stay queued in
+    /// arrival order.
+    fn admit_inbound(&mut self, now: f64) {
+        if self.inbound_handoffs.is_empty() {
+            return;
+        }
+        let queued = std::mem::take(&mut self.inbound_handoffs);
+        for (entry, handoff, queued_at) in queued {
+            let movements = self.topo.movements_from(entry);
+            let movement = match movements.len() {
+                0 => {
+                    // No route continues from this leg: the vehicle
+                    // leaves the modeled city here instead.
+                    self.metrics.exited += 1;
+                    continue;
+                }
+                n => movements[(handoff.id.raw() % n as u64) as usize].id(),
+            };
+            let speed = handoff.speed;
+            let spawn_gap = self.config.limits.stopping_distance(speed) + 30.0;
+            let m = self.topo.movement(movement);
+            let lane_key = (m.from_leg(), m.from_lane());
+            let blocked = self.vehicles.values().any(|v| {
+                if !v.is_active() {
+                    return false;
+                }
+                let vm = self.topo.movement(v.movement);
+                (vm.from_leg(), vm.from_lane()) == lane_key && v.s < spawn_gap
+            });
+            if blocked {
+                self.inbound_handoffs.push_back((entry, handoff, queued_at));
+                continue;
+            }
+            let guard = VehicleGuard::new(
+                handoff.id,
+                self.topo.clone(),
+                self.scheme.clone(),
+                self.config.nwade,
+            );
+            let mut agent = VehicleAgent::new(
+                handoff.id,
+                movement,
+                handoff.descriptor.clone(),
+                guard,
+                speed,
+                now,
+            );
+            agent.role = handoff.role;
+            // Ledger standing follows the vehicle: the receiving manager
+            // seeds its tally from the departing manager's.
+            self.imu
+                .manager
+                .note_reporter_history(handoff.id, handoff.false_reports);
+            let pos = agent.position(&self.topo);
+            self.medium
+                .set_position(NodeId::Vehicle(handoff.id.raw()), pos);
+            self.vehicles.insert(handoff.id.raw(), agent);
+            self.metrics.handoffs_in += 1;
+            self.handoff_wait.insert(handoff.id.raw(), queued_at);
+            let req = PlanRequest {
+                id: handoff.id,
+                descriptor: handoff.descriptor,
+                movement,
+                position_s: 0.0,
+                speed,
+            };
+            self.medium.send(
+                NodeId::Vehicle(handoff.id.raw()),
+                Recipient::Unicast(NodeId::Imu),
+                class::PLAN_REQUEST,
+                NwadeMessage::PlanRequest(req),
+                now,
+                &mut self.rng,
+            );
+        }
+    }
+
+    /// Closes the boundary re-admission latency sample the first time a
+    /// handed-off vehicle is assigned a plan in this shard.
+    fn note_boundary_admission(&mut self, id: u64, now: f64) {
+        if let Some(queued_at) = self.handoff_wait.remove(&id) {
+            self.metrics.boundary_latency_total += now - queued_at;
+            self.metrics.boundary_latency_samples += 1;
+        }
+    }
+
+    // ----- city-grid boundary hooks ---------------------------------
+
+    /// Declares which legs border a neighbouring intersection. Vehicles
+    /// whose movement terminates on one of these legs are serialized
+    /// into [`Handoff`] records instead of exiting.
+    pub fn set_boundary_exits(&mut self, legs: impl IntoIterator<Item = LegId>) {
+        self.boundary_exits = legs.into_iter().collect();
+    }
+
+    /// Drains the handoffs produced since the last call. The city layer
+    /// collects these in shard-ID order during its serialized commit
+    /// phase.
+    pub fn take_outbound_handoffs(&mut self) -> Vec<Handoff> {
+        std::mem::take(&mut self.outbound_handoffs)
+    }
+
+    /// Queues a vehicle arriving from a neighbouring shard for
+    /// re-admission at `entry` once the lane is clear.
+    pub fn queue_inbound_handoff(&mut self, entry: LegId, handoff: Handoff) {
+        self.inbound_handoffs.push_back((entry, handoff, self.now));
+    }
+
+    /// Handoffs still waiting for a clear entry lane.
+    pub fn inbound_backlog(&self) -> usize {
+        self.inbound_handoffs.len()
+    }
+
+    /// Feeds a neighbouring manager's chain tip to this shard's manager
+    /// for cross-shard anchoring; it is embedded into the next sealed
+    /// block.
+    pub fn note_neighbor_tip(&mut self, shard: u32, tip: Digest) {
+        self.imu.manager.note_neighbor_tip(shard, tip);
+    }
+
+    /// Blocks at or after `from` from the manager's recent-block store
+    /// (bounded; the city's anchor audit polls every tick, well inside
+    /// the retention window).
+    pub fn blocks_from(&self, from: u64) -> Vec<nwade_chain::Block> {
+        self.imu.manager.blocks_from(from)
+    }
+
+    /// The manager's false-report tally for `id` — observable so tests
+    /// can pin that ledger standing follows a handed-off vehicle.
+    pub fn false_report_count(&self, id: VehicleId) -> u32 {
+        self.imu.manager.false_report_count(id)
+    }
+
+    /// The configuration this simulation runs under.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
     }
 
     /// Vehicles still cruising without a plan (their plan was deferred by
@@ -1851,12 +2064,25 @@ impl Simulation {
     }
 
     fn finalize_exit(&mut self, id: u64) {
-        let benign = {
+        let (benign, handoff) = {
             let agent = self.vehicles.get_mut(&id).expect("exiting vehicle exists");
             agent.guard.on_exit();
-            agent.role == Role::Benign
+            let exit_leg = self.topo.movement(agent.movement).to_leg();
+            let handoff = self.boundary_exits.contains(&exit_leg).then(|| Handoff {
+                id: agent.id,
+                // Stalled vehicles still roll onto the connecting road.
+                speed: agent.speed.max(1.0),
+                descriptor: agent.descriptor.clone(),
+                role: agent.role,
+                false_reports: 0, // filled in below, outside the borrow
+                exit_leg,
+            });
+            (agent.role == Role::Benign, handoff)
         };
         self.medium.remove_node(NodeId::Vehicle(id));
+        // Ledger standing must be read before the release below (which
+        // only frees reservations, but keep the order obviously safe).
+        let standing = self.imu.manager.false_report_count(VehicleId::new(id));
         self.imu.manager.release_vehicle(VehicleId::new(id));
         // Buffered release record; durable at the next window barrier.
         #[cfg(feature = "store")]
@@ -1869,9 +2095,21 @@ impl Simulation {
                 self.disable_store("release record");
             }
         }
-        self.metrics.exited += 1;
-        if benign {
-            self.metrics.exited_benign += 1;
+        // A vehicle handed off while still waiting for its first plan
+        // here never closes its latency sample.
+        self.handoff_wait.remove(&id);
+        match handoff {
+            Some(mut h) => {
+                h.false_reports = standing;
+                self.outbound_handoffs.push(h);
+                self.metrics.handoffs_out += 1;
+            }
+            None => {
+                self.metrics.exited += 1;
+                if benign {
+                    self.metrics.exited_benign += 1;
+                }
+            }
         }
     }
 
@@ -2526,6 +2764,7 @@ impl Simulation {
             }
             NwadeMessage::PlanAssignment(plan) => {
                 agent.follow_plan(plan);
+                self.note_boundary_admission(id, now);
             }
             _ => {}
         }
@@ -2543,6 +2782,7 @@ impl Simulation {
                 GuardAction::FollowPlan(plan) => {
                     if let Some(agent) = self.vehicles.get_mut(&id.raw()) {
                         agent.follow_plan(plan);
+                        self.note_boundary_admission(id.raw(), now);
                     }
                 }
                 GuardAction::SendIncidentReport(report) => {
